@@ -1,0 +1,172 @@
+(* Full reproduction harness.
+
+   Part 1 regenerates every table and figure of the paper (Table 1,
+   Figure 5, Figure 6, the Section 5.1 padding example, the Section 6
+   set-associative extension) plus the design-choice ablations, printing
+   each as an ASCII table.
+
+   Part 2 times the pieces with Bechamel: one Test.make per reproduced
+   table/figure (a representative unit of its work) plus the placement
+   algorithms themselves (the paper's Section 4.4 discusses GBSC's running
+   time).
+
+   Pass --quick for a fast smoke run on the small workload. *)
+
+open Bechamel
+open Toolkit
+
+module Report = Trg_eval.Report
+module Runner = Trg_eval.Runner
+module Table1 = Trg_eval.Table1
+module Figure5 = Trg_eval.Figure5
+module Figure6 = Trg_eval.Figure6
+module Padding = Trg_eval.Padding
+module Setassoc = Trg_eval.Setassoc
+module Ablation = Trg_eval.Ablation
+module Bench = Trg_synth.Bench
+module Gbsc = Trg_place.Gbsc
+module Ph = Trg_place.Ph
+module Hkc = Trg_place.Hkc
+module Wcg = Trg_profile.Wcg
+module Trg = Trg_profile.Trg
+module Perturb = Trg_profile.Perturb
+module Table = Trg_util.Table
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let benchmark_tests () =
+  (* Timing subjects: [small] for profile-building benches, [go] for the
+     placement algorithms (a mid-size Table 1 workload). *)
+  let small = Runner.prepare (Bench.find "small") in
+  let go = Runner.prepare (Bench.find "go") in
+  let program r = Runner.program r in
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    (* TABLE 1: characterising one benchmark (stats + default-layout sim). *)
+    t "table1/row(small)" (fun () -> Table1.row_of small);
+    (* FIGURE 5: one perturbed GBSC placement + testing-trace simulation. *)
+    t "figure5/point(small)" (fun () ->
+        let rng = Trg_util.Prng.create 1 in
+        let select = Perturb.graph rng ~s:0.1 small.Runner.prof.Gbsc.select.Trg.graph in
+        let place = Perturb.graph rng ~s:0.1 small.Runner.prof.Gbsc.place.Trg.graph in
+        let layout =
+          Gbsc.place_with small.Runner.config (program small) ~select
+            ~model:
+              (Trg_place.Cost.Trg_chunks
+                 { chunks = small.Runner.prof.Gbsc.chunks; trg = place })
+        in
+        Runner.test_miss_rate small layout);
+    (* FIGURE 6: one randomized layout evaluated under both metrics. *)
+    t "figure6/points(small,n=2)" (fun () -> Figure6.run ~n:2 ~seed:9 small);
+    (* Section 5.1: padding experiment. *)
+    t "padding(small)" (fun () -> Padding.run small);
+    (* Section 6: a GBSC-SA placement from a prebuilt pair database. *)
+    t "setassoc/placement(small)" (fun () ->
+        let sa_config =
+          Gbsc.default_config
+            ~cache:(Trg_cache.Config.make ~size:8192 ~line_size:32 ~assoc:2)
+            ()
+        in
+        let prof = Trg_place.Gbsc_sa.profile ~max_between:8 sa_config (program small) small.Runner.train in
+        Trg_place.Gbsc_sa.place (program small) prof);
+    (* Ablation: a whole-procedure-granularity profile + placement. *)
+    t "ablation/no-chunking(small)" (fun () ->
+        let cfg = { small.Runner.config with Gbsc.chunk_size = 1 lsl 20 } in
+        Gbsc.place (program small) (Gbsc.profile cfg (program small) small.Runner.train));
+    (* Extension experiments: one representative unit each. *)
+    t "splitting(small)" (fun () -> Trg_eval.Splitting.run ~cold_fractions:[ 0.05 ] small);
+    t "paging/faults(small)" (fun () ->
+        Trg_cache.Sim.paging (program small) (Runner.default_layout small)
+          ~page_size:4096 ~frames:16 small.Runner.test);
+    t "sampling/half(small)" (fun () ->
+        Trg_eval.Sampling.run ~window:10_000 ~factors:[ 2 ] small);
+    t "blocks/reorder(small)" (fun () ->
+        Trg_place.Block_reorder.build (program small) small.Runner.train);
+    t "headroom/anneal-5k(small)" (fun () ->
+        Trg_eval.Headroom.run ~iterations:5_000 small);
+    t "sweep/4K-point(small)" (fun () ->
+        Trg_eval.Sweep.run ~sizes:[ 4096 ] (Bench.find "small"));
+    t "online/profile(small)" (fun () ->
+        let profiler =
+          Trg_profile.Online.create ~capacity_bytes:16384 (program small)
+            small.Runner.prof.Gbsc.chunks
+        in
+        Trg_trace.Trace.iter (Trg_profile.Online.observe profiler) small.Runner.train;
+        Trg_profile.Online.finish profiler);
+    t "charact/reuse(small)" (fun () ->
+        Trg_cache.Reuse.compute (program small) (Runner.default_layout small)
+          ~line_size:32 small.Runner.test);
+    t "hierarchy/sim(small)" (fun () ->
+        Trg_cache.Sim.simulate_hierarchy (program small) (Runner.default_layout small)
+          ~l1:(Trg_cache.Config.make ~size:8192 ~line_size:32 ~assoc:1)
+          ~l2:(Trg_cache.Config.make ~size:65536 ~line_size:64 ~assoc:4)
+          small.Runner.test);
+    (* The placement algorithms themselves (paper Section 4.4). *)
+    t "place/ph(go)" (fun () -> Ph.place ~wcg:go.Runner.wcg (program go));
+    t "place/hkc(go)" (fun () ->
+        Hkc.place go.Runner.config (program go) ~wcg:go.Runner.wcg
+          ~popularity:go.Runner.prof.Gbsc.popularity);
+    t "place/gbsc(go)" (fun () -> Gbsc.place (program go) go.Runner.prof);
+    (* Substrate costs: profiling and simulation. *)
+    t "profile/wcg(go)" (fun () -> Wcg.build go.Runner.train);
+    t "profile/trg-select+place(small)" (fun () ->
+        Gbsc.profile small.Runner.config (program small) small.Runner.train);
+    t "sim/test-trace(go)" (fun () ->
+        Runner.test_miss_rate go (Runner.default_layout go));
+  ]
+
+let run_benchmarks () =
+  Table.section "BECHAMEL — timing (one test per table/figure + algorithms)";
+  let tests = benchmark_tests () in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:30
+      ~quota:(Time.second (if quick then 0.1 else 0.5))
+      ~stabilize:false ()
+  in
+  let raws =
+    List.map (fun test -> Benchmark.all cfg instances (Test.make_grouped ~name:"" [ test ])) tests
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let rows =
+    List.concat_map
+      (fun raw ->
+        let results = Analyze.all ols Instance.monotonic_clock raw in
+        Hashtbl.fold
+          (fun name est acc ->
+            let time_ns =
+              match Analyze.OLS.estimates est with
+              | Some (t :: _) -> t
+              | Some [] | None -> nan
+            in
+            let r2 =
+              match Analyze.OLS.r_square est with Some r -> r | None -> nan
+            in
+            let name =
+              if String.length name > 0 && name.[0] = '/' then
+                String.sub name 1 (String.length name - 1)
+              else name
+            in
+            [ name;
+              Printf.sprintf "%.3f ms" (time_ns /. 1e6);
+              Printf.sprintf "%.4f" r2 ]
+            :: acc)
+          results [])
+      raws
+  in
+  let rows = List.sort compare rows in
+  Table.print ~header:[ "benchmark"; "time/run"; "r²" ] rows;
+  print_newline ()
+
+let () =
+  let opts =
+    if quick then Report.quick_options
+    else { Report.default_options with print_cdf = true; print_points = true }
+  in
+  print_endline "trgplace reproduction: Gloy, Blackwell, Smith, Calder —";
+  print_endline "\"Procedure Placement Using Temporal Ordering Information\" (MICRO-30, 1997)";
+  Printf.printf "mode: %s\n" (if quick then "quick" else "full (paper-faithful)");
+  Report.all opts;
+  run_benchmarks ()

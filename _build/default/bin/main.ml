@@ -1,0 +1,335 @@
+(* trgplace: command-line driver for the reproduction experiments.
+
+   Each subcommand regenerates one of the paper's tables or figures; [all]
+   reproduces the full evaluation.  [demo] runs the end-to-end pipeline on
+   one benchmark and prints a compact before/after comparison. *)
+
+open Cmdliner
+
+let bench_names = Trg_synth.Bench.names @ [ "small" ]
+
+let shapes_of_names names =
+  List.map
+    (fun n ->
+      try Trg_synth.Bench.find n
+      with Not_found ->
+        Printf.eprintf "unknown benchmark %S (choose from: %s)\n" n
+          (String.concat ", " bench_names);
+        exit 2)
+    names
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+let verbose_term =
+  let doc = "Log placement progress (info level) to stderr." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let options_term =
+  let runs =
+    let doc = "Number of perturbed placements per algorithm (Figure 5)." in
+    Arg.(value & opt int 40 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let points =
+    let doc = "Number of randomized layouts (Figure 6)." in
+    Arg.(value & opt int 80 & info [ "points" ] ~docv:"N" ~doc)
+  in
+  let benches =
+    let doc =
+      "Benchmarks to evaluate (repeatable).  Defaults to the six Table 1 \
+       workloads."
+    in
+    Arg.(value & opt_all string [] & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
+  in
+  let quick =
+    let doc = "Quick mode: the small workload with few runs." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let full_output =
+    let doc = "Print full CDFs / point sets rather than summaries." in
+    Arg.(value & flag & info [ "full-output" ] ~doc)
+  in
+  let make verbose runs points benches quick full_output =
+    setup_logs verbose;
+    if quick then
+      {
+        Trg_eval.Report.quick_options with
+        Trg_eval.Report.print_cdf = full_output;
+        print_points = full_output;
+      }
+    else
+      let selected =
+        match benches with [] -> Trg_synth.Bench.all | names -> shapes_of_names names
+      in
+      {
+        Trg_eval.Report.runs;
+        fig6_points = points;
+        benches = selected;
+        print_cdf = full_output;
+        print_points = full_output;
+      }
+  in
+  Term.(const make $ verbose_term $ runs $ points $ benches $ quick $ full_output)
+
+let experiment name doc f =
+  let term = Term.(const f $ options_term) in
+  Cmd.v (Cmd.info name ~doc) term
+
+let demo_cmd =
+  let doc = "End-to-end pipeline demo on one benchmark." in
+  let bench =
+    Arg.(value & opt string "small" & info [ "bench"; "b" ] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  let run name =
+    let shape = shapes_of_names [ name ] |> List.hd in
+    let r = Trg_eval.Runner.prepare shape in
+    let module Table = Trg_util.Table in
+    Table.section (Printf.sprintf "DEMO — %s" name);
+    let layouts =
+      [
+        ("default", Trg_eval.Runner.default_layout r);
+        ("Hwu-Chang", Trg_eval.Runner.hwu_chang_layout r);
+        ("Torrellas", Trg_eval.Runner.torrellas_layout r);
+        ("PH", Trg_eval.Runner.ph_layout r);
+        ("HKC", Trg_eval.Runner.hkc_layout r);
+        ("GBSC", Trg_eval.Runner.gbsc_layout r);
+      ]
+    in
+    Table.print
+      ~header:[ "layout"; "train MR"; "test MR" ]
+      (List.map
+         (fun (label, layout) ->
+           [
+             label;
+             Table.fmt_pct (Trg_eval.Runner.train_miss_rate r layout);
+             Table.fmt_pct (Trg_eval.Runner.test_miss_rate r layout);
+           ])
+         layouts)
+  in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ bench)
+
+(* --- file-based pipeline commands ------------------------------------ *)
+
+let cache_term =
+  let size = Arg.(value & opt int 8192 & info [ "cache-size" ] ~docv:"BYTES" ~doc:"Cache capacity.") in
+  let line = Arg.(value & opt int 32 & info [ "line-size" ] ~docv:"BYTES" ~doc:"Line size.") in
+  let assoc = Arg.(value & opt int 1 & info [ "assoc" ] ~docv:"WAYS" ~doc:"Associativity.") in
+  Term.(
+    const (fun size line_size assoc -> Trg_cache.Config.make ~size ~line_size ~assoc)
+    $ size $ line $ assoc)
+
+let gen_cmd =
+  let doc = "Generate a benchmark: program + training/testing traces as files." in
+  let bench =
+    Arg.(value & opt string "small" & info [ "bench"; "b" ] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  let out_dir =
+    Arg.(value & opt string "." & info [ "out-dir"; "o" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let binary =
+    Arg.(value & flag & info [ "binary" ] ~doc:"Write traces in the compact binary format.")
+  in
+  let run name dir binary =
+    let shape = shapes_of_names [ name ] |> List.hd in
+    let w = Trg_synth.Gen.generate shape in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path f = Filename.concat dir f in
+    let save = if binary then Trg_trace.Io.save_binary else Trg_trace.Io.save in
+    Trg_program.Serial.save_program (path "program.txt") w.Trg_synth.Gen.program;
+    save (path "train.trace") (Trg_synth.Gen.train_trace w);
+    save (path "test.trace") (Trg_synth.Gen.test_trace w);
+    Printf.printf "wrote %s, %s, %s\n" (path "program.txt") (path "train.trace")
+      (path "test.trace")
+  in
+  Cmd.v (Cmd.info "gen" ~doc) Term.(const run $ bench $ out_dir $ binary)
+
+let place_cmd =
+  let doc = "Compute a placement from a program file and a training trace file." in
+  let program_f =
+    Arg.(required & opt (some string) None & info [ "program"; "p" ] ~docv:"FILE" ~doc:"Program file.")
+  in
+  let trace_f =
+    Arg.(required & opt (some string) None & info [ "trace"; "t" ] ~docv:"FILE" ~doc:"Training trace file.")
+  in
+  let out_f =
+    Arg.(value & opt string "layout.txt" & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output layout file.")
+  in
+  let algo =
+    Arg.(
+      value
+      & opt (enum [ ("gbsc", `Gbsc); ("gbsc-paged", `Paged); ("gbsc-sa", `Sa); ("ph", `Ph); ("hkc", `Hkc); ("default", `Default) ]) `Gbsc
+      & info [ "algo"; "a" ] ~docv:"ALGO" ~doc:"Placement algorithm: gbsc, gbsc-paged, gbsc-sa, ph, hkc or default.")
+  in
+  let run program_f trace_f out_f algo cache =
+    let program = Trg_program.Serial.load_program program_f in
+    let trace = Trg_trace.Io.load trace_f in
+    let config = Trg_place.Gbsc.default_config ~cache () in
+    let layout =
+      match algo with
+      | `Default -> Trg_program.Layout.default program
+      | `Ph -> Trg_place.Ph.place ~wcg:(Trg_profile.Wcg.build trace) program
+      | `Hkc ->
+        let prof = Trg_place.Gbsc.profile config program trace in
+        Trg_place.Hkc.place config program
+          ~wcg:(Trg_profile.Wcg.build trace)
+          ~popularity:prof.Trg_place.Gbsc.popularity
+      | `Gbsc -> Trg_place.Gbsc.run config program trace
+      | `Paged ->
+        Trg_place.Gbsc.place_paged program (Trg_place.Gbsc.profile config program trace)
+      | `Sa -> Trg_place.Gbsc_sa.run config program trace
+    in
+    Trg_program.Serial.save_layout out_f layout;
+    Printf.printf "wrote %s (span %d bytes, %d gap bytes)\n" out_f
+      (Trg_program.Layout.span layout)
+      (Trg_program.Layout.gap_bytes layout program)
+  in
+  Cmd.v (Cmd.info "place" ~doc) Term.(const run $ program_f $ trace_f $ out_f $ algo $ cache_term)
+
+let simulate_cmd =
+  let doc = "Simulate a layout file against a trace file and report the miss rate." in
+  let program_f =
+    Arg.(required & opt (some string) None & info [ "program"; "p" ] ~docv:"FILE" ~doc:"Program file.")
+  in
+  let layout_f =
+    Arg.(required & opt (some string) None & info [ "layout"; "l" ] ~docv:"FILE" ~doc:"Layout file.")
+  in
+  let trace_f =
+    Arg.(required & opt (some string) None & info [ "trace"; "t" ] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  let run program_f layout_f trace_f cache =
+    let program = Trg_program.Serial.load_program program_f in
+    let layout = Trg_program.Serial.load_layout program layout_f in
+    let trace = Trg_trace.Io.load trace_f in
+    let result = Trg_cache.Sim.simulate program layout cache trace in
+    Printf.printf "cache %s: %d accesses, %d misses, miss rate %.4f%%\n"
+      (Format.asprintf "%a" Trg_cache.Config.pp cache)
+      result.Trg_cache.Sim.accesses result.Trg_cache.Sim.misses
+      (100. *. Trg_cache.Sim.miss_rate result)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ program_f $ layout_f $ trace_f $ cache_term)
+
+let export_dot_cmd =
+  let doc = "Export a benchmark's WCG or TRG as Graphviz dot." in
+  let bench =
+    Arg.(value & opt string "small" & info [ "bench"; "b" ] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  let what =
+    Arg.(
+      value
+      & opt (enum [ ("wcg", `Wcg); ("trg-select", `Select); ("trg-place", `Place) ]) `Select
+      & info [ "what"; "w" ] ~docv:"GRAPH" ~doc:"Graph to export: wcg, trg-select or trg-place.")
+  in
+  let out =
+    Arg.(value & opt string "graph.dot" & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let min_weight =
+    Arg.(value & opt float 0. & info [ "min-weight" ] ~docv:"W" ~doc:"Drop edges lighter than W.")
+  in
+  let run name what out min_weight =
+    let shape = shapes_of_names [ name ] |> List.hd in
+    let r = Trg_eval.Runner.prepare shape in
+    let program = Trg_eval.Runner.program r in
+    let graph, namer =
+      match what with
+      | `Wcg -> (r.Trg_eval.Runner.wcg, Trg_program.Program.name program)
+      | `Select ->
+        ( r.Trg_eval.Runner.prof.Trg_place.Gbsc.select.Trg_profile.Trg.graph,
+          Trg_program.Program.name program )
+      | `Place ->
+        let chunks = r.Trg_eval.Runner.prof.Trg_place.Gbsc.chunks in
+        ( r.Trg_eval.Runner.prof.Trg_place.Gbsc.place.Trg_profile.Trg.graph,
+          fun c ->
+            Printf.sprintf "%s#%d"
+              (Trg_program.Program.name program (Trg_program.Chunk.owner chunks c))
+              (Trg_program.Chunk.index_in_proc chunks c) )
+    in
+    let oc = open_out out in
+    output_string oc (Trg_profile.Graph.to_dot ~name:namer ~min_weight graph);
+    close_out oc;
+    Printf.printf "wrote %s (%d nodes, %d edges)\n" out
+      (Trg_profile.Graph.n_nodes graph)
+      (Trg_profile.Graph.n_edges graph)
+  in
+  Cmd.v (Cmd.info "export-dot" ~doc) Term.(const run $ bench $ what $ out $ min_weight)
+
+let show_layout_cmd =
+  let doc = "Show a layout's cache mapping (per-set occupants)." in
+  let program_f =
+    Arg.(required & opt (some string) None & info [ "program"; "p" ] ~docv:"FILE" ~doc:"Program file.")
+  in
+  let layout_f =
+    Arg.(required & opt (some string) None & info [ "layout"; "l" ] ~docv:"FILE" ~doc:"Layout file.")
+  in
+  let trace_f =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace"; "t" ] ~docv:"FILE"
+          ~doc:"Optional profile trace; when given, only popular procedures are shown.")
+  in
+  let run program_f layout_f trace_f cache =
+    let program = Trg_program.Serial.load_program program_f in
+    let layout = Trg_program.Serial.load_layout program layout_f in
+    let only =
+      match trace_f with
+      | None -> None
+      | Some path ->
+        let trace = Trg_trace.Io.load path in
+        let stats =
+          Trg_trace.Tstats.compute ~n_procs:(Trg_program.Program.n_procs program) trace
+        in
+        let pop = Trg_profile.Popularity.select program stats in
+        Some (Trg_profile.Popularity.keep pop)
+    in
+    print_string (Trg_place.View.cache_map ?only program cache layout);
+    print_endline "occupancy:";
+    print_string (Trg_place.View.occupancy_summary ?only program cache layout)
+  in
+  Cmd.v (Cmd.info "show-layout" ~doc)
+    Term.(const run $ program_f $ layout_f $ trace_f $ cache_term)
+
+let cmds =
+  [
+    gen_cmd;
+    place_cmd;
+    simulate_cmd;
+    export_dot_cmd;
+    show_layout_cmd;
+    experiment "table1" "Reproduce Table 1 (benchmark characteristics)."
+      Trg_eval.Report.table1;
+    experiment "characterize" "Reuse-distance workload characterisation."
+      Trg_eval.Report.characterize;
+    experiment "figure5" "Reproduce Figure 5 (miss-rate distributions)."
+      Trg_eval.Report.figure5;
+    experiment "figure6" "Reproduce Figure 6 (metric/miss correlation)."
+      Trg_eval.Report.figure6;
+    experiment "padding" "Reproduce the Section 5.1 padding example."
+      Trg_eval.Report.padding;
+    experiment "setassoc" "Reproduce the Section 6 set-associative extension."
+      Trg_eval.Report.setassoc;
+    experiment "ablation" "Ablate GBSC's design choices." Trg_eval.Report.ablation;
+    experiment "splitting" "Procedure splitting combined with GBSC."
+      Trg_eval.Report.splitting;
+    experiment "paging" "Page-locality linearisation variant (Section 4.3)."
+      Trg_eval.Report.paging;
+    experiment "sampling" "Sampled-profile quality (Section 4.4 practicality)."
+      Trg_eval.Report.sampling;
+    experiment "blocks" "Intra-procedure basic-block reordering."
+      Trg_eval.Report.blocks;
+    experiment "online" "Online (streaming) vs offline profiling."
+      Trg_eval.Report.online;
+    experiment "headroom" "Greedy GBSC vs direct metric search (annealing)."
+      Trg_eval.Report.headroom;
+    experiment "hierarchy" "Two-level cache hierarchy (conclusion's outlook)."
+      Trg_eval.Report.hierarchy;
+    experiment "sweep" "Cache-size sweep (Section 5.2 robustness note)."
+      Trg_eval.Report.sweep;
+    experiment "all" "Run every experiment in paper order." Trg_eval.Report.all;
+    demo_cmd;
+  ]
+
+let () =
+  let doc = "procedure placement using temporal ordering information (MICRO-30 reproduction)" in
+  let info = Cmd.info "trgplace" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/compiler_workload.ml: Array List Printf Trg_eval Trg_place Trg_profile Trg_program Trg_synth Trg_trace Trg_util

@@ -1,0 +1,1 @@
+examples/full_pipeline.ml: List Printf Trg_cache Trg_place Trg_profile Trg_program Trg_synth Trg_trace Trg_util

@@ -1,0 +1,1 @@
+examples/paper_example.ml: List Printf String Trg_cache Trg_place Trg_profile Trg_program Trg_synth

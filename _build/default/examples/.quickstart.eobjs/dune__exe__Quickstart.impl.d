@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Printf Trg_cache Trg_place Trg_program Trg_trace

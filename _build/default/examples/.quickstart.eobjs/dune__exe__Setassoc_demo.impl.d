@@ -1,0 +1,1 @@
+examples/setassoc_demo.ml: Format List Printf Trg_cache Trg_eval Trg_place Trg_profile Trg_synth Trg_util

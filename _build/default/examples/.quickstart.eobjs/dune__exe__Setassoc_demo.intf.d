@@ -1,0 +1,1 @@
+examples/setassoc_demo.mli:

@@ -1,0 +1,1 @@
+lib/cache/reuse.ml: Array Float Hashtbl List Trg_program Trg_trace

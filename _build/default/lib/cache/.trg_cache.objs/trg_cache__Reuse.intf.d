@@ -1,0 +1,1 @@
+lib/cache/reuse.mli: Trg_program Trg_trace

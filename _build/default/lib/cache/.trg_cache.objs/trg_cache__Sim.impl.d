@@ -1,0 +1,1 @@
+lib/cache/sim.ml: Array Config Hashtbl Trg_program Trg_trace

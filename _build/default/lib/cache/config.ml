@@ -1,0 +1,20 @@
+type t = { size : int; line_size : int; assoc : int }
+
+let make ~size ~line_size ~assoc =
+  if size <= 0 || line_size <= 0 || assoc <= 0 then
+    invalid_arg "Cache.Config.make: all fields must be positive";
+  if size mod (line_size * assoc) <> 0 then
+    invalid_arg "Cache.Config.make: size must be a multiple of line_size * assoc";
+  { size; line_size; assoc }
+
+let default = make ~size:8192 ~line_size:32 ~assoc:1
+
+let n_lines t = t.size / t.line_size
+
+let n_sets t = t.size / (t.line_size * t.assoc)
+
+let lines_of_bytes t bytes =
+  if bytes <= 0 then 0 else (bytes + t.line_size - 1) / t.line_size
+
+let pp ppf t =
+  Format.fprintf ppf "%dB/%dB-line/%d-way" t.size t.line_size t.assoc

@@ -1,0 +1,31 @@
+(** Instruction-cache configuration.
+
+    The paper's evaluation targets an 8 KB direct-mapped cache with 32-byte
+    lines ({!default}); Section 6 extends the placement algorithm to
+    set-associative caches with LRU replacement. *)
+
+type t = {
+  size : int;  (** total capacity in bytes *)
+  line_size : int;  (** bytes per line *)
+  assoc : int;  (** ways; 1 = direct-mapped *)
+}
+
+val make : size:int -> line_size:int -> assoc:int -> t
+(** Validates positivity and that [size] is divisible by
+    [line_size * assoc]. *)
+
+val default : t
+(** 8 KB, 32-byte lines, direct-mapped — the configuration used for every
+    number reported in the paper's Section 5. *)
+
+val n_lines : t -> int
+(** [size / line_size]: the number of cache lines (all ways together). *)
+
+val n_sets : t -> int
+(** [size / (line_size * assoc)]: the number of sets. *)
+
+val lines_of_bytes : t -> int -> int
+(** Number of lines needed to hold a code object of the given byte size
+    (rounded up); at least 1 for positive sizes. *)
+
+val pp : Format.formatter -> t -> unit

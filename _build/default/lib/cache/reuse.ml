@@ -1,0 +1,109 @@
+module Program = Trg_program.Program
+module Layout = Trg_program.Layout
+module Trace = Trg_trace.Trace
+module Event = Trg_trace.Event
+
+type t = {
+  total_refs : int;
+  cold_refs : int;
+  counts : (int, int) Hashtbl.t; (* finite distance -> number of references *)
+}
+
+(* Fenwick tree over timestamps: tree.(i) counts marked positions. *)
+module Bit = struct
+  type t = { data : int array }
+
+  let create n = { data = Array.make (n + 1) 0 }
+
+  let add t i delta =
+    let i = ref (i + 1) in
+    while !i < Array.length t.data do
+      t.data.(!i) <- t.data.(!i) + delta;
+      i := !i + (!i land - !i)
+    done
+
+  (* Sum of marks at positions [0, i]. *)
+  let prefix t i =
+    let i = ref (i + 1) in
+    let acc = ref 0 in
+    while !i > 0 do
+      acc := !acc + t.data.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !acc
+end
+
+let compute program layout ~line_size trace =
+  let n = Program.n_procs program in
+  let addr = Array.init n (Layout.address layout) in
+  (* Count line references first to size the tree. *)
+  let n_refs = ref 0 in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let base = addr.(e.proc) + e.offset in
+      n_refs := !n_refs + ((base + e.len - 1) / line_size) - (base / line_size) + 1)
+    trace;
+  let bit = Bit.create (max 1 !n_refs) in
+  let last_seen = Hashtbl.create 4096 in
+  let counts = Hashtbl.create 256 in
+  let marked = ref 0 in
+  let time = ref 0 in
+  let cold = ref 0 in
+  let touch la =
+    (match Hashtbl.find_opt last_seen la with
+    | None -> incr cold
+    | Some prev ->
+      (* Distinct other lines since [prev]: marked positions strictly
+         after prev (the line's own mark sits exactly at prev). *)
+      let d = !marked - Bit.prefix bit prev in
+      Hashtbl.replace counts d (1 + (try Hashtbl.find counts d with Not_found -> 0));
+      Bit.add bit prev (-1);
+      decr marked);
+    Hashtbl.replace last_seen la !time;
+    Bit.add bit !time 1;
+    incr marked;
+    incr time
+  in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let base = addr.(e.proc) + e.offset in
+      for la = base / line_size to (base + e.len - 1) / line_size do
+        touch la
+      done)
+    trace;
+  { total_refs = !n_refs; cold_refs = !cold; counts }
+
+let total_refs t = t.total_refs
+
+let cold_refs t = t.cold_refs
+
+let histogram t =
+  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) t.counts [])
+
+let misses_at t c =
+  Hashtbl.fold (fun d count acc -> if d >= c then acc + count else acc) t.counts
+    t.cold_refs
+
+let miss_rate_at t c =
+  if t.total_refs = 0 then 0. else float_of_int (misses_at t c) /. float_of_int t.total_refs
+
+let percentile t p =
+  let finite = t.total_refs - t.cold_refs in
+  if finite = 0 then 0
+  else begin
+    let target = int_of_float (Float.of_int finite *. p /. 100.) in
+    let target = max 1 (min finite target) in
+    let acc = ref 0 in
+    let ans = ref 0 in
+    (try
+       List.iter
+         (fun (d, c) ->
+           acc := !acc + c;
+           if !acc >= target then begin
+             ans := d;
+             raise Exit
+           end)
+         (histogram t)
+     with Exit -> ());
+    !ans
+  end

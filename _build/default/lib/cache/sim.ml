@@ -1,0 +1,282 @@
+module Program = Trg_program.Program
+module Layout = Trg_program.Layout
+module Trace = Trg_trace.Trace
+module Event = Trg_trace.Event
+
+type result = { accesses : int; misses : int; events : int }
+
+let miss_rate r = if r.accesses = 0 then 0. else float_of_int r.misses /. float_of_int r.accesses
+
+(* Direct-mapped: one tag per line, tag = memory line address. *)
+let simulate_direct addr (config : Config.t) trace =
+  let n_lines = Config.n_lines config in
+  let line_size = config.line_size in
+  let tags = Array.make n_lines (-1) in
+  let accesses = ref 0 and misses = ref 0 in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let base = addr.(e.proc) + e.offset in
+      let first = base / line_size and last = (base + e.len - 1) / line_size in
+      for la = first to last do
+        incr accesses;
+        let idx = la mod n_lines in
+        if tags.(idx) <> la then begin
+          incr misses;
+          tags.(idx) <- la
+        end
+      done)
+    trace;
+  { accesses = !accesses; misses = !misses; events = Trace.length trace }
+
+(* Set-associative with true LRU: each set is a slice of [tags] kept in
+   most-recently-used-first order. *)
+let simulate_assoc addr (config : Config.t) trace =
+  let n_sets = Config.n_sets config in
+  let assoc = config.assoc in
+  let line_size = config.line_size in
+  let tags = Array.make (n_sets * assoc) (-1) in
+  let accesses = ref 0 and misses = ref 0 in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let base = addr.(e.proc) + e.offset in
+      let first = base / line_size and last = (base + e.len - 1) / line_size in
+      for la = first to last do
+        incr accesses;
+        let set = la mod n_sets in
+        let start = set * assoc in
+        (* Find the way holding [la], if any. *)
+        let way = ref (-1) in
+        (try
+           for w = 0 to assoc - 1 do
+             if tags.(start + w) = la then begin
+               way := w;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        let hit_way =
+          if !way >= 0 then !way
+          else begin
+            incr misses;
+            assoc - 1 (* victim: least recently used, at the back *)
+          end
+        in
+        (* Move to front. *)
+        for w = hit_way downto 1 do
+          tags.(start + w) <- tags.(start + w - 1)
+        done;
+        tags.(start) <- la
+      done)
+    trace;
+  { accesses = !accesses; misses = !misses; events = Trace.length trace }
+
+let simulate program layout config trace =
+  let n = Program.n_procs program in
+  let addr = Array.init n (Layout.address layout) in
+  if config.Config.assoc = 1 then simulate_direct addr config trace
+  else simulate_assoc addr config trace
+
+(* Tree-PLRU: per set, [assoc - 1] direction bits arranged as an implicit
+   binary tree.  On access, flip the path bits to point away from the
+   touched way; on miss, follow the bits to the victim. *)
+let simulate_plru program layout (config : Config.t) trace =
+  let assoc = config.Config.assoc in
+  if assoc land (assoc - 1) <> 0 then
+    invalid_arg "Sim.simulate_plru: associativity must be a power of two";
+  let n = Program.n_procs program in
+  let addr = Array.init n (Layout.address layout) in
+  if assoc = 1 then simulate_direct addr config trace
+  else begin
+    let n_sets = Config.n_sets config in
+    let line_size = config.Config.line_size in
+    let tags = Array.make (n_sets * assoc) (-1) in
+    let bits = Array.make (n_sets * assoc) false in
+    (* bits slots 1 .. assoc-1 used as heap-indexed tree nodes. *)
+    let levels =
+      let rec log2 acc = function 1 -> acc | k -> log2 (acc + 1) (k / 2) in
+      log2 0 assoc
+    in
+    let touch set way =
+      (* Walk from the root; at each level record the direction that leads
+         to [way] and set the bit to the opposite direction. *)
+      let base = set * assoc in
+      let node = ref 1 in
+      for level = levels - 1 downto 0 do
+        let dir = (way lsr level) land 1 in
+        bits.(base + !node) <- dir = 0;
+        node := (2 * !node) + dir
+      done
+    in
+    let victim set =
+      let base = set * assoc in
+      let node = ref 1 in
+      let way = ref 0 in
+      for _ = 1 to levels do
+        let dir = if bits.(base + !node) then 1 else 0 in
+        way := (2 * !way) + dir;
+        node := (2 * !node) + dir
+      done;
+      !way
+    in
+    let accesses = ref 0 and misses = ref 0 in
+    Trace.iter
+      (fun (e : Event.t) ->
+        let base_addr = addr.(e.proc) + e.offset in
+        let first = base_addr / line_size
+        and last = (base_addr + e.len - 1) / line_size in
+        for la = first to last do
+          incr accesses;
+          let set = la mod n_sets in
+          let start = set * assoc in
+          let way = ref (-1) in
+          (try
+             for w = 0 to assoc - 1 do
+               if tags.(start + w) = la then begin
+                 way := w;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if !way < 0 then begin
+            incr misses;
+            way := victim set;
+            tags.(start + !way) <- la
+          end;
+          touch set !way
+        done)
+      trace;
+    { accesses = !accesses; misses = !misses; events = Trace.length trace }
+  end
+
+type hierarchy_result = { l1 : result; l2 : result; amat : float }
+
+(* A reusable single-cache probe function over line addresses. *)
+let make_probe (config : Config.t) =
+  let n_sets = Config.n_sets config in
+  let assoc = config.assoc in
+  let tags = Array.make (n_sets * assoc) (-1) in
+  fun la ->
+    let set = la mod n_sets in
+    let start = set * assoc in
+    let way = ref (-1) in
+    (try
+       for w = 0 to assoc - 1 do
+         if tags.(start + w) = la then begin
+           way := w;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let hit = !way >= 0 in
+    let from_way = if hit then !way else assoc - 1 in
+    for w = from_way downto 1 do
+      tags.(start + w) <- tags.(start + w - 1)
+    done;
+    tags.(start) <- la;
+    hit
+
+let simulate_hierarchy program layout ~(l1 : Config.t) ~(l2 : Config.t) trace =
+  if l2.line_size mod l1.line_size <> 0 then
+    invalid_arg "Sim.simulate_hierarchy: L2 line size must be a multiple of L1's";
+  let n = Program.n_procs program in
+  let addr = Array.init n (Layout.address layout) in
+  let probe1 = make_probe l1 and probe2 = make_probe l2 in
+  let ratio = l2.line_size / l1.line_size in
+  let a1 = ref 0 and m1 = ref 0 and a2 = ref 0 and m2 = ref 0 in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let base = addr.(e.proc) + e.offset in
+      let first = base / l1.line_size and last = (base + e.len - 1) / l1.line_size in
+      for la = first to last do
+        incr a1;
+        if not (probe1 la) then begin
+          incr m1;
+          incr a2;
+          if not (probe2 (la / ratio)) then incr m2
+        end
+      done)
+    trace;
+  let l1r = { accesses = !a1; misses = !m1; events = Trace.length trace } in
+  let l2r = { accesses = !a2; misses = !m2; events = Trace.length trace } in
+  let amat =
+    if !a1 = 0 then 0.
+    else
+      (float_of_int !a1 +. (10. *. float_of_int !m1) +. (90. *. float_of_int !m2))
+      /. float_of_int !a1
+  in
+  { l1 = l1r; l2 = l2r; amat }
+
+type page_result = { page_accesses : int; page_faults : int; pages_touched : int }
+
+(* Exact LRU over pages: a doubly-linked recency list indexed by page id. *)
+let paging program layout ~page_size ~frames trace =
+  if page_size <= 0 || frames <= 0 then
+    invalid_arg "Sim.paging: page_size and frames must be positive";
+  let n = Program.n_procs program in
+  let addr = Array.init n (Layout.address layout) in
+  let n_pages = (Layout.span layout / page_size) + 2 in
+  (* prev/next chain over resident pages; -1 = nil. *)
+  let prev = Array.make n_pages (-1) and next = Array.make n_pages (-1) in
+  let resident = Array.make n_pages false in
+  let head = ref (-1) (* most recent *) and tail = ref (-1) (* least recent *) in
+  let count = ref 0 in
+  let unlink p =
+    (match prev.(p) with -1 -> head := next.(p) | q -> next.(q) <- next.(p));
+    (match next.(p) with -1 -> tail := prev.(p) | q -> prev.(q) <- prev.(p));
+    prev.(p) <- -1;
+    next.(p) <- -1
+  in
+  let push_front p =
+    prev.(p) <- -1;
+    next.(p) <- !head;
+    (match !head with -1 -> tail := p | h -> prev.(h) <- p);
+    head := p
+  in
+  let accesses = ref 0 and faults = ref 0 in
+  let touched = Hashtbl.create 256 in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let base = addr.(e.proc) + e.offset in
+      let first = base / page_size and last = (base + e.len - 1) / page_size in
+      for p = first to last do
+        incr accesses;
+        if not (Hashtbl.mem touched p) then Hashtbl.add touched p ();
+        if resident.(p) then begin
+          if !head <> p then begin
+            unlink p;
+            push_front p
+          end
+        end
+        else begin
+          incr faults;
+          if !count = frames then begin
+            let victim = !tail in
+            unlink victim;
+            resident.(victim) <- false
+          end
+          else incr count;
+          resident.(p) <- true;
+          push_front p
+        end
+      done)
+    trace;
+  {
+    page_accesses = !accesses;
+    page_faults = !faults;
+    pages_touched = Hashtbl.length touched;
+  }
+
+let distinct_lines program layout (config : Config.t) trace =
+  let n = Program.n_procs program in
+  let addr = Array.init n (Layout.address layout) in
+  let line_size = config.line_size in
+  let seen = Hashtbl.create 4096 in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let base = addr.(e.proc) + e.offset in
+      let first = base / line_size and last = (base + e.len - 1) / line_size in
+      for la = first to last do
+        if not (Hashtbl.mem seen la) then Hashtbl.add seen la ()
+      done)
+    trace;
+  Hashtbl.length seen

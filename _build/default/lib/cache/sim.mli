@@ -1,0 +1,82 @@
+(** Trace-driven instruction-cache simulation.
+
+    Given a layout (procedure addresses) and a trace (byte ranges executed),
+    the simulator probes every cache line the program would fetch, in
+    program order, and counts misses.  This is the measurement device behind
+    all of the paper's reported miss rates. *)
+
+type result = {
+  accesses : int;  (** number of line references *)
+  misses : int;
+  events : int;  (** number of trace events processed *)
+}
+
+val miss_rate : result -> float
+(** [misses / accesses]; 0 for an empty trace. *)
+
+val simulate :
+  Trg_program.Program.t ->
+  Trg_program.Layout.t ->
+  Config.t ->
+  Trg_trace.Trace.t ->
+  result
+(** Simulates with a cold cache.  Direct-mapped configurations use a fast
+    tag-array path; associative configurations use true-LRU replacement per
+    set. *)
+
+val simulate_plru :
+  Trg_program.Program.t ->
+  Trg_program.Layout.t ->
+  Config.t ->
+  Trg_trace.Trace.t ->
+  result
+(** Tree-based pseudo-LRU replacement, the policy most real set-associative
+    I-caches implement instead of true LRU.  Requires power-of-two
+    associativity.  With [assoc = 1] it coincides with {!simulate}. *)
+
+val distinct_lines :
+  Trg_program.Program.t ->
+  Trg_program.Layout.t ->
+  Config.t ->
+  Trg_trace.Trace.t ->
+  int
+(** Number of distinct memory line addresses touched by the trace — the
+    compulsory-miss floor for any cache with this line size. *)
+
+type hierarchy_result = {
+  l1 : result;
+  l2 : result;  (** accesses = L1 misses; misses = fills from memory *)
+  amat : float;
+      (** average access time per L1 reference with the conventional
+          1 / 10 / 100 cycle latencies for L1 hit / L2 hit / memory *)
+}
+
+val simulate_hierarchy :
+  Trg_program.Program.t ->
+  Trg_program.Layout.t ->
+  l1:Config.t ->
+  l2:Config.t ->
+  Trg_trace.Trace.t ->
+  hierarchy_result
+(** Two-level instruction hierarchy: every L1 line miss probes L2 at L2's
+    line granularity ([l2.line_size] must be a multiple of
+    [l1.line_size]).  The paper's conclusion points at exactly this
+    direction — layout effects on "other layers of the memory
+    hierarchy". *)
+
+type page_result = {
+  page_accesses : int;  (** page references (one per event page touched) *)
+  page_faults : int;  (** LRU faults with the given number of frames *)
+  pages_touched : int;  (** distinct pages referenced *)
+}
+
+val paging :
+  Trg_program.Program.t ->
+  Trg_program.Layout.t ->
+  page_size:int ->
+  frames:int ->
+  Trg_trace.Trace.t ->
+  page_result
+(** Code-paging behaviour of a layout: every event charges the pages its
+    byte range spans against an LRU-managed resident set of [frames]
+    physical pages.  Used by the Section 4.3 page-locality experiment. *)

@@ -1,0 +1,1 @@
+lib/core/anneal.ml: Array Cost Float Gbsc Hashtbl Linearize List Node Trg_cache Trg_profile Trg_program Trg_util

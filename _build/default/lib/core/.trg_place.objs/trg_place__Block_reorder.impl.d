@@ -1,0 +1,1 @@
+lib/core/block_reorder.ml: Array Hashtbl List Printf Trg_program Trg_trace

@@ -1,0 +1,1 @@
+lib/core/block_reorder.mli: Trg_program Trg_trace

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Array Hashtbl List Node Trg_profile Trg_program

@@ -1,0 +1,1 @@
+lib/core/cost.mli: Node Trg_profile Trg_program

@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Array Gbsc Linearize Printf Trg_cache Trg_program

@@ -1,0 +1,1 @@
+lib/core/exhaustive.mli: Gbsc Trg_program Trg_trace

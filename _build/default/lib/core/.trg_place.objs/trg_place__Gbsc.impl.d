@@ -1,0 +1,1 @@
+lib/core/gbsc.ml: Array Cost Hashtbl Linearize List Logs Merge_driver Node Trg_cache Trg_profile Trg_program Trg_trace

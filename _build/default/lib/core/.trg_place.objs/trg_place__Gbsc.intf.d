@@ -1,0 +1,1 @@
+lib/core/gbsc.mli: Cost Node Trg_cache Trg_profile Trg_program Trg_trace

@@ -1,0 +1,1 @@
+lib/core/gbsc_sa.ml: Cost Gbsc Trg_cache Trg_profile Trg_program Trg_trace

@@ -1,0 +1,1 @@
+lib/core/gbsc_sa.mli: Gbsc Trg_profile Trg_program Trg_trace

@@ -1,0 +1,1 @@
+lib/core/hkc.ml: Cost Gbsc Trg_profile

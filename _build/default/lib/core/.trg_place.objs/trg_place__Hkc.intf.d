@@ -1,0 +1,1 @@
+lib/core/hkc.mli: Gbsc Trg_profile Trg_program

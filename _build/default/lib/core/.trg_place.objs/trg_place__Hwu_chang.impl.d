@@ -1,0 +1,1 @@
+lib/core/hwu_chang.ml: Array List Trg_profile Trg_program

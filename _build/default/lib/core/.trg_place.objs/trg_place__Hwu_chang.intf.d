@@ -1,0 +1,1 @@
+lib/core/hwu_chang.mli: Trg_profile Trg_program

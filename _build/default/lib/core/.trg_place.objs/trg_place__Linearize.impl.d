@@ -1,0 +1,1 @@
+lib/core/linearize.ml: Array Hashtbl List Printf Trg_program

@@ -1,0 +1,1 @@
+lib/core/linearize.mli: Trg_program

@@ -1,0 +1,1 @@
+lib/core/merge_driver.ml: Hashtbl List Trg_profile Trg_util

@@ -1,0 +1,1 @@
+lib/core/merge_driver.mli: Trg_profile

@@ -1,0 +1,1 @@
+lib/core/metric.ml: Bytes Hashtbl Trg_cache Trg_profile Trg_program

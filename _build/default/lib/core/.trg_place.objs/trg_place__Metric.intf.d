@@ -1,0 +1,1 @@
+lib/core/metric.mli: Trg_cache Trg_profile Trg_program

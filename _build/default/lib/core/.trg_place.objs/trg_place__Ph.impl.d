@@ -1,0 +1,1 @@
+lib/core/ph.ml: Array Hashtbl List Merge_driver Trg_profile Trg_program

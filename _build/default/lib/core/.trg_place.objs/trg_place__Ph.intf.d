@@ -1,0 +1,1 @@
+lib/core/ph.mli: Trg_profile Trg_program

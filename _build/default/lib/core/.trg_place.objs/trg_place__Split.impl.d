@@ -1,0 +1,1 @@
+lib/core/split.ml: Array Float List Trg_program Trg_trace

@@ -1,0 +1,1 @@
+lib/core/split.mli: Trg_program Trg_trace

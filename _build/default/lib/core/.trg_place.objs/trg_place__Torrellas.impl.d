@@ -1,0 +1,1 @@
+lib/core/torrellas.ml: Array Gbsc Trg_cache Trg_profile Trg_program

@@ -1,0 +1,1 @@
+lib/core/torrellas.mli: Gbsc Trg_profile Trg_program

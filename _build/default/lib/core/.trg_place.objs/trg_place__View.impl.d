@@ -1,0 +1,1 @@
+lib/core/view.ml: Array Buffer List Printf String Trg_cache Trg_program

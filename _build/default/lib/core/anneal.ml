@@ -1,0 +1,184 @@
+module Program = Trg_program.Program
+module Chunk = Trg_program.Chunk
+module Config = Trg_cache.Config
+module Graph = Trg_profile.Graph
+module Trg = Trg_profile.Trg
+module Prng = Trg_util.Prng
+
+type params = { seed : int; iterations : int; t_start : float; t_end : float }
+
+let default_params = { seed = 1; iterations = 60_000; t_start = 0.10; t_end = 0.001 }
+
+(* One inter-procedure TRG_place edge, with the chunks' owner-relative line
+   positions precomputed. *)
+type edge = {
+  p1 : int;
+  p2 : int;
+  rel1 : int; (* line index of chunk 1 within its procedure *)
+  len1 : int; (* lines the chunk spans *)
+  rel2 : int;
+  len2 : int;
+  w : float;
+}
+
+type search_state = {
+  n_sets : int;
+  offsets : (int, int) Hashtbl.t; (* proc -> current set offset *)
+  edges : edge array;
+  incident : (int, int list) Hashtbl.t; (* proc -> edge indices *)
+}
+
+(* Shared cache sets between two line intervals [a, a+la) and [b, b+lb)
+   modulo n_sets.  Intervals are at most n_sets long. *)
+let shared_sets ~n_sets a la b lb =
+  let la = min la n_sets and lb = min lb n_sets in
+  (* Overlap of two circular intervals = sum over the two linearisations. *)
+  let overlap_linear x lx y ly =
+    let lo = max x y and hi = min (x + lx) (y + ly) in
+    max 0 (hi - lo)
+  in
+  if la = n_sets then lb
+  else if lb = n_sets then la
+  else begin
+    let a = a mod n_sets and b = b mod n_sets in
+    (* Split each interval at the wrap point and intersect the pieces. *)
+    let pieces x lx =
+      if x + lx <= n_sets then [ (x, lx) ]
+      else [ (x, n_sets - x); (0, x + lx - n_sets) ]
+    in
+    List.fold_left
+      (fun acc (x, lx) ->
+        List.fold_left
+          (fun acc (y, ly) -> acc + overlap_linear x lx y ly)
+          acc (pieces b lb))
+      0 (pieces a la)
+  end
+
+let edge_cost st e =
+  match (Hashtbl.find_opt st.offsets e.p1, Hashtbl.find_opt st.offsets e.p2) with
+  | Some o1, Some o2 ->
+    let s =
+      shared_sets ~n_sets:st.n_sets
+        ((o1 + e.rel1) mod st.n_sets)
+        e.len1
+        ((o2 + e.rel2) mod st.n_sets)
+        e.len2
+    in
+    e.w *. float_of_int s
+  | _ -> 0.
+
+let total_cost st = Array.fold_left (fun acc e -> acc +. edge_cost st e) 0. st.edges
+
+let incident_cost st p =
+  match Hashtbl.find_opt st.incident p with
+  | None -> 0.
+  | Some idxs -> List.fold_left (fun acc i -> acc +. edge_cost st st.edges.(i)) 0. idxs
+
+let build_state (config : Gbsc.config) program (profile : Gbsc.profile) offsets =
+  ignore program;
+  let cache = config.Gbsc.cache in
+  let n_sets = Config.n_sets cache in
+  let line_size = cache.Config.line_size in
+  let chunks = profile.Gbsc.chunks in
+  let lines_per_chunk = Chunk.chunk_size chunks / line_size in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (p, o) -> Hashtbl.replace tbl p (o mod n_sets)) offsets;
+  let edges = ref [] in
+  Graph.iter_edges
+    (fun c1 c2 w ->
+      let p1 = Chunk.owner chunks c1 and p2 = Chunk.owner chunks c2 in
+      if p1 <> p2 && Hashtbl.mem tbl p1 && Hashtbl.mem tbl p2 then
+        edges :=
+          {
+            p1;
+            p2;
+            rel1 = Chunk.index_in_proc chunks c1 * lines_per_chunk;
+            len1 = (Chunk.size_of chunks c1 + line_size - 1) / line_size;
+            rel2 = Chunk.index_in_proc chunks c2 * lines_per_chunk;
+            len2 = (Chunk.size_of chunks c2 + line_size - 1) / line_size;
+            w;
+          }
+          :: !edges)
+    profile.Gbsc.place.Trg.graph;
+  let edges = Array.of_list !edges in
+  let incident = Hashtbl.create 64 in
+  Array.iteri
+    (fun i e ->
+      let push p =
+        Hashtbl.replace incident p
+          (i :: (match Hashtbl.find_opt incident p with Some l -> l | None -> []))
+      in
+      push e.p1;
+      push e.p2)
+    edges;
+  { n_sets; offsets = tbl; edges; incident }
+
+let gbsc_offsets config program (profile : Gbsc.profile) =
+  let nodes =
+    Gbsc.place_nodes config program ~select:profile.Gbsc.select.Trg.graph
+      ~model:
+        (Cost.Trg_chunks { chunks = profile.Gbsc.chunks; trg = profile.Gbsc.place.Trg.graph })
+  in
+  List.concat_map Node.members nodes
+
+let cost config program ~profile ~offsets =
+  total_cost (build_state config program profile offsets)
+
+let place ?(params = default_params) ?init config program (profile : Gbsc.profile) =
+  let rng = Prng.create params.seed in
+  let n_sets = Config.n_sets config.Gbsc.cache in
+  let init =
+    match init with
+    | Some l -> l
+    | None ->
+      (* Random initial offsets for every popular procedure with edges. *)
+      List.map
+        (fun p -> (p, Prng.int rng n_sets))
+        (Graph.nodes profile.Gbsc.select.Trg.graph)
+  in
+  let st = build_state config program profile init in
+  let procs = Array.of_list (Hashtbl.fold (fun p _ acc -> p :: acc) st.offsets []) in
+  let current = ref (total_cost st) in
+  let base = Float.max 1. !current in
+  let best = Hashtbl.copy st.offsets in
+  let best_cost = ref !current in
+  if Array.length procs > 0 && Array.length st.edges > 0 then
+    for i = 0 to params.iterations - 1 do
+      let t =
+        base *. params.t_start
+        *. ((params.t_end /. params.t_start)
+           ** (float_of_int i /. float_of_int params.iterations))
+      in
+      let p = Prng.choose rng procs in
+      let old_off = Hashtbl.find st.offsets p in
+      let new_off = Prng.int rng n_sets in
+      if new_off <> old_off then begin
+        let before = incident_cost st p in
+        Hashtbl.replace st.offsets p new_off;
+        let delta = incident_cost st p -. before in
+        if delta <= 0. || Prng.bernoulli rng (exp (-.delta /. Float.max t 1e-9)) then begin
+          current := !current +. delta;
+          if !current < !best_cost then begin
+            best_cost := !current;
+            Hashtbl.reset best;
+            Hashtbl.iter (Hashtbl.replace best) st.offsets
+          end
+        end
+        else Hashtbl.replace st.offsets p old_off
+      end
+    done;
+  let placed = Hashtbl.fold (fun p o acc -> (p, o) :: acc) best [] in
+  let placed = List.sort compare placed in
+  let in_nodes = Hashtbl.create 64 in
+  List.iter (fun (p, _) -> Hashtbl.replace in_nodes p ()) placed;
+  let filler = ref [] in
+  for p = Program.n_procs program - 1 downto 0 do
+    if not (Hashtbl.mem in_nodes p) then filler := p :: !filler
+  done;
+  let layout =
+    Linearize.layout program
+      ~line_size:config.Gbsc.cache.Config.line_size
+      ~n_sets ~placed
+      ~filler:(Array.of_list !filler)
+  in
+  (layout, !best_cost)

@@ -1,0 +1,51 @@
+(** Metric-driven local search over cache-relative offsets.
+
+    GBSC minimises the TRG_place conflict metric greedily, one merge at a
+    time.  Since Figure 6 establishes that the metric is (nearly) linear
+    in real conflict misses, we can also optimise the metric {e directly}:
+    simulated annealing over the popular procedures' cache-set offsets.
+    Comparing the two answers the headroom question — how much conflict
+    cost does the greedy merge order leave on the table? — and provides an
+    independent, search-based placement algorithm.
+
+    Only inter-procedure conflicts vary with the offsets (a procedure's
+    chunks move rigidly), so the objective sums TRG_place weights times
+    shared cache sets over chunk pairs of distinct popular procedures, and
+    moves are evaluated incrementally through per-procedure edge lists. *)
+
+type params = {
+  seed : int;
+  iterations : int;  (** proposed moves *)
+  t_start : float;  (** initial temperature, as a fraction of the initial cost *)
+  t_end : float;  (** final temperature fraction *)
+}
+
+val default_params : params
+(** seed 1, 60,000 iterations, temperature 0.10 -> 0.001. *)
+
+val cost :
+  Gbsc.config ->
+  Trg_program.Program.t ->
+  profile:Gbsc.profile ->
+  offsets:(int * int) list ->
+  float
+(** The annealer's objective for an explicit offset assignment —
+    equivalent to {!Metric.trg_place} restricted to inter-procedure edges
+    of popular procedures.  Exposed for tests and reporting. *)
+
+val place :
+  ?params:params ->
+  ?init:(int * int) list ->
+  Gbsc.config ->
+  Trg_program.Program.t ->
+  Gbsc.profile ->
+  Trg_program.Layout.t * float
+(** [place config program profile] anneals offsets for every popular
+    procedure with TRG_select edges (starting from [init] when given, e.g.
+    the GBSC node offsets; random otherwise), then linearises exactly like
+    GBSC.  Returns the layout and the final objective value. *)
+
+val gbsc_offsets :
+  Gbsc.config -> Trg_program.Program.t -> Gbsc.profile -> (int * int) list
+(** The offset assignment GBSC's merging phase produces — the natural
+    warm start and comparison point. *)

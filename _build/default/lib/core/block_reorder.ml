@@ -1,0 +1,249 @@
+module Program = Trg_program.Program
+module Trace = Trg_trace.Trace
+module Event = Trg_trace.Event
+
+(* A segment: [old_off, old_off + len) relocated to [new_off, ...). *)
+type segment = { old_off : int; len : int; new_off : int }
+
+type t = {
+  program : Program.t;
+  (* per procedure, segments sorted by old_off *)
+  segments : segment array array;
+  n_reordered : int;
+}
+
+let program t = t.program
+
+let n_reordered t = t.n_reordered
+
+(* --- learning block structure from the trace --------------------------- *)
+
+type blocks = {
+  offs : int array; (* sorted starting offsets of observed blocks *)
+  lens : int array;
+  counts : int array;
+  (* transitions.(i) = (successor block index, count) list *)
+  transitions : (int, int) Hashtbl.t array;
+  mutable irregular : bool;
+}
+
+let learn program trace =
+  let n = Program.n_procs program in
+  (* First pass: collect distinct observed (off -> len, count) per proc. *)
+  let observed = Array.init n (fun _ -> Hashtbl.create 8) in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let tbl = observed.(e.proc) in
+      match Hashtbl.find_opt tbl e.offset with
+      | Some (len, count) ->
+        Hashtbl.replace tbl e.offset (max len e.len, count + 1)
+      | None -> Hashtbl.add tbl e.offset (e.len, 1))
+    trace;
+  let blocks =
+    Array.init n (fun p ->
+        let entries =
+          Hashtbl.fold (fun off (len, count) acc -> (off, len, count) :: acc)
+            observed.(p) []
+        in
+        let entries = List.sort compare entries in
+        let k = List.length entries in
+        let offs = Array.make k 0 and lens = Array.make k 0 and counts = Array.make k 0 in
+        List.iteri
+          (fun i (off, len, count) ->
+            offs.(i) <- off;
+            lens.(i) <- len;
+            counts.(i) <- count)
+          entries;
+        let irregular = ref false in
+        for i = 0 to k - 2 do
+          if offs.(i) + lens.(i) > offs.(i + 1) then irregular := true
+        done;
+        (match entries with
+        | (_, _, _) :: _ when offs.(k - 1) + lens.(k - 1) > Program.size program p ->
+          irregular := true
+        | _ -> ());
+        {
+          offs;
+          lens;
+          counts;
+          transitions = Array.init (max k 1) (fun _ -> Hashtbl.create 4);
+          irregular = !irregular;
+        })
+  in
+  (* Second pass: intra-procedure transition counts between consecutive
+     events of the same procedure. *)
+  let find_block b off =
+    (* binary search on offs *)
+    let lo = ref 0 and hi = ref (Array.length b.offs - 1) in
+    if !hi < 0 then -1
+    else begin
+      let ans = ref (-1) in
+      while !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        if b.offs.(mid) = off then begin
+          ans := mid;
+          lo := !hi + 1
+        end
+        else if b.offs.(mid) < off then lo := mid + 1
+        else hi := mid - 1
+      done;
+      !ans
+    end
+  in
+  let prev = ref (-1, -1) in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let b = blocks.(e.proc) in
+      let idx = find_block b e.offset in
+      (if idx >= 0 then
+         let pp, pi = !prev in
+         if pp = e.proc && pi >= 0 && pi <> idx then begin
+           let tbl = b.transitions.(pi) in
+           match Hashtbl.find_opt tbl idx with
+           | Some c -> Hashtbl.replace tbl idx (c + 1)
+           | None -> Hashtbl.add tbl idx 1
+         end);
+      prev := (e.proc, idx))
+    trace;
+  blocks
+
+(* --- chaining ----------------------------------------------------------- *)
+
+(* Hot-path ordering: start from block 0's position if observed (procedure
+   entry), otherwise the hottest block; repeatedly follow the heaviest
+   not-yet-placed successor, falling back to the hottest unplaced block. *)
+let chain (b : blocks) =
+  let k = Array.length b.offs in
+  let placed = Array.make k false in
+  let order = ref [] in
+  let hottest_unplaced () =
+    let best = ref (-1) in
+    for i = 0 to k - 1 do
+      if (not placed.(i)) && (!best < 0 || b.counts.(i) > b.counts.(!best)) then
+        best := i
+    done;
+    !best
+  in
+  let heaviest_successor i =
+    Hashtbl.fold
+      (fun succ count best ->
+        if placed.(succ) then best
+        else
+          match best with
+          | Some (_, bc) when bc >= count -> best
+          | _ -> Some (succ, count))
+      b.transitions.(i) None
+  in
+  let start = if k > 0 && b.offs.(0) = 0 then 0 else hottest_unplaced () in
+  let cursor = ref start in
+  while !cursor >= 0 do
+    placed.(!cursor) <- true;
+    order := !cursor :: !order;
+    cursor :=
+      (match heaviest_successor !cursor with
+      | Some (succ, _) -> succ
+      | None -> hottest_unplaced ())
+  done;
+  List.rev !order
+
+(* --- building the transform --------------------------------------------- *)
+
+let build program trace =
+  let blocks = learn program trace in
+  let n_reordered = ref 0 in
+  let segments =
+    Array.init (Program.n_procs program) (fun p ->
+        let b = blocks.(p) in
+        let size = Program.size program p in
+        let k = Array.length b.offs in
+        if b.irregular || k = 0 then
+          [| { old_off = 0; len = size; new_off = 0 } |]
+        else begin
+          (* Segment the procedure: observed blocks plus the cold gaps
+             between/around them. *)
+          let segs = ref [] in
+          let cursor = ref 0 in
+          for i = 0 to k - 1 do
+            if b.offs.(i) > !cursor then
+              segs := (`Cold, !cursor, b.offs.(i) - !cursor) :: !segs;
+            segs := (`Block i, b.offs.(i), b.lens.(i)) :: !segs;
+            cursor := b.offs.(i) + b.lens.(i)
+          done;
+          if !cursor < size then segs := (`Cold, !cursor, size - !cursor) :: !segs;
+          let segs = List.rev !segs in
+          (* New order: chained hot blocks first, then cold segments in
+             their original order. *)
+          let order = chain b in
+          let hot =
+            List.map
+              (fun i ->
+                let _, off, len =
+                  List.find (function `Block j, _, _ -> j = i | _ -> false) segs
+                in
+                (off, len))
+              order
+          in
+          let cold =
+            List.filter_map
+              (function `Cold, off, len -> Some (off, len) | `Block _, _, _ -> None)
+              segs
+          in
+          let new_off = ref 0 in
+          let out =
+            List.map
+              (fun (old_off, len) ->
+                let s = { old_off; len; new_off = !new_off } in
+                new_off := !new_off + len;
+                s)
+              (hot @ cold)
+          in
+          let arr = Array.of_list (List.sort (fun a b -> compare a.old_off b.old_off) out) in
+          (* Did anything move? *)
+          if Array.exists (fun s -> s.old_off <> s.new_off) arr then incr n_reordered;
+          arr
+        end)
+  in
+  { program; segments; n_reordered = !n_reordered }
+
+let find_segment t ~proc ~offset =
+  let segs = t.segments.(proc) in
+  let lo = ref 0 and hi = ref (Array.length segs - 1) in
+  let ans = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let s = segs.(mid) in
+    if offset < s.old_off then hi := mid - 1
+    else if offset >= s.old_off + s.len then lo := mid + 1
+    else begin
+      ans := Some s;
+      lo := !hi + 1
+    end
+  done;
+  match !ans with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Block_reorder: offset %d outside proc %d" offset proc)
+
+let remap_offset t ~proc ~offset =
+  let s = find_segment t ~proc ~offset in
+  s.new_off + (offset - s.old_off)
+
+let remap_trace t trace =
+  let builder = Trace.Builder.create ~capacity:(Trace.length trace) () in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let remaining = ref e.len in
+      let offset = ref e.offset in
+      let first = ref true in
+      while !remaining > 0 do
+        let s = find_segment t ~proc:e.proc ~offset:!offset in
+        let within = !offset - s.old_off in
+        let len = min (s.len - within) !remaining in
+        let kind = if !first then e.kind else Event.Run in
+        Trace.Builder.add builder
+          (Event.make ~kind ~proc:e.proc ~offset:(s.new_off + within) ~len);
+        first := false;
+        remaining := !remaining - len;
+        offset := !offset + len
+      done)
+    trace;
+  Trace.Builder.build builder

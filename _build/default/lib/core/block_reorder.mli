@@ -1,0 +1,35 @@
+(** Intra-procedure basic-block reordering.
+
+    The paper's techniques "apply to code blocks of any granularity"; this
+    module is the block-granularity companion pass: inside each procedure,
+    the trace-observed basic blocks are re-chained so that hot paths are
+    contiguous (Pettis & Hansen's basic-block positioning, driven by
+    block-to-block transition counts from the trace), with never-executed
+    and cold bytes sunk to the end of the procedure.  Procedure sizes are
+    unchanged, so the pass composes with any procedure-placement
+    algorithm: reorder first, remap the traces, then place.
+
+    A procedure is left untouched when its observed blocks overlap
+    irregularly (never the case for walker-generated traces). *)
+
+type t
+
+val build : Trg_program.Program.t -> Trg_trace.Trace.t -> t
+(** Learns block boundaries, execution counts and transition counts from
+    the (training) trace and computes the new intra-procedure order. *)
+
+val program : t -> Trg_program.Program.t
+(** The program is unchanged (same ids, names, sizes); returned for
+    pipeline symmetry. *)
+
+val n_reordered : t -> int
+(** Procedures whose internal layout actually changed. *)
+
+val remap_offset : t -> proc:int -> offset:int -> int
+(** New byte offset of an old byte position. *)
+
+val remap_trace : t -> Trg_trace.Trace.t -> Trg_trace.Trace.t
+(** Rewrites a trace (training or testing) into the reordered offsets;
+    events spanning a segment boundary are cut into pieces (the fall-
+    through jump a real reorderer would insert).  Event kinds are
+    preserved on first pieces; continuation pieces become [Run]. *)

@@ -1,0 +1,304 @@
+module Program = Trg_program.Program
+module Chunk = Trg_program.Chunk
+module Graph = Trg_profile.Graph
+module Pair_db = Trg_profile.Pair_db
+
+module Tuple_db = Trg_profile.Tuple_db
+
+type model =
+  | Trg_chunks of { chunks : Chunk.t; trg : Graph.t }
+  | Wcg_procs of { wcg : Graph.t }
+  | Sa_pairs of { chunks : Chunk.t; db : Pair_db.t }
+  | Sa_tuples of { chunks : Chunk.t; db : Tuple_db.t }
+  | Blend of (model * float) list
+
+let iter_lines ~line_size ~n_sets ~start_set ~bytes f =
+  let lines = (bytes + line_size - 1) / line_size in
+  let count = min lines n_sets in
+  for j = 0 to count - 1 do
+    f ((start_set + j) mod n_sets)
+  done
+
+(* Set index of the first line of chunk [c] when its owner starts at cache
+   set [owner_set]. *)
+let chunk_start_set chunks ~line_size ~n_sets ~owner_set c =
+  let lines_per_chunk = Chunk.chunk_size chunks / line_size in
+  (owner_set + (Chunk.index_in_proc chunks c * lines_per_chunk)) mod n_sets
+
+let offsets_of_node node =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (p, off) -> Hashtbl.replace tbl p off) (Node.members node);
+  tbl
+
+let cost_trg_chunks chunks trg program ~line_size ~n_sets ~n1 ~n2 cost =
+  ignore program;
+  let in1 = offsets_of_node n1 in
+  (* Visit each cross edge once, from the n2 side. *)
+  List.iter
+    (fun (p2, o2) ->
+      let first2 = Chunk.first chunks p2 in
+      for k2 = 0 to Chunk.n_chunks chunks p2 - 1 do
+        let c2 = first2 + k2 in
+        let s2 =
+          chunk_start_set chunks ~line_size ~n_sets ~owner_set:o2 c2
+        in
+        List.iter
+          (fun c1 ->
+            let p1 = Chunk.owner chunks c1 in
+            match Hashtbl.find_opt in1 p1 with
+            | None -> ()
+            | Some o1 ->
+              let w = Graph.weight trg c1 c2 in
+              let s1 =
+                chunk_start_set chunks ~line_size ~n_sets ~owner_set:o1 c1
+              in
+              iter_lines ~line_size ~n_sets ~start_set:s1
+                ~bytes:(Chunk.size_of chunks c1) (fun l1 ->
+                  iter_lines ~line_size ~n_sets ~start_set:s2
+                    ~bytes:(Chunk.size_of chunks c2) (fun l2 ->
+                      let i = (l1 - l2 + n_sets) mod n_sets in
+                      cost.(i) <- cost.(i) +. w)))
+          (Graph.neighbors trg c2)
+      done)
+    (Node.members n2)
+
+let cost_wcg_procs wcg program ~line_size ~n_sets ~n1 ~n2 cost =
+  let in1 = offsets_of_node n1 in
+  List.iter
+    (fun (p2, o2) ->
+      List.iter
+        (fun p1 ->
+          match Hashtbl.find_opt in1 p1 with
+          | None -> ()
+          | Some o1 ->
+            let w = Graph.weight wcg p1 p2 in
+            iter_lines ~line_size ~n_sets ~start_set:o1
+              ~bytes:(Program.size program p1) (fun l1 ->
+                iter_lines ~line_size ~n_sets ~start_set:o2
+                  ~bytes:(Program.size program p2) (fun l2 ->
+                    let i = (l1 - l2 + n_sets) mod n_sets in
+                    cost.(i) <- cost.(i) +. w)))
+        (Graph.neighbors wcg p2))
+    (Node.members n2)
+
+(* Set-associative pair cost: D(p, {r, s}) is charged at offset i only when
+   p, r and s all map to the same cache set.  For each line triple
+   (lp, lr, ls) of the three blocks, lines in n1 are fixed while lines in
+   n2 shift by the candidate offset; the triple determines either a single
+   chargeable offset or (when all three blocks sit in the same node) none
+   that this merge can influence.  Beyond the paper's "p against all pairs
+   of the other node", we also charge mixed pairs with one member in each
+   node — the estimate is strictly more complete and reuses the same
+   database. *)
+let cost_sa_pairs chunks db program ~line_size ~n_sets ~n1 ~n2 cost =
+  ignore program;
+  let in1 = offsets_of_node n1 and in2 = offsets_of_node n2 in
+  (* (set index, shifts?) of a chunk, or None if its owner is unplaced. *)
+  let locate c =
+    let p = Chunk.owner chunks c in
+    match Hashtbl.find_opt in1 p with
+    | Some o -> Some (chunk_start_set chunks ~line_size ~n_sets ~owner_set:o c, false)
+    | None -> (
+      match Hashtbl.find_opt in2 p with
+      | Some o ->
+        Some (chunk_start_set chunks ~line_size ~n_sets ~owner_set:o c, true)
+      | None -> None)
+  in
+  let lines c start f =
+    iter_lines ~line_size ~n_sets ~start_set:start ~bytes:(Chunk.size_of chunks c) f
+  in
+  let charge_chunk c =
+    match locate c with
+    | None -> ()
+    | Some (sp, p_shifts) ->
+      Pair_db.iter_p db c (fun r s w ->
+          match (locate r, locate s) with
+          | Some (sr, r_shifts), Some (ss, s_shifts) ->
+            if not (p_shifts && r_shifts && s_shifts)
+               && (p_shifts || r_shifts || s_shifts)
+            then
+              (* At least one block on each side: the triple constrains a
+                 single offset per line combination.  Same-set equality
+                 within one side must already hold; the cross-side pair
+                 fixes i. *)
+              lines c sp (fun lp ->
+                  lines r sr (fun lr ->
+                      lines s ss (fun ls ->
+                          (* Shifted lines get +i; require all three equal. *)
+                          let fixed = ref [] and moving = ref [] in
+                          let put shifts l =
+                            if shifts then moving := l :: !moving
+                            else fixed := l :: !fixed
+                          in
+                          put p_shifts lp;
+                          put r_shifts lr;
+                          put s_shifts ls;
+                          match (!fixed, !moving) with
+                          | f :: frest, m :: mrest
+                            when List.for_all (fun l -> l = f) frest
+                                 && List.for_all (fun l -> l = m) mrest ->
+                            let i = (f - m + n_sets) mod n_sets in
+                            cost.(i) <- cost.(i) +. w
+                          | _ -> ())))
+          | None, _ | _, None -> ())
+  in
+  let charge_node node =
+    List.iter
+      (fun (p, _) ->
+        let first = Chunk.first chunks p in
+        for k = 0 to Chunk.n_chunks chunks p - 1 do
+          charge_chunk (first + k)
+        done)
+      (Node.members node)
+  in
+  (* Visit p on both sides; pairs are then located wherever they live.  A
+     triple entirely within one node contributes nothing (guarded above). *)
+  charge_node n1;
+  charge_node n2
+
+(* Generalised tuple cost: D(p, S) is charged at offset i when p and every
+   member of S map to one set.  Members on the fixed side must already
+   share a set, likewise the moving side; each (fixed set, moving set)
+   combination determines one offset.  Intersecting the members'
+   set-lists keeps this linear in chunk lines rather than exponential in
+   the tuple size. *)
+let cost_sa_tuples chunks db program ~line_size ~n_sets ~n1 ~n2 cost =
+  ignore program;
+  let in1 = offsets_of_node n1 and in2 = offsets_of_node n2 in
+  let locate c =
+    let p = Chunk.owner chunks c in
+    match Hashtbl.find_opt in1 p with
+    | Some o -> Some (chunk_start_set chunks ~line_size ~n_sets ~owner_set:o c, false)
+    | None -> (
+      match Hashtbl.find_opt in2 p with
+      | Some o ->
+        Some (chunk_start_set chunks ~line_size ~n_sets ~owner_set:o c, true)
+      | None -> None)
+  in
+  let set_list c start =
+    let acc = ref [] in
+    iter_lines ~line_size ~n_sets ~start_set:start
+      ~bytes:(Chunk.size_of chunks c) (fun s -> acc := s :: !acc);
+    List.sort_uniq compare !acc
+  in
+  let intersect a b = List.filter (fun x -> List.mem x b) a in
+  let charge_chunk c =
+    match locate c with
+    | None -> ()
+    | Some (sp, p_shifts) ->
+      Tuple_db.iter_p db c (fun ids w ->
+          let rec gather fixed moving = function
+            | [] -> Some (fixed, moving)
+            | (m, lines, shifts) :: rest ->
+              ignore m;
+              if shifts then gather fixed (lines :: moving) rest
+              else gather (lines :: fixed) moving rest
+          in
+          let members =
+            List.filter_map
+              (fun m ->
+                match locate m with
+                | Some (s, shifts) -> Some (m, set_list m s, shifts)
+                | None -> None)
+              ids
+          in
+          if List.length members = List.length ids then begin
+            let p_lines = set_list c sp in
+            let start =
+              if p_shifts then ([], [ p_lines ]) else ([ p_lines ], [])
+            in
+            match gather (fst start) (snd start) members with
+            | Some (fixed, moving) when fixed <> [] && moving <> [] ->
+              let inter = function
+                | [] -> []
+                | first :: rest -> List.fold_left intersect first rest
+              in
+              let fi = inter fixed and mi = inter moving in
+              List.iter
+                (fun lf ->
+                  List.iter
+                    (fun lm ->
+                      let i = (lf - lm + n_sets) mod n_sets in
+                      cost.(i) <- cost.(i) +. w)
+                    mi)
+                fi
+            | Some _ | None -> ()
+          end)
+  in
+  let charge_node node =
+    List.iter
+      (fun (p, _) ->
+        let first = Chunk.first chunks p in
+        for k = 0 to Chunk.n_chunks chunks p - 1 do
+          charge_chunk (first + k)
+        done)
+      (Node.members node)
+  in
+  charge_node n1;
+  charge_node n2
+
+let rec offsets_cost model program ~line_size ~n_sets ~n1 ~n2 =
+  let cost = Array.make n_sets 0. in
+  (match model with
+  | Trg_chunks { chunks; trg } ->
+    cost_trg_chunks chunks trg program ~line_size ~n_sets ~n1 ~n2 cost
+  | Wcg_procs { wcg } -> cost_wcg_procs wcg program ~line_size ~n_sets ~n1 ~n2 cost
+  | Sa_pairs { chunks; db } ->
+    cost_sa_pairs chunks db program ~line_size ~n_sets ~n1 ~n2 cost
+  | Sa_tuples { chunks; db } ->
+    cost_sa_tuples chunks db program ~line_size ~n_sets ~n1 ~n2 cost
+  | Blend parts ->
+    (* Sub-model magnitudes are incommensurable (tuple counts vs edge
+       weights), so each sub-cost is normalised to unit mass before
+       weighting: the blend weights express relative influence. *)
+    List.iter
+      (fun (sub, weight) ->
+        let sub_cost = offsets_cost sub program ~line_size ~n_sets ~n1 ~n2 in
+        let total = Array.fold_left ( +. ) 0. sub_cost in
+        if total > 0. then
+          Array.iteri
+            (fun i c -> cost.(i) <- cost.(i) +. (weight *. c /. total))
+            sub_cost)
+      parts);
+  cost
+
+let best_offset cost =
+  let best = ref 0 in
+  for i = 1 to Array.length cost - 1 do
+    if cost.(i) < cost.(!best) then best := i
+  done;
+  !best
+
+let node_occupancy program ~line_size ~n_sets node =
+  let occ = Array.make n_sets false in
+  List.iter
+    (fun (p, off) ->
+      iter_lines ~line_size ~n_sets ~start_set:off ~bytes:(Program.size program p)
+        (fun s -> occ.(s) <- true))
+    (Node.members node);
+  occ
+
+let best_offset_packed cost ~n1 ~n2 =
+  let n_sets = Array.length cost in
+  let overlap i =
+    let count = ref 0 in
+    for s = 0 to n_sets - 1 do
+      if n2.(s) && n1.((s + i) mod n_sets) then incr count
+    done;
+    !count
+  in
+  let best = ref 0 and best_overlap = ref (overlap 0) in
+  for i = 1 to n_sets - 1 do
+    if cost.(i) < cost.(!best) then begin
+      best := i;
+      best_overlap := overlap i
+    end
+    else if cost.(i) = cost.(!best) then begin
+      let o = overlap i in
+      if o < !best_overlap then begin
+        best := i;
+        best_overlap := o
+      end
+    end
+  done;
+  !best

@@ -1,0 +1,71 @@
+(** Conflict-cost evaluation of relative node alignments (Section 4.2,
+    Figure 4).
+
+    [merge_nodes] must score every possible relative cache offset of one
+    node's layout against another's.  The paper's pseudo-code walks the
+    C x C combinations of cache lines; we compute the identical cost array
+    edge-wise: a profile edge between a block at (mod-cache) line [l1] in
+    node n1 and a block at line [l2] in node n2 contributes its weight to
+    exactly the offsets [i] with [l1 = (l2 + i) mod C] — that is, to
+    [cost.((l1 - l2) mod C)].
+
+    Three cost models share this machinery:
+    - {!Trg_chunks}: GBSC — fine-grained TRG_place weights between 256-byte
+      chunks (direct-mapped target);
+    - {!Wcg_procs}: HKC — WCG weights between whole procedures;
+    - {!Sa_pairs}: the Section 6 set-associative extension — D(p, {r,s})
+      charges an offset only when p and both pair members land in the same
+      set. *)
+
+type model =
+  | Trg_chunks of { chunks : Trg_program.Chunk.t; trg : Trg_profile.Graph.t }
+  | Wcg_procs of { wcg : Trg_profile.Graph.t }
+  | Sa_pairs of { chunks : Trg_program.Chunk.t; db : Trg_profile.Pair_db.t }
+  | Sa_tuples of { chunks : Trg_program.Chunk.t; db : Trg_profile.Tuple_db.t }
+      (** arbitrary associativity: D(p, S) with |S| = ways *)
+  | Blend of (model * float) list
+      (** weighted sum of sub-model costs, each normalised to unit mass
+          first (their magnitudes are incommensurable).  Used to
+          regularise the sparse set-associative databases with a small
+          share of the dense direct-mapped TRG cost — one concrete reading
+          of the paper's "other heuristics [that] were found to be
+          important ... in set-associative caches". *)
+
+val offsets_cost :
+  model ->
+  Trg_program.Program.t ->
+  line_size:int ->
+  n_sets:int ->
+  n1:Node.t ->
+  n2:Node.t ->
+  float array
+(** [offsets_cost model program ~line_size ~n_sets ~n1 ~n2] returns the
+    array [cost] of length [n_sets], where [cost.(i)] estimates the
+    conflict misses caused by shifting node [n2] by [i] cache sets relative
+    to node [n1].  Only inter-node conflicts are counted; intra-node
+    conflicts do not change with the offset (Section 4.2, note 2). *)
+
+val best_offset : float array -> int
+(** Index of the minimum cost; the {e first} such index, per the paper's
+    tie rule (Section 4.2, note 3). *)
+
+val node_occupancy :
+  Trg_program.Program.t -> line_size:int -> n_sets:int -> Node.t -> bool array
+(** [node_occupancy program ~line_size ~n_sets node] marks the cache sets
+    covered by any procedure of the node. *)
+
+val best_offset_packed : float array -> n1:bool array -> n2:bool array -> int
+(** Like {!best_offset}, but ties in the conflict cost are broken by the
+    number of occupied-set collisions between the two nodes (then by the
+    smaller index).  The pair database of the set-associative extension is
+    much sparser than a chunk TRG, so whole regions of the cost array are
+    zero; packing on ties prevents the merge from piling every procedure
+    onto set 0 (the "other heuristics" the paper's Section 6 alludes to). *)
+
+val iter_lines :
+  line_size:int -> n_sets:int -> start_set:int -> bytes:int -> (int -> unit) -> unit
+(** [iter_lines ~line_size ~n_sets ~start_set ~bytes f] applies [f] to the
+    distinct cache-set indices occupied by a code object of [bytes] bytes
+    whose first line sits at set [start_set] — at most [n_sets] indices
+    even for objects larger than the cache.  Exposed for {!Metric} and
+    tests. *)

@@ -1,0 +1,44 @@
+module Program = Trg_program.Program
+module Config = Trg_cache.Config
+module Sim = Trg_cache.Sim
+
+let search ?(max_layouts = 1_000_000) (config : Gbsc.config) program trace =
+  let n = Program.n_procs program in
+  let n_sets = Config.n_sets config.Gbsc.cache in
+  let candidates =
+    let rec power acc = function
+      | 0 -> acc
+      | k ->
+        if acc > max_layouts then acc else power (acc * n_sets) (k - 1)
+    in
+    power 1 n
+  in
+  if candidates > max_layouts then
+    invalid_arg
+      (Printf.sprintf "Exhaustive.search: %d^%d layouts exceed the limit" n_sets n);
+  let offsets = Array.make n 0 in
+  let best = ref None in
+  let evaluate () =
+    let placed = Array.to_list (Array.mapi (fun p o -> (p, o)) offsets) in
+    let layout =
+      Linearize.layout program
+        ~line_size:config.Gbsc.cache.Config.line_size
+        ~n_sets ~placed ~filler:[||]
+    in
+    let mr = Sim.miss_rate (Sim.simulate program layout config.Gbsc.cache trace) in
+    match !best with
+    | Some (_, bmr) when bmr <= mr -> ()
+    | Some _ | None -> best := Some (layout, mr)
+  in
+  let rec enumerate p =
+    if p = n then evaluate ()
+    else
+      for o = 0 to n_sets - 1 do
+        offsets.(p) <- o;
+        enumerate (p + 1)
+      done
+  in
+  enumerate 0;
+  match !best with
+  | Some (layout, mr) -> (layout, mr)
+  | None -> invalid_arg "Exhaustive.search: empty program"

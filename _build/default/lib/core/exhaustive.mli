@@ -1,0 +1,18 @@
+(** Exhaustive optimal placement for tiny programs.
+
+    Enumerates every assignment of cache-set offsets to procedures,
+    linearises each, simulates the given trace, and returns the layout
+    with the fewest misses.  Exponential ([n_sets ^ n_procs] candidates),
+    so usable only for verification-sized programs — which is its purpose:
+    checking that the greedy algorithms find true optima on the paper's
+    worked examples. *)
+
+val search :
+  ?max_layouts:int ->
+  Gbsc.config ->
+  Trg_program.Program.t ->
+  Trg_trace.Trace.t ->
+  Trg_program.Layout.t * float
+(** [search config program trace] returns the optimal layout and its miss
+    rate on [trace].  Raises [Invalid_argument] if the candidate count
+    exceeds [max_layouts] (default 1,000,000). *)

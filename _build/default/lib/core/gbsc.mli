@@ -1,0 +1,71 @@
+(** The paper's procedure-placement algorithm (Sections 3 and 4), named
+    GBSC after its authors.
+
+    Pipeline:
+    + profile a training trace into TRG_select (procedure granularity) and
+      TRG_place (256-byte chunk granularity), restricted to popular
+      procedures;
+    + greedily merge the heaviest TRG_select edge's nodes, choosing each
+      merge's relative cache alignment by minimising the TRG_place conflict
+      cost over all cache offsets ([merge_nodes], Figure 4);
+    + linearise the surviving nodes' cache-relative alignments into a
+      complete layout, filling alignment gaps with unpopular procedures
+      (Section 4.3). *)
+
+type config = {
+  cache : Trg_cache.Config.t;  (** target cache *)
+  chunk_size : int;  (** bytes per TRG_place chunk; multiple of the line size *)
+  q_capacity : int;  (** byte bound of the ordered set Q *)
+  coverage : float;  (** dynamic coverage defining popularity *)
+  min_refs : int;  (** minimum dynamic references for popularity *)
+}
+
+val default_config : ?cache:Trg_cache.Config.t -> unit -> config
+(** 8 KB direct-mapped cache, 256-byte chunks, Q bound of twice the cache
+    size, 99% coverage — the paper's operating point. *)
+
+(** Everything extracted from one training trace.  Building this once and
+    perturbing the graphs per experiment is how the Figure 5 population of
+    placements is generated. *)
+type profile = {
+  config : config;
+  tstats : Trg_trace.Tstats.t;
+  popularity : Trg_profile.Popularity.t;
+  chunks : Trg_program.Chunk.t;
+  select : Trg_profile.Trg.built;  (** TRG_select *)
+  place : Trg_profile.Trg.built;  (** TRG_place *)
+}
+
+val profile : config -> Trg_program.Program.t -> Trg_trace.Trace.t -> profile
+
+val place_nodes :
+  config ->
+  Trg_program.Program.t ->
+  select:Trg_profile.Graph.t ->
+  model:Cost.model ->
+  Node.t list
+(** The merging phase alone: returns the final nodes with their
+    cache-relative alignments.  Exposed for tests and ablations. *)
+
+val place_with :
+  ?affinity:(int -> int -> float) ->
+  config ->
+  Trg_program.Program.t ->
+  select:Trg_profile.Graph.t ->
+  model:Cost.model ->
+  Trg_program.Layout.t
+(** Merging plus linearisation, with explicit graphs — the entry point used
+    when the caller perturbs the profile graphs.  Procedures absent from
+    [select] (unpopular, or popular but edge-less) become gap filler. *)
+
+val place : Trg_program.Program.t -> profile -> Trg_program.Layout.t
+(** [place program p] runs {!place_with} on the unperturbed profile. *)
+
+val place_paged : Trg_program.Program.t -> profile -> Trg_program.Layout.t
+(** Like {!place}, but linearisation breaks gap ties by TRG_select
+    affinity with the previously placed procedure, clustering
+    temporally-related code onto the same pages (Section 4.3's paging
+    note).  Cache-relative alignments are identical to {!place}. *)
+
+val run : config -> Trg_program.Program.t -> Trg_trace.Trace.t -> Trg_program.Layout.t
+(** One-call convenience: {!profile} then {!place}. *)

@@ -1,0 +1,75 @@
+(** Set-associative extension of the placement algorithm (Section 6).
+
+    For an A-way associative cache a single intervening block cannot evict
+    a resident block, so TRG_place is replaced by the pair database
+    [D(p, {r, s})] (see {!Trg_profile.Pair_db}), and [merge_nodes] charges
+    an offset only when a block and both members of a recorded pair map to
+    the same cache set.  Selection order still comes from the
+    procedure-granularity TRG_select.  Alignments are taken modulo the
+    number of {e sets}, which is the period of the cache mapping. *)
+
+type profile = {
+  config : Gbsc.config;
+  popularity : Trg_profile.Popularity.t;
+  chunks : Trg_program.Chunk.t;
+  select : Trg_profile.Trg.built;  (** TRG_select, as in the base algorithm *)
+  pairs : Trg_profile.Pair_db.built;  (** D(p, {r, s}) at chunk granularity *)
+}
+
+val profile :
+  ?max_between:int ->
+  Gbsc.config ->
+  Trg_program.Program.t ->
+  Trg_trace.Trace.t ->
+  profile
+(** The cache in [config] should be set-associative (assoc >= 2); the
+    algorithm degrades gracefully to direct-mapped but {!Gbsc} is then the
+    better choice.  [max_between] bounds the pair enumeration (see
+    {!Trg_profile.Pair_db.build_stream}). *)
+
+val place : Trg_program.Program.t -> profile -> Trg_program.Layout.t
+
+val run :
+  ?max_between:int ->
+  Gbsc.config ->
+  Trg_program.Program.t ->
+  Trg_trace.Trace.t ->
+  Trg_program.Layout.t
+
+(** {2 Arbitrary associativity}
+
+    The tuple-database generalisation: D(p, S) with [|S|] equal to the
+    cache's number of ways.  For 2-way caches this coincides with the pair
+    database up to enumeration caps. *)
+
+type tuple_profile = {
+  tconfig : Gbsc.config;
+  tpopularity : Trg_profile.Popularity.t;
+  tchunks : Trg_program.Chunk.t;
+  tselect : Trg_profile.Trg.built;
+  tplace : Trg_profile.Trg.built;
+      (** dense direct-mapped TRG, blended in at a small weight *)
+  tuples : Trg_profile.Tuple_db.built;
+}
+
+val profile_tuples :
+  ?max_between:int ->
+  ?arity:int ->
+  Gbsc.config ->
+  Trg_program.Program.t ->
+  Trg_trace.Trace.t ->
+  tuple_profile
+(** [arity] defaults to the configured cache's associativity. *)
+
+val place_tuples :
+  ?trg_share:float -> Trg_program.Program.t -> tuple_profile -> Trg_program.Layout.t
+(** [trg_share] (default 0.25) weights the dense TRG_place cost blended
+    with the tuple-database cost. *)
+
+val run_tuples :
+  ?max_between:int ->
+  ?arity:int ->
+  Gbsc.config ->
+  Trg_program.Program.t ->
+  Trg_trace.Trace.t ->
+  Trg_program.Layout.t

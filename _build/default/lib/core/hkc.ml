@@ -1,0 +1,7 @@
+module Graph = Trg_profile.Graph
+module Popularity = Trg_profile.Popularity
+
+let place config program ~wcg ~popularity =
+  let popular_wcg = Graph.filter_nodes (Popularity.keep popularity) wcg in
+  Gbsc.place_with config program ~select:popular_wcg
+    ~model:(Cost.Wcg_procs { wcg = popular_wcg })

@@ -1,0 +1,25 @@
+(** The Hashemi/Kaeli/Calder cache-line-coloring baseline (Section 5).
+
+    HKC extends PH with knowledge of procedure sizes and the cache
+    geometry: while merging the heaviest edges of the weighted call graph,
+    it records the cache lines ("colors") each procedure occupies and
+    chooses relative alignments that avoid overlap between a procedure and
+    its call-graph neighbours — preferring a conflict-free offset when one
+    exists and the minimum weighted conflict otherwise.  Unlike GBSC it
+    uses no temporal-ordering information: its conflict cost comes from WCG
+    edge weights at whole-procedure granularity.
+
+    Implementation note: we realise HKC on the same node/merge machinery as
+    GBSC with the {!Cost.Wcg_procs} model, which reproduces the published
+    algorithm's decisions (colour sets = occupied lines; zero-cost offsets
+    are exactly the conflict-free colourings) in a uniform framework. *)
+
+val place :
+  Gbsc.config ->
+  Trg_program.Program.t ->
+  wcg:Trg_profile.Graph.t ->
+  popularity:Trg_profile.Popularity.t ->
+  Trg_program.Layout.t
+(** [place config program ~wcg ~popularity] restricts [wcg] to popular
+    procedures, merges with WCG-weighted colouring costs, and linearises.
+    [config.chunk_size] is unused. *)

@@ -1,0 +1,65 @@
+module Program = Trg_program.Program
+module Layout = Trg_program.Layout
+module Graph = Trg_profile.Graph
+
+let order ~wcg program =
+  let n = Program.n_procs program in
+  let visited = Array.make n false in
+  let out = ref [] in
+  let incident p =
+    List.fold_left (fun acc q -> acc +. Graph.weight wcg p q) 0. (Graph.neighbors wcg p)
+  in
+  let nodes = Graph.nodes wcg in
+  (* Hottest unvisited node by total incident weight; ties by id. *)
+  let hottest_unvisited () =
+    List.fold_left
+      (fun best p ->
+        if visited.(p) then best
+        else
+          let w = incident p in
+          match best with
+          | Some (bw, bp) when bw > w || (bw = w && bp < p) -> best
+          | _ -> Some (w, p))
+      None nodes
+  in
+  let rec dfs p =
+    visited.(p) <- true;
+    out := p :: !out;
+    (* Heaviest unvisited neighbor first. *)
+    let rec next () =
+      let best =
+        List.fold_left
+          (fun best q ->
+            if visited.(q) then best
+            else
+              let w = Graph.weight wcg p q in
+              match best with
+              | Some (bw, bq) when bw > w || (bw = w && bq < q) -> best
+              | _ -> Some (w, q))
+          None (Graph.neighbors wcg p)
+      in
+      match best with
+      | Some (_, q) ->
+        dfs q;
+        next ()
+      | None -> ()
+    in
+    next ()
+  in
+  let rec roots () =
+    match hottest_unvisited () with
+    | Some (_, p) ->
+      dfs p;
+      roots ()
+    | None -> ()
+  in
+  roots ();
+  let placed = List.rev !out in
+  let rest = ref [] in
+  for p = n - 1 downto 0 do
+    if not visited.(p) then rest := p :: !rest
+  done;
+  Array.of_list (placed @ !rest)
+
+let place ?(align = 4) ~wcg program =
+  Layout.contiguous ~align program (order ~wcg program)

@@ -1,0 +1,22 @@
+(** A Hwu & Chang-style greedy depth-first placement baseline (the paper's
+    Section 7 cites their ISCA'89 work as some of the earliest
+    cache-conscious code placement).
+
+    Their procedure-level placement orders code by a weighted-call-graph
+    depth-first traversal: start from the most frequently executed entry,
+    always descend into the heaviest unvisited callee, and lay the chain
+    out contiguously, so that callers sit next to the callees they invoke
+    most ("inline-like" proximity without inlining).  Like PH it uses no
+    cache geometry and no temporal information; unlike PH it never
+    reverses chains, so it is the simplest of the baselines. *)
+
+val order : wcg:Trg_profile.Graph.t -> Trg_program.Program.t -> int array
+(** DFS order over the WCG, heaviest edges first, restarting at the
+    hottest (by incident weight) unvisited procedure; procedures without
+    edges follow in source order. *)
+
+val place :
+  ?align:int ->
+  wcg:Trg_profile.Graph.t ->
+  Trg_program.Program.t ->
+  Trg_program.Layout.t

@@ -1,0 +1,38 @@
+(** Producing the final linear procedure list (Section 4.3).
+
+    After merging, every popular procedure has a cache-relative alignment
+    (a target set index for its first line).  This module realises those
+    alignments in a linear address space: starting from the procedure with
+    the smallest target offset, it repeatedly appends the unplaced popular
+    procedure with the smallest positive cache-line gap from the end of the
+    previous one, fills each gap with unpopular procedures (largest-fit),
+    and finally appends the remaining unpopular procedures. *)
+
+val layout :
+  ?affinity:(int -> int -> float) ->
+  Trg_program.Program.t ->
+  line_size:int ->
+  n_sets:int ->
+  placed:(int * int) list ->
+  filler:int array ->
+  Trg_program.Layout.t
+(** [layout program ~line_size ~n_sets ~placed ~filler] builds a complete
+    layout.
+
+    [affinity prev q] optionally biases the selection: among candidates
+    with the same (smallest) gap, the procedure most related to the
+    previously placed one wins, which clusters temporally-related code on
+    the same pages (the Section 4.3 paging note).  Cache behaviour is
+    unchanged — only gap ties are re-ordered.
+
+    [placed] gives each popular procedure and its target set index; every
+    such procedure starts at a line-aligned address whose set index is
+    exactly its target.  [filler] lists the remaining procedures (source
+    order); they are used to plug gaps (placed at 4-byte alignment) and
+    appended at the end.  Every procedure of [program] must appear exactly
+    once across [placed] and [filler].
+
+    The gap between consecutive popular procedures p (ending at set
+    [p_el]) and q (starting at set [q_sl]) is [(q_sl - p_el) mod n_sets]
+    lines; an exact fit ([q_sl = p_el]) is treated as gap 0, which keeps
+    chain-equivalent merges contiguous. *)

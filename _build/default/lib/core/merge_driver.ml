@@ -1,0 +1,94 @@
+module Graph = Trg_profile.Graph
+module Heap = Trg_util.Heap
+
+type 'node group = {
+  repr : int; (* original node id acting as group identity *)
+  mutable payload : 'node;
+  mutable count : int; (* original nodes absorbed *)
+  adj : (int, float) Hashtbl.t; (* neighbor repr -> combined weight *)
+}
+
+let run ~graph ~init ~merge =
+  let groups : (int, 'a group) Hashtbl.t = Hashtbl.create 64 in
+  let parent : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec find id =
+    let p = Hashtbl.find parent id in
+    if p = id then id
+    else begin
+      let root = find p in
+      Hashtbl.replace parent id root;
+      root
+    end
+  in
+  List.iter
+    (fun id ->
+      Hashtbl.replace parent id id;
+      Hashtbl.replace groups id
+        { repr = id; payload = init id; count = 1; adj = Hashtbl.create 8 })
+    (Graph.nodes graph);
+  let heap = Heap.create () in
+  Graph.iter_edges
+    (fun u v w ->
+      let gu = Hashtbl.find groups u and gv = Hashtbl.find groups v in
+      Hashtbl.replace gu.adj v w;
+      Hashtbl.replace gv.adj u w;
+      Heap.push heap w (u, v))
+    graph;
+  let rec loop () =
+    match Heap.pop_max heap with
+    | None -> ()
+    | Some (w, (u, v)) ->
+      let ru = find u and rv = find v in
+      let stale =
+        ru = rv
+        ||
+        let gu = Hashtbl.find groups ru in
+        match Hashtbl.find_opt gu.adj rv with
+        | Some current -> current <> w
+        | None -> true
+      in
+      if not stale then begin
+        let gu = Hashtbl.find groups ru and gv = Hashtbl.find groups rv in
+        (* Keep the larger group fixed; it becomes n1. *)
+        let big, small =
+          if
+            gu.count > gv.count
+            || (gu.count = gv.count && gu.repr < gv.repr)
+          then (gu, gv)
+          else (gv, gu)
+        in
+        big.payload <- merge big.payload small.payload;
+        big.count <- big.count + small.count;
+        Hashtbl.replace parent small.repr big.repr;
+        Hashtbl.remove groups small.repr;
+        Hashtbl.remove big.adj small.repr;
+        Hashtbl.remove small.adj big.repr;
+        (* Re-point the absorbed group's edges at the survivor. *)
+        Hashtbl.iter
+          (fun n wn ->
+            let rn = find n in
+            if rn <> big.repr then begin
+              let gn = Hashtbl.find groups rn in
+              let combined =
+                match Hashtbl.find_opt big.adj rn with
+                | Some existing -> existing +. wn
+                | None -> wn
+              in
+              Hashtbl.replace big.adj rn combined;
+              Hashtbl.replace gn.adj big.repr combined;
+              Hashtbl.remove gn.adj small.repr;
+              Heap.push heap combined (big.repr, rn)
+            end)
+          small.adj
+      end;
+      loop ()
+  in
+  loop ();
+  let remaining = Hashtbl.fold (fun _ g acc -> g :: acc) groups [] in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare b.count a.count with 0 -> compare a.repr b.repr | c -> c)
+      remaining
+  in
+  List.map (fun g -> g.payload) sorted

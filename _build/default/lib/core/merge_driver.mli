@@ -1,0 +1,25 @@
+(** Greedy heaviest-edge merging of a working graph.
+
+    All three placement algorithms (PH, HKC, GBSC) share this outer loop
+    (Section 2): repeatedly take the largest-weight edge of the working
+    graph, merge the two groups it connects, and combine parallel edges by
+    summing their weights, until no edges remain.
+
+    Determinism: ties in edge weight are broken by the order in which the
+    tied weights were created (initial edges in canonical [(u, v)] order,
+    then updates in merge order), so a given input graph always produces
+    the same merge sequence. *)
+
+val run :
+  graph:Trg_profile.Graph.t ->
+  init:(int -> 'node) ->
+  merge:('node -> 'node -> 'node) ->
+  'node list
+(** [run ~graph ~init ~merge] seeds one group per graph node via [init] and
+    returns the remaining groups once all edges are consumed, ordered by
+    decreasing group size (number of original nodes), ties by smaller
+    representative id.
+
+    [merge n1 n2] must return the merged payload; the driver passes the
+    {e larger} group as [n1] (ties: the group whose representative id is
+    smaller), so alignment-style merges keep the bigger layout fixed. *)

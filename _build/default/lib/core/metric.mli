@@ -1,0 +1,26 @@
+(** Whole-layout conflict metrics (Section 3, Figure 6).
+
+    A placement algorithm needs a metric that is (approximately) a linear
+    function of the conflict misses a layout will suffer.  These functions
+    evaluate a complete layout under the two candidate metrics the paper
+    compares: the fine-grained TRG_place metric used by GBSC, and a metric
+    with the same form but WCG procedure-granularity weights.  Figure 6
+    plots each against measured cache misses. *)
+
+val trg_place :
+  Trg_program.Program.t ->
+  chunks:Trg_program.Chunk.t ->
+  trg:Trg_profile.Graph.t ->
+  cache:Trg_cache.Config.t ->
+  Trg_program.Layout.t ->
+  float
+(** Sum over TRG_place edges (c1, c2, w) of [w] x (number of cache sets
+    occupied by both chunks under the layout). *)
+
+val wcg :
+  Trg_program.Program.t ->
+  wcg:Trg_profile.Graph.t ->
+  cache:Trg_cache.Config.t ->
+  Trg_program.Layout.t ->
+  float
+(** Same shape at whole-procedure granularity with WCG weights. *)

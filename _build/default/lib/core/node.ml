@@ -1,0 +1,20 @@
+type t = { members : (int * int) list }
+
+let singleton p = { members = [ (p, 0) ] }
+
+let members t = t.members
+
+let procs t = List.map fst t.members
+
+let size t = List.length t.members
+
+let offset_of t p = List.assoc p t.members
+
+let union ~shift ~modulo n1 n2 =
+  let shifted =
+    List.map (fun (p, off) -> (p, (off + shift) mod modulo)) n2.members
+  in
+  { members = n1.members @ shifted }
+
+let pp ppf t =
+  List.iter (fun (p, off) -> Format.fprintf ppf "(p%d@@%d) " p off) t.members

@@ -1,0 +1,29 @@
+(** Placement nodes: sets of procedures with cache-relative alignments.
+
+    Where Pettis & Hansen keep the procedures of a merged node in a linear
+    chain, the paper's algorithm keeps a set of [(procedure, offset)]
+    tuples, the offset being the cache-set index of the procedure's first
+    line (Section 4.2).  Only the relative alignment matters; all offsets
+    are taken modulo the number of cache sets. *)
+
+type t
+
+val singleton : int -> t
+(** A node holding one procedure at offset 0. *)
+
+val members : t -> (int * int) list
+(** [(proc, offset)] pairs, in the order the procedures were merged in. *)
+
+val procs : t -> int list
+
+val size : t -> int
+(** Number of procedures. *)
+
+val offset_of : t -> int -> int
+(** Offset of a member procedure.  Raises [Not_found] otherwise. *)
+
+val union : shift:int -> modulo:int -> t -> t -> t
+(** [union ~shift ~modulo n1 n2] is the merged node: [n1]'s offsets are
+    kept, every offset of [n2] is increased by [shift] (mod [modulo]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+module Program = Trg_program.Program
+module Layout = Trg_program.Layout
+module Graph = Trg_profile.Graph
+
+type chain = { cid : int; procs : int list }
+
+(* Byte distance between the code of p and q in the given chain order:
+   the sum of the sizes of the procedures strictly between them. *)
+let distance program order p q =
+  let rec skip_to_first = function
+    | [] -> invalid_arg "Ph.distance: endpoints not in chain"
+    | x :: rest ->
+      if x = p then (q, rest) else if x = q then (p, rest) else skip_to_first rest
+  in
+  let other, rest = skip_to_first order in
+  let rec accumulate acc = function
+    | [] -> invalid_arg "Ph.distance: second endpoint not found"
+    | x :: rest ->
+      if x = other then acc else accumulate (acc + Program.size program x) rest
+  in
+  accumulate 0 rest
+
+(* Heaviest original-graph edge with one endpoint in each chain; scan the
+   smaller chain's neighbors.  Deterministic: strictly-greater replacement
+   over a fixed iteration order. *)
+let heaviest_cross_pair wcg chain_of a b =
+  let small, other_cid =
+    if List.length a.procs <= List.length b.procs then (a, b.cid) else (b, a.cid)
+  in
+  let best = ref None in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          if Hashtbl.find chain_of q = other_cid then begin
+            let w = Graph.weight wcg p q in
+            match !best with
+            | Some (bw, _, _) when bw >= w -> ()
+            | Some _ | None -> best := Some (w, p, q)
+          end)
+        (Graph.neighbors wcg p))
+    small.procs;
+  match !best with
+  | Some (_, p, q) -> Some (p, q)
+  | None -> None
+
+let merge_chains program wcg chain_of a b =
+  let combined =
+    match heaviest_cross_pair wcg chain_of a b with
+    | None -> a.procs @ b.procs
+    | Some (p, q) ->
+      (* The four Pettis-Hansen combinations; first minimum wins. *)
+      let variants =
+        [
+          a.procs @ b.procs;
+          a.procs @ List.rev b.procs;
+          List.rev a.procs @ b.procs;
+          List.rev a.procs @ List.rev b.procs;
+        ]
+      in
+      let scored = List.map (fun v -> (distance program v p q, v)) variants in
+      let best =
+        List.fold_left
+          (fun acc (d, v) ->
+            match acc with
+            | Some (bd, _) when bd <= d -> acc
+            | Some _ | None -> Some (d, v))
+          None scored
+      in
+      (match best with Some (_, v) -> v | None -> assert false)
+  in
+  List.iter (fun p -> Hashtbl.replace chain_of p a.cid) b.procs;
+  { cid = a.cid; procs = combined }
+
+let order ~wcg program =
+  let chain_of = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace chain_of p p) (Graph.nodes wcg);
+  let chains =
+    Merge_driver.run ~graph:wcg
+      ~init:(fun p -> { cid = p; procs = [ p ] })
+      ~merge:(fun a b -> merge_chains program wcg chain_of a b)
+  in
+  let in_chain = Array.make (Program.n_procs program) false in
+  let placed =
+    List.concat_map
+      (fun c ->
+        List.iter (fun p -> in_chain.(p) <- true) c.procs;
+        c.procs)
+      chains
+  in
+  let rest = ref [] in
+  for p = Program.n_procs program - 1 downto 0 do
+    if not in_chain.(p) then rest := p :: !rest
+  done;
+  Array.of_list (placed @ !rest)
+
+let place ?(align = 4) ~wcg program =
+  Layout.contiguous ~align program (order ~wcg program)

@@ -1,0 +1,23 @@
+(** The Pettis & Hansen procedure-placement algorithm (Section 2).
+
+    PH merges the two procedures connected by the heaviest edge of the
+    working call graph into a {e chain}, combining chains end-to-end.  When
+    chains [A] and [B] merge, the four concatenations [AB], [AB'], [A'B],
+    [A'B'] (primes are reversals) are scored by the byte distance between
+    the pair of procedures [p in A], [q in B] connected by the
+    heaviest-weight edge of the {e original} graph, and the closest variant
+    wins.  PH uses no cache-configuration or procedure-size information
+    beyond these distances — which is exactly the weakness the paper's
+    algorithm addresses. *)
+
+val order : wcg:Trg_profile.Graph.t -> Trg_program.Program.t -> int array
+(** Final procedure order: the merged chains in decreasing size, followed
+    by the procedures that never appeared in the working graph, in source
+    order. *)
+
+val place :
+  ?align:int ->
+  wcg:Trg_profile.Graph.t ->
+  Trg_program.Program.t ->
+  Trg_program.Layout.t
+(** Contiguous layout of {!order} ([align] defaults to 4 bytes). *)

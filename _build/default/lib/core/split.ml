@@ -1,0 +1,116 @@
+module Program = Trg_program.Program
+module Proc = Trg_program.Proc
+module Chunk = Trg_program.Chunk
+module Trace = Trg_trace.Trace
+module Event = Trg_trace.Event
+
+type t = {
+  program : Program.t;
+  chunks : Chunk.t; (* original chunk indexer *)
+  chunk_size : int;
+  new_proc : int array; (* original global chunk -> new proc id *)
+  new_base : int array; (* original global chunk -> its start offset there *)
+  origin : (int * bool) array; (* new proc -> (original proc, is hot part) *)
+  n_split : int;
+  cold_bytes : int;
+}
+
+let split ?(cold_fraction = 0.05) program chunks ~chunk_counts ~enter_counts =
+  let n = Program.n_procs program in
+  if Array.length enter_counts <> n then
+    invalid_arg "Split.split: enter_counts size mismatch";
+  if Array.length chunk_counts < Chunk.total chunks then
+    invalid_arg "Split.split: chunk_counts size mismatch";
+  let is_hot c =
+    let p = Chunk.owner chunks c in
+    let threshold = cold_fraction *. float_of_int enter_counts.(p) in
+    enter_counts.(p) > 0 && float_of_int chunk_counts.(c) >= Float.max 1. threshold
+  in
+  let new_proc = Array.make (max 1 (Chunk.total chunks)) (-1) in
+  let new_base = Array.make (max 1 (Chunk.total chunks)) (-1) in
+  let procs = ref [] in
+  let origin = ref [] in
+  let next_id = ref 0 in
+  let n_split = ref 0 in
+  let cold_bytes = ref 0 in
+  let add_part ~orig ~hot ~name ~chunk_ids =
+    let id = !next_id in
+    incr next_id;
+    let size = ref 0 in
+    List.iter
+      (fun c ->
+        new_proc.(c) <- id;
+        new_base.(c) <- !size;
+        size := !size + Chunk.size_of chunks c)
+      chunk_ids;
+    procs := Proc.make ~id ~name ~size:!size :: !procs;
+    origin := (orig, hot) :: !origin;
+    id
+  in
+  for p = 0 to n - 1 do
+    let first = Chunk.first chunks p in
+    let ids = List.init (Chunk.n_chunks chunks p) (fun k -> first + k) in
+    let hot, cold = List.partition is_hot ids in
+    let name = Program.name program p in
+    if hot = [] || cold = [] then
+      (* Unsplit: a single part carrying all chunks.  Whether the procedure
+         is entirely hot or entirely cold, its internal offsets are
+         unchanged. *)
+      ignore (add_part ~orig:p ~hot:(cold = []) ~name ~chunk_ids:ids)
+    else begin
+      incr n_split;
+      ignore (add_part ~orig:p ~hot:true ~name ~chunk_ids:hot);
+      ignore (add_part ~orig:p ~hot:false ~name:(name ^ ".cold") ~chunk_ids:cold);
+      List.iter (fun c -> cold_bytes := !cold_bytes + Chunk.size_of chunks c) cold
+    end
+  done;
+  let program' = Program.make (Array.of_list (List.rev !procs)) in
+  {
+    program = program';
+    chunks;
+    chunk_size = Chunk.chunk_size chunks;
+    new_proc;
+    new_base;
+    origin = Array.of_list (List.rev !origin);
+    n_split = !n_split;
+    cold_bytes = !cold_bytes;
+  }
+
+let program t = t.program
+
+let n_split t = t.n_split
+
+let cold_bytes t = t.cold_bytes
+
+let origin t p = t.origin.(p)
+
+let remap_trace t trace =
+  let builder = Trace.Builder.create ~capacity:(Trace.length trace) () in
+  let last = ref (-1) in
+  Trace.iter
+    (fun (e : Event.t) ->
+      (* Cut the run at original chunk boundaries; each piece lives at a
+         known offset of a known new procedure. *)
+      let remaining = ref e.len in
+      let offset = ref e.offset in
+      let first_piece = ref true in
+      while !remaining > 0 do
+        let c = Chunk.of_offset t.chunks ~proc:e.proc ~offset:!offset in
+        let within = !offset mod t.chunk_size in
+        let room = Chunk.size_of t.chunks c - within in
+        let len = min room !remaining in
+        let proc = t.new_proc.(c) in
+        let kind =
+          if proc = !last then Event.Run
+          else if !first_piece && e.kind <> Event.Run then e.kind
+          else Event.Enter (* the jump a splitter inserts at a part boundary *)
+        in
+        Trace.Builder.add builder
+          (Event.make ~kind ~proc ~offset:(t.new_base.(c) + within) ~len);
+        last := proc;
+        first_piece := false;
+        remaining := !remaining - len;
+        offset := !offset + len
+      done)
+    trace;
+  Trace.Builder.build builder

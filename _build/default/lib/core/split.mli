@@ -1,0 +1,50 @@
+(** Procedure splitting: separating rarely executed code from hot code.
+
+    Pettis & Hansen split each procedure into a primary (hot) part and a
+    "fluff" (cold) part placed far away, so that cold error paths stop
+    diluting the cache footprint of the hot code.  The paper's conclusion
+    singles this out as orthogonal to procedure placement and combinable
+    with GBSC; this module implements it at chunk granularity and rewrites
+    traces so the whole profiling/placement/simulation pipeline runs
+    unchanged on the split program.
+
+    A chunk is {e cold} when it was referenced in fewer than
+    [cold_fraction] of its procedure's activations in the profiling run;
+    a procedure splits only if it has both hot and cold chunks.  The hot
+    part keeps the original name, the cold part gets a [".cold"] suffix. *)
+
+type t
+
+val split :
+  ?cold_fraction:float ->
+  Trg_program.Program.t ->
+  Trg_program.Chunk.t ->
+  chunk_counts:int array ->
+  enter_counts:int array ->
+  t
+(** [split program chunks ~chunk_counts ~enter_counts] decides hot/cold per
+    chunk ([cold_fraction] defaults to 0.05) and builds the split program.
+    [chunk_counts] comes from {!Trg_profile.Chunk_counts.compute};
+    [enter_counts] from {!Trg_trace.Tstats}. *)
+
+val program : t -> Trg_program.Program.t
+(** The split program.  New procedure ids are dense; hot and cold parts of
+    a split procedure are separate procedures. *)
+
+val n_split : t -> int
+(** Number of original procedures that were actually split. *)
+
+val cold_bytes : t -> int
+(** Total bytes moved into cold parts. *)
+
+val origin : t -> int -> int * bool
+(** [origin t p] maps a new procedure id to its original procedure id and
+    whether it is a hot part ([true]) or a cold part / unsplit procedure's
+    single part. *)
+
+val remap_trace : t -> Trg_trace.Trace.t -> Trg_trace.Trace.t
+(** Rewrites a trace of the original program into the split program's
+    address space, cutting events at part boundaries.  Pieces that land in
+    a different procedure than their predecessor become [Enter] events
+    (the jump a real splitter would insert); within-part pieces keep their
+    kind. *)

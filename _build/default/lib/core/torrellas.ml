@@ -1,0 +1,63 @@
+module Program = Trg_program.Program
+module Layout = Trg_program.Layout
+module Config = Trg_cache.Config
+module Popularity = Trg_profile.Popularity
+
+let place ?(reserved_frac = 0.0625) (config : Gbsc.config) program ~popularity =
+  if reserved_frac < 0. || reserved_frac >= 1. then
+    invalid_arg "Torrellas.place: reserved_frac must be in [0, 1)";
+  let cache = config.Gbsc.cache in
+  let cache_bytes = cache.Config.size in
+  let line = cache.Config.line_size in
+  let reserved_bytes = int_of_float (reserved_frac *. float_of_int cache_bytes) in
+  let reserved_bytes = reserved_bytes / line * line in
+  let n = Program.n_procs program in
+  let addr = Array.make n (-1) in
+  let round_up x a = (x + a - 1) / a * a in
+  (* Fill the reserved region [0, reserved_bytes) of logical cache 0 with
+     the hottest procedures; it is mirrored (left empty) in every later
+     logical cache, so its occupants never conflict. *)
+  let ranked = popularity.Popularity.ranked in
+  let cursor = ref 0 in
+  let next_rank = ref 0 in
+  while
+    !next_rank < Array.length ranked
+    && round_up !cursor line + Program.size program ranked.(!next_rank)
+       <= reserved_bytes
+  do
+    let p = ranked.(!next_rank) in
+    let a = round_up !cursor line in
+    addr.(p) <- a;
+    cursor := a + Program.size program p;
+    incr next_rank
+  done;
+  (* Pack the remaining popular procedures into the open regions
+     [reserved_bytes, cache_bytes) of successive logical caches. *)
+  let open_cursor = ref reserved_bytes in
+  let place_open p =
+    let size = Program.size program p in
+    let rec find a =
+      let a = round_up a line in
+      let l = a / cache_bytes in
+      let pos = a mod cache_bytes in
+      if pos < reserved_bytes then find ((l * cache_bytes) + reserved_bytes)
+      else if pos + size <= cache_bytes || size > cache_bytes - reserved_bytes then a
+      else find (((l + 1) * cache_bytes) + reserved_bytes)
+    in
+    let a = find !open_cursor in
+    addr.(p) <- a;
+    open_cursor := a + size
+  in
+  for i = !next_rank to Array.length ranked - 1 do
+    place_open ranked.(i)
+  done;
+  (* Unpopular procedures go after the last logical cache, packed. *)
+  let tail = ref (round_up !open_cursor cache_bytes) in
+  for p = 0 to n - 1 do
+    if addr.(p) < 0 then begin
+      let a = round_up !tail 4 in
+      addr.(p) <- a;
+      tail := a + Program.size program p
+    end
+  done;
+  Layout.of_addresses program addr

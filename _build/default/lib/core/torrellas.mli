@@ -1,0 +1,25 @@
+(** A Torrellas/Xia/Daigle-style "logical cache" baseline (the paper's
+    Section 7 discusses this OS-oriented scheme).
+
+    The address space is viewed as an array of {e logical caches}, each
+    the size and alignment of the hardware cache; code placed within one
+    logical cache can never self-conflict.  A sub-area of every logical
+    cache is reserved for the most frequently executed code, so the
+    hottest procedures never conflict with anything; the remaining
+    popular procedures are packed into successive logical caches in
+    execution-count order.  The scheme uses execution counts and the
+    cache geometry but no pairwise (let alone temporal) relationship
+    information — which is exactly where GBSC should beat it. *)
+
+val place :
+  ?reserved_frac:float ->
+  Gbsc.config ->
+  Trg_program.Program.t ->
+  popularity:Trg_profile.Popularity.t ->
+  Trg_program.Layout.t
+(** [reserved_frac] (default 0.0625) is the fraction of each logical cache
+    reserved for the hottest procedures.  Procedures are placed in
+    popularity order: the reserved region fills first (line-aligned, so
+    its occupants conflict with nothing in any logical cache that honours
+    the reservation), then each successive logical cache's open region;
+    unpopular procedures are appended after the last logical cache. *)

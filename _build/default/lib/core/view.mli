@@ -1,0 +1,25 @@
+(** Human-readable views of a layout's cache mapping.
+
+    Debugging aid: renders which procedures occupy which cache sets, so
+    alignment decisions (who shares, who avoids whom) can be inspected
+    directly — the spatial picture behind every miss-rate number. *)
+
+val cache_map :
+  ?only:(int -> bool) ->
+  Trg_program.Program.t ->
+  Trg_cache.Config.t ->
+  Trg_program.Layout.t ->
+  string
+(** One line per run of cache sets with identical occupants:
+    ["sets 000-007: main wrk3"].  [only] filters the procedures shown
+    (default: all procedures no larger than the cache, which keeps
+    wrap-around cold giants from flooding every set). *)
+
+val occupancy_summary :
+  ?only:(int -> bool) ->
+  Trg_program.Program.t ->
+  Trg_cache.Config.t ->
+  Trg_program.Layout.t ->
+  string
+(** A short histogram: how many sets hold 0, 1, 2, ... of the selected
+    procedures.  A good placement pushes mass toward low counts. *)

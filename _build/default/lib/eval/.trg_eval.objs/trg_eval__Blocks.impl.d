@@ -1,0 +1,1 @@
+lib/eval/blocks.ml: List Printf Runner Trg_cache Trg_place Trg_program Trg_synth Trg_util

@@ -1,0 +1,1 @@
+lib/eval/charact.ml: List Runner Trg_cache Trg_synth Trg_util

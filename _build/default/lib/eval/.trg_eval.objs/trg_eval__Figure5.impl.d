@@ -1,0 +1,1 @@
+lib/eval/figure5.ml: Array Hashtbl List Printf Runner Trg_place Trg_profile Trg_synth Trg_util

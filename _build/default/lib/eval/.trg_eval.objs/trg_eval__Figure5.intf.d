@@ -1,0 +1,1 @@
+lib/eval/figure5.mli: Runner

@@ -1,0 +1,1 @@
+lib/eval/figure6.ml: Array Hashtbl List Printf Runner Trg_cache Trg_place Trg_profile Trg_program Trg_synth Trg_util

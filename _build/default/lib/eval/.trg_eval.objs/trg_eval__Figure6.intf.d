@@ -1,0 +1,1 @@
+lib/eval/figure6.mli: Runner

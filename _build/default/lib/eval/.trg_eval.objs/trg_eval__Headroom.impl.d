@@ -1,0 +1,1 @@
+lib/eval/headroom.ml: Float List Printf Runner Trg_place Trg_synth Trg_util

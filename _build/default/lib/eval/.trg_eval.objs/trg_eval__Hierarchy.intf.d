@@ -1,0 +1,1 @@
+lib/eval/hierarchy.mli: Runner

@@ -1,0 +1,1 @@
+lib/eval/online.ml: Printf Runner Trg_place Trg_profile Trg_synth Trg_util

@@ -1,0 +1,1 @@
+lib/eval/paging.ml: List Printf Runner Trg_cache Trg_place Trg_synth Trg_util

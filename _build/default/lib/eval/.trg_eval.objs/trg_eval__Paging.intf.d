@@ -1,0 +1,1 @@
+lib/eval/paging.mli: Runner

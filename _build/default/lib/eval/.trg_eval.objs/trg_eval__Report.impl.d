@@ -1,0 +1,1 @@
+lib/eval/report.ml: Ablation Blocks Charact Figure5 Figure6 Hashtbl Headroom Hierarchy List Online Padding Paging Runner Sampling Setassoc Splitting Sweep Table1 Trg_synth

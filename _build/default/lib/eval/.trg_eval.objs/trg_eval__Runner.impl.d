@@ -1,0 +1,1 @@
+lib/eval/runner.ml: Trg_cache Trg_place Trg_profile Trg_program Trg_synth Trg_trace

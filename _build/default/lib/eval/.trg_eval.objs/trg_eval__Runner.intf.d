@@ -1,0 +1,1 @@
+lib/eval/runner.mli: Trg_cache Trg_place Trg_profile Trg_program Trg_synth Trg_trace

@@ -1,0 +1,1 @@
+lib/eval/sampling.ml: List Printf Runner Trg_place Trg_profile Trg_program Trg_synth Trg_trace Trg_util

@@ -1,0 +1,1 @@
+lib/eval/setassoc.ml: Array Float Format List Printf Runner Trg_cache Trg_place Trg_profile Trg_synth Trg_util

@@ -1,0 +1,1 @@
+lib/eval/setassoc.mli: Trg_cache Trg_synth

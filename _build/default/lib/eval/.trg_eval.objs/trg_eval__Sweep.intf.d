@@ -1,0 +1,1 @@
+lib/eval/sweep.mli: Trg_synth

@@ -1,0 +1,1 @@
+lib/eval/table1.ml: List Printf Runner Trg_place Trg_profile Trg_program Trg_synth Trg_trace Trg_util

@@ -1,0 +1,82 @@
+module Table = Trg_util.Table
+module Graph = Trg_profile.Graph
+module Popularity = Trg_profile.Popularity
+module Trg = Trg_profile.Trg
+module Gbsc = Trg_place.Gbsc
+module Cost = Trg_place.Cost
+module Config = Trg_cache.Config
+
+type row = { label : string; miss_rate : float }
+
+type result = { bench : string; rows : row list }
+
+let run (r : Runner.t) =
+  let program = Runner.program r in
+  let config = r.Runner.config in
+  let base_prof = r.Runner.prof in
+  let popular_wcg =
+    Graph.filter_nodes (Popularity.keep base_prof.Gbsc.popularity) r.Runner.wcg
+  in
+  let mr = Runner.test_miss_rate r in
+  let place_with_profile (prof : Gbsc.profile) = Gbsc.place program prof in
+  let full = mr (place_with_profile base_prof) in
+  (* Whole-procedure TRG_place: chunk size larger than any procedure. *)
+  let no_chunk_config =
+    { config with Gbsc.chunk_size = 1 lsl 20 }
+  in
+  let no_chunking =
+    mr (place_with_profile (Gbsc.profile no_chunk_config program r.Runner.train))
+  in
+  let chunk cs =
+    mr
+      (place_with_profile
+         (Gbsc.profile { config with Gbsc.chunk_size = cs } program r.Runner.train))
+  in
+  let qbound factor =
+    let q = factor * config.Gbsc.cache.Config.size in
+    mr (place_with_profile (Gbsc.profile { config with Gbsc.q_capacity = q } program r.Runner.train))
+  in
+  let coverage c =
+    mr
+      (place_with_profile
+         (Gbsc.profile { config with Gbsc.coverage = c } program r.Runner.train))
+  in
+  (* WCG-driven selection with TRG_place alignment costs. *)
+  let wcg_select =
+    mr
+      (Gbsc.place_with config program ~select:popular_wcg
+         ~model:
+           (Cost.Trg_chunks
+              { chunks = base_prof.Gbsc.chunks; trg = base_prof.Gbsc.place.Trg.graph }))
+  in
+  (* TRG selection with WCG (procedure-grain) alignment costs = HKC order
+     driven by temporal information. *)
+  let wcg_cost =
+    mr
+      (Gbsc.place_with config program ~select:base_prof.Gbsc.select.Trg.graph
+         ~model:(Cost.Wcg_procs { wcg = popular_wcg }))
+  in
+  {
+    bench = r.Runner.shape.Trg_synth.Shape.name;
+    rows =
+      [
+        { label = "default layout"; miss_rate = mr (Runner.default_layout r) };
+        { label = "GBSC (full)"; miss_rate = full };
+        { label = "no chunking (whole-proc TRG_place)"; miss_rate = no_chunking };
+        { label = "chunk size 128B"; miss_rate = chunk 128 };
+        { label = "chunk size 512B"; miss_rate = chunk 512 };
+        { label = "WCG selection + TRG placement"; miss_rate = wcg_select };
+        { label = "TRG selection + WCG placement"; miss_rate = wcg_cost };
+        { label = "Q bound 1x cache"; miss_rate = qbound 1 };
+        { label = "Q bound 4x cache"; miss_rate = qbound 4 };
+        { label = "popularity coverage 90%"; miss_rate = coverage 0.90 };
+        { label = "popularity coverage 99.99%"; miss_rate = coverage 0.9999 };
+      ];
+  }
+
+let print res =
+  Table.section (Printf.sprintf "ABLATIONS — GBSC design choices (%s)" res.bench);
+  Table.print
+    ~header:[ "variant"; "miss rate" ]
+    (List.map (fun r -> [ r.label; Table.fmt_pct r.miss_rate ]) res.rows);
+  print_newline ()

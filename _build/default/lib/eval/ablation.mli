@@ -1,0 +1,18 @@
+(** Ablations of GBSC's design choices (Sections 3-4).
+
+    The paper motivates three ingredients: temporal ordering information
+    (TRG vs WCG), fine-grained chunking for TRG_place, and the 2x-cache Q
+    bound.  Each variant disables or re-parameterises one ingredient; all
+    are trained on the training trace and measured on the testing trace. *)
+
+type row = { label : string; miss_rate : float }
+
+type result = { bench : string; rows : row list }
+
+val run : Runner.t -> result
+(** Variants: full GBSC; no chunking (whole-procedure TRG_place); WCG as
+    selection graph; WCG as placement cost (TRG selection); Q bound 1x and
+    4x the cache; chunk size 128 and 512 bytes; popularity coverage 90%
+    and 99.99%; plus the default layout for reference. *)
+
+val print : result -> unit

@@ -1,0 +1,44 @@
+module Table = Trg_util.Table
+module Layout = Trg_program.Layout
+module Sim = Trg_cache.Sim
+module Gbsc = Trg_place.Gbsc
+module Block_reorder = Trg_place.Block_reorder
+
+type row = { label : string; miss_rate : float; accesses : int }
+
+type result = { bench : string; n_reordered : int; rows : row list }
+
+let run (r : Runner.t) =
+  let program = Runner.program r in
+  let config = r.Runner.config in
+  let cache = config.Gbsc.cache in
+  let reorder = Block_reorder.build program r.Runner.train in
+  let train' = Block_reorder.remap_trace reorder r.Runner.train in
+  let test' = Block_reorder.remap_trace reorder r.Runner.test in
+  let row label layout trace =
+    let res = Sim.simulate program layout cache trace in
+    { label; miss_rate = Sim.miss_rate res; accesses = res.Sim.accesses }
+  in
+  let gbsc_reordered = Gbsc.run config program train' in
+  {
+    bench = r.Runner.shape.Trg_synth.Shape.name;
+    n_reordered = Block_reorder.n_reordered reorder;
+    rows =
+      [
+        row "default layout" (Runner.default_layout r) r.Runner.test;
+        row "default + block reordering" (Layout.default program) test';
+        row "GBSC" (Runner.gbsc_layout r) r.Runner.test;
+        row "GBSC + block reordering" gbsc_reordered test';
+      ];
+  }
+
+let print res =
+  Table.section
+    (Printf.sprintf "BLOCK GRANULARITY — intra-procedure reordering (%s)" res.bench);
+  Printf.printf "%d procedures internally reordered\n\n" res.n_reordered;
+  Table.print
+    ~header:[ "configuration"; "test MR"; "line accesses" ]
+    (List.map
+       (fun r -> [ r.label; Table.fmt_pct r.miss_rate; Table.fmt_int r.accesses ])
+       res.rows);
+  print_newline ()

@@ -1,0 +1,17 @@
+(** Block-granularity reordering combined with procedure placement.
+
+    The paper treats its machinery as applicable to "code blocks of any
+    granularity"; this experiment runs the intra-procedure basic-block
+    reordering pass ({!Trg_place.Block_reorder}) below the procedure
+    placer and measures the stacking of the two effects: hot-path
+    contiguity inside procedures, conflict avoidance between them. *)
+
+type row = { label : string; miss_rate : float; accesses : int }
+
+type result = { bench : string; n_reordered : int; rows : row list }
+
+val run : Runner.t -> result
+(** Rows: default; default + block reordering; GBSC; GBSC + block
+    reordering (reordered traces drive the profile and the evaluation). *)
+
+val print : result -> unit

@@ -1,0 +1,66 @@
+module Table = Trg_util.Table
+module Reuse = Trg_cache.Reuse
+
+type row = {
+  bench : string;
+  line_refs : int;
+  cold : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  fa_4k : float;
+  fa_8k : float;
+  fa_16k : float;
+  fa_32k : float;
+  dm_8k : float;
+}
+
+let row_of (r : Runner.t) =
+  let program = Runner.program r in
+  let layout = Runner.default_layout r in
+  let reuse = Reuse.compute program layout ~line_size:32 r.Runner.test in
+  let fa bytes = Reuse.miss_rate_at reuse (bytes / 32) in
+  {
+    bench = r.Runner.shape.Trg_synth.Shape.name;
+    line_refs = Reuse.total_refs reuse;
+    cold = Reuse.cold_refs reuse;
+    p50 = Reuse.percentile reuse 50.;
+    p90 = Reuse.percentile reuse 90.;
+    p99 = Reuse.percentile reuse 99.;
+    fa_4k = fa 4096;
+    fa_8k = fa 8192;
+    fa_16k = fa 16384;
+    fa_32k = fa 32768;
+    dm_8k = Runner.test_miss_rate r layout;
+  }
+
+let print rows =
+  Table.section
+    "WORKLOAD CHARACTERISATION — reuse distances and capacity floors (test input)";
+  Table.print
+    ~header:
+      [
+        "program"; "line refs"; "cold"; "p50"; "p90"; "p99"; "FA 4K"; "FA 8K";
+        "FA 16K"; "FA 32K"; "DM 8K (measured)";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.bench;
+           Table.fmt_int r.line_refs;
+           Table.fmt_int r.cold;
+           string_of_int r.p50;
+           string_of_int r.p90;
+           string_of_int r.p99;
+           Table.fmt_pct r.fa_4k;
+           Table.fmt_pct r.fa_8k;
+           Table.fmt_pct r.fa_16k;
+           Table.fmt_pct r.fa_32k;
+           Table.fmt_pct r.dm_8k;
+         ])
+       rows);
+  print_endline
+    "(stack distances in cache lines; FA columns are the fully-associative LRU";
+  print_endline
+    " capacity floors implied by the distances — conflict misses are DM minus FA)";
+  print_newline ()

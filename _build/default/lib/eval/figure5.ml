@@ -1,0 +1,100 @@
+module Prng = Trg_util.Prng
+module Stats = Trg_util.Stats
+module Table = Trg_util.Table
+module Graph = Trg_profile.Graph
+module Perturb = Trg_profile.Perturb
+module Trg = Trg_profile.Trg
+module Gbsc = Trg_place.Gbsc
+module Hkc = Trg_place.Hkc
+module Ph = Trg_place.Ph
+module Popularity = Trg_profile.Popularity
+
+type algo = PH | HKC | GBSC
+
+let algo_name = function PH -> "PH" | HKC -> "HKC" | GBSC -> "GBSC"
+
+type result = { algo : algo; unperturbed : float; sorted : float array }
+
+type bench_result = { bench : string; default_mr : float; results : result list }
+
+(* One placement from (possibly perturbed) profile graphs. *)
+let layout_of (r : Runner.t) algo ~wcg ~select ~place =
+  let program = Runner.program r in
+  match algo with
+  | PH -> Ph.place ~wcg program
+  | HKC ->
+    Hkc.place r.Runner.config program ~wcg
+      ~popularity:r.Runner.prof.Gbsc.popularity
+  | GBSC ->
+    Gbsc.place_with r.Runner.config program ~select
+      ~model:
+        (Trg_place.Cost.Trg_chunks { chunks = r.Runner.prof.Gbsc.chunks; trg = place })
+
+let run ?(runs = 40) ?(s = Perturb.default_s) ?(seed = 7_777) (r : Runner.t) =
+  let base_wcg = r.Runner.wcg in
+  let base_select = r.Runner.prof.Gbsc.select.Trg.graph in
+  let base_place = r.Runner.prof.Gbsc.place.Trg.graph in
+  let eval algo =
+    let unperturbed =
+      Runner.test_miss_rate r
+        (layout_of r algo ~wcg:base_wcg ~select:base_select ~place:base_place)
+    in
+    let rates =
+      Array.init runs (fun i ->
+          let rng = Prng.create (seed + (1000 * i) + Hashtbl.hash (algo_name algo)) in
+          let wcg = Perturb.graph rng ~s base_wcg in
+          let select = Perturb.graph rng ~s base_select in
+          let place = Perturb.graph rng ~s base_place in
+          Runner.test_miss_rate r (layout_of r algo ~wcg ~select ~place))
+    in
+    Array.sort compare rates;
+    { algo; unperturbed; sorted = rates }
+  in
+  {
+    bench = r.Runner.shape.Trg_synth.Shape.name;
+    default_mr = Runner.test_miss_rate r (Runner.default_layout r);
+    results = List.map eval [ PH; HKC; GBSC ];
+  }
+
+let print ?(cdf = true) b =
+  Table.section (Printf.sprintf "FIGURE 5 — %s (miss rates on testing input)" b.bench);
+  Printf.printf "default layout MR: %s\n\n" (Table.fmt_pct b.default_mr);
+  let header = [ "algorithm"; "MR (no noise)"; "min"; "p25"; "median"; "p75"; "max" ] in
+  let rows =
+    List.map
+      (fun res ->
+        [
+          algo_name res.algo;
+          Table.fmt_pct res.unperturbed;
+          Table.fmt_pct (Stats.percentile res.sorted 0.);
+          Table.fmt_pct (Stats.percentile res.sorted 25.);
+          Table.fmt_pct (Stats.percentile res.sorted 50.);
+          Table.fmt_pct (Stats.percentile res.sorted 75.);
+          Table.fmt_pct (Stats.percentile res.sorted 100.);
+        ])
+      b.results
+  in
+  Table.print ~header rows;
+  if cdf then begin
+    print_newline ();
+    let series =
+      List.map
+        (fun res ->
+          (algo_name res.algo, Array.map (fun mr -> 100. *. mr) res.sorted))
+        b.results
+    in
+    print_string
+      (Trg_util.Plot.cdf ~x_label:"miss rate (%), lower-left is better" series);
+    print_newline ();
+    List.iter
+      (fun res ->
+        Printf.printf "%-5s sorted points:" (algo_name res.algo);
+        Array.iteri
+          (fun i mr ->
+            if i mod 8 = 0 then Printf.printf "\n  ";
+            Printf.printf "%6.3f%%" (100. *. mr))
+          res.sorted;
+        print_newline ())
+      b.results
+  end;
+  print_newline ()

@@ -1,0 +1,34 @@
+(** Reproduction of Figure 5: miss-rate distributions under profile
+    perturbation.
+
+    For each benchmark and each placement algorithm (PH, HKC, GBSC), the
+    profile graphs are perturbed [runs] times with multiplicative
+    log-normal noise (s = 0.1), a placement is computed from each perturbed
+    profile using the {e training} trace's graphs, and the resulting layout
+    is simulated on the {e testing} trace.  The sorted miss rates are the
+    CDF the paper plots; the unperturbed miss rate is the "MR" the figure's
+    inset table reports. *)
+
+type algo = PH | HKC | GBSC
+
+val algo_name : algo -> string
+
+type result = {
+  algo : algo;
+  unperturbed : float;  (** miss rate without randomization *)
+  sorted : float array;  (** perturbed-run miss rates, ascending *)
+}
+
+type bench_result = {
+  bench : string;
+  default_mr : float;
+  results : result list;  (** PH, HKC, GBSC *)
+}
+
+val run : ?runs:int -> ?s:float -> ?seed:int -> Runner.t -> bench_result
+(** Defaults: [runs] = 40 and [s] = 0.1, as in the paper. *)
+
+val print : ?cdf:bool -> bench_result -> unit
+(** Prints the summary table (unperturbed MR plus min/median/max of the
+    perturbed population) and, when [cdf] is set (default true), the sorted
+    miss-rate points of each algorithm's CDF. *)

@@ -1,0 +1,108 @@
+module Prng = Trg_util.Prng
+module Stats = Trg_util.Stats
+module Table = Trg_util.Table
+module Config = Trg_cache.Config
+module Node = Trg_place.Node
+module Gbsc = Trg_place.Gbsc
+module Cost = Trg_place.Cost
+module Linearize = Trg_place.Linearize
+module Metric = Trg_place.Metric
+module Trg = Trg_profile.Trg
+
+type point = { miss_rate : float; metric_trg : float; metric_wcg : float }
+
+type result = {
+  bench : string;
+  points : point array;
+  r_trg : float;
+  r_wcg : float;
+  rho_trg : float;
+  rho_wcg : float;
+}
+
+let run ?(n = 80) ?(max_moved = 50) ?(seed = 4242) (r : Runner.t) =
+  let program = Runner.program r in
+  let config = r.Runner.config in
+  let cache = config.Gbsc.cache in
+  let n_sets = Config.n_sets cache in
+  let chunks = r.Runner.prof.Gbsc.chunks in
+  let trg = r.Runner.prof.Gbsc.place.Trg.graph in
+  (* Base GBSC placement, as (proc, offset) pairs plus the filler split. *)
+  let nodes =
+    Gbsc.place_nodes config program ~select:r.Runner.prof.Gbsc.select.Trg.graph
+      ~model:(Cost.Trg_chunks { chunks; trg })
+  in
+  let base_placed = List.concat_map Node.members nodes in
+  let placed_arr = Array.of_list base_placed in
+  let in_nodes = Hashtbl.create 64 in
+  List.iter (fun (p, _) -> Hashtbl.replace in_nodes p ()) base_placed;
+  let filler = ref [] in
+  for p = Trg_program.Program.n_procs program - 1 downto 0 do
+    if not (Hashtbl.mem in_nodes p) then filler := p :: !filler
+  done;
+  let filler = Array.of_list !filler in
+  let rng = Prng.create seed in
+  let make_point i =
+    let placed = Array.copy placed_arr in
+    (* The first point is the unmodified GBSC placement. *)
+    if i > 0 then begin
+      let moved = Prng.int rng (max_moved + 1) in
+      for _ = 1 to moved do
+        let j = Prng.int rng (Array.length placed) in
+        let p, _ = placed.(j) in
+        placed.(j) <- (p, Prng.int rng n_sets)
+      done
+    end;
+    let layout =
+      Linearize.layout program ~line_size:cache.Config.line_size ~n_sets
+        ~placed:(Array.to_list placed) ~filler
+    in
+    {
+      miss_rate = Runner.train_miss_rate r layout;
+      metric_trg = Metric.trg_place program ~chunks ~trg ~cache layout;
+      metric_wcg = Metric.wcg program ~wcg:r.Runner.wcg ~cache layout;
+    }
+  in
+  let points = Array.init n make_point in
+  let misses = Array.map (fun p -> p.miss_rate) points in
+  let m_trg = Array.map (fun p -> p.metric_trg) points in
+  let m_wcg = Array.map (fun p -> p.metric_wcg) points in
+  {
+    bench = r.Runner.shape.Trg_synth.Shape.name;
+    points;
+    r_trg = Stats.pearson misses m_trg;
+    r_wcg = Stats.pearson misses m_wcg;
+    rho_trg = Stats.spearman misses m_trg;
+    rho_wcg = Stats.spearman misses m_wcg;
+  }
+
+let print ?(points = true) res =
+  Table.section
+    (Printf.sprintf "FIGURE 6 — conflict metric vs cache misses (%s)" res.bench);
+  Table.print
+    ~header:[ "metric"; "Pearson r"; "Spearman rho" ]
+    [
+      [ "TRG_place (GBSC)"; Table.fmt_float ~decimals:3 res.r_trg;
+        Table.fmt_float ~decimals:3 res.rho_trg ];
+      [ "WCG"; Table.fmt_float ~decimals:3 res.r_wcg;
+        Table.fmt_float ~decimals:3 res.rho_wcg ];
+    ];
+  if points then begin
+    print_newline ();
+    let pts metric = Array.map (fun p -> (100. *. p.miss_rate, metric p)) res.points in
+    print_string
+      (Trg_util.Plot.scatter ~x_label:"miss rate (%)" ~y_label:"TRG_place metric"
+         [ ("layouts", pts (fun p -> p.metric_trg)) ]);
+    print_newline ();
+    print_string
+      (Trg_util.Plot.scatter ~x_label:"miss rate (%)" ~y_label:"WCG metric"
+         [ ("layouts", pts (fun p -> p.metric_wcg)) ]);
+    print_newline ();
+    print_endline "points (miss rate %, TRG metric, WCG metric):";
+    Array.iter
+      (fun p ->
+        Printf.printf "  %7.4f  %12.0f  %12.0f\n" (100. *. p.miss_rate) p.metric_trg
+          p.metric_wcg)
+      res.points
+  end;
+  print_newline ()

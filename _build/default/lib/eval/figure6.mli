@@ -1,0 +1,26 @@
+(** Reproduction of Figure 6: correlation between conflict metrics and
+    cache misses.
+
+    Following the paper: start from the GBSC placement of the [go]
+    benchmark, derive [n] layouts by randomly re-offsetting 0..50 of the
+    placed procedures, and for each layout record (miss rate, TRG_place
+    metric, WCG metric).  The TRG metric should sit close to a straight
+    line through the points (strong Pearson r); the WCG metric should not. *)
+
+type point = { miss_rate : float; metric_trg : float; metric_wcg : float }
+
+type result = {
+  bench : string;
+  points : point array;
+  r_trg : float;  (** Pearson correlation, TRG_place metric vs miss rate *)
+  r_wcg : float;
+  rho_trg : float;  (** Spearman rank correlations *)
+  rho_wcg : float;
+}
+
+val run : ?n:int -> ?max_moved:int -> ?seed:int -> Runner.t -> result
+(** Defaults: [n] = 80 layouts, [max_moved] = 50 procedures, as in the
+    paper.  Miss rates are measured on the training trace, the input the
+    metric is built from. *)
+
+val print : ?points:bool -> result -> unit

@@ -1,0 +1,65 @@
+module Table = Trg_util.Table
+module Gbsc = Trg_place.Gbsc
+module Anneal = Trg_place.Anneal
+
+type row = { label : string; metric : float; miss_rate : float }
+
+type result = { bench : string; rows : row list }
+
+let run ?iterations (r : Runner.t) =
+  let program = Runner.program r in
+  let config = r.Runner.config in
+  let profile = r.Runner.prof in
+  let params =
+    match iterations with
+    | Some iterations -> { Anneal.default_params with Anneal.iterations }
+    | None -> Anneal.default_params
+  in
+  let gbsc_off = Anneal.gbsc_offsets config program profile in
+  let gbsc_metric = Anneal.cost config program ~profile ~offsets:gbsc_off in
+  let gbsc_layout = Runner.gbsc_layout r in
+  let warm_layout, warm_metric =
+    Anneal.place ~params ~init:gbsc_off config program profile
+  in
+  let cold_layout, cold_metric = Anneal.place ~params config program profile in
+  {
+    bench = r.Runner.shape.Trg_synth.Shape.name;
+    rows =
+      [
+        {
+          label = "GBSC (greedy)";
+          metric = gbsc_metric;
+          miss_rate = Runner.test_miss_rate r gbsc_layout;
+        };
+        {
+          label = "anneal, warm start from GBSC";
+          metric = warm_metric;
+          miss_rate = Runner.test_miss_rate r warm_layout;
+        };
+        {
+          label = "anneal, random start";
+          metric = cold_metric;
+          miss_rate = Runner.test_miss_rate r cold_layout;
+        };
+        {
+          label = "default layout";
+          metric = nan;
+          miss_rate = Runner.test_miss_rate r (Runner.default_layout r);
+        };
+      ];
+  }
+
+let print res =
+  Table.section
+    (Printf.sprintf "HEADROOM — greedy GBSC vs direct metric search (%s)" res.bench);
+  Table.print
+    ~header:[ "placement"; "TRG_place metric"; "test MR" ]
+    (List.map
+       (fun r ->
+         [
+           r.label;
+           (if Float.is_nan r.metric then "-" else Printf.sprintf "%.0f" r.metric);
+           Table.fmt_pct r.miss_rate;
+         ])
+       res.rows);
+  print_newline ()

@@ -1,0 +1,17 @@
+(** Headroom analysis: greedy GBSC vs direct metric optimisation.
+
+    Figure 6 shows the TRG_place metric tracks conflict misses almost
+    linearly, so the metric itself can be optimised by search.  This
+    experiment anneals the popular procedures' cache offsets — cold from a
+    random assignment, and warm-started from GBSC's own offsets — and
+    compares metric values and measured miss rates.  A small gap between
+    GBSC and the annealed results means the paper's greedy merge order
+    loses little against direct optimisation of its objective. *)
+
+type row = { label : string; metric : float; miss_rate : float }
+
+type result = { bench : string; rows : row list }
+
+val run : ?iterations:int -> Runner.t -> result
+
+val print : result -> unit

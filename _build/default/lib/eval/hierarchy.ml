@@ -1,0 +1,58 @@
+module Table = Trg_util.Table
+module Config = Trg_cache.Config
+module Sim = Trg_cache.Sim
+module Gbsc = Trg_place.Gbsc
+
+type row = { label : string; l1_mr : float; l2_mr : float; amat : float }
+
+type result = { bench : string; rows : row list }
+
+let l1_config = Config.make ~size:8192 ~line_size:32 ~assoc:1
+
+let l2_config = Config.make ~size:65536 ~line_size:64 ~assoc:4
+
+let run (r : Runner.t) =
+  let program = Runner.program r in
+  let row label layout =
+    let h =
+      Sim.simulate_hierarchy program layout ~l1:l1_config ~l2:l2_config r.Runner.test
+    in
+    {
+      label;
+      l1_mr = Sim.miss_rate h.Sim.l1;
+      l2_mr = Sim.miss_rate h.Sim.l2;
+      amat = h.Sim.amat;
+    }
+  in
+  (* GBSC re-targeted at the L2 geometry. *)
+  let config_l2 = Gbsc.default_config ~cache:l2_config () in
+  let gbsc_l2 =
+    Gbsc.place program (Gbsc.profile config_l2 program r.Runner.train)
+  in
+  {
+    bench = r.Runner.shape.Trg_synth.Shape.name;
+    rows =
+      [
+        row "default layout" (Runner.default_layout r);
+        row "GBSC targeting L1 (8K DM)" (Runner.gbsc_layout r);
+        row "GBSC targeting L2 (64K 4-way)" gbsc_l2;
+      ];
+  }
+
+let print res =
+  Table.section
+    (Printf.sprintf
+       "MEMORY HIERARCHY — 8K-DM L1 + 64K/4-way L2 (%s; conclusion's outlook)"
+       res.bench);
+  Table.print
+    ~header:[ "layout"; "L1 MR"; "L2 local MR"; "AMAT (cycles)" ]
+    (List.map
+       (fun r ->
+         [
+           r.label;
+           Table.fmt_pct r.l1_mr;
+           Table.fmt_pct r.l2_mr;
+           Table.fmt_float ~decimals:3 r.amat;
+         ])
+       res.rows);
+  print_newline ()

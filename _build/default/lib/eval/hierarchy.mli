@@ -1,0 +1,23 @@
+(** Layout effects through a two-level cache hierarchy (the conclusion's
+    "other layers of the memory hierarchy").
+
+    An 8 KB direct-mapped L1 backed by a 64 KB 4-way L2 with 64-byte
+    lines.  Compares the default layout, GBSC targeting the L1, and GBSC
+    targeting the L2 geometry, reporting L1/L2 miss rates and the average
+    access time (1 / 10 / 100 cycle latencies).  Expected: L1-targeted
+    placement also removes L2 conflict misses (spatially compacted hot
+    code), and targeting the L2 instead sacrifices L1 behaviour for
+    little L2 gain. *)
+
+type row = {
+  label : string;
+  l1_mr : float;
+  l2_mr : float;  (** local miss rate of the L2 *)
+  amat : float;
+}
+
+type result = { bench : string; rows : row list }
+
+val run : Runner.t -> result
+
+val print : result -> unit

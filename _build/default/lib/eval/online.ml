@@ -1,0 +1,78 @@
+module Table = Trg_util.Table
+module Graph = Trg_profile.Graph
+module Online = Trg_profile.Online
+module Popularity = Trg_profile.Popularity
+module Trg = Trg_profile.Trg
+module Gbsc = Trg_place.Gbsc
+module Cost = Trg_place.Cost
+module Walker = Trg_synth.Walker
+module Gen = Trg_synth.Gen
+
+type result = {
+  bench : string;
+  offline_select_edges : int;
+  online_select_edges : int;
+  offline_place_edges : int;
+  online_place_edges : int;
+  offline_mr : float;
+  online_mr : float;
+}
+
+let run (r : Runner.t) =
+  let program = Runner.program r in
+  let config = r.Runner.config in
+  let w = r.Runner.workload in
+  (* Online pass: same walker run, events consumed as they happen. *)
+  let profiler =
+    Online.create ~capacity_bytes:config.Gbsc.q_capacity program
+      r.Runner.prof.Gbsc.chunks
+  in
+  Walker.run_streaming w.Gen.program w.Gen.behavior w.Gen.shape.Trg_synth.Shape.train
+    ~f:(Online.observe profiler);
+  let snap = Online.finish profiler in
+  (* Popularity becomes known only now; filter the select graph for the
+     merge phase. *)
+  let popularity =
+    Popularity.select ~coverage:config.Gbsc.coverage ~min_refs:config.Gbsc.min_refs
+      program snap.Online.tstats
+  in
+  let online_select =
+    Graph.filter_nodes (Popularity.keep popularity) snap.Online.select.Trg.graph
+  in
+  let online_layout =
+    Gbsc.place_with config program ~select:online_select
+      ~model:
+        (Cost.Trg_chunks
+           { chunks = r.Runner.prof.Gbsc.chunks; trg = snap.Online.place.Trg.graph })
+  in
+  {
+    bench = r.Runner.shape.Trg_synth.Shape.name;
+    offline_select_edges = Graph.n_edges r.Runner.prof.Gbsc.select.Trg.graph;
+    online_select_edges = Graph.n_edges snap.Online.select.Trg.graph;
+    offline_place_edges = Graph.n_edges r.Runner.prof.Gbsc.place.Trg.graph;
+    online_place_edges = Graph.n_edges snap.Online.place.Trg.graph;
+    offline_mr = Runner.test_miss_rate r (Runner.gbsc_layout r);
+    online_mr = Runner.test_miss_rate r online_layout;
+  }
+
+let print res =
+  Table.section
+    (Printf.sprintf "ONLINE PROFILING — Section 4.4 instrumentation mode (%s)"
+       res.bench);
+  Table.print
+    ~header:[ "pipeline"; "TRG_select edges"; "TRG_place edges"; "GBSC test MR" ]
+    [
+      [
+        "offline (stored trace, popular-filtered)";
+        Table.fmt_int res.offline_select_edges;
+        Table.fmt_int res.offline_place_edges;
+        Table.fmt_pct res.offline_mr;
+      ];
+      [
+        "online (streaming, filtered at placement)";
+        Table.fmt_int res.online_select_edges;
+        Table.fmt_int res.online_place_edges;
+        Table.fmt_pct res.online_mr;
+      ];
+    ];
+  print_newline ()

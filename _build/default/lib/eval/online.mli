@@ -1,0 +1,21 @@
+(** Online vs offline profiling (Section 4.4).
+
+    The offline pipeline stores a trace and builds popularity-filtered
+    TRGs from it; the paper's instrumentation builds TRGs during
+    execution, when the popular set is not yet known.  This experiment
+    runs both against the same walker execution and compares graph sizes
+    and the resulting GBSC placements. *)
+
+type result = {
+  bench : string;
+  offline_select_edges : int;
+  online_select_edges : int;  (** unfiltered: includes unpopular procedures *)
+  offline_place_edges : int;
+  online_place_edges : int;
+  offline_mr : float;
+  online_mr : float;
+}
+
+val run : Runner.t -> result
+
+val print : result -> unit

@@ -1,0 +1,52 @@
+module Layout = Trg_program.Layout
+module Config = Trg_cache.Config
+module Table = Trg_util.Table
+module Gbsc = Trg_place.Gbsc
+
+type result = { bench : string; base_mr : float; padded_mr : float }
+
+let pad_layout program layout pad =
+  let order = Layout.order layout in
+  let addr = Layout.addresses layout in
+  Array.iteri (fun rank p -> addr.(p) <- addr.(p) + (rank * pad)) order;
+  Layout.of_addresses program addr
+
+let run ?pad (r : Runner.t) =
+  let pad =
+    match pad with Some p -> p | None -> r.Runner.config.Gbsc.cache.Config.line_size
+  in
+  let program = Runner.program r in
+  let base = Runner.gbsc_layout r in
+  let padded = pad_layout program base pad in
+  {
+    bench = r.Runner.shape.Trg_synth.Shape.name;
+    base_mr = Runner.test_miss_rate r base;
+    padded_mr = Runner.test_miss_rate r padded;
+  }
+
+let print_many results =
+  Table.section "SECTION 5.1 — layout fragility under 32B/procedure padding";
+  Table.print
+    ~header:[ "program"; "GBSC layout"; "padded"; "relative change" ]
+    (List.map
+       (fun res ->
+         [
+           res.bench;
+           Table.fmt_pct res.base_mr;
+           Table.fmt_pct res.padded_mr;
+           Printf.sprintf "%+.0f%%"
+             (100. *. ((res.padded_mr /. res.base_mr) -. 1.));
+         ])
+       results);
+  Printf.printf "(paper: 3.8%% -> 5.4%% on perl, +42%%)\n\n"
+
+let print res =
+  Table.section
+    (Printf.sprintf "SECTION 5.1 — layout fragility under padding (%s)" res.bench);
+  Table.print
+    ~header:[ "layout"; "miss rate" ]
+    [
+      [ "GBSC layout"; Table.fmt_pct res.base_mr ];
+      [ "GBSC + 32B padding per procedure"; Table.fmt_pct res.padded_mr ];
+    ];
+  Printf.printf "(paper: 3.8%% -> 5.4%% on perl)\n\n"

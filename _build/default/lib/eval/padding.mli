@@ -1,0 +1,21 @@
+(** Reproduction of the Section 5.1 fragility example.
+
+    The paper takes a good layout of [perl] and pads every procedure by one
+    cache line (32 bytes): the trivial change moved the miss rate from 3.8%
+    to 5.4%.  We reproduce the experiment by shifting each procedure of the
+    GBSC layout down by 32 bytes per preceding procedure, preserving order
+    and relative gaps. *)
+
+type result = {
+  bench : string;
+  base_mr : float;  (** GBSC layout *)
+  padded_mr : float;  (** same layout + 32 bytes of padding per procedure *)
+}
+
+val run : ?pad:int -> Runner.t -> result
+(** [pad] defaults to one cache line of the prepared configuration. *)
+
+val print : result -> unit
+
+val print_many : result list -> unit
+(** One table, one row per benchmark. *)

@@ -1,0 +1,77 @@
+module Table = Trg_util.Table
+module Sim = Trg_cache.Sim
+module Gbsc = Trg_place.Gbsc
+
+type row = {
+  label : string;
+  miss_rate : float;
+  pages_touched : int;
+  faults_tight : int;
+  faults_roomy : int;
+}
+
+type result = {
+  bench : string;
+  page_size : int;
+  tight_frames : int;
+  roomy_frames : int;
+  rows : row list;
+}
+
+let run ?(page_size = 4096) ?(tight_frames = 16) (r : Runner.t) =
+  let program = Runner.program r in
+  let roomy_frames = 2 * tight_frames in
+  let row label layout =
+    let tight =
+      Sim.paging program layout ~page_size ~frames:tight_frames r.Runner.test
+    in
+    let roomy =
+      Sim.paging program layout ~page_size ~frames:roomy_frames r.Runner.test
+    in
+    {
+      label;
+      miss_rate = Runner.test_miss_rate r layout;
+      pages_touched = tight.Sim.pages_touched;
+      faults_tight = tight.Sim.page_faults;
+      faults_roomy = roomy.Sim.page_faults;
+    }
+  in
+  {
+    bench = r.Runner.shape.Trg_synth.Shape.name;
+    page_size;
+    tight_frames;
+    roomy_frames;
+    rows =
+      [
+        row "default layout" (Runner.default_layout r);
+        row "GBSC" (Runner.gbsc_layout r);
+        row "GBSC, page-affinity linearisation"
+          (Gbsc.place_paged program r.Runner.prof);
+      ];
+  }
+
+let print res =
+  Table.section
+    (Printf.sprintf
+       "PAGE LOCALITY — Section 4.3 linearisation variant (%s, %d B pages)"
+       res.bench res.page_size);
+  Table.print
+    ~header:
+      [
+        "layout";
+        "I-cache MR";
+        "pages touched";
+        Printf.sprintf "faults@%d frames" res.tight_frames;
+        Printf.sprintf "faults@%d frames" res.roomy_frames;
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.label;
+           Table.fmt_pct r.miss_rate;
+           string_of_int r.pages_touched;
+           Table.fmt_int r.faults_tight;
+           Table.fmt_int r.faults_roomy;
+         ])
+       res.rows);
+  print_newline ()

@@ -1,0 +1,31 @@
+(** Page-locality variant of the final linearisation (Section 4.3:
+    "it is possible to alter the algorithm described below to select a
+    linear ordering of procedures that reduces paging problems").
+
+    Compares the default layout, standard GBSC, and GBSC with
+    affinity-biased linearisation ({!Trg_place.Gbsc.place_paged}) on both
+    the instruction cache and a small LRU-managed code-page working set.
+    The paged variant must preserve cache behaviour (identical alignments)
+    while reducing page faults. *)
+
+type row = {
+  label : string;
+  miss_rate : float;
+  pages_touched : int;
+  faults_tight : int;  (** LRU faults with a tight frame budget *)
+  faults_roomy : int;  (** LRU faults with twice that budget *)
+}
+
+type result = {
+  bench : string;
+  page_size : int;
+  tight_frames : int;
+  roomy_frames : int;
+  rows : row list;
+}
+
+val run : ?page_size:int -> ?tight_frames:int -> Runner.t -> result
+(** Defaults: 4 KB pages; the tight budget is 16 frames (64 KB resident),
+    the roomy budget twice that. *)
+
+val print : result -> unit

@@ -1,0 +1,124 @@
+module Shape = Trg_synth.Shape
+module Bench = Trg_synth.Bench
+
+type options = {
+  runs : int;
+  fig6_points : int;
+  benches : Shape.t list;
+  print_cdf : bool;
+  print_points : bool;
+}
+
+let default_options =
+  {
+    runs = 40;
+    fig6_points = 80;
+    benches = Bench.all;
+    print_cdf = true;
+    print_points = true;
+  }
+
+let quick_options =
+  {
+    runs = 8;
+    fig6_points = 20;
+    benches = [ Bench.find "small" ];
+    print_cdf = false;
+    print_points = false;
+  }
+
+(* Prepared runners are cached per shape so [all] prepares each benchmark
+   once across experiments. *)
+let cache : (string, Runner.t) Hashtbl.t = Hashtbl.create 8
+
+let runner shape =
+  let name = shape.Shape.name in
+  match Hashtbl.find_opt cache name with
+  | Some r -> r
+  | None ->
+    let r = Runner.prepare shape in
+    Hashtbl.add cache name r;
+    r
+
+let pick options preferred =
+  let by_name name = List.find_opt (fun s -> s.Shape.name = name) options.benches in
+  match by_name preferred with
+  | Some s -> s
+  | None -> (
+    match options.benches with
+    | s :: _ -> s
+    | [] -> invalid_arg "Report: no benchmarks selected")
+
+let table1 options =
+  let rows = List.map (fun s -> Table1.row_of (runner s)) options.benches in
+  Table1.print rows
+
+let characterize options =
+  Charact.print (List.map (fun s -> Charact.row_of (runner s)) options.benches)
+
+let figure5 options =
+  List.iter
+    (fun s ->
+      let result = Figure5.run ~runs:options.runs (runner s) in
+      Figure5.print ~cdf:options.print_cdf result)
+    options.benches
+
+let figure6 options =
+  let shape = pick options "go" in
+  Figure6.print ~points:options.print_points
+    (Figure6.run ~n:options.fig6_points (runner shape))
+
+let padding options =
+  Padding.print_many
+    (List.map (fun shape -> Padding.run (runner shape)) options.benches)
+
+let setassoc _options = Setassoc.print (Setassoc.run (Bench.find "small"))
+
+let ablation options =
+  let shape = pick options "small" in
+  Ablation.print (Ablation.run (runner shape))
+
+let splitting options =
+  List.iter (fun shape -> Splitting.print (Splitting.run (runner shape))) options.benches
+
+let paging options =
+  List.iter (fun shape -> Paging.print (Paging.run (runner shape))) options.benches
+
+let sampling options =
+  let shape = pick options "gcc" in
+  Sampling.print (Sampling.run (runner shape))
+
+let blocks options =
+  List.iter (fun shape -> Blocks.print (Blocks.run (runner shape))) options.benches
+
+let online options =
+  let shape = pick options "perl" in
+  Online.print (Online.run (runner shape))
+
+let headroom options =
+  let shape = pick options "go" in
+  Headroom.print (Headroom.run (runner shape))
+
+let hierarchy options =
+  List.iter (fun shape -> Hierarchy.print (Hierarchy.run (runner shape))) options.benches
+
+let sweep options =
+  let shape = pick options "go" in
+  Sweep.print (Sweep.run shape)
+
+let all options =
+  table1 options;
+  characterize options;
+  figure5 options;
+  figure6 options;
+  padding options;
+  setassoc options;
+  ablation options;
+  splitting options;
+  paging options;
+  sampling options;
+  blocks options;
+  online options;
+  headroom options;
+  hierarchy options;
+  sweep options

@@ -1,0 +1,66 @@
+(** Top-level experiment orchestration: regenerate every table and figure.
+
+    Used by [bench/main.exe] (the full reproduction run) and the [trgplace]
+    CLI.  All entry points print their results to stdout as ASCII tables
+    mirroring the paper's presentation. *)
+
+type options = {
+  runs : int;  (** Figure 5 perturbed placements per algorithm *)
+  fig6_points : int;  (** Figure 6 randomized layouts *)
+  benches : Trg_synth.Shape.t list;  (** benchmarks to evaluate *)
+  print_cdf : bool;  (** print full Figure 5 CDFs *)
+  print_points : bool;  (** print full Figure 6 point sets *)
+}
+
+val default_options : options
+(** Paper-faithful: 40 runs, 80 points, all six benchmarks. *)
+
+val quick_options : options
+(** Small and fast: 8 runs, 20 points, the [small] workload only. *)
+
+val table1 : options -> unit
+
+val characterize : options -> unit
+(** Reuse-distance characterisation of every selected benchmark. *)
+
+val figure5 : options -> unit
+
+val figure6 : options -> unit
+(** Runs on [go] (as in the paper) when it is among the selected
+    benchmarks, otherwise on the first selected benchmark. *)
+
+val padding : options -> unit
+(** Runs on [perl] when selected, otherwise on the first benchmark. *)
+
+val setassoc : options -> unit
+(** Runs on the [small] workload (pair databases are quadratic in Q). *)
+
+val ablation : options -> unit
+(** Runs on the first selected benchmark. *)
+
+val splitting : options -> unit
+(** Procedure splitting + GBSC on every selected benchmark. *)
+
+val paging : options -> unit
+(** Page-locality comparison on every selected benchmark. *)
+
+val sampling : options -> unit
+(** Sampled-profile quality study on the first selected benchmark. *)
+
+val blocks : options -> unit
+(** Intra-procedure block reordering on every selected benchmark. *)
+
+val online : options -> unit
+(** Online-vs-offline profiling comparison on the first selected benchmark. *)
+
+val headroom : options -> unit
+(** Greedy-vs-annealed comparison on the first selected benchmark. *)
+
+val hierarchy : options -> unit
+(** Two-level hierarchy study on every selected benchmark. *)
+
+val sweep : options -> unit
+(** Cache-size sweep on [go] when selected, else the first benchmark. *)
+
+val all : options -> unit
+(** Every experiment in paper order, followed by the sweep. *)

@@ -1,0 +1,52 @@
+module Shape = Trg_synth.Shape
+module Gen = Trg_synth.Gen
+module Trace = Trg_trace.Trace
+module Layout = Trg_program.Layout
+module Sim = Trg_cache.Sim
+module Gbsc = Trg_place.Gbsc
+module Ph = Trg_place.Ph
+module Hkc = Trg_place.Hkc
+module Wcg = Trg_profile.Wcg
+
+type t = {
+  shape : Shape.t;
+  workload : Gen.workload;
+  train : Trace.t;
+  test : Trace.t;
+  config : Gbsc.config;
+  prof : Gbsc.profile;
+  wcg : Trg_profile.Graph.t;
+}
+
+let prepare ?config shape =
+  let config = match config with Some c -> c | None -> Gbsc.default_config () in
+  let workload = Gen.generate shape in
+  let train = Gen.train_trace workload in
+  let test = Gen.test_trace workload in
+  let prof = Gbsc.profile config workload.Gen.program train in
+  let wcg = Wcg.build train in
+  { shape; workload; train; test; config; prof; wcg }
+
+let program t = t.workload.Gen.program
+
+let miss_rate_on t cache layout trace =
+  Sim.miss_rate (Sim.simulate (program t) layout cache trace)
+
+let test_miss_rate t layout = miss_rate_on t t.config.Gbsc.cache layout t.test
+
+let train_miss_rate t layout = miss_rate_on t t.config.Gbsc.cache layout t.train
+
+let default_layout t = Layout.default (program t)
+
+let gbsc_layout t = Gbsc.place (program t) t.prof
+
+let ph_layout t = Ph.place ~wcg:t.wcg (program t)
+
+let hkc_layout t =
+  Hkc.place t.config (program t) ~wcg:t.wcg ~popularity:t.prof.Gbsc.popularity
+
+let torrellas_layout t =
+  Trg_place.Torrellas.place t.config (program t)
+    ~popularity:t.prof.Gbsc.popularity
+
+let hwu_chang_layout t = Trg_place.Hwu_chang.place ~wcg:t.wcg (program t)

@@ -1,0 +1,43 @@
+(** Shared experiment context: one prepared benchmark.
+
+    Preparing a benchmark generates the program, walks the training and
+    testing traces, builds the GBSC profile (popularity, TRG_select,
+    TRG_place) and the weighted call graph — everything the individual
+    experiments consume.  Preparation is deterministic. *)
+
+type t = {
+  shape : Trg_synth.Shape.t;
+  workload : Trg_synth.Gen.workload;
+  train : Trg_trace.Trace.t;
+  test : Trg_trace.Trace.t;
+  config : Trg_place.Gbsc.config;
+  prof : Trg_place.Gbsc.profile;  (** built from the training trace *)
+  wcg : Trg_profile.Graph.t;  (** built from the training trace *)
+}
+
+val prepare : ?config:Trg_place.Gbsc.config -> Trg_synth.Shape.t -> t
+(** Default config: the paper's 8 KB direct-mapped operating point. *)
+
+val program : t -> Trg_program.Program.t
+
+val miss_rate_on :
+  t -> Trg_cache.Config.t -> Trg_program.Layout.t -> Trg_trace.Trace.t -> float
+
+val test_miss_rate : t -> Trg_program.Layout.t -> float
+(** Miss rate of a layout on the testing trace under the prepared cache. *)
+
+val train_miss_rate : t -> Trg_program.Layout.t -> float
+
+val default_layout : t -> Trg_program.Layout.t
+
+val gbsc_layout : t -> Trg_program.Layout.t
+
+val ph_layout : t -> Trg_program.Layout.t
+
+val hkc_layout : t -> Trg_program.Layout.t
+
+val torrellas_layout : t -> Trg_program.Layout.t
+(** The logical-cache baseline (paper Section 7 related work). *)
+
+val hwu_chang_layout : t -> Trg_program.Layout.t
+(** The DFS-proximity baseline (paper Section 7 related work). *)

@@ -1,0 +1,22 @@
+(** Sampled TRG construction (Section 4.4 practicality).
+
+    The paper's instrumented executables run ~25x slower than native; an
+    obvious mitigation is to profile only periodic windows of the
+    execution.  This experiment builds TRG_select/TRG_place from
+    1/1, 1/2, 1/4 and 1/8 of the training trace (contiguous windows spread
+    over the whole run), places with GBSC, and reports how much placement
+    quality survives the cheaper profile. *)
+
+type row = {
+  fraction : string;  (** e.g. "1/4" *)
+  events_used : int;
+  miss_rate : float;
+}
+
+type result = { bench : string; full_mr : float; default_mr : float; rows : row list }
+
+val run : ?window:int -> ?factors:int list -> Runner.t -> result
+(** [window] is the length of each profiled window in events (default
+    25,000); sampling factor [k] keeps one window in every [k]. *)
+
+val print : result -> unit

@@ -1,0 +1,28 @@
+(** Reproduction of the Section 6 extension: placement for 2-way
+    set-associative caches.
+
+    Compares, on a 2-way LRU cache of the same total size: the default
+    layout, PH, direct-mapped-targeted GBSC, and GBSC-SA (which replaces
+    TRG_place with the pair database D(p, {r, s}) and charges conflicts per
+    set).  The expected shape: associativity alone removes many conflicts,
+    and GBSC-SA is the best of the placement algorithms on the associative
+    cache. *)
+
+type row = { label : string; miss_rate : float }
+
+type section = { cache : Trg_cache.Config.t; rows : row list }
+
+type result = {
+  bench : string;
+  two_way : section;  (** pair-database extension, as in the paper *)
+  four_way : section;  (** tuple-database generalisation (arity 4) *)
+  sa_perturbed : float * float;
+      (** min/max GBSC-SA miss rate over perturbed pair databases *)
+}
+
+val run : ?max_between:int -> ?runs:int -> Trg_synth.Shape.t -> result
+(** Prepares the benchmark itself (it needs a 2-way configuration), so it
+    takes a shape rather than a prepared runner.  [max_between] bounds the
+    pair enumeration (default 32; see {!Trg_profile.Pair_db}). *)
+
+val print : result -> unit

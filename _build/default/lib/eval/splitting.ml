@@ -1,0 +1,70 @@
+module Table = Trg_util.Table
+module Tstats = Trg_trace.Tstats
+module Chunk_counts = Trg_profile.Chunk_counts
+module Gbsc = Trg_place.Gbsc
+module Split = Trg_place.Split
+module Sim = Trg_cache.Sim
+
+type variant = {
+  cold_fraction : float;
+  n_split : int;
+  cold_bytes : int;
+  gbsc_split_mr : float;
+}
+
+type result = {
+  bench : string;
+  default_mr : float;
+  gbsc_mr : float;
+  variants : variant list;
+}
+
+let run ?(cold_fractions = [ 0.05; 0.30 ]) (r : Runner.t) =
+  let program = Runner.program r in
+  let chunks = r.Runner.prof.Gbsc.chunks in
+  let chunk_counts = Chunk_counts.compute chunks r.Runner.train in
+  let config = r.Runner.config in
+  let variant cold_fraction =
+    let split =
+      Split.split ~cold_fraction program chunks ~chunk_counts
+        ~enter_counts:r.Runner.prof.Gbsc.tstats.Tstats.enter_counts
+    in
+    let split_program = Split.program split in
+    let split_train = Split.remap_trace split r.Runner.train in
+    let split_test = Split.remap_trace split r.Runner.test in
+    let layout = Gbsc.run config split_program split_train in
+    {
+      cold_fraction;
+      n_split = Split.n_split split;
+      cold_bytes = Split.cold_bytes split;
+      gbsc_split_mr =
+        Sim.miss_rate (Sim.simulate split_program layout config.Gbsc.cache split_test);
+    }
+  in
+  {
+    bench = r.Runner.shape.Trg_synth.Shape.name;
+    default_mr = Runner.test_miss_rate r (Runner.default_layout r);
+    gbsc_mr = Runner.test_miss_rate r (Runner.gbsc_layout r);
+    variants = List.map variant cold_fractions;
+  }
+
+let print res =
+  Table.section
+    (Printf.sprintf "PROCEDURE SPLITTING + GBSC (%s) — paper conclusion" res.bench);
+  Table.print
+    ~header:[ "configuration"; "split procs"; "cold bytes"; "test MR" ]
+    ([
+       [ "default layout"; "-"; "-"; Table.fmt_pct res.default_mr ];
+       [ "GBSC, no splitting"; "-"; "-"; Table.fmt_pct res.gbsc_mr ];
+     ]
+    @ List.map
+        (fun v ->
+          [
+            Printf.sprintf "GBSC + splitting (cold < %.0f%% of activations)"
+              (100. *. v.cold_fraction);
+            string_of_int v.n_split;
+            Table.fmt_bytes v.cold_bytes;
+            Table.fmt_pct v.gbsc_split_mr;
+          ])
+        res.variants);
+  print_newline ()

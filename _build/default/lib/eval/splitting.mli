@@ -1,0 +1,30 @@
+(** Procedure splitting combined with placement (paper conclusion:
+    "procedure splitting ... [is] orthogonal to the problem of placing
+    whole procedures and can therefore be combined with our technique to
+    achieve further improvements").
+
+    Splits every procedure with cold chunks, rewrites the training and
+    testing traces onto the split program, and re-runs the GBSC pipeline
+    there.  Reported rows: the original program under its default and GBSC
+    layouts, and the split program under GBSC. *)
+
+type variant = {
+  cold_fraction : float;
+  n_split : int;  (** procedures that gained a cold part *)
+  cold_bytes : int;
+  gbsc_split_mr : float;
+}
+
+type result = {
+  bench : string;
+  default_mr : float;
+  gbsc_mr : float;
+  variants : variant list;
+}
+
+val run : ?cold_fractions:float list -> Runner.t -> result
+(** Default thresholds: 0.05 (near Pettis-Hansen's never-executed fluff)
+    and 0.30 (also separates the once-in-a-while paths the synthetic
+    workloads model as quarter-time code). *)
+
+val print : result -> unit

@@ -1,0 +1,50 @@
+module Config = Trg_cache.Config
+module Table = Trg_util.Table
+module Gbsc = Trg_place.Gbsc
+
+type row = {
+  cache_bytes : int;
+  default_mr : float;
+  torrellas_mr : float;
+  ph_mr : float;
+  hkc_mr : float;
+  gbsc_mr : float;
+}
+
+type result = { bench : string; rows : row list }
+
+let default_sizes = [ 4096; 8192; 16384; 32768 ]
+
+let run ?(sizes = default_sizes) shape =
+  let row cache_bytes =
+    let cache = Config.make ~size:cache_bytes ~line_size:32 ~assoc:1 in
+    let config = Gbsc.default_config ~cache () in
+    let r = Runner.prepare ~config shape in
+    {
+      cache_bytes;
+      default_mr = Runner.test_miss_rate r (Runner.default_layout r);
+      torrellas_mr = Runner.test_miss_rate r (Runner.torrellas_layout r);
+      ph_mr = Runner.test_miss_rate r (Runner.ph_layout r);
+      hkc_mr = Runner.test_miss_rate r (Runner.hkc_layout r);
+      gbsc_mr = Runner.test_miss_rate r (Runner.gbsc_layout r);
+    }
+  in
+  { bench = shape.Trg_synth.Shape.name; rows = List.map row sizes }
+
+let print res =
+  Table.section
+    (Printf.sprintf "CACHE-SIZE SWEEP — Section 5.2 robustness check (%s)" res.bench);
+  Table.print
+    ~header:[ "cache"; "default"; "Torrellas"; "PH"; "HKC"; "GBSC" ]
+    (List.map
+       (fun r ->
+         [
+           Table.fmt_bytes r.cache_bytes;
+           Table.fmt_pct r.default_mr;
+           Table.fmt_pct r.torrellas_mr;
+           Table.fmt_pct r.ph_mr;
+           Table.fmt_pct r.hkc_mr;
+           Table.fmt_pct r.gbsc_mr;
+         ])
+       res.rows);
+  print_newline ()

@@ -1,0 +1,26 @@
+(** Cache-size sweep (Section 5.2: "We also experimented with smaller
+    cache sizes and obtained similar results").
+
+    Re-runs the three placement algorithms against a range of cache sizes
+    (the Q bound, chunk filtering and placement geometry all follow the
+    cache), measuring each layout on the testing input under its target
+    cache.  The expected shape: the GBSC < HKC < PH < default ordering is
+    stable across sizes, and everything converges as the cache grows past
+    the popular working set. *)
+
+type row = {
+  cache_bytes : int;
+  default_mr : float;
+  torrellas_mr : float;
+  ph_mr : float;
+  hkc_mr : float;
+  gbsc_mr : float;
+}
+
+type result = { bench : string; rows : row list }
+
+val run : ?sizes:int list -> Trg_synth.Shape.t -> result
+(** Default sizes: 4 KB, 8 KB, 16 KB and 32 KB.  Prepares its own runners
+    (one per cache size). *)
+
+val print : result -> unit

@@ -1,0 +1,90 @@
+module Table = Trg_util.Table
+module Program = Trg_program.Program
+module Trace = Trg_trace.Trace
+module Gbsc = Trg_place.Gbsc
+module Popularity = Trg_profile.Popularity
+module Trg = Trg_profile.Trg
+module Qset = Trg_profile.Qset
+
+type row = {
+  name : string;
+  all_bytes : int;
+  all_count : int;
+  popular_bytes : int;
+  popular_count : int;
+  train_events : int;
+  test_events : int;
+  default_miss_rate : float;
+  avg_q : float;
+}
+
+let row_of (r : Runner.t) =
+  let program = Runner.program r in
+  {
+    name = r.Runner.shape.Trg_synth.Shape.name;
+    all_bytes = Program.total_size program;
+    all_count = Program.n_procs program;
+    popular_bytes = r.Runner.prof.Gbsc.popularity.Popularity.popular_bytes;
+    popular_count = Popularity.n_popular r.Runner.prof.Gbsc.popularity;
+    train_events = Trace.length r.Runner.train;
+    test_events = Trace.length r.Runner.test;
+    default_miss_rate = Runner.test_miss_rate r (Runner.default_layout r);
+    avg_q = r.Runner.prof.Gbsc.select.Trg.qstats.Qset.avg_entries;
+  }
+
+let paper_reference =
+  [
+    ("gcc", (2277, 2005, 351, 136, 0.0486, 11.8));
+    ("go", (590, 3221, 134, 112, 0.0334, 16.0));
+    ("ghostscript", (1817, 372, 104, 216, 0.0263, 18.7));
+    ("m88ksim", (549, 460, 21, 31, 0.0292, 8.5));
+    ("perl", (664, 271, 83, 36, 0.0419, 7.1));
+    ("vortex", (1073, 923, 117, 156, 0.0629, 26.4));
+  ]
+
+let print rows =
+  Table.section "TABLE 1 — Benchmark characteristics (measured | paper)";
+  let header =
+    [
+      "program";
+      "size";
+      "count";
+      "pop size";
+      "pop cnt";
+      "train len";
+      "test len";
+      "default MR";
+      "avg Q";
+    ]
+  in
+  let cells =
+    List.map
+      (fun r ->
+        let paper = List.assoc_opt r.name paper_reference in
+        let pair measured paperv = Printf.sprintf "%s | %s" measured paperv in
+        let pk, pc, qk, qc, mr, aq =
+          match paper with
+          | Some (a, b, c, d, e, f) ->
+            ( string_of_int a ^ " K",
+              string_of_int b,
+              string_of_int c ^ " K",
+              string_of_int d,
+              Table.fmt_pct e,
+              Table.fmt_float ~decimals:1 f )
+          | None -> ("-", "-", "-", "-", "-", "-")
+        in
+        [
+          r.name;
+          pair (Table.fmt_bytes r.all_bytes) pk;
+          pair (string_of_int r.all_count) pc;
+          pair (Table.fmt_bytes r.popular_bytes) qk;
+          pair (string_of_int r.popular_count) qc;
+          Table.fmt_int r.train_events;
+          Table.fmt_int r.test_events;
+          pair (Table.fmt_pct r.default_miss_rate) mr;
+          pair (Table.fmt_float ~decimals:1 r.avg_q) aq;
+        ])
+      rows
+  in
+  Table.print ~header cells;
+  print_newline ()

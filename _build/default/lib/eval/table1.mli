@@ -1,0 +1,27 @@
+(** Reproduction of Table 1: benchmark characteristics.
+
+    For each benchmark: static size and procedure count, popular-set size
+    and count, training/testing trace lengths, the miss rate of the default
+    layout, and the average Q population during TRG construction — printed
+    next to the values the paper reports for the original SPECint95 /
+    ghostscript workloads. *)
+
+type row = {
+  name : string;
+  all_bytes : int;
+  all_count : int;
+  popular_bytes : int;
+  popular_count : int;
+  train_events : int;
+  test_events : int;
+  default_miss_rate : float;
+  avg_q : float;
+}
+
+val row_of : Runner.t -> row
+
+val paper_reference : (string * (int * int * int * int * float * float)) list
+(** Per benchmark: (all KB, all count, popular KB, popular count, default
+    miss rate, average Q size) as printed in the paper's Table 1. *)
+
+val print : row list -> unit

@@ -1,0 +1,1 @@
+lib/profile/chunk_counts.ml: Array Trg_program Trg_trace

@@ -1,0 +1,1 @@
+lib/profile/chunk_counts.mli: Trg_program Trg_trace

@@ -1,0 +1,1 @@
+lib/profile/graph.ml: Array Buffer Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/profile/online.ml: Array Graph Qset Trg Trg_program Trg_trace

@@ -1,0 +1,1 @@
+lib/profile/online.mli: Trg Trg_program Trg_trace

@@ -1,0 +1,1 @@
+lib/profile/perturb.ml: Graph Pair_db Trg_util Tuple_db

@@ -1,0 +1,1 @@
+lib/profile/perturb.mli: Graph Pair_db Trg_util Tuple_db

@@ -1,0 +1,1 @@
+lib/profile/popularity.ml: Array List Trg_program Trg_trace

@@ -1,0 +1,1 @@
+lib/profile/popularity.mli: Trg_program Trg_trace

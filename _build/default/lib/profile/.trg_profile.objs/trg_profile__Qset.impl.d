@@ -1,0 +1,1 @@
+lib/profile/qset.ml: Hashtbl List

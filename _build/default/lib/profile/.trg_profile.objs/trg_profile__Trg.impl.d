@@ -1,0 +1,1 @@
+lib/profile/trg.ml: Graph Qset Trg_program Trg_trace

@@ -1,0 +1,1 @@
+lib/profile/trg.mli: Graph Qset Trg_program Trg_trace

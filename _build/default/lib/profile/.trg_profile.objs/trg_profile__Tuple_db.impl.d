@@ -1,0 +1,1 @@
+lib/profile/tuple_db.ml: Hashtbl List Qset Trg_program Trg_trace

@@ -1,0 +1,1 @@
+lib/profile/tuple_db.mli: Qset Trg_program Trg_trace

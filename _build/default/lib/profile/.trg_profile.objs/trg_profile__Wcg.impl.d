@@ -1,0 +1,1 @@
+lib/profile/wcg.ml: Graph Trg_trace

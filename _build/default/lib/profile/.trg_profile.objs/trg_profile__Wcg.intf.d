@@ -1,0 +1,1 @@
+lib/profile/wcg.mli: Graph Trg_trace

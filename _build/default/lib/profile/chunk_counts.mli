@@ -1,0 +1,10 @@
+(** Per-chunk dynamic reference counts.
+
+    Procedure splitting (Pettis & Hansen's "fluff" separation, which the
+    paper's conclusion lists as orthogonal to and combinable with GBSC)
+    needs to know which parts of each procedure actually execute; this is
+    the chunk-granularity execution profile that drives it. *)
+
+val compute : Trg_program.Chunk.t -> Trg_trace.Trace.t -> int array
+(** [compute chunks trace] returns, for every global chunk id, the number
+    of trace events that touched at least one byte of that chunk. *)

@@ -1,0 +1,135 @@
+let max_id = 1 lsl 24
+
+type t = {
+  weights : (int, float) Hashtbl.t; (* packed canonical (u, v) -> weight *)
+  adj : (int, int list ref) Hashtbl.t; (* node -> neighbor ids *)
+}
+
+let create ?(hint = 256) () =
+  { weights = Hashtbl.create hint; adj = Hashtbl.create hint }
+
+let check id =
+  if id < 0 || id >= max_id then
+    invalid_arg (Printf.sprintf "Graph: node id %d out of range" id)
+
+(* Canonical packed key: smaller id in the high bits. *)
+let key u v = if u < v then (u lsl 24) lor v else (v lsl 24) lor u
+
+let attach t u v =
+  match Hashtbl.find_opt t.adj u with
+  | Some l -> l := v :: !l
+  | None -> Hashtbl.add t.adj u (ref [ v ])
+
+let add_edge t u v w =
+  check u;
+  check v;
+  if u <> v then begin
+    let k = key u v in
+    match Hashtbl.find_opt t.weights k with
+    | Some old -> Hashtbl.replace t.weights k (old +. w)
+    | None ->
+      Hashtbl.add t.weights k w;
+      attach t u v;
+      attach t v u
+  end
+
+let set_edge t u v w =
+  check u;
+  check v;
+  if u <> v then begin
+    let k = key u v in
+    if not (Hashtbl.mem t.weights k) then begin
+      attach t u v;
+      attach t v u
+    end;
+    Hashtbl.replace t.weights k w
+  end
+
+let weight t u v =
+  if u = v then 0.
+  else match Hashtbl.find_opt t.weights (key u v) with Some w -> w | None -> 0.
+
+let mem_edge t u v = u <> v && Hashtbl.mem t.weights (key u v)
+
+let neighbors t u =
+  match Hashtbl.find_opt t.adj u with Some l -> !l | None -> []
+
+let degree t u = List.length (neighbors t u)
+
+let nodes t =
+  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.adj [] in
+  List.sort compare ids
+
+let n_nodes t = Hashtbl.length t.adj
+
+let n_edges t = Hashtbl.length t.weights
+
+let edges t =
+  let arr = Array.make (Hashtbl.length t.weights) (0, 0, 0.) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k w ->
+      arr.(!i) <- (k lsr 24, k land 0xFFFFFF, w);
+      incr i)
+    t.weights;
+  Array.sort compare arr;
+  arr
+
+let total_weight t = Hashtbl.fold (fun _ w acc -> acc +. w) t.weights 0.
+
+let iter_edges f t = Array.iter (fun (u, v, w) -> f u v w) (edges t)
+
+let copy t =
+  {
+    weights = Hashtbl.copy t.weights;
+    adj =
+      (let adj = Hashtbl.create (Hashtbl.length t.adj) in
+       Hashtbl.iter (fun u l -> Hashtbl.add adj u (ref !l)) t.adj;
+       adj);
+  }
+
+let map_weights f t =
+  let out = create ~hint:(Hashtbl.length t.weights) () in
+  iter_edges (fun u v w -> set_edge out u v (f u v w)) t;
+  out
+
+let filter_nodes keep t =
+  let out = create ~hint:(Hashtbl.length t.weights) () in
+  iter_edges (fun u v w -> if keep u && keep v then set_edge out u v w) t;
+  out
+
+let of_edges l =
+  let t = create () in
+  List.iter (fun (u, v, w) -> add_edge t u v w) l;
+  t
+
+let pp ?(name = string_of_int) ppf t =
+  iter_edges
+    (fun u v w -> Format.fprintf ppf "%s -- %s : %g@." (name u) (name v) w)
+    t
+
+let to_dot ?(name = string_of_int) ?(graph_name = "trg") ?(min_weight = 0.) t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" graph_name);
+  Buffer.add_string buf "  node [shape=box, fontsize=10];\n";
+  let max_w = ref 1. in
+  iter_edges (fun _ _ w -> if w > !max_w then max_w := w) t;
+  let mentioned = Hashtbl.create 64 in
+  iter_edges
+    (fun u v w ->
+      if w >= min_weight then begin
+        Hashtbl.replace mentioned u ();
+        Hashtbl.replace mentioned v ();
+        Buffer.add_string buf
+          (Printf.sprintf "  \"%s\" -- \"%s\" [label=\"%g\", penwidth=%.2f];\n"
+             (name u) (name v) w
+             (0.5 +. (3.5 *. w /. !max_w)))
+      end)
+    t;
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem mentioned n) then
+        Buffer.add_string buf (Printf.sprintf "  \"%s\";\n" (name n)))
+    (nodes t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,86 @@
+module Program = Trg_program.Program
+module Chunk = Trg_program.Chunk
+module Event = Trg_trace.Event
+module Tstats = Trg_trace.Tstats
+
+type t = {
+  program : Program.t;
+  chunks : Chunk.t;
+  select_graph : Graph.t;
+  select_q : Qset.t;
+  place_graph : Graph.t;
+  place_q : Qset.t;
+  mutable last_select : int;
+  mutable last_place : int;
+  enter_counts : int array;
+  ref_counts : int array;
+  mutable n_events : int;
+  mutable n_transitions : int;
+  mutable bytes : int;
+}
+
+let create ~capacity_bytes program chunks =
+  let n = Program.n_procs program in
+  {
+    program;
+    chunks;
+    select_graph = Graph.create ~hint:1024 ();
+    select_q = Qset.create ~capacity_bytes ~size_of:(Program.size program);
+    place_graph = Graph.create ~hint:4096 ();
+    place_q = Qset.create ~capacity_bytes ~size_of:(Chunk.size_of chunks);
+    last_select = -1;
+    last_place = -1;
+    enter_counts = Array.make n 0;
+    ref_counts = Array.make n 0;
+    n_events = 0;
+    n_transitions = 0;
+    bytes = 0;
+  }
+
+let observe t (e : Event.t) =
+  t.n_events <- t.n_events + 1;
+  t.ref_counts.(e.proc) <- t.ref_counts.(e.proc) + 1;
+  t.bytes <- t.bytes + e.len;
+  (match e.kind with
+  | Event.Enter ->
+    t.enter_counts.(e.proc) <- t.enter_counts.(e.proc) + 1;
+    t.n_transitions <- t.n_transitions + 1
+  | Event.Resume -> t.n_transitions <- t.n_transitions + 1
+  | Event.Run -> ());
+  (* Procedure-granularity TRG: consecutive duplicates collapse. *)
+  if e.proc <> t.last_select then begin
+    t.last_select <- e.proc;
+    ignore
+      (Qset.reference t.select_q e.proc ~between:(fun q ->
+           Graph.add_edge t.select_graph e.proc q 1.))
+  end;
+  (* Chunk-granularity TRG. *)
+  Chunk.iter_range t.chunks ~proc:e.proc ~offset:e.offset ~len:e.len (fun c ->
+      if c <> t.last_place then begin
+        t.last_place <- c;
+        ignore
+          (Qset.reference t.place_q c ~between:(fun q ->
+               Graph.add_edge t.place_graph c q 1.))
+      end)
+
+let events_seen t = t.n_events
+
+type snapshot = { tstats : Tstats.t; select : Trg.built; place : Trg.built }
+
+let finish t =
+  let n_procs_referenced =
+    Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 t.ref_counts
+  in
+  {
+    tstats =
+      {
+        Tstats.n_events = t.n_events;
+        n_transitions = t.n_transitions;
+        n_procs_referenced;
+        enter_counts = Array.copy t.enter_counts;
+        ref_counts = Array.copy t.ref_counts;
+        bytes_executed = t.bytes;
+      };
+    select = { Trg.graph = t.select_graph; qstats = Qset.stats t.select_q };
+    place = { Trg.graph = t.place_graph; qstats = Qset.stats t.place_q };
+  }

@@ -1,0 +1,55 @@
+(** The temporal-relationship database for set-associative caches
+    (Section 6).
+
+    For an A-way associative cache, a single intervening block cannot evict
+    a resident block; A distinct conflicting blocks are needed.  For the
+    2-way case the paper replaces TRG_place with a database [D] recording
+    the number of times a {e pair} of code blocks [{r, s}] appears between
+    two consecutive occurrences of a block [p]. *)
+
+type t
+
+type built = { db : t; qstats : Qset.stats }
+
+val create : unit -> t
+
+val add : t -> p:int -> r:int -> s:int -> float -> unit
+(** Accumulates weight on [D(p, {r, s})].  [r] and [s] are unordered and
+    must differ from each other and from [p]. *)
+
+val count : t -> p:int -> r:int -> s:int -> float
+(** 0 when the association was never recorded. *)
+
+val iter_p : t -> int -> (int -> int -> float -> unit) -> unit
+(** [iter_p t p f] applies [f r s w] to every recorded pair for [p]
+    (with [r < s]). *)
+
+val iter : t -> (int -> int -> int -> float -> unit) -> unit
+(** [iter t f] applies [f p r s w] to every association. *)
+
+val n_entries : t -> int
+(** Total number of (p, {r,s}) associations recorded. *)
+
+val build_stream :
+  capacity_bytes:int ->
+  size_of:(int -> int) ->
+  ?max_between:int ->
+  ((int -> unit) -> unit) ->
+  built
+(** Q-driven construction, mirroring {!Trg.build_stream}: when a reference
+    to [p] finds a previous occurrence in Q, every unordered pair of
+    distinct ids between the two occurrences increments [D(p, {r, s})].
+    Intervals longer than [max_between] ids (default 64) are truncated to
+    their most recent [max_between] members to bound the quadratic pair
+    enumeration; such long intervals are capacity-dominated and carry
+    little placement signal. *)
+
+val build_place :
+  ?keep:(int -> bool) ->
+  capacity_bytes:int ->
+  ?max_between:int ->
+  Trg_program.Chunk.t ->
+  Trg_trace.Trace.t ->
+  built
+(** Chunk-granularity database from a trace; [keep] filters on the owning
+    procedure. *)

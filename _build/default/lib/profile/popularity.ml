@@ -1,0 +1,50 @@
+module Program = Trg_program.Program
+module Tstats = Trg_trace.Tstats
+
+type t = { is_popular : bool array; ranked : int array; popular_bytes : int }
+
+let select ?(coverage = 0.99) ?(min_refs = 2) ?max_procs program (stats : Tstats.t) =
+  let n = Array.length stats.ref_counts in
+  let ids = Array.init n (fun i -> i) in
+  (* Most referenced first; ties by id for determinism. *)
+  Array.sort
+    (fun a b ->
+      match compare stats.ref_counts.(b) stats.ref_counts.(a) with
+      | 0 -> compare a b
+      | c -> c)
+    ids;
+  let total = Array.fold_left ( + ) 0 stats.ref_counts in
+  let target = coverage *. float_of_int total in
+  let limit = match max_procs with Some m -> m | None -> n in
+  let is_popular = Array.make n false in
+  let selected = ref [] in
+  let covered = ref 0 in
+  (try
+     Array.iter
+       (fun p ->
+         if
+           List.length !selected >= limit
+           || float_of_int !covered >= target
+           || stats.ref_counts.(p) < min_refs
+         then raise Exit;
+         is_popular.(p) <- true;
+         selected := p :: !selected;
+         covered := !covered + stats.ref_counts.(p))
+       ids
+   with Exit -> ());
+  let ranked = Array.of_list (List.rev !selected) in
+  let popular_bytes =
+    Array.fold_left (fun acc p -> acc + Program.size program p) 0 ranked
+  in
+  { is_popular; ranked; popular_bytes }
+
+let n_popular t = Array.length t.ranked
+
+let keep t p = t.is_popular.(p)
+
+let unpopular t =
+  let out = ref [] in
+  for p = Array.length t.is_popular - 1 downto 0 do
+    if not t.is_popular.(p) then out := p :: !out
+  done;
+  Array.of_list !out

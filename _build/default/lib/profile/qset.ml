@@ -1,0 +1,116 @@
+type node = {
+  id : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type stats = { avg_entries : float; max_entries : int; steps : int }
+
+type t = {
+  capacity_bytes : int;
+  size_of : int -> int;
+  index : (int, node) Hashtbl.t;
+  mutable head : node option; (* least recent *)
+  mutable tail : node option; (* most recent *)
+  mutable bytes : int;
+  mutable count : int;
+  mutable sum_len : int;
+  mutable max_len : int;
+  mutable steps : int;
+}
+
+let create ~capacity_bytes ~size_of =
+  if capacity_bytes <= 0 then invalid_arg "Qset.create: capacity must be positive";
+  {
+    capacity_bytes;
+    size_of;
+    index = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    bytes = 0;
+    count = 0;
+    sum_len = 0;
+    max_len = 0;
+    steps = 0;
+  }
+
+let append t id =
+  let node = { id; prev = t.tail; next = None } in
+  (match t.tail with
+  | Some old -> old.next <- Some node
+  | None -> t.head <- Some node);
+  t.tail <- Some node;
+  Hashtbl.replace t.index id node;
+  t.bytes <- t.bytes + t.size_of id;
+  t.count <- t.count + 1
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  t.bytes <- t.bytes - t.size_of node.id;
+  t.count <- t.count - 1
+
+let evict_while_allowed t =
+  let continue = ref true in
+  while !continue do
+    match t.head with
+    | Some oldest when t.count > 1 && t.bytes - t.size_of oldest.id >= t.capacity_bytes ->
+      unlink t oldest;
+      Hashtbl.remove t.index oldest.id
+    | Some _ | None -> continue := false
+  done
+
+let record_step t =
+  t.steps <- t.steps + 1;
+  t.sum_len <- t.sum_len + t.count;
+  if t.count > t.max_len then t.max_len <- t.count
+
+let reference t p ~between =
+  let result =
+    match Hashtbl.find_opt t.index p with
+    | Some old ->
+      (* Report every id referenced after the previous occurrence of p;
+         these become TRG edge increments e_{p,q}. *)
+      let cursor = ref old.next in
+      let continue = ref true in
+      while !continue do
+        match !cursor with
+        | Some n ->
+          between n.id;
+          cursor := n.next
+        | None -> continue := false
+      done;
+      unlink t old;
+      (* [index] entry for p is overwritten by [append] below. *)
+      append t p;
+      true
+    | None ->
+      append t p;
+      evict_while_allowed t;
+      false
+  in
+  record_step t;
+  result
+
+let members t =
+  let rec walk acc = function
+    | Some n -> walk (n.id :: acc) n.next
+    | None -> List.rev acc
+  in
+  walk [] t.head
+
+let length t = t.count
+
+let total_bytes t = t.bytes
+
+let stats t =
+  {
+    avg_entries =
+      (if t.steps = 0 then 0. else float_of_int t.sum_len /. float_of_int t.steps);
+    max_entries = t.max_len;
+    steps = t.steps;
+  }

@@ -1,0 +1,37 @@
+module Program = Trg_program.Program
+module Chunk = Trg_program.Chunk
+module Trace = Trg_trace.Trace
+module Event = Trg_trace.Event
+
+type built = { graph : Graph.t; qstats : Qset.stats }
+
+let default_chunk_size = 256
+
+let build_stream ~capacity_bytes ~size_of feed =
+  let graph = Graph.create ~hint:1024 () in
+  let q = Qset.create ~capacity_bytes ~size_of in
+  let last = ref (-1) in
+  let emit p =
+    if p <> !last then begin
+      last := p;
+      ignore (Qset.reference q p ~between:(fun inter -> Graph.add_edge graph p inter 1.))
+    end
+  in
+  feed emit;
+  { graph; qstats = Qset.stats q }
+
+let build_select ?(keep = fun _ -> true) ~capacity_bytes program trace =
+  let feed emit =
+    Trace.iter (fun (e : Event.t) -> if keep e.proc then emit e.proc) trace
+  in
+  build_stream ~capacity_bytes ~size_of:(Program.size program) feed
+
+let build_place ?(keep = fun _ -> true) ~capacity_bytes chunks trace =
+  let feed emit =
+    Trace.iter
+      (fun (e : Event.t) ->
+        if keep e.proc then
+          Chunk.iter_range chunks ~proc:e.proc ~offset:e.offset ~len:e.len emit)
+      trace
+  in
+  build_stream ~capacity_bytes ~size_of:(Chunk.size_of chunks) feed

@@ -1,0 +1,55 @@
+(** Generalised temporal-relationship database for A-way associative
+    caches (Section 6: "the implementation for other associativities
+    follows directly").
+
+    For an A-way LRU cache, a resident block [p] is evicted only when [A]
+    {e distinct} blocks mapping to its set intervene between consecutive
+    references.  [D(p, S)] therefore records, for sets [S] of exactly
+    [arity = A] distinct block ids, how often all of [S] appeared between
+    two consecutive occurrences of [p].  Arity 2 coincides with
+    {!Pair_db}. *)
+
+type t
+
+type built = { db : t; qstats : Qset.stats }
+
+val create : arity:int -> t
+(** [arity >= 1]. *)
+
+val arity : t -> int
+
+val add : t -> p:int -> ids:int list -> float -> unit
+(** [ids] must hold [arity] distinct ids, none equal to [p]; order is
+    irrelevant. *)
+
+val count : t -> p:int -> ids:int list -> float
+
+val iter_p : t -> int -> (int list -> float -> unit) -> unit
+(** The id list passed to the callback is sorted ascending. *)
+
+val iter : t -> (int -> int list -> float -> unit) -> unit
+(** [iter t f] applies [f p ids w] to every association. *)
+
+val n_entries : t -> int
+
+val build_stream :
+  arity:int ->
+  capacity_bytes:int ->
+  size_of:(int -> int) ->
+  ?max_between:int ->
+  ((int -> unit) -> unit) ->
+  built
+(** Q-driven construction: each re-reference of [p] enumerates all
+    [arity]-subsets of the (most recent [max_between]) intervening ids.
+    [max_between] defaults to 24 for arity 2, 12 for arity 3 and 10
+    beyond, to bound the binomial enumeration. *)
+
+val build_place :
+  ?keep:(int -> bool) ->
+  arity:int ->
+  capacity_bytes:int ->
+  ?max_between:int ->
+  Trg_program.Chunk.t ->
+  Trg_trace.Trace.t ->
+  built
+(** Chunk-granularity database from a trace. *)

@@ -1,0 +1,21 @@
+module Trace = Trg_trace.Trace
+module Event = Trg_trace.Event
+
+let build_with ~count_resume trace =
+  let g = Graph.create () in
+  let prev = ref (-1) in
+  Trace.iter
+    (fun (e : Event.t) ->
+      (match e.kind with
+      | Event.Enter -> if !prev >= 0 && !prev <> e.proc then Graph.add_edge g !prev e.proc 1.
+      | Event.Resume ->
+        if count_resume && !prev >= 0 && !prev <> e.proc then
+          Graph.add_edge g !prev e.proc 1.
+      | Event.Run -> ());
+      prev := e.proc)
+    trace;
+  g
+
+let build trace = build_with ~count_resume:true trace
+
+let call_counts trace = build_with ~count_resume:false trace

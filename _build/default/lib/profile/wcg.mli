@@ -1,0 +1,16 @@
+(** Weighted call graph construction (Section 2 of the paper).
+
+    Following the paper's implementation of PH, the edge weight between two
+    procedures is the total number of control-flow transitions (calls plus
+    returns) between them in the trace — exactly twice the call count of a
+    classic WCG, which does not change the placements produced. *)
+
+val build : Trg_trace.Trace.t -> Graph.t
+(** Nodes are procedure ids.  An [Enter] or [Resume] event whose procedure
+    differs from the previous event's procedure contributes 1 to the edge
+    between the two procedures. *)
+
+val call_counts : Trg_trace.Trace.t -> Graph.t
+(** Classic WCG: only [Enter] events are counted, giving call counts.
+    [build] is [call_counts] with every weight (approximately) doubled;
+    provided for tests and for the Figure 6 WCG-metric study. *)

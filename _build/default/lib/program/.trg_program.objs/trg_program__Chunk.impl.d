@@ -1,0 +1,1 @@
+lib/program/chunk.ml: Array Printf Program

@@ -1,0 +1,1 @@
+lib/program/chunk.mli: Program

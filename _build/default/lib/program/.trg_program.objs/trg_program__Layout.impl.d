@@ -1,0 +1,1 @@
+lib/program/layout.ml: Array Format Printf Program Trg_util

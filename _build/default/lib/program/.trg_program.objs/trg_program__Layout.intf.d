@@ -1,0 +1,1 @@
+lib/program/layout.mli: Format Program Trg_util

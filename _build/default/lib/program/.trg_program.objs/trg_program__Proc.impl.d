@@ -1,0 +1,1 @@
+lib/program/proc.ml: Format

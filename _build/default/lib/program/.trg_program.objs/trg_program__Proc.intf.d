@@ -1,0 +1,1 @@
+lib/program/proc.mli: Format

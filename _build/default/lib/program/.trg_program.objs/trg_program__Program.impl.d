@@ -1,0 +1,1 @@
+lib/program/program.ml: Array Hashtbl Printf Proc

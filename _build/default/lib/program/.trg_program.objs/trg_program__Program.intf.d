@@ -1,0 +1,1 @@
+lib/program/program.mli: Proc

@@ -1,0 +1,1 @@
+lib/program/serial.ml: Array Fun Layout Printf Proc Program Scanf

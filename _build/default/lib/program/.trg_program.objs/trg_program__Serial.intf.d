@@ -1,0 +1,1 @@
+lib/program/serial.mli: Layout Program

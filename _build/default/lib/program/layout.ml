@@ -1,0 +1,100 @@
+type t = { addr : int array; span : int }
+
+let round_up x align = if align <= 1 then x else (x + align - 1) / align * align
+
+let validate program addr =
+  let n = Array.length addr in
+  if n <> Program.n_procs program then
+    invalid_arg "Layout.of_addresses: address count does not match program";
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare addr.(a) addr.(b)) order;
+  Array.iteri
+    (fun i p ->
+      if addr.(p) < 0 then
+        invalid_arg (Printf.sprintf "Layout: negative address for proc %d" p);
+      if i > 0 then begin
+        let prev = order.(i - 1) in
+        let prev_end = addr.(prev) + Program.size program prev in
+        if addr.(p) < prev_end then
+          invalid_arg
+            (Printf.sprintf "Layout: procs %d and %d overlap (%d < %d)" prev p
+               addr.(p) prev_end)
+      end)
+    order;
+  match Array.length order with
+  | 0 -> 0
+  | n ->
+    let last = order.(n - 1) in
+    addr.(last) + Program.size program last
+
+let of_addresses program addr =
+  let addr = Array.copy addr in
+  let span = validate program addr in
+  { addr; span }
+
+let address t p = t.addr.(p)
+
+let addresses t = Array.copy t.addr
+
+let n_procs t = Array.length t.addr
+
+let span t = t.span
+
+let order t =
+  let ids = Array.init (Array.length t.addr) (fun i -> i) in
+  Array.sort (fun a b -> compare t.addr.(a) t.addr.(b)) ids;
+  ids
+
+let gap_bytes t program =
+  let used = Program.total_size program in
+  t.span - used
+
+let is_permutation n order =
+  Array.length order = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun p ->
+      if p < 0 || p >= n || seen.(p) then false
+      else begin
+        seen.(p) <- true;
+        true
+      end)
+    order
+
+let contiguous_with ?(align = 4) ~pad program order =
+  let n = Program.n_procs program in
+  if not (is_permutation n order) then
+    invalid_arg "Layout.contiguous: order is not a permutation of proc ids";
+  let addr = Array.make n 0 in
+  let cursor = ref 0 in
+  Array.iter
+    (fun p ->
+      cursor := round_up !cursor align;
+      addr.(p) <- !cursor;
+      cursor := !cursor + Program.size program p + pad)
+    order;
+  of_addresses program addr
+
+let contiguous ?align program order = contiguous_with ?align ~pad:0 program order
+
+let padded ?align ~pad program order =
+  if pad < 0 then invalid_arg "Layout.padded: negative padding";
+  contiguous_with ?align ~pad program order
+
+let default ?align program =
+  contiguous ?align program (Array.init (Program.n_procs program) (fun i -> i))
+
+let random rng ?align program =
+  let order = Array.init (Program.n_procs program) (fun i -> i) in
+  Trg_util.Prng.shuffle rng order;
+  contiguous ?align program order
+
+let cache_line_of t ~line_size ~n_lines p = t.addr.(p) / line_size mod n_lines
+
+let pp program ppf t =
+  Array.iter
+    (fun p ->
+      Format.fprintf ppf "0x%06x  %-20s %6d bytes@." t.addr.(p)
+        (Program.name program p) (Program.size program p))
+    (order t)

@@ -1,0 +1,8 @@
+type t = { id : int; name : string; size : int }
+
+let make ~id ~name ~size =
+  if size <= 0 then invalid_arg "Proc.make: size must be positive";
+  if id < 0 then invalid_arg "Proc.make: id must be non-negative";
+  { id; name; size }
+
+let pp ppf t = Format.fprintf ppf "%s#%d(%dB)" t.name t.id t.size

@@ -1,0 +1,15 @@
+(** A procedure: the unit of code placed by every algorithm in this
+    repository.  Procedures are identified by a dense integer id equal to
+    their index in the owning {!Program.t}; the id order is the "source
+    order" that defines the default layout. *)
+
+type t = {
+  id : int;  (** dense index within the program; also the source order *)
+  name : string;  (** diagnostic name, unique within a program *)
+  size : int;  (** code size in bytes, > 0 *)
+}
+
+val make : id:int -> name:string -> size:int -> t
+(** Validates [size > 0] and [id >= 0]. *)
+
+val pp : Format.formatter -> t -> unit

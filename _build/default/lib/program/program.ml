@@ -1,0 +1,45 @@
+type t = { procs : Proc.t array; total_size : int; by_name : (string, int) Hashtbl.t }
+
+let make procs =
+  Array.iteri
+    (fun i (p : Proc.t) ->
+      if p.id <> i then
+        invalid_arg
+          (Printf.sprintf "Program.make: proc %s has id %d at index %d" p.name p.id i))
+    procs;
+  let by_name = Hashtbl.create (Array.length procs) in
+  Array.iter
+    (fun (p : Proc.t) ->
+      if Hashtbl.mem by_name p.name then
+        invalid_arg ("Program.make: duplicate procedure name " ^ p.name);
+      Hashtbl.add by_name p.name p.id)
+    procs;
+  let total_size = Array.fold_left (fun acc (p : Proc.t) -> acc + p.size) 0 procs in
+  { procs; total_size; by_name }
+
+let of_sizes ?(name_prefix = "p") sizes =
+  make
+    (Array.mapi
+       (fun i size -> Proc.make ~id:i ~name:(name_prefix ^ string_of_int i) ~size)
+       sizes)
+
+let n_procs t = Array.length t.procs
+
+let proc t id =
+  if id < 0 || id >= Array.length t.procs then
+    invalid_arg (Printf.sprintf "Program.proc: id %d out of range" id);
+  t.procs.(id)
+
+let size t id = (proc t id).size
+
+let name t id = (proc t id).name
+
+let find_by_name t n = Hashtbl.find_opt t.by_name n
+
+let total_size t = t.total_size
+
+let procs t = Array.copy t.procs
+
+let iter f t = Array.iter f t.procs
+
+let fold f init t = Array.fold_left f init t.procs

@@ -1,0 +1,36 @@
+(** A static program: the array of procedures a trace refers to.
+
+    A [Program.t] is immutable; all placement algorithms treat it as
+    read-only metadata (procedure sizes and names). *)
+
+type t
+
+val make : Proc.t array -> t
+(** Validates that procedure ids are dense (proc [i] has id [i]) and names
+    are unique. *)
+
+val of_sizes : ?name_prefix:string -> int array -> t
+(** [of_sizes sizes] builds a program with one procedure per entry, named
+    ["p0"], ["p1"], ...  Convenient for tests and examples. *)
+
+val n_procs : t -> int
+
+val proc : t -> int -> Proc.t
+(** [proc t id].  Raises [Invalid_argument] if [id] is out of range. *)
+
+val size : t -> int -> int
+(** Code size in bytes of procedure [id]. *)
+
+val name : t -> int -> string
+
+val find_by_name : t -> string -> int option
+
+val total_size : t -> int
+(** Sum of all procedure sizes. *)
+
+val procs : t -> Proc.t array
+(** The underlying array (a defensive copy). *)
+
+val iter : (Proc.t -> unit) -> t -> unit
+
+val fold : ('a -> Proc.t -> 'a) -> 'a -> t -> 'a

@@ -1,0 +1,67 @@
+let program_magic = "trgplace-program"
+
+let layout_magic = "trgplace-layout"
+
+let version = 1
+
+let write_program oc program =
+  Printf.fprintf oc "%s %d %d\n" program_magic version (Program.n_procs program);
+  Program.iter
+    (fun (p : Proc.t) -> Printf.fprintf oc "%d %d %s\n" p.id p.size p.name)
+    program
+
+let parse_header ~magic line =
+  try
+    Scanf.sscanf line "%s %d %d" (fun m v n ->
+        if m <> magic then failwith ("Serial: bad magic, expected " ^ magic);
+        if v <> version then failwith "Serial: unsupported version";
+        n)
+  with Scanf.Scan_failure _ | End_of_file -> failwith "Serial: bad header"
+
+let read_program ic =
+  let n = parse_header ~magic:program_magic (input_line ic) in
+  let procs =
+    Array.init n (fun _ ->
+        let line = try input_line ic with End_of_file -> failwith "Serial: truncated program" in
+        try
+          Scanf.sscanf line "%d %d %s@\n" (fun id size name ->
+              Proc.make ~id ~name ~size)
+        with Scanf.Scan_failure _ | Invalid_argument _ ->
+          failwith ("Serial: bad procedure line: " ^ line))
+  in
+  Program.make procs
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let with_in path f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let save_program path program = with_out path (fun oc -> write_program oc program)
+
+let load_program path = with_in path read_program
+
+let write_layout oc layout =
+  Printf.fprintf oc "%s %d %d\n" layout_magic version (Layout.n_procs layout);
+  Array.iteri
+    (fun p addr -> Printf.fprintf oc "%d %d\n" p addr)
+    (Layout.addresses layout)
+
+let read_layout program ic =
+  let n = parse_header ~magic:layout_magic (input_line ic) in
+  if n <> Program.n_procs program then
+    failwith "Serial: layout does not match program";
+  let addr = Array.make n 0 in
+  for _ = 1 to n do
+    let line = try input_line ic with End_of_file -> failwith "Serial: truncated layout" in
+    try Scanf.sscanf line "%d %d" (fun p a -> addr.(p) <- a)
+    with Scanf.Scan_failure _ | Invalid_argument _ ->
+      failwith ("Serial: bad layout line: " ^ line)
+  done;
+  Layout.of_addresses program addr
+
+let save_layout path layout = with_out path (fun oc -> write_layout oc layout)
+
+let load_layout program path = with_in path (read_layout program)

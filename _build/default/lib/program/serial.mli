@@ -1,0 +1,29 @@
+(** Text serialisation of programs and layouts.
+
+    Together with {!Trg_trace.Io} this lets the profiling, placement and
+    simulation stages run as separate processes exchanging files — the way
+    the paper's ATOM + placement-tool + linker pipeline operated.
+
+    Program format: a [trgplace-program 1 <n>] header, then one
+    [<id> <size> <name>] line per procedure.  Layout format: a
+    [trgplace-layout 1 <n>] header, then one [<proc> <address>] line per
+    procedure. *)
+
+val write_program : out_channel -> Program.t -> unit
+
+val read_program : in_channel -> Program.t
+(** Raises [Failure] on malformed input. *)
+
+val save_program : string -> Program.t -> unit
+
+val load_program : string -> Program.t
+
+val write_layout : out_channel -> Layout.t -> unit
+
+val read_layout : Program.t -> in_channel -> Layout.t
+(** Validates against the program (procedure count, non-overlap).
+    Raises [Failure] or [Invalid_argument]. *)
+
+val save_layout : string -> Layout.t -> unit
+
+val load_layout : Program.t -> string -> Layout.t

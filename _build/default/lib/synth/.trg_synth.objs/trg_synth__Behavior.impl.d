@@ -1,0 +1,1 @@
+lib/synth/behavior.ml: Array Hashtbl List Printf Trg_program

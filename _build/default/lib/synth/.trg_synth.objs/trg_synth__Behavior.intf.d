@@ -1,0 +1,1 @@
+lib/synth/behavior.mli: Trg_program

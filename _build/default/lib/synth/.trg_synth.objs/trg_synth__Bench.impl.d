@@ -1,0 +1,1 @@
+lib/synth/bench.ml: List Shape Walker

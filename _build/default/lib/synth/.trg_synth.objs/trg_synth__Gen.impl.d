@@ -1,0 +1,1 @@
+lib/synth/gen.ml: Array Behavior List Printf Shape Trg_program Trg_util Walker

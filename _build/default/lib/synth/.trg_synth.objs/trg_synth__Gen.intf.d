@@ -1,0 +1,1 @@
+lib/synth/gen.mli: Behavior Shape Trg_program Trg_trace

@@ -1,0 +1,1 @@
+lib/synth/shape.ml: Printf Walker

@@ -1,0 +1,1 @@
+lib/synth/shape.mli: Walker

@@ -1,0 +1,1 @@
+lib/synth/toy.ml: List Trg_cache Trg_program Trg_trace

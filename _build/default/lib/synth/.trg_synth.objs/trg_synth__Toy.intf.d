@@ -1,0 +1,1 @@
+lib/synth/toy.mli: Trg_cache Trg_program Trg_trace

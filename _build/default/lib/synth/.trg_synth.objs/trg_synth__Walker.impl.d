@@ -1,0 +1,1 @@
+lib/synth/walker.ml: Array Behavior Float List Trg_trace Trg_util

@@ -1,0 +1,1 @@
+lib/synth/walker.mli: Behavior Trg_program Trg_trace

@@ -1,0 +1,68 @@
+type pattern = Round_robin | Blocked of int | Weighted of float
+
+type stmt =
+  | Block of { off : int; len : int }
+  | Call of { callee : int; prob : float }
+  | Loop of { lo : int; hi : int; body : stmt list }
+  | Select of { sid : int; callees : int array; pattern : pattern }
+
+type t = { bodies : stmt list array; n_selects : int }
+
+let rec check_stmt seen = function
+  | Block { off; len } ->
+    if off < 0 || len <= 0 then invalid_arg "Behavior: bad block range"
+  | Call { prob; _ } ->
+    if prob < 0. || prob > 1. then invalid_arg "Behavior: call prob out of [0,1]"
+  | Loop { lo; hi; body } ->
+    if lo < 0 || hi < lo then invalid_arg "Behavior: bad loop bounds";
+    List.iter (check_stmt seen) body
+  | Select { sid; callees; pattern } ->
+    if Array.length callees = 0 then invalid_arg "Behavior: empty selector";
+    (match pattern with
+    | Blocked n when n <= 0 -> invalid_arg "Behavior: Blocked run must be positive"
+    | Weighted s when s <= 0. -> invalid_arg "Behavior: Weighted exponent must be positive"
+    | Blocked _ | Weighted _ | Round_robin -> ());
+    if Hashtbl.mem seen sid then
+      invalid_arg (Printf.sprintf "Behavior: duplicate select sid %d" sid);
+    Hashtbl.add seen sid ()
+
+let make bodies =
+  let seen = Hashtbl.create 16 in
+  Array.iter (List.iter (check_stmt seen)) bodies;
+  let n_selects = Hashtbl.length seen in
+  Hashtbl.iter
+    (fun sid () ->
+      if sid < 0 || sid >= n_selects then
+        invalid_arg (Printf.sprintf "Behavior: select sids not dense (%d)" sid))
+    seen;
+  { bodies; n_selects }
+
+let validate_against program t =
+  let n = Trg_program.Program.n_procs program in
+  if Array.length t.bodies <> n then
+    invalid_arg "Behavior: body count does not match program";
+  let check_callee c =
+    if c < 0 || c >= n then invalid_arg (Printf.sprintf "Behavior: callee %d" c)
+  in
+  let rec check proc = function
+    | Block { off; len } ->
+      if off + len > Trg_program.Program.size program proc then
+        invalid_arg
+          (Printf.sprintf "Behavior: block [%d,%d) exceeds proc %d size" off
+             (off + len) proc)
+    | Call { callee; _ } -> check_callee callee
+    | Loop { body; _ } -> List.iter (check proc) body
+    | Select { callees; _ } -> Array.iter check_callee callees
+  in
+  Array.iteri (fun proc body -> List.iter (check proc) body) t.bodies
+
+let static_call_targets t proc =
+  let acc = ref [] in
+  let rec visit = function
+    | Block _ -> ()
+    | Call { callee; _ } -> acc := callee :: !acc
+    | Loop { body; _ } -> List.iter visit body
+    | Select { callees; _ } -> Array.iter (fun c -> acc := c :: !acc) callees
+  in
+  List.iter visit t.bodies.(proc);
+  List.sort_uniq compare !acc

@@ -1,0 +1,45 @@
+(** Dynamic behaviour scripts: one statement list per procedure.
+
+    A behaviour is the static description a {!Walker} interprets to emit a
+    trace.  It models the control structures that give real programs their
+    temporal texture: straight-line block runs, conditional calls, counted
+    loops, and {e selector} call sites that pick one of several sibling
+    callees per execution — alternating or blocked, exactly the two regimes
+    of the paper's Figure 1 example. *)
+
+type pattern =
+  | Round_robin
+      (** successive executions cycle through the callees (trace #1 style) *)
+  | Blocked of int
+      (** stay with one callee for N executions, then move on (trace #2) *)
+  | Weighted of float
+      (** Zipf-weighted random pick with the given exponent *)
+
+type stmt =
+  | Block of { off : int; len : int }
+      (** execute bytes [\[off, off+len)] of the current procedure *)
+  | Call of { callee : int; prob : float }
+      (** call [callee] with probability [prob] *)
+  | Loop of { lo : int; hi : int; body : stmt list }
+      (** execute [body] a uniform-random number of times in [\[lo, hi\]] *)
+  | Select of { sid : int; callees : int array; pattern : pattern }
+      (** call exactly one of [callees], chosen per [pattern]; [sid] is a
+          behaviour-unique site id carrying the walker's per-site state *)
+
+type t = {
+  bodies : stmt list array;  (** indexed by procedure id *)
+  n_selects : int;  (** number of [Select] sites; sids are [0..n-1] *)
+}
+
+val make : stmt list array -> t
+(** Assigns [sid]s are assumed already dense; validates that sids are
+    within range and unique, probabilities lie in [\[0,1\]], loop bounds are
+    ordered and non-negative, and selector callee arrays are non-empty. *)
+
+val validate_against : Trg_program.Program.t -> t -> unit
+(** Checks block ranges against procedure sizes and callee ids against the
+    program; raises [Invalid_argument] on any violation. *)
+
+val static_call_targets : t -> int -> int list
+(** All callees (conditional and selected) reachable from one procedure's
+    body — its static call-graph out-edges. *)

@@ -1,0 +1,212 @@
+let train_params ~seed ~events : Walker.params =
+  {
+    Walker.seed = (seed * 1000) + 1;
+    target_events = events;
+    loop_scale = 1.0;
+    select_flip = 0.;
+    call_dropout = 0.;
+    max_depth = 16;
+  }
+
+let test_params ?(loop_scale = 1.25) ?(select_flip = 0.10) ?(call_dropout = 0.06)
+    ~seed ~events () : Walker.params =
+  {
+    Walker.seed = (seed * 1000) + 2;
+    target_events = events;
+    loop_scale;
+    select_flip;
+    call_dropout;
+    max_depth = 16;
+  }
+
+let gcc : Shape.t =
+  let seed = 101 in
+  {
+    name = "gcc";
+    seed;
+    n_procs = 2005;
+    total_bytes = 2277 * 1024;
+    hot_bytes = 351 * 1024;
+    n_phases = 3;
+    drivers_per_phase = 5;
+    workers_per_driver = 6;
+    shared_libs = 15;
+    leaves = 12;
+    phase_iters = (3, 6);
+    ctrl_iters = (6, 14);
+    driver_iters = (14, 34);
+    worker_iters = (3, 8);
+    alternation = 0.55;
+    blocked_run = (4, 12);
+    lib_call_prob = 0.5;
+    leaf_call_prob = 0.4;
+    cold_call_prob = 0.012;
+    train = train_params ~seed ~events:1_100_000;
+    test = test_params ~seed ~events:1_200_000 ();
+  }
+
+let go : Shape.t =
+  let seed = 102 in
+  {
+    name = "go";
+    seed;
+    n_procs = 3221;
+    total_bytes = 590 * 1024;
+    hot_bytes = 134 * 1024;
+    n_phases = 3;
+    drivers_per_phase = 4;
+    workers_per_driver = 6;
+    shared_libs = 14;
+    leaves = 10;
+    phase_iters = (3, 6);
+    ctrl_iters = (6, 12);
+    driver_iters = (14, 34);
+    worker_iters = (3, 8);
+    alternation = 0.6;
+    blocked_run = (3, 10);
+    lib_call_prob = 0.55;
+    leaf_call_prob = 0.45;
+    cold_call_prob = 0.010;
+    train = train_params ~seed ~events:700_000;
+    test = test_params ~seed ~events:600_000 ();
+  }
+
+let ghostscript : Shape.t =
+  let seed = 103 in
+  {
+    name = "ghostscript";
+    seed;
+    n_procs = 372;
+    total_bytes = 1817 * 1024;
+    hot_bytes = 104 * 1024;
+    n_phases = 4;
+    drivers_per_phase = 6;
+    workers_per_driver = 6;
+    shared_libs = 25;
+    leaves = 18;
+    phase_iters = (2, 5);
+    ctrl_iters = (5, 12);
+    driver_iters = (12, 28);
+    worker_iters = (3, 7);
+    alternation = 0.5;
+    blocked_run = (4, 10);
+    lib_call_prob = 0.5;
+    leaf_call_prob = 0.4;
+    cold_call_prob = 0.015;
+    train = train_params ~seed ~events:1_200_000;
+    test = test_params ~seed ~events:1_200_000 ();
+  }
+
+let m88ksim : Shape.t =
+  let seed = 104 in
+  {
+    name = "m88ksim";
+    seed;
+    n_procs = 460;
+    total_bytes = 549 * 1024;
+    hot_bytes = 21 * 1024;
+    n_phases = 2;
+    drivers_per_phase = 3;
+    workers_per_driver = 3;
+    shared_libs = 3;
+    leaves = 1;
+    phase_iters = (4, 8);
+    ctrl_iters = (8, 16);
+    driver_iters = (16, 38);
+    worker_iters = (4, 10);
+    alternation = 0.5;
+    blocked_run = (4, 10);
+    lib_call_prob = 0.5;
+    leaf_call_prob = 0.4;
+    cold_call_prob = 0.02;
+    train = train_params ~seed ~events:1_000_000;
+    (* dcrand vs dhry: deliberately dissimilar inputs. *)
+    test =
+      test_params ~loop_scale:1.8 ~select_flip:0.5 ~call_dropout:0.3 ~seed
+        ~events:1_000_000 ();
+  }
+
+let perl : Shape.t =
+  let seed = 105 in
+  {
+    name = "perl";
+    seed;
+    n_procs = 271;
+    total_bytes = 664 * 1024;
+    hot_bytes = 83 * 1024;
+    n_phases = 2;
+    drivers_per_phase = 3;
+    workers_per_driver = 4;
+    shared_libs = 2;
+    leaves = 1;
+    phase_iters = (4, 8);
+    ctrl_iters = (8, 16);
+    driver_iters = (16, 38);
+    worker_iters = (4, 10);
+    alternation = 0.55;
+    blocked_run = (4, 12);
+    lib_call_prob = 0.45;
+    leaf_call_prob = 0.35;
+    cold_call_prob = 0.015;
+    train = train_params ~seed ~events:1_000_000;
+    test = test_params ~seed ~events:1_600_000 ();
+  }
+
+let vortex : Shape.t =
+  let seed = 106 in
+  {
+    name = "vortex";
+    seed;
+    n_procs = 923;
+    total_bytes = 1073 * 1024;
+    hot_bytes = 117 * 1024;
+    n_phases = 3;
+    drivers_per_phase = 6;
+    workers_per_driver = 6;
+    shared_libs = 16;
+    leaves = 10;
+    phase_iters = (2, 5);
+    ctrl_iters = (6, 12);
+    driver_iters = (12, 28);
+    worker_iters = (3, 8);
+    alternation = 0.55;
+    blocked_run = (4, 10);
+    lib_call_prob = 0.5;
+    leaf_call_prob = 0.4;
+    cold_call_prob = 0.012;
+    train = train_params ~seed ~events:900_000;
+    test = test_params ~seed ~events:1_400_000 ();
+  }
+
+let small : Shape.t =
+  let seed = 107 in
+  {
+    name = "small";
+    seed;
+    n_procs = 160;
+    total_bytes = 192 * 1024;
+    hot_bytes = 40 * 1024;
+    n_phases = 2;
+    drivers_per_phase = 3;
+    workers_per_driver = 3;
+    shared_libs = 4;
+    leaves = 3;
+    phase_iters = (2, 4);
+    ctrl_iters = (4, 8);
+    driver_iters = (10, 24);
+    worker_iters = (2, 6);
+    alternation = 0.5;
+    blocked_run = (3, 8);
+    lib_call_prob = 0.5;
+    leaf_call_prob = 0.4;
+    cold_call_prob = 0.02;
+    train = train_params ~seed ~events:200_000;
+    test = test_params ~seed ~events:200_000 ();
+  }
+
+let all = [ gcc; go; ghostscript; m88ksim; perl; vortex ]
+
+let names = List.map (fun (s : Shape.t) -> s.name) all
+
+let find name =
+  List.find (fun (s : Shape.t) -> s.Shape.name = name) (small :: all)

@@ -1,0 +1,25 @@
+(** The six benchmark workloads of the evaluation (Table 1).
+
+    Each shape is calibrated to the corresponding SPECint95/ghostscript row
+    of the paper's Table 1: procedure count, total code size, popular-set
+    size and count, and the ratio of training to testing trace length
+    (trace lengths themselves are scaled down ~30x so that the whole
+    evaluation runs in minutes; the popular-working-set-to-cache-size
+    ratio, which drives conflict-miss behaviour, is preserved).
+
+    The training and testing inputs differ in seed, loop scaling, selector
+    regime flips and cold-call dropout — [m88ksim]'s two inputs are made
+    deliberately dissimilar, mirroring the paper's remark that dcrand is a
+    poor training input for dhry. *)
+
+val all : Shape.t list
+(** gcc, go, ghostscript, m88ksim, perl, vortex — in Table 1 order. *)
+
+val find : string -> Shape.t
+(** Lookup by name.  Raises [Not_found]. *)
+
+val names : string list
+
+val small : Shape.t
+(** A miniature workload (a few hundred procedures, 200k-event traces) for
+    tests, examples and quick runs; not part of Table 1. *)

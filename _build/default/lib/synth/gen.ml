@@ -1,0 +1,343 @@
+module Prng = Trg_util.Prng
+module Proc = Trg_program.Proc
+module Program = Trg_program.Program
+
+type roles = {
+  main : int;
+  ctrls : int array;
+  drivers : int array;
+  workers : int array;
+  libs : int array;
+  leaves : int array;
+  cold : int array;
+}
+
+type workload = {
+  shape : Shape.t;
+  program : Program.t;
+  behavior : Behavior.t;
+  roles : roles;
+}
+
+(* Draw [n] log-normal sizes and rescale them to sum to [target]. *)
+let sizes_summing rng n target ~sigma ~lo ~hi =
+  if n = 0 then [||]
+  else begin
+    let raw = Array.init n (fun _ -> Prng.log_normal rng ~mu:0. ~sigma) in
+    let sum = Array.fold_left ( +. ) 0. raw in
+    let scale = float_of_int target /. sum in
+    Array.map
+      (fun r ->
+        let s = int_of_float (r *. scale) in
+        min hi (max lo s))
+      raw
+  end
+
+(* Deterministic block decomposition of a procedure: blocks spread over the
+   whole body so loops touch every chunk of large procedures. *)
+let blocks_of rng size =
+  let n = max 2 (min 40 (size / 96)) in
+  let stride = size / n in
+  Array.init n (fun i ->
+      let off = i * stride in
+      let cap = if i = n - 1 then size - off else stride in
+      let len = max 4 (min cap (16 + Prng.int rng 48)) in
+      (off, len))
+
+let generate (shape : Shape.t) =
+  Shape.validate shape;
+  let rng = Prng.create shape.seed in
+  let hot = Shape.hot_count shape in
+  let n_cold = shape.n_procs - hot in
+  let n_phases = shape.n_phases in
+  let n_drivers = n_phases * shape.drivers_per_phase in
+  let n_workers = n_drivers * shape.workers_per_driver in
+  (* Id assignment: main, ctrls, drivers, workers, libs, leaves, cold. *)
+  let main = 0 in
+  let ctrls = Array.init n_phases (fun i -> 1 + i) in
+  let base_d = 1 + n_phases in
+  let drivers = Array.init n_drivers (fun i -> base_d + i) in
+  let base_w = base_d + n_drivers in
+  let workers = Array.init n_workers (fun i -> base_w + i) in
+  let base_l = base_w + n_workers in
+  let libs = Array.init shape.shared_libs (fun i -> base_l + i) in
+  let base_f = base_l + shape.shared_libs in
+  let leaves = Array.init shape.leaves (fun i -> base_f + i) in
+  let base_c = base_f + shape.leaves in
+  let cold = Array.init n_cold (fun i -> base_c + i) in
+  let roles = { main; ctrls; drivers; workers; libs; leaves; cold } in
+  (* Sizes.  main and controllers are small dispatch routines; the rest of
+     the hot budget goes to drivers, workers, libraries and leaves. *)
+  let sizes = Array.make shape.n_procs 0 in
+  sizes.(main) <- 256 + Prng.int rng 256;
+  Array.iter (fun c -> sizes.(c) <- 192 + Prng.int rng 320) ctrls;
+  let fixed_hot = Array.fold_left (fun acc c -> acc + sizes.(c)) sizes.(main) ctrls in
+  let flex_ids = Array.concat [ drivers; workers; libs; leaves ] in
+  let flex_sizes =
+    sizes_summing rng (Array.length flex_ids)
+      (max (Array.length flex_ids * 96) (shape.hot_bytes - fixed_hot))
+      ~sigma:0.9 ~lo:96 ~hi:24576
+  in
+  Array.iteri (fun i p -> sizes.(p) <- flex_sizes.(i)) flex_ids;
+  let hot_actual = Array.fold_left ( + ) 0 sizes in
+  let cold_sizes =
+    sizes_summing rng n_cold
+      (max (n_cold * 64) (shape.total_bytes - hot_actual))
+      ~sigma:1.1 ~lo:64 ~hi:32768
+  in
+  Array.iteri (fun i p -> sizes.(p) <- cold_sizes.(i)) cold;
+  let name_of p =
+    if p = main then "main"
+    else if p < base_d then Printf.sprintf "ctrl%d" (p - 1)
+    else if p < base_w then Printf.sprintf "drv%d" (p - base_d)
+    else if p < base_l then Printf.sprintf "wrk%d" (p - base_w)
+    else if p < base_f then Printf.sprintf "lib%d" (p - base_l)
+    else if p < base_c then Printf.sprintf "leaf%d" (p - base_f)
+    else Printf.sprintf "cold%d" (p - base_c)
+  in
+  (* Per-procedure blocks. *)
+  let blocks = Array.init shape.n_procs (fun p -> blocks_of rng sizes.(p)) in
+  let blk p i =
+    let off, len = blocks.(p).(i mod Array.length blocks.(p)) in
+    Behavior.Block { off; len }
+  in
+  let last_blk p = blk p (Array.length blocks.(p) - 1) in
+  (* Middle blocks split between the loop body (executed repeatedly) and the
+     straight-line remainder (executed once per call). *)
+  let middles p =
+    let n = Array.length blocks.(p) in
+    let mids = if n <= 2 then [] else List.init (n - 2) (fun i -> i + 1) in
+    let rec split k = function
+      | [] -> ([], [])
+      | x :: rest ->
+        if k = 0 then ([], x :: rest)
+        else
+          let inside, outside = split (k - 1) rest in
+          (x :: inside, outside)
+    in
+    let in_loop = min 6 ((List.length mids + 1) / 2) in
+    let inside, outside = split in_loop mids in
+    (* The straight-line remainder models cold paths: each run of a few
+       blocks executes on roughly half the activations (Loop 0..1), so one
+       activation does not sweep the whole procedure. *)
+    let rec group_outside = function
+      | [] -> []
+      | l ->
+        let rec take k = function
+          | [] -> ([], [])
+          | x :: rest when k > 0 ->
+            let g, tl = take (k - 1) rest in
+            (x :: g, tl)
+          | rest -> ([], rest)
+        in
+        let g, tl = take 4 l in
+        Behavior.Loop
+          {
+            lo = 0;
+            hi = 1;
+            body = [ Behavior.Loop { lo = 0; hi = 1; body = List.map (blk p) g } ];
+          }
+        :: group_outside tl
+    in
+    (List.map (blk p) inside, group_outside outside)
+  in
+  let sid = ref 0 in
+  let fresh_sid () =
+    let s = !sid in
+    incr sid;
+    s
+  in
+  let bodies = Array.make shape.n_procs [] in
+  (* main: phases in sequence — blocked behaviour at the top level. *)
+  let plo, phi = shape.phase_iters in
+  bodies.(main) <-
+    (blk main 0
+    :: List.concat
+         (List.init n_phases (fun ph ->
+              [
+                Behavior.Loop
+                  {
+                    lo = plo;
+                    hi = phi;
+                    body = [ Behavior.Call { callee = ctrls.(ph); prob = 1.0 }; blk main (1 + ph) ];
+                  };
+              ])))
+    @ [ last_blk main ];
+  (* Controllers: Zipf-weighted driver dispatch. *)
+  let clo, chi = shape.ctrl_iters in
+  Array.iteri
+    (fun ph c ->
+      let phase_drivers =
+        Array.sub drivers (ph * shape.drivers_per_phase) shape.drivers_per_phase
+      in
+      bodies.(c) <-
+        [
+          blk c 0;
+          Behavior.Loop
+            {
+              lo = clo;
+              hi = chi;
+              body =
+                [
+                  Behavior.Select
+                    { sid = fresh_sid (); callees = phase_drivers; pattern = Behavior.Weighted 1.5 };
+                  blk c 1;
+                ];
+            };
+          last_blk c;
+        ])
+    ctrls;
+  (* Drivers: sibling workers dispatched round-robin or in blocks. *)
+  let dlo, dhi = shape.driver_iters in
+  let brlo, brhi = shape.blocked_run in
+  Array.iteri
+    (fun d drv ->
+      let my_workers =
+        Array.sub workers (d * shape.workers_per_driver) shape.workers_per_driver
+      in
+      let pattern =
+        if Prng.bernoulli rng shape.alternation then Behavior.Round_robin
+        else Behavior.Blocked (Prng.int_in rng brlo brhi)
+      in
+      let lib_a =
+        if Array.length libs > 0 then Some (Prng.choose rng libs) else None
+      in
+      let inside, outside = middles drv in
+      (* Drivers also carry a small hot loop of their own between worker
+         dispatches (argument marshalling, bookkeeping). *)
+      let core, rest =
+        match inside with a :: b :: tl -> ([ a; b ], tl) | l -> (l, [])
+      in
+      let core_loop =
+        if core = [] then [] else [ Behavior.Loop { lo = 3; hi = 10; body = core } ]
+      in
+      let loop_body =
+        [ Behavior.Select { sid = fresh_sid (); callees = my_workers; pattern } ]
+        @ core_loop @ rest
+        @
+        match lib_a with
+        | Some l -> [ Behavior.Call { callee = l; prob = shape.lib_call_prob } ]
+        | None -> []
+      in
+      bodies.(drv) <-
+        [ blk drv 0; Behavior.Loop { lo = dlo; hi = dhi; body = loop_body } ]
+        @ outside
+        @ [ last_blk drv ])
+    drivers;
+  (* Workers: most dynamic work happens in a tight hot core — a nested loop
+     over two or three adjacent blocks — which gives the trace the strong
+     short-range locality of real inner loops.  The rest of the body
+     (touched once per activation) spreads references over every chunk. *)
+  let wlo, whi = shape.worker_iters in
+  Array.iter
+    (fun w ->
+      let my_leaves =
+        if Array.length leaves = 0 then [||]
+        else Prng.sample rng leaves (min (1 + Prng.int rng 3) (Array.length leaves))
+      in
+      let cold_target =
+        if n_cold > 0 then Some (Prng.choose rng cold) else None
+      in
+      let inside, outside = middles w in
+      let core, rest =
+        match inside with
+        | a :: b :: c :: tl -> ([ a; b; c ], tl)
+        | l -> (l, [])
+      in
+      let core = if core = [] then [ blk w 0 ] else core in
+      let leaf_calls =
+        Array.to_list
+          (Array.map
+             (fun l -> Behavior.Call { callee = l; prob = shape.leaf_call_prob })
+             my_leaves)
+      in
+      let hot_core = Behavior.Loop { lo = 14; hi = 40; body = core } in
+      bodies.(w) <-
+        [
+          blk w 0;
+          Behavior.Loop { lo = wlo; hi = whi; body = (hot_core :: rest) @ leaf_calls };
+        ]
+        @ outside
+        @ (match cold_target with
+          | Some c -> [ Behavior.Call { callee = c; prob = shape.cold_call_prob } ]
+          | None -> [])
+        @ [ last_blk w ])
+    workers;
+  (* Shared libraries: small loops plus occasional leaf calls. *)
+  Array.iter
+    (fun l ->
+      let inside, outside = middles l in
+      let leaf_call =
+        if Array.length leaves > 0 then
+          [ Behavior.Call { callee = Prng.choose rng leaves; prob = 0.2 } ]
+        else []
+      in
+      let loop_body = if inside = [] then [ blk l 0 ] else inside in
+      bodies.(l) <-
+        [ blk l 0; Behavior.Loop { lo = 4; hi = 12; body = loop_body } ]
+        @ outside @ leaf_call
+        @ [ last_blk l ])
+    libs;
+  (* Leaves: straight-line code. *)
+  Array.iter
+    (fun f ->
+      let inside, outside = middles f in
+      bodies.(f) <- (blk f 0 :: inside) @ outside @ [ last_blk f ])
+    leaves;
+  (* Cold procedures: straight-line code with short call chains. *)
+  Array.iteri
+    (fun i c ->
+      let next =
+        if i + 1 < n_cold && Prng.bernoulli rng 0.5 then
+          [ Behavior.Call { callee = cold.(i + 1); prob = 0.3 } ]
+        else []
+      in
+      let inside, outside = middles c in
+      bodies.(c) <- (blk c 0 :: inside) @ next @ outside @ [ last_blk c ])
+    cold;
+  (* Relabel: shuffle procedure ids (main stays 0, where the walker starts)
+     so that source order — the default layout — is arbitrary with respect
+     to the dynamic structure, as it is for real programs. *)
+  let perm = Array.init shape.n_procs (fun i -> i) in
+  let tail = Array.sub perm 1 (shape.n_procs - 1) in
+  Prng.shuffle rng tail;
+  Array.blit tail 0 perm 1 (shape.n_procs - 1);
+  (* [perm.(i)] is the old id living at new id [i]; [new_of.(old)] inverts. *)
+  let new_of = Array.make shape.n_procs 0 in
+  Array.iteri (fun new_id old_id -> new_of.(old_id) <- new_id) perm;
+  let rec remap : Behavior.stmt -> Behavior.stmt = function
+    | Behavior.Block _ as b -> b
+    | Behavior.Call { callee; prob } -> Behavior.Call { callee = new_of.(callee); prob }
+    | Behavior.Loop { lo; hi; body } ->
+      Behavior.Loop { lo; hi; body = List.map remap body }
+    | Behavior.Select { sid; callees; pattern } ->
+      Behavior.Select { sid; callees = Array.map (fun c -> new_of.(c)) callees; pattern }
+  in
+  let program =
+    Program.make
+      (Array.init shape.n_procs (fun new_id ->
+           let old_id = perm.(new_id) in
+           Proc.make ~id:new_id ~name:(name_of old_id) ~size:sizes.(old_id)))
+  in
+  let bodies =
+    Array.init shape.n_procs (fun new_id -> List.map remap bodies.(perm.(new_id)))
+  in
+  let remap_ids a = Array.map (fun p -> new_of.(p)) a in
+  let roles =
+    {
+      main = new_of.(roles.main);
+      ctrls = remap_ids roles.ctrls;
+      drivers = remap_ids roles.drivers;
+      workers = remap_ids roles.workers;
+      libs = remap_ids roles.libs;
+      leaves = remap_ids roles.leaves;
+      cold = remap_ids roles.cold;
+    }
+  in
+  let behavior = Behavior.make bodies in
+  Behavior.validate_against program behavior;
+  { shape; program; behavior; roles }
+
+let train_trace w = Walker.run w.program w.behavior w.shape.Shape.train
+
+let test_trace w = Walker.run w.program w.behavior w.shape.Shape.test

@@ -1,0 +1,43 @@
+(** Synthetic program generation.
+
+    [generate] turns a {!Shape.t} into a concrete static program (procedure
+    sizes and names) plus a behaviour script, deterministically from the
+    shape's seed.  The generated structure:
+
+    - [main] iterates over the shape's phases in sequence (blocked top-level
+      behaviour);
+    - each phase controller dispatches its drivers through a Zipf-weighted
+      selector (some drivers are hotter than others);
+    - each driver dispatches its sibling workers round-robin or in blocks —
+      sibling interleaving that a WCG cannot see (the paper's Figure 1);
+    - workers loop over their own code (chunk reuse), call shared leaves,
+      and occasionally stray into cold procedures;
+    - cold procedures form short call chains and account for most of the
+      static code but almost none of the dynamic references. *)
+
+type roles = {
+  main : int;
+  ctrls : int array;
+  drivers : int array;  (** phase-major order *)
+  workers : int array;  (** driver-major order *)
+  libs : int array;
+  leaves : int array;
+  cold : int array;
+}
+
+type workload = {
+  shape : Shape.t;
+  program : Trg_program.Program.t;
+  behavior : Behavior.t;
+  roles : roles;
+}
+
+val generate : Shape.t -> workload
+(** Deterministic in [shape.seed].  The behaviour is validated against the
+    program before returning. *)
+
+val train_trace : workload -> Trg_trace.Trace.t
+(** Walk with the shape's training parameters. *)
+
+val test_trace : workload -> Trg_trace.Trace.t
+(** Walk with the shape's testing parameters. *)

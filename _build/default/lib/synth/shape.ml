@@ -1,0 +1,50 @@
+type t = {
+  name : string;
+  seed : int;
+  n_procs : int;
+  total_bytes : int;
+  hot_bytes : int;
+  n_phases : int;
+  drivers_per_phase : int;
+  workers_per_driver : int;
+  shared_libs : int;
+  leaves : int;
+  phase_iters : int * int;
+  ctrl_iters : int * int;
+  driver_iters : int * int;
+  worker_iters : int * int;
+  alternation : float;
+  blocked_run : int * int;
+  lib_call_prob : float;
+  leaf_call_prob : float;
+  cold_call_prob : float;
+  train : Walker.params;
+  test : Walker.params;
+}
+
+let hot_count t =
+  1
+  + t.n_phases
+  + (t.n_phases * t.drivers_per_phase)
+  + (t.n_phases * t.drivers_per_phase * t.workers_per_driver)
+  + t.shared_libs
+  + t.leaves
+
+let validate t =
+  if t.n_procs <= 0 then invalid_arg "Shape: n_procs must be positive";
+  if hot_count t > t.n_procs then
+    invalid_arg
+      (Printf.sprintf "Shape %s: structure needs %d procs but n_procs = %d" t.name
+         (hot_count t) t.n_procs);
+  if t.hot_bytes <= 0 || t.hot_bytes > t.total_bytes then
+    invalid_arg "Shape: hot_bytes must be in (0, total_bytes]";
+  if t.n_phases <= 0 || t.drivers_per_phase <= 0 || t.workers_per_driver <= 0 then
+    invalid_arg "Shape: phase structure must be positive";
+  if t.alternation < 0. || t.alternation > 1. then
+    invalid_arg "Shape: alternation out of [0,1]";
+  let ordered (lo, hi) = lo >= 0 && hi >= lo in
+  if
+    not
+      (ordered t.phase_iters && ordered t.ctrl_iters && ordered t.driver_iters
+     && ordered t.worker_iters && ordered t.blocked_run)
+  then invalid_arg "Shape: iteration ranges must be ordered and non-negative"

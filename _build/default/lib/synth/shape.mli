@@ -1,0 +1,41 @@
+(** Benchmark shape: every knob of a synthetic workload.
+
+    A shape describes both the static program (procedure population and
+    sizes) and its dynamic structure (phases, drivers, workers, shared
+    libraries, interleaving regimes), plus the walker parameters of the
+    training and testing inputs.  The six shapes in {!Bench} are calibrated
+    to the static/dynamic statistics of the paper's Table 1. *)
+
+type t = {
+  name : string;
+  seed : int;  (** program-generation seed *)
+  n_procs : int;
+  total_bytes : int;  (** target text-segment size *)
+  hot_bytes : int;  (** target combined size of the hot procedures *)
+  n_phases : int;  (** sequential program phases (blocked at top level) *)
+  drivers_per_phase : int;
+  workers_per_driver : int;
+  shared_libs : int;  (** utility procedures shared across phases *)
+  leaves : int;  (** small leaf helpers called from workers/libs *)
+  phase_iters : int * int;  (** iterations of each phase per main run *)
+  ctrl_iters : int * int;  (** driver dispatches per phase iteration *)
+  driver_iters : int * int;  (** worker dispatches per driver call *)
+  worker_iters : int * int;  (** inner-loop iterations per worker call *)
+  alternation : float;
+      (** probability that a driver dispatches its workers round-robin
+          (Figure 1 trace #1 regime) rather than in blocks (trace #2) *)
+  blocked_run : int * int;  (** run length for blocked dispatch *)
+  lib_call_prob : float;
+  leaf_call_prob : float;
+  cold_call_prob : float;  (** probability of straying into cold code *)
+  train : Walker.params;
+  test : Walker.params;
+}
+
+val hot_count : t -> int
+(** Number of hot (structurally popular) procedures implied by the phase /
+    driver / worker / library structure, including [main]. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] if the structure does not fit in [n_procs]
+    or any parameter is out of range. *)

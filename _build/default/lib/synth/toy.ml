@@ -1,0 +1,44 @@
+module Proc = Trg_program.Proc
+module Program = Trg_program.Program
+module Config = Trg_cache.Config
+module Trace = Trg_trace.Trace
+module Event = Trg_trace.Event
+
+let line = 32
+
+let m = 0
+let x = 1
+let y = 2
+let z = 3
+
+let program =
+  Program.make
+    [|
+      Proc.make ~id:m ~name:"M" ~size:line;
+      Proc.make ~id:x ~name:"X" ~size:line;
+      Proc.make ~id:y ~name:"Y" ~size:line;
+      Proc.make ~id:z ~name:"Z" ~size:line;
+    |]
+
+let cache = Config.make ~size:(3 * line) ~line_size:line ~assoc:1
+
+(* One whole-procedure reference. *)
+let ref_of kind proc = Event.make ~kind ~proc ~offset:0 ~len:line
+
+let trace_of_conditions conds =
+  let builder = Trace.Builder.create () in
+  Trace.Builder.add builder (ref_of Event.Enter m);
+  List.iter
+    (fun cond ->
+      Trace.Builder.add builder (ref_of Event.Enter (if cond then x else y));
+      Trace.Builder.add builder (ref_of Event.Resume m);
+      Trace.Builder.add builder (ref_of Event.Enter z);
+      Trace.Builder.add builder (ref_of Event.Resume m))
+    conds;
+  Trace.Builder.build builder
+
+let trace_alternating ?(iterations = 80) () =
+  trace_of_conditions (List.init iterations (fun i -> i mod 2 = 0))
+
+let trace_blocked ?(iterations = 80) () =
+  trace_of_conditions (List.init iterations (fun i -> i < iterations / 2))

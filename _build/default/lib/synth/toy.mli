@@ -1,0 +1,28 @@
+(** The paper's motivating example (Figures 1-3).
+
+    A main procedure [M] calls one of two leaf procedures [X]/[Y] depending
+    on a condition, then always calls [Z].  Each procedure fits in exactly
+    one cache line, and the cache holds three lines.  The same weighted
+    call graph arises whether the condition alternates every iteration
+    (trace #1) or is true for the first half of the run and false for the
+    second (trace #2) — but the two traces want different layouts, which
+    only the temporal relationship graph can tell apart. *)
+
+val program : Trg_program.Program.t
+(** Four procedures: M, X, Y, Z, each exactly one 32-byte cache line. *)
+
+val cache : Trg_cache.Config.t
+(** Three-line (96-byte) direct-mapped cache with 32-byte lines. *)
+
+val m : int
+val x : int
+val y : int
+val z : int
+(** Procedure ids within {!program}. *)
+
+val trace_alternating : ?iterations:int -> unit -> Trg_trace.Trace.t
+(** Trace #1: cond alternates true/false; default 80 loop iterations
+    (40 calls each to X and Y, 80 to Z). *)
+
+val trace_blocked : ?iterations:int -> unit -> Trg_trace.Trace.t
+(** Trace #2: cond is true for the first half and false for the second. *)

@@ -1,0 +1,126 @@
+module Prng = Trg_util.Prng
+module Trace = Trg_trace.Trace
+module Event = Trg_trace.Event
+
+type params = {
+  seed : int;
+  target_events : int;
+  loop_scale : float;
+  select_flip : float;
+  call_dropout : float;
+  max_depth : int;
+}
+
+let default_params =
+  {
+    seed = 1;
+    target_events = 1_000_000;
+    loop_scale = 1.0;
+    select_flip = 0.;
+    call_dropout = 0.;
+    max_depth = 16;
+  }
+
+exception Budget_exhausted
+
+(* Per-site selector state: a cursor for Round_robin/Blocked progress. *)
+type select_state = { mutable cursor : int; pattern : Behavior.pattern }
+
+let run_streaming program behavior params ~f =
+  Behavior.validate_against program behavior;
+  if params.target_events <= 0 then invalid_arg "Walker.run: target_events";
+  let rng = Prng.create params.seed in
+  let emitted = ref 0 in
+  (* Pre-roll selector regimes for this input: some sites flip between the
+     alternating and blocked worlds of the paper's Figure 1. *)
+  let selects =
+    Array.init behavior.Behavior.n_selects (fun _ -> ())
+    |> Array.map (fun () -> None)
+  in
+  let select_state sid (pattern : Behavior.pattern) =
+    match selects.(sid) with
+    | Some st -> st
+    | None ->
+      let flipped =
+        params.select_flip > 0. && Prng.bernoulli rng params.select_flip
+      in
+      let pattern =
+        if not flipped then pattern
+        else
+          match pattern with
+          | Behavior.Round_robin -> Behavior.Blocked (Prng.int_in rng 3 10)
+          | Behavior.Blocked _ -> Behavior.Round_robin
+          | Behavior.Weighted s -> Behavior.Weighted s
+      in
+      let st = { cursor = 0; pattern } in
+      selects.(sid) <- Some st;
+      st
+  in
+  let emit kind proc off len =
+    if !emitted >= params.target_events then raise Budget_exhausted;
+    incr emitted;
+    f (Event.make ~kind ~proc ~offset:off ~len)
+  in
+  (* A zero draw means the loop body is skipped this time; scaling never
+     turns a skip into an execution. *)
+  let scale_loop n =
+    if n = 0 then 0
+    else max 1 (int_of_float (Float.round (float_of_int n *. params.loop_scale)))
+  in
+  let rec exec depth proc =
+    (* [pending] is the kind of the next block we emit in this frame. *)
+    let pending = ref Event.Enter in
+    let rec stmts l = List.iter stmt l
+    and stmt : Behavior.stmt -> unit = function
+      | Behavior.Block { off; len } ->
+        emit !pending proc off len;
+        pending := Event.Run
+      | Behavior.Call { callee; prob } ->
+        if
+          depth < params.max_depth
+          && Prng.bernoulli rng prob
+          && not (params.call_dropout > 0. && Prng.bernoulli rng params.call_dropout)
+        then begin
+          exec (depth + 1) callee;
+          pending := Event.Resume
+        end
+      | Behavior.Loop { lo; hi; body } ->
+        let n = scale_loop (Prng.int_in rng lo hi) in
+        for _ = 1 to n do
+          stmts body
+        done
+      | Behavior.Select { sid; callees; pattern } ->
+        if depth < params.max_depth then begin
+          let st = select_state sid pattern in
+          let k = Array.length callees in
+          let choice =
+            match st.pattern with
+            | Behavior.Round_robin ->
+              let c = st.cursor mod k in
+              st.cursor <- st.cursor + 1;
+              callees.(c)
+            | Behavior.Blocked run ->
+              let c = st.cursor / run mod k in
+              st.cursor <- st.cursor + 1;
+              callees.(c)
+            | Behavior.Weighted s ->
+              callees.(Prng.zipf rng ~n:k ~s)
+          in
+          exec (depth + 1) choice;
+          pending := Event.Resume
+        end
+    in
+    stmts behavior.Behavior.bodies.(proc)
+  in
+  try
+    while true do
+      let before = !emitted in
+      exec 0 0;
+      if !emitted = before then invalid_arg "Walker.run: main emitted no events"
+    done
+  with Budget_exhausted -> ()
+
+let run program behavior params =
+  let builder = Trace.Builder.create ~capacity:params.target_events () in
+  run_streaming program behavior params ~f:(Trace.Builder.add builder);
+  Trace.Builder.build builder

@@ -1,0 +1,43 @@
+(** The trace walker: a stochastic interpreter of behaviour scripts.
+
+    The walker stands in for ATOM-style binary instrumentation: it executes
+    the program's behaviour from [main] (procedure 0), restarting when it
+    returns, until the requested number of block events has been emitted.
+    Two walks with different parameters model the paper's distinct training
+    and testing inputs over the same executable. *)
+
+type params = {
+  seed : int;  (** PRNG seed for all stochastic choices *)
+  target_events : int;  (** trace length, in block-run events *)
+  loop_scale : float;
+      (** multiplier on every loop's iteration draw — models input size *)
+  select_flip : float;
+      (** per-site probability of flipping a selector between alternating
+          and blocked regimes — models input-dependent branch behaviour *)
+  call_dropout : float;
+      (** probability of skipping an otherwise-taken conditional call *)
+  max_depth : int;  (** call-stack bound *)
+}
+
+val default_params : params
+(** seed 1, one million events, neutral scaling, no flips or dropout,
+    depth 16. *)
+
+val run :
+  Trg_program.Program.t -> Behavior.t -> params -> Trg_trace.Trace.t
+(** [run program behavior params] produces a trace that starts with an
+    [Enter] of procedure 0 and contains exactly [params.target_events]
+    events (assuming the behaviour emits at least one block per main
+    iteration; validated via {!Behavior.validate_against} first). *)
+
+val run_streaming :
+  Trg_program.Program.t ->
+  Behavior.t ->
+  params ->
+  f:(Trg_trace.Event.t -> unit) ->
+  unit
+(** Like {!run} but delivers each event to [f] instead of materialising a
+    trace — the shape of the paper's instrumentation-time profiling
+    (Section 4.4), where TRGs are built during execution and no trace is
+    ever stored.  [run] is [run_streaming] into a builder, so the two are
+    event-for-event identical. *)

@@ -1,0 +1,1 @@
+lib/trace/io.ml: Bytes Event Fun Int64 Printf Scanf String Trace

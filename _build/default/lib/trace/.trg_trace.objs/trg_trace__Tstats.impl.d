@@ -1,0 +1,1 @@
+lib/trace/tstats.ml: Array Event Format Printf Trace

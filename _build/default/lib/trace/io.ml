@@ -1,0 +1,125 @@
+let magic = "trgplace-trace"
+
+let version = 1
+
+let write_channel oc trace =
+  Printf.fprintf oc "%s %d %d\n" magic version (Trace.length trace);
+  Trace.iter
+    (fun (e : Event.t) ->
+      Printf.fprintf oc "%c %d %d %d\n" (Event.kind_to_char e.kind) e.proc e.offset
+        e.len)
+    trace
+
+let read_channel ic =
+  let header = input_line ic in
+  let n =
+    try
+      Scanf.sscanf header "%s %d %d" (fun m v n ->
+          if m <> magic then failwith "Trace.Io: bad magic";
+          if v <> version then failwith "Trace.Io: unsupported version";
+          n)
+    with Scanf.Scan_failure _ | End_of_file -> failwith "Trace.Io: bad header"
+  in
+  let builder = Trace.Builder.create ~capacity:(max n 1) () in
+  (try
+     for _ = 1 to n do
+       let line = input_line ic in
+       let event =
+         try
+           Scanf.sscanf line "%c %d %d %d" (fun k proc offset len ->
+               Event.make ~kind:(Event.kind_of_char k) ~proc ~offset ~len)
+         with Scanf.Scan_failure _ | Invalid_argument _ ->
+           failwith ("Trace.Io: bad event line: " ^ line)
+       in
+       Trace.Builder.add builder event
+     done
+   with End_of_file -> failwith "Trace.Io: truncated trace");
+  Trace.Builder.build builder
+
+let binary_magic = "trgplace-traceb"
+
+let write_channel_binary oc trace =
+  Printf.fprintf oc "%s %d %d\n" binary_magic version (Trace.length trace);
+  let buf = Bytes.create 8 in
+  Trace.iter
+    (fun e ->
+      Bytes.set_int64_le buf 0 (Int64.of_int (Event.pack e));
+      output_bytes oc buf)
+    trace
+
+let read_channel_binary_body ic n =
+  let builder = Trace.Builder.create ~capacity:(max n 1) () in
+  let buf = Bytes.create 8 in
+  (try
+     for _ = 1 to n do
+       really_input ic buf 0 8;
+       let packed = Int64.to_int (Bytes.get_int64_le buf 0) in
+       (* Unpack/repack validates field ranges implicitly via Event.make. *)
+       let e = Event.unpack packed in
+       Trace.Builder.add builder
+         (Event.make ~kind:e.Event.kind ~proc:e.Event.proc ~offset:e.Event.offset
+            ~len:e.Event.len)
+     done
+   with End_of_file -> failwith "Trace.Io: truncated binary trace");
+  Trace.Builder.build builder
+
+let read_channel_binary ic =
+  let header = input_line ic in
+  let n =
+    try
+      Scanf.sscanf header "%s %d %d" (fun m v n ->
+          if m <> binary_magic then failwith "Trace.Io: bad binary magic";
+          if v <> version then failwith "Trace.Io: unsupported version";
+          n)
+    with Scanf.Scan_failure _ | End_of_file -> failwith "Trace.Io: bad header"
+  in
+  read_channel_binary_body ic n
+
+let save_binary path trace =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write_channel_binary oc trace)
+
+let save path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write_channel oc trace)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (* Dispatch on the header's magic word. *)
+      let header = input_line ic in
+      let magic_of h = try String.sub h 0 (String.index h ' ') with Not_found -> h in
+      let parse m =
+        try
+          Scanf.sscanf header "%s %d %d" (fun m' v n ->
+              if m' <> m then failwith "Trace.Io: bad magic";
+              if v <> version then failwith "Trace.Io: unsupported version";
+              n)
+        with Scanf.Scan_failure _ | End_of_file -> failwith "Trace.Io: bad header"
+      in
+      match magic_of header with
+      | m when m = binary_magic -> read_channel_binary_body ic (parse binary_magic)
+      | m when m = magic ->
+        let n = parse magic in
+        let builder = Trace.Builder.create ~capacity:(max n 1) () in
+        (try
+           for _ = 1 to n do
+             let line = input_line ic in
+             let event =
+               try
+                 Scanf.sscanf line "%c %d %d %d" (fun k proc offset len ->
+                     Event.make ~kind:(Event.kind_of_char k) ~proc ~offset ~len)
+               with Scanf.Scan_failure _ | Invalid_argument _ ->
+                 failwith ("Trace.Io: bad event line: " ^ line)
+             in
+             Trace.Builder.add builder event
+           done
+         with End_of_file -> failwith "Trace.Io: truncated trace");
+        Trace.Builder.build builder
+      | _ -> failwith "Trace.Io: unknown trace format")

@@ -1,0 +1,33 @@
+(** Text serialisation of traces.
+
+    The paper's toolchain stored ATOM-generated traces on disk between the
+    profiling and placement steps; this codec plays that role.  The format
+    is one event per line: [<kind> <proc> <offset> <len>] with kind one of
+    [E]/[R]/[.] (see {!Event.kind_to_char}), preceded by a header line
+    [trgplace-trace 1 <n_events>]. *)
+
+val write_channel : out_channel -> Trace.t -> unit
+
+val read_channel : in_channel -> Trace.t
+(** Raises [Failure] on a malformed stream. *)
+
+val save : string -> Trace.t -> unit
+(** [save path trace] writes to a file. *)
+
+val load : string -> Trace.t
+(** Loads either format, detected from the header.  Raises [Sys_error] or
+    [Failure]. *)
+
+(** {2 Binary format}
+
+    A fixed-width binary encoding — one little-endian 64-bit word per
+    event ({!Event.pack}) after a [trgplace-traceb 1 <n>] header line —
+    roughly 4x smaller and an order of magnitude faster to parse than the
+    text form.  Million-event profile traces are the paper's working
+    medium, so the codec matters. *)
+
+val write_channel_binary : out_channel -> Trace.t -> unit
+
+val read_channel_binary : in_channel -> Trace.t
+
+val save_binary : string -> Trace.t -> unit

@@ -1,0 +1,54 @@
+type t = int array (* packed events *)
+
+let length = Array.length
+
+let get t i = Event.unpack t.(i)
+
+let iter f t = Array.iter (fun w -> f (Event.unpack w)) t
+
+let iteri f t = Array.iteri (fun i w -> f i (Event.unpack w)) t
+
+let fold f init t = Array.fold_left (fun acc w -> f acc (Event.unpack w)) init t
+
+let of_list events = Array.of_list (List.map Event.pack events)
+
+let of_events events = Array.map Event.pack events
+
+let to_list t = Array.to_list (Array.map Event.unpack t)
+
+let concat ts = Array.concat ts
+
+let sub t ~pos ~len = Array.sub t pos len
+
+let procs_of t =
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun w ->
+      let e = Event.unpack w in
+      if not (Hashtbl.mem seen e.proc) then Hashtbl.add seen e.proc ())
+    t;
+  List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) seen [])
+
+module Builder = struct
+  type trace = t
+
+  type t = { mutable data : int array; mutable size : int }
+
+  let create ?(capacity = 1024) () = { data = Array.make (max capacity 1) 0; size = 0 }
+
+  let add b event =
+    if b.size = Array.length b.data then begin
+      let data = Array.make (2 * Array.length b.data) 0 in
+      Array.blit b.data 0 data 0 b.size;
+      b.data <- data
+    end;
+    b.data.(b.size) <- Event.pack event;
+    b.size <- b.size + 1
+
+  let length b = b.size
+
+  let last_proc b =
+    if b.size = 0 then None else Some (Event.unpack b.data.(b.size - 1)).proc
+
+  let build b = Array.sub b.data 0 b.size
+end

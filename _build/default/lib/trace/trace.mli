@@ -1,0 +1,51 @@
+(** A program trace: an immutable, densely packed sequence of events.
+
+    Traces of a few million events are routine in the evaluation, so the
+    representation is one OCaml int per event (see {!Event.pack}). *)
+
+type t
+
+val length : t -> int
+
+val get : t -> int -> Event.t
+(** [get t i] for [0 <= i < length t]. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+
+val iteri : (int -> Event.t -> unit) -> t -> unit
+
+val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+
+val of_list : Event.t list -> t
+
+val of_events : Event.t array -> t
+
+val to_list : t -> Event.t list
+
+val concat : t list -> t
+
+val sub : t -> pos:int -> len:int -> t
+
+val procs_of : t -> int list
+(** Distinct procedure ids referenced, ascending. *)
+
+(** Incremental construction. *)
+module Builder : sig
+  type trace = t
+
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  val add : t -> Event.t -> unit
+
+  val length : t -> int
+
+  val last_proc : t -> int option
+  (** Procedure of the most recently added event, if any — used by trace
+      generators to decide between [Run] and transition kinds. *)
+
+  val build : t -> trace
+  (** Freezes the builder.  The builder may keep being used afterwards;
+      [build] copies. *)
+end

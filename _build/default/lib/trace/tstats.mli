@@ -1,0 +1,20 @@
+(** Summary statistics of a trace, used to report the workload columns of
+    the paper's Table 1 and to drive popularity selection. *)
+
+type t = {
+  n_events : int;  (** trace length in block runs ("basic blocks") *)
+  n_transitions : int;  (** number of Enter/Resume events (calls + returns) *)
+  n_procs_referenced : int;  (** distinct procedures executed *)
+  enter_counts : int array;  (** per procedure, number of Enter events *)
+  ref_counts : int array;  (** per procedure, number of events of any kind *)
+  bytes_executed : int;  (** sum of event lengths *)
+}
+
+val compute : n_procs:int -> Trace.t -> t
+(** [n_procs] sizes the per-procedure arrays; events referring to ids
+    [>= n_procs] raise [Invalid_argument]. *)
+
+val dynamic_coverage : t -> int -> float
+(** Fraction of all events attributable to a given procedure. *)
+
+val pp : Format.formatter -> t -> unit

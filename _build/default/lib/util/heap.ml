@@ -1,0 +1,77 @@
+type 'a entry = { prio : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+(* Larger priority wins; on equal priority the earlier insertion wins so the
+   pop order is a deterministic function of the push sequence. *)
+let precedes a b = a.prio > b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let ensure_capacity h =
+  if h.size = Array.length h.data then begin
+    let cap = max 16 (2 * Array.length h.data) in
+    let data = Array.make cap h.data.(0) in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let push h prio payload =
+  let entry = { prio; seq = h.next_seq; payload } in
+  h.next_seq <- h.next_seq + 1;
+  if Array.length h.data = 0 then h.data <- Array.make 16 entry;
+  ensure_capacity h;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  (* Sift up. *)
+  let i = ref (h.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    precedes h.data.(!i) h.data.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = h.data.(!i) in
+    h.data.(!i) <- h.data.(parent);
+    h.data.(parent) <- tmp;
+    i := parent
+  done
+
+let peek_max h =
+  if h.size = 0 then None else Some (h.data.(0).prio, h.data.(0).payload)
+
+let pop_max h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let best = ref !i in
+        if l < h.size && precedes h.data.(l) h.data.(!best) then best := l;
+        if r < h.size && precedes h.data.(r) h.data.(!best) then best := r;
+        if !best = !i then continue := false
+        else begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!best);
+          h.data.(!best) <- tmp;
+          i := !best
+        end
+      done
+    end;
+    Some (top.prio, top.payload)
+  end

@@ -1,0 +1,25 @@
+(** Binary max-heap over integer-keyed items with float priorities.
+
+    Used by the placement algorithms to repeatedly extract the
+    heaviest-weight edge from the working graph.  Supports lazy deletion:
+    stale entries are pushed over and skipped by the caller via the payload
+    validity check it supplies. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Number of entries currently stored (including stale ones). *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h prio x] inserts [x] with priority [prio]. *)
+
+val pop_max : 'a t -> (float * 'a) option
+(** Removes and returns the entry with the largest priority, or [None] if
+    the heap is empty.  Ties are broken by insertion order (earlier first),
+    which keeps greedy placement deterministic. *)
+
+val peek_max : 'a t -> (float * 'a) option

@@ -1,0 +1,114 @@
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let range_of values =
+  let lo = Array.fold_left Float.min values.(0) values in
+  let hi = Array.fold_left Float.max values.(0) values in
+  if hi > lo then (lo, hi) else (lo -. 1., hi +. 1.)
+
+(* Map [v] in [lo, hi] to a column/row index in [0, cells). *)
+let scale ~lo ~hi ~cells v =
+  let t = (v -. lo) /. (hi -. lo) in
+  let i = int_of_float (t *. float_of_int (cells - 1)) in
+  max 0 (min (cells - 1) i)
+
+let render_canvas ~width ~height ~x_lo ~x_hi ~y_axis_label plot_points =
+  let grid = Array.make_matrix height width ' ' in
+  plot_points (fun ~col ~row marker ->
+      if row >= 0 && row < height && col >= 0 && col < width then
+        grid.(height - 1 - row).(col) <- marker);
+  let buf = Buffer.create ((width + 12) * (height + 3)) in
+  Array.iteri
+    (fun i line ->
+      let frac =
+        match y_axis_label (height - 1 - i) with
+        | Some label -> label
+        | None -> "      "
+      in
+      Buffer.add_string buf frac;
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (String.init width (fun j -> line.(j)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 6 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  let left = Printf.sprintf "%-10.4g" x_lo in
+  let right = Printf.sprintf "%10.4g" x_hi in
+  Buffer.add_string buf (String.make 7 ' ');
+  Buffer.add_string buf left;
+  Buffer.add_string buf (String.make (max 1 (width - String.length left - String.length right)) ' ');
+  Buffer.add_string buf right;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let legend series =
+  String.concat "   "
+    (List.mapi
+       (fun i (name, _) -> Printf.sprintf "%c %s" markers.(i mod Array.length markers) name)
+       series)
+
+let cdf ?(width = 72) ?(height = 20) ?(x_label = "") series =
+  if series = [] then invalid_arg "Plot.cdf: no series";
+  List.iter
+    (fun (_, s) -> if Array.length s = 0 then invalid_arg "Plot.cdf: empty series")
+    series;
+  let all = Array.concat (List.map snd series) in
+  let x_lo, x_hi = range_of all in
+  let body =
+    render_canvas ~width ~height ~x_lo ~x_hi
+      ~y_axis_label:(fun row ->
+        if row = height - 1 then Some "1.00  "
+        else if row = 0 then Some "0.00  "
+        else if row = (height - 1) / 2 then Some "0.50  "
+        else None)
+      (fun put ->
+        List.iteri
+          (fun si (_, sample) ->
+            let sorted = Array.copy sample in
+            Array.sort compare sorted;
+            let n = Array.length sorted in
+            Array.iteri
+              (fun i v ->
+                let frac = float_of_int (i + 1) /. float_of_int n in
+                put
+                  ~col:(scale ~lo:x_lo ~hi:x_hi ~cells:width v)
+                  ~row:(scale ~lo:0. ~hi:1. ~cells:height frac)
+                  markers.(si mod Array.length markers))
+              sorted)
+          series)
+  in
+  body
+  ^ (if x_label = "" then "" else Printf.sprintf "%*s\n" ((width / 2) + 7 + (String.length x_label / 2)) x_label)
+  ^ "      " ^ legend series ^ "\n"
+
+let scatter ?(width = 72) ?(height = 20) ?(x_label = "") ?(y_label = "") series =
+  if series = [] then invalid_arg "Plot.scatter: no series";
+  let xs = Array.concat (List.map (fun (_, pts) -> Array.map fst pts) series) in
+  let ys = Array.concat (List.map (fun (_, pts) -> Array.map snd pts) series) in
+  if Array.length xs = 0 then invalid_arg "Plot.scatter: no points";
+  let x_lo, x_hi = range_of xs in
+  let y_lo, y_hi = range_of ys in
+  let body =
+    render_canvas ~width ~height ~x_lo ~x_hi
+      ~y_axis_label:(fun row ->
+        if row = height - 1 then Some (Printf.sprintf "%-6.3g" y_hi)
+        else if row = 0 then Some (Printf.sprintf "%-6.3g" y_lo)
+        else None)
+      (fun put ->
+        List.iteri
+          (fun si (_, pts) ->
+            Array.iter
+              (fun (x, y) ->
+                put
+                  ~col:(scale ~lo:x_lo ~hi:x_hi ~cells:width x)
+                  ~row:(scale ~lo:y_lo ~hi:y_hi ~cells:height y)
+                  markers.(si mod Array.length markers))
+              pts)
+          series)
+  in
+  let labels =
+    (if y_label = "" then "" else Printf.sprintf "      y: %s\n" y_label)
+    ^ if x_label = "" then "" else Printf.sprintf "      x: %s\n" x_label
+  in
+  body ^ labels ^ "      " ^ legend series ^ "\n"

@@ -1,0 +1,128 @@
+type t = {
+  mutable state : int64;
+  mutable spare : float option; (* cached second Box–Muller deviate *)
+}
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed =
+  { state = Int64.of_int seed; spare = None }
+
+let copy t = { state = t.state; spare = t.spare }
+
+(* splitmix64 step: advance the counter and scramble it. *)
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = bits64 t in
+  { state = seed; spare = None }
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let to_unit_float t =
+  (* 53 random mantissa bits -> [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int bits *. 0x1.0p-53
+
+let float t bound = to_unit_float t *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = to_unit_float t < p
+
+let normal t =
+  match t.spare with
+  | Some v ->
+    t.spare <- None;
+    v
+  | None ->
+    (* Box–Muller; u1 must be nonzero for the log. *)
+    let rec nonzero () =
+      let u = to_unit_float t in
+      if u > 0. then u else nonzero ()
+    in
+    let u1 = nonzero () and u2 = to_unit_float t in
+    let r = sqrt (-2. *. log u1) in
+    let theta = 2. *. Float.pi *. u2 in
+    t.spare <- Some (r *. sin theta);
+    r *. cos theta
+
+let log_normal t ~mu ~sigma = exp (mu +. (sigma *. normal t))
+
+let exponential t ~mean =
+  let rec nonzero () =
+    let u = to_unit_float t in
+    if u > 0. then u else nonzero ()
+  in
+  -.mean *. log (nonzero ())
+
+let zipf t ~n ~s =
+  assert (n > 0);
+  (* Inverse-CDF on the generalized harmonic weights.  n is small (a few
+     thousand) everywhere we use this, so the linear scan is fine. *)
+  let total = ref 0. in
+  for k = 1 to n do
+    total := !total +. (1. /. (float_of_int k ** s))
+  done;
+  let target = to_unit_float t *. !total in
+  let rec find k acc =
+    if k > n then n - 1
+    else
+      let acc = acc +. (1. /. (float_of_int k ** s)) in
+      if acc >= target then k - 1 else find (k + 1) acc
+  in
+  find 1 0.
+
+let zipf_sampler ~n ~s =
+  assert (n > 0);
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1. /. (float_of_int (k + 1) ** s));
+    cdf.(k) <- !acc
+  done;
+  let total = !acc in
+  fun t ->
+    let target = to_unit_float t *. total in
+    (* First index whose cumulative weight reaches [target]. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) >= target then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let sample t a k =
+  assert (k <= Array.length a);
+  let pool = Array.copy a in
+  for i = 0 to k - 1 do
+    let j = int_in t i (Array.length pool - 1) in
+    let tmp = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- tmp
+  done;
+  Array.sub pool 0 k

@@ -1,0 +1,67 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of this repository (workload generation,
+    profile perturbation, layout randomisation) draws from this generator so
+    that experiments are exactly reproducible from a seed.  The core is
+    splitmix64, which has a 64-bit state, passes BigCrush, and supports cheap
+    stream splitting. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Generators created from equal
+    seeds produce identical streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator seeded from it, so
+    that the two streams are statistically independent. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in the inclusive range [\[lo, hi\]]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val normal : t -> float
+(** Standard normal deviate (Box–Muller). *)
+
+val log_normal : t -> mu:float -> sigma:float -> float
+(** [log_normal t ~mu ~sigma] is [exp (mu + sigma * normal t)]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponential deviate with the given mean. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] samples a rank in [\[0, n)] from a Zipf distribution with
+    exponent [s] by inversion of the exact finite CDF.  O(n) per draw; use
+    {!zipf_sampler} for repeated draws. *)
+
+val zipf_sampler : n:int -> s:float -> t -> int
+(** [zipf_sampler ~n ~s] precomputes the CDF once and returns a sampler doing
+    O(log n) binary-search draws. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element.  The array must be non-empty. *)
+
+val sample : t -> 'a array -> int -> 'a array
+(** [sample t a k] draws [k] distinct elements uniformly (partial
+    Fisher–Yates).  Requires [k <= Array.length a]. *)

@@ -1,0 +1,104 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty array")
+
+let mean a =
+  check_nonempty "Stats.mean" a;
+  Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. a in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev a = sqrt (variance a)
+
+let min_max a =
+  check_nonempty "Stats.min_max" a;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0)) a
+
+let sorted a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let median a =
+  check_nonempty "Stats.median" a;
+  let b = sorted a in
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.
+
+let percentile a p =
+  check_nonempty "Stats.percentile" a;
+  let b = sorted a in
+  let n = Array.length b in
+  if n = 1 then b.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+  end
+
+let pearson xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Stats.pearson: length mismatch";
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0. || !syy = 0. then 0. else !sxy /. sqrt (!sxx *. !syy)
+  end
+
+(* Fractional ranks with ties averaged, 1-based. *)
+let ranks a =
+  let n = Array.length a in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare a.(i) a.(j)) idx;
+  let r = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && a.(idx.(!j + 1)) = a.(idx.(!i)) do incr j done;
+    let avg = float_of_int (!i + !j + 2) /. 2. in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman xs ys = pearson (ranks xs) (ranks ys)
+
+let cdf_points a =
+  check_nonempty "Stats.cdf_points" a;
+  let b = sorted a in
+  let n = Array.length b in
+  List.init n (fun i -> (b.(i), float_of_int (i + 1) /. float_of_int n))
+
+let histogram a ~bins =
+  check_nonempty "Stats.histogram" a;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo, hi = min_max a in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = if b >= bins then bins - 1 else b in
+      counts.(b) <- counts.(b) + 1)
+    a;
+  Array.init bins (fun i -> (lo +. (float_of_int i *. width), counts.(i)))

@@ -1,0 +1,38 @@
+(** Small statistics toolkit used by the evaluation harness: summary
+    statistics of miss-rate distributions (Figure 5) and the Pearson
+    correlation between conflict metrics and miss counts (Figure 6). *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for arrays of length < 2. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest value.  Raises [Invalid_argument] on empty input. *)
+
+val median : float array -> float
+(** Median (average of middle two for even lengths).  Does not mutate the
+    input. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] for [p] in [\[0, 100\]], linear interpolation between
+    order statistics.  Does not mutate the input. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient of two equal-length samples.  Returns 0
+    when either sample has zero variance. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation (Pearson on fractional ranks, ties averaged). *)
+
+val cdf_points : float array -> (float * float) list
+(** [cdf_points a] sorts the sample and returns [(x, F(x))] pairs where
+    [F(x)] is the fraction of observations [<= x] — the exact presentation
+    used by the paper's Figure 5 plots. *)
+
+val histogram : float array -> bins:int -> (float * int) array
+(** Equal-width histogram; each entry is (bin lower bound, count). *)

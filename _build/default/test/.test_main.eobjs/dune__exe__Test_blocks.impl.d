@@ -1,0 +1,1 @@
+test/test_blocks.ml: Alcotest Array Float Hashtbl Lazy List Printf Trg_cache Trg_eval Trg_place Trg_program Trg_synth Trg_trace

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Gen List QCheck QCheck_alcotest Trg_cache Trg_program Trg_trace

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Filename Fun List Printf String Sys Trg_cache Trg_place Trg_program Trg_synth Trg_trace Trg_util

@@ -1,0 +1,1 @@
+test/test_differential.ml: Array Float Gen Hashtbl List QCheck QCheck_alcotest Trg_cache Trg_place Trg_profile Trg_program Trg_trace Trg_util

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Lazy List Printf Trg_eval Trg_program Trg_synth Trg_trace

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename Fun Lazy List Option Printf String Sys Trg_cache Trg_eval Trg_place Trg_profile Trg_program Trg_synth Trg_trace Trg_util

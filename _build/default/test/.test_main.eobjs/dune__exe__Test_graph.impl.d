@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Gen List QCheck QCheck_alcotest Trg_profile

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array List Trg_util

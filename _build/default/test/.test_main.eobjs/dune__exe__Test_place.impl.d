@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Trg_cache Trg_place Trg_profile Trg_program Trg_synth Trg_trace

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Trg_cache Trg_profile Trg_program Trg_synth Trg_trace Trg_util

@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Array Gen List QCheck QCheck_alcotest Trg_program Trg_util

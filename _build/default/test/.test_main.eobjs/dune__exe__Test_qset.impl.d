@@ -1,0 +1,1 @@
+test/test_qset.ml: Alcotest Gen List QCheck QCheck_alcotest Trg_profile

@@ -1,0 +1,1 @@
+test/test_reuse.ml: Alcotest Array List Printf Trg_cache Trg_eval Trg_profile Trg_program Trg_synth Trg_trace

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array List Printf Trg_cache Trg_program Trg_synth Trg_trace

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Filename Fun List QCheck QCheck_alcotest Sys Trg_trace Unix

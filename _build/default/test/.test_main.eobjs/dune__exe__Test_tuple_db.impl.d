@@ -1,0 +1,1 @@
+test/test_tuple_db.ml: Alcotest Array List Trg_cache Trg_place Trg_profile Trg_program Trg_trace Trg_util

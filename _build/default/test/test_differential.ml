@@ -1,0 +1,250 @@
+(* Differential tests: each optimised production component is checked
+   against a transparently naive reference implementation on randomized
+   inputs.  The references are deliberately simple (lists, rescans) so
+   their correctness is obvious by inspection. *)
+
+module Program = Trg_program.Program
+module Layout = Trg_program.Layout
+module Config = Trg_cache.Config
+module Sim = Trg_cache.Sim
+module Reuse = Trg_cache.Reuse
+module Event = Trg_trace.Event
+module Trace = Trg_trace.Trace
+module Graph = Trg_profile.Graph
+module Qset = Trg_profile.Qset
+module Merge_driver = Trg_place.Merge_driver
+module Prng = Trg_util.Prng
+
+let ev proc = Event.make ~kind:Event.Enter ~proc ~offset:0 ~len:32
+
+(* --- Qset vs a list-based reference ------------------------------------- *)
+
+(* Reference: Q as a plain list, most recent last; same semantics as the
+   paper's prose. *)
+module Ref_q = struct
+  type t = { capacity : int; size_of : int -> int; mutable q : int list }
+
+  let create capacity size_of = { capacity; size_of; q = [] }
+
+  let total t = List.fold_left (fun acc p -> acc + t.size_of p) 0 t.q
+
+  let reference t p =
+    if List.mem p t.q then begin
+      (* Everything after p's (unique) occurrence. *)
+      let rec after = function
+        | [] -> []
+        | x :: rest -> if x = p then rest else after rest
+      in
+      let between = after t.q in
+      t.q <- List.filter (fun x -> x <> p) t.q @ [ p ];
+      (true, between)
+    end
+    else begin
+      t.q <- t.q @ [ p ];
+      let rec evict () =
+        match t.q with
+        | oldest :: rest when List.length t.q > 1 && total t - t.size_of oldest >= t.capacity ->
+          t.q <- rest;
+          evict ()
+        | _ -> ()
+      in
+      evict ();
+      (false, [])
+    end
+end
+
+let prop_qset_matches_reference =
+  QCheck.Test.make ~name:"Qset matches list reference on random streams" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_range 0 15))
+    (fun refs ->
+      let size_of p = 16 + (8 * (p mod 5)) in
+      let q = Qset.create ~capacity_bytes:200 ~size_of in
+      let r = Ref_q.create 200 size_of in
+      List.for_all
+        (fun p ->
+          let between = ref [] in
+          let prior = Qset.reference q p ~between:(fun x -> between := x :: !between) in
+          let prior', between' = Ref_q.reference r p in
+          prior = prior'
+          && List.rev !between = between'
+          && Qset.members q = r.Ref_q.q)
+        refs)
+
+(* --- Merge driver vs a rescan-everything reference ----------------------- *)
+
+(* Reference greedy merge: keep explicit groups; at each step scan all
+   cross-group pair weights (summing original edges) and merge the pair
+   with the maximum weight; ties broken by smallest representative pair.
+   Returns the multiset of final groups (sets of original nodes). *)
+let reference_merge edges =
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v, _) ->
+      if not (Hashtbl.mem groups u) then Hashtbl.add groups u [ u ];
+      if not (Hashtbl.mem groups v) then Hashtbl.add groups v [ v ])
+    edges;
+  let weight_between a b =
+    List.fold_left
+      (fun acc (u, v, w) ->
+        if (List.mem u a && List.mem v b) || (List.mem v a && List.mem u b) then
+          acc +. w
+        else acc)
+      0. edges
+  in
+  let rec loop () =
+    let reprs = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) groups []) in
+    let best = ref None in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if a < b then begin
+              let w = weight_between (Hashtbl.find groups a) (Hashtbl.find groups b) in
+              if w > 0. then
+                match !best with
+                | Some (bw, _, _) when bw >= w -> ()
+                | _ -> best := Some (w, a, b)
+            end)
+          reprs)
+      reprs;
+    match !best with
+    | None -> ()
+    | Some (_, a, b) ->
+      Hashtbl.replace groups a (Hashtbl.find groups a @ Hashtbl.find groups b);
+      Hashtbl.remove groups b;
+      loop ()
+  in
+  loop ();
+  List.sort compare
+    (Hashtbl.fold (fun _ g acc -> List.sort compare g :: acc) groups [])
+
+(* The driver's tie-breaking differs from the reference's, so compare on
+   weight sets where ties cannot occur: distinct powers of two. *)
+let prop_merge_driver_matches_reference =
+  QCheck.Test.make ~name:"merge driver matches rescan reference (distinct weights)"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 10) (pair (int_range 0 7) (int_range 0 7)))
+    (fun pairs ->
+      let pairs = List.filter (fun (u, v) -> u <> v) pairs in
+      QCheck.assume (pairs <> []);
+      (* Deduplicate pairs; give each a distinct power-of-two weight. *)
+      let canonical = List.sort_uniq compare (List.map (fun (u, v) -> (min u v, max u v)) pairs) in
+      let edges = List.mapi (fun i (u, v) -> (u, v, Float.of_int (1 lsl i))) canonical in
+      let g = Graph.of_edges edges in
+      let driver_groups =
+        Merge_driver.run ~graph:g ~init:(fun p -> [ p ]) ~merge:(fun a b -> a @ b)
+        |> List.map (List.sort compare)
+        |> List.sort compare
+      in
+      driver_groups = reference_merge edges)
+
+(* --- LRU simulator vs a list reference ----------------------------------- *)
+
+let prop_lru_matches_reference =
+  QCheck.Test.make ~name:"set-associative LRU matches list reference" ~count:100
+    QCheck.(
+      pair (int_range 1 4) (list_of_size (Gen.int_range 1 150) (int_range 0 11)))
+    (fun (assoc, refs) ->
+      let program = Program.of_sizes (Array.make 12 32) in
+      let layout = Layout.default program in
+      let n_sets = 2 in
+      let cache = Config.make ~size:(n_sets * assoc * 32) ~line_size:32 ~assoc in
+      let trace = Trace.of_list (List.map ev refs) in
+      let sim = Sim.simulate program layout cache trace in
+      (* Reference: per-set MRU-first lists. *)
+      let sets = Array.make n_sets [] in
+      let misses = ref 0 in
+      List.iter
+        (fun p ->
+          let la = Layout.address layout p / 32 in
+          let s = la mod n_sets in
+          if List.mem la sets.(s) then
+            sets.(s) <- la :: List.filter (fun x -> x <> la) sets.(s)
+          else begin
+            incr misses;
+            let kept =
+              if List.length sets.(s) >= assoc then
+                List.filteri (fun i _ -> i < assoc - 1) sets.(s)
+              else sets.(s)
+            in
+            sets.(s) <- la :: kept
+          end)
+        refs;
+      sim.Sim.misses = !misses)
+
+(* --- Reuse distances vs a scan reference ---------------------------------- *)
+
+let prop_reuse_matches_reference =
+  QCheck.Test.make ~name:"reuse distances match scan reference" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 120) (int_range 0 9))
+    (fun refs ->
+      let program = Program.of_sizes (Array.make 10 32) in
+      let layout = Layout.default program in
+      let trace = Trace.of_list (List.map ev refs) in
+      let r = Reuse.compute program layout ~line_size:32 trace in
+      (* Reference: for each reference, scan back for the previous
+         occurrence and count distinct lines in between. *)
+      let arr = Array.of_list refs in
+      let cold = ref 0 in
+      let dist_counts = Hashtbl.create 16 in
+      Array.iteri
+        (fun i p ->
+          let rec find j = if j < 0 then None else if arr.(j) = p then Some j else find (j - 1) in
+          match find (i - 1) with
+          | None -> incr cold
+          | Some j ->
+            let between = ref [] in
+            for k = j + 1 to i - 1 do
+              if (not (List.mem arr.(k) !between)) && arr.(k) <> p then
+                between := arr.(k) :: !between
+            done;
+            let d = List.length !between in
+            Hashtbl.replace dist_counts d
+              (1 + (try Hashtbl.find dist_counts d with Not_found -> 0)))
+        arr;
+      Reuse.cold_refs r = !cold
+      && List.for_all
+           (fun (d, c) ->
+             (try Hashtbl.find dist_counts d with Not_found -> 0) = c)
+           (Reuse.histogram r)
+      && Hashtbl.fold (fun _ c acc -> acc + c) dist_counts 0
+         = List.fold_left (fun acc (_, c) -> acc + c) 0 (Reuse.histogram r))
+
+(* --- Paging LRU vs reference ------------------------------------------------ *)
+
+let prop_paging_matches_reference =
+  QCheck.Test.make ~name:"page-fault LRU matches list reference" ~count:100
+    QCheck.(
+      pair (int_range 1 4) (list_of_size (Gen.int_range 1 120) (int_range 0 7)))
+    (fun (frames, refs) ->
+      let program = Program.of_sizes (Array.make 8 4096) in
+      let layout = Layout.default program in
+      let trace = Trace.of_list (List.map ev refs) in
+      let r = Sim.paging program layout ~page_size:4096 ~frames trace in
+      let resident = ref [] in
+      let faults = ref 0 in
+      List.iter
+        (fun p ->
+          let page = Layout.address layout p / 4096 in
+          if List.mem page !resident then
+            resident := page :: List.filter (fun x -> x <> page) !resident
+          else begin
+            incr faults;
+            let kept =
+              if List.length !resident >= frames then
+                List.filteri (fun i _ -> i < frames - 1) !resident
+              else !resident
+            in
+            resident := page :: kept
+          end)
+        refs;
+      r.Sim.page_faults = !faults)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_qset_matches_reference;
+    QCheck_alcotest.to_alcotest prop_merge_driver_matches_reference;
+    QCheck_alcotest.to_alcotest prop_lru_matches_reference;
+    QCheck_alcotest.to_alcotest prop_reuse_matches_reference;
+    QCheck_alcotest.to_alcotest prop_paging_matches_reference;
+  ]

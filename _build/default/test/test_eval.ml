@@ -1,0 +1,165 @@
+module Runner = Trg_eval.Runner
+module Table1 = Trg_eval.Table1
+module Figure5 = Trg_eval.Figure5
+module Figure6 = Trg_eval.Figure6
+module Padding = Trg_eval.Padding
+module Setassoc = Trg_eval.Setassoc
+module Ablation = Trg_eval.Ablation
+module Bench = Trg_synth.Bench
+module Layout = Trg_program.Layout
+module Program = Trg_program.Program
+
+(* One shared prepared runner: preparation is the expensive step. *)
+let runner = lazy (Runner.prepare (Bench.find "small"))
+
+let test_prepare_consistency () =
+  let r = Lazy.force runner in
+  Alcotest.(check int) "program size matches shape" 160
+    (Program.n_procs (Runner.program r));
+  Alcotest.(check bool) "train and test differ" true
+    (Trg_trace.Trace.to_list r.Runner.train <> Trg_trace.Trace.to_list r.Runner.test)
+
+let test_layouts_cover_program () =
+  let r = Lazy.force runner in
+  List.iter
+    (fun layout ->
+      Alcotest.(check int) "complete layout" 160 (Array.length (Layout.order layout)))
+    [
+      Runner.default_layout r;
+      Runner.ph_layout r;
+      Runner.hkc_layout r;
+      Runner.gbsc_layout r;
+    ]
+
+let test_table1_row () =
+  let r = Lazy.force runner in
+  let row = Table1.row_of r in
+  Alcotest.(check string) "name" "small" row.Table1.name;
+  Alcotest.(check int) "train events" 200_000 row.Table1.train_events;
+  Alcotest.(check bool) "default MR sane" true
+    (row.Table1.default_miss_rate > 0. && row.Table1.default_miss_rate < 0.5);
+  Alcotest.(check bool) "avg Q positive" true (row.Table1.avg_q > 1.)
+
+let test_table1_paper_reference_complete () =
+  List.iter
+    (fun shape ->
+      Alcotest.(check bool)
+        (shape.Trg_synth.Shape.name ^ " has a paper row")
+        true
+        (List.mem_assoc shape.Trg_synth.Shape.name Table1.paper_reference))
+    Bench.all
+
+let test_figure5_shapes () =
+  let r = Lazy.force runner in
+  let res = Figure5.run ~runs:4 r in
+  Alcotest.(check int) "three algorithms" 3 (List.length res.Figure5.results);
+  List.iter
+    (fun alg ->
+      Alcotest.(check int) "4 perturbed runs" 4 (Array.length alg.Figure5.sorted);
+      let sorted = Array.copy alg.Figure5.sorted in
+      Array.sort compare sorted;
+      Alcotest.(check bool) "ascending" true (sorted = alg.Figure5.sorted);
+      Array.iter
+        (fun mr -> Alcotest.(check bool) "rate in (0,1)" true (mr > 0. && mr < 1.))
+        alg.Figure5.sorted)
+    res.Figure5.results
+
+let test_figure5_gbsc_best () =
+  let r = Lazy.force runner in
+  let res = Figure5.run ~runs:4 r in
+  let unperturbed a =
+    (List.find (fun x -> x.Figure5.algo = a) res.Figure5.results).Figure5.unperturbed
+  in
+  Alcotest.(check bool) "GBSC beats PH" true
+    (unperturbed Figure5.GBSC < unperturbed Figure5.PH);
+  Alcotest.(check bool) "GBSC beats default" true
+    (unperturbed Figure5.GBSC < res.Figure5.default_mr)
+
+let test_figure5_deterministic () =
+  let r = Lazy.force runner in
+  let a = Figure5.run ~runs:3 ~seed:5 r and b = Figure5.run ~runs:3 ~seed:5 r in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check bool) "same sorted rates" true (x.Figure5.sorted = y.Figure5.sorted))
+    a.Figure5.results b.Figure5.results
+
+let test_figure6_correlations () =
+  let r = Lazy.force runner in
+  let res = Figure6.run ~n:20 r in
+  Alcotest.(check int) "20 points" 20 (Array.length res.Figure6.points);
+  Alcotest.(check bool)
+    (Printf.sprintf "TRG metric strongly correlated (r=%.3f)" res.Figure6.r_trg)
+    true (res.Figure6.r_trg > 0.8);
+  Alcotest.(check bool) "TRG metric at least as good as WCG metric" true
+    (res.Figure6.r_trg >= res.Figure6.r_wcg -. 0.02)
+
+let test_figure6_first_point_is_base () =
+  let r = Lazy.force runner in
+  let res = Figure6.run ~n:5 r in
+  let base = res.Figure6.points.(0) in
+  (* The unmodified GBSC placement should be among the best layouts. *)
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "base near minimum" true
+        (base.Figure6.miss_rate <= p.Figure6.miss_rate +. 0.02))
+    res.Figure6.points
+
+let test_padding_increases_misses () =
+  let r = Lazy.force runner in
+  let res = Padding.run r in
+  Alcotest.(check bool)
+    (Printf.sprintf "padding hurts (%.4f -> %.4f)" res.Padding.base_mr
+       res.Padding.padded_mr)
+    true
+    (res.Padding.padded_mr > res.Padding.base_mr)
+
+let test_padding_zero_is_identity () =
+  let r = Lazy.force runner in
+  let res = Padding.run ~pad:0 r in
+  Alcotest.(check (float 1e-12)) "no padding, no change" res.Padding.base_mr
+    res.Padding.padded_mr
+
+let test_setassoc_rows () =
+  let res = Setassoc.run (Bench.find "small") in
+  let rows (s : Setassoc.section) = s.Setassoc.rows in
+  Alcotest.(check int) "four 2-way rows" 4 (List.length (rows res.Setassoc.two_way));
+  Alcotest.(check int) "four 4-way rows" 4 (List.length (rows res.Setassoc.four_way));
+  let get section label =
+    (List.find (fun r -> r.Setassoc.label = label) (rows section)).Setassoc.miss_rate
+  in
+  let default = get res.Setassoc.two_way "default layout" in
+  let sa = get res.Setassoc.two_way "GBSC-SA (pair database)" in
+  Alcotest.(check bool) "GBSC-SA beats default on 2-way" true (sa < default);
+  (* At 4 ways conflicts nearly vanish; require the tuple placement not to
+     be materially worse than the default layout. *)
+  Alcotest.(check bool) "tuple SA competitive on 4-way" true
+    (get res.Setassoc.four_way "GBSC-SA (tuple database)"
+    <= 1.1 *. get res.Setassoc.four_way "default layout")
+
+let test_ablation_rows () =
+  let r = Lazy.force runner in
+  let res = Ablation.run r in
+  Alcotest.(check int) "eleven variants" 11 (List.length res.Ablation.rows);
+  let get label =
+    (List.find (fun x -> x.Ablation.label = label) res.Ablation.rows).Ablation.miss_rate
+  in
+  let full = get "GBSC (full)" in
+  Alcotest.(check bool) "full GBSC beats default" true (full < get "default layout")
+
+let suite =
+  [
+    Alcotest.test_case "prepare consistency" `Quick test_prepare_consistency;
+    Alcotest.test_case "layouts cover program" `Quick test_layouts_cover_program;
+    Alcotest.test_case "table1 row" `Quick test_table1_row;
+    Alcotest.test_case "table1 paper reference complete" `Quick
+      test_table1_paper_reference_complete;
+    Alcotest.test_case "figure5 shapes" `Quick test_figure5_shapes;
+    Alcotest.test_case "figure5 GBSC best" `Quick test_figure5_gbsc_best;
+    Alcotest.test_case "figure5 deterministic" `Quick test_figure5_deterministic;
+    Alcotest.test_case "figure6 correlations" `Quick test_figure6_correlations;
+    Alcotest.test_case "figure6 base point" `Quick test_figure6_first_point_is_base;
+    Alcotest.test_case "padding increases misses" `Quick test_padding_increases_misses;
+    Alcotest.test_case "padding zero identity" `Quick test_padding_zero_is_identity;
+    Alcotest.test_case "setassoc rows" `Quick test_setassoc_rows;
+    Alcotest.test_case "ablation rows" `Quick test_ablation_rows;
+  ]

@@ -1,0 +1,62 @@
+module Heap = Trg_util.Heap
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop_max h = None)
+
+let test_max_order () =
+  let h = Heap.create () in
+  List.iter (fun (w, x) -> Heap.push h w x) [ (1., "a"); (5., "b"); (3., "c"); (4., "d") ];
+  let order = List.init 4 (fun _ -> match Heap.pop_max h with Some (_, x) -> x | None -> "?") in
+  Alcotest.(check (list string)) "descending priorities" [ "b"; "d"; "c"; "a" ] order
+
+let test_tie_break_insertion_order () =
+  let h = Heap.create () in
+  Heap.push h 2. "first";
+  Heap.push h 2. "second";
+  Heap.push h 2. "third";
+  let order = List.init 3 (fun _ -> match Heap.pop_max h with Some (_, x) -> x | None -> "?") in
+  Alcotest.(check (list string)) "FIFO among ties" [ "first"; "second"; "third" ] order
+
+let test_interleaved_push_pop () =
+  let h = Heap.create () in
+  Heap.push h 1. 1;
+  Heap.push h 3. 3;
+  (match Heap.pop_max h with
+  | Some (w, x) ->
+    Alcotest.(check (float 0.) ) "w" 3. w;
+    Alcotest.(check int) "x" 3 x
+  | None -> Alcotest.fail "expected element");
+  Heap.push h 2. 2;
+  Alcotest.(check bool) "peek 2" true (Heap.peek_max h = Some (2., 2));
+  Alcotest.(check int) "length" 2 (Heap.length h)
+
+let test_random_against_sort () =
+  let rng = Trg_util.Prng.create 99 in
+  let h = Heap.create () in
+  let items = Array.init 500 (fun i -> (Trg_util.Prng.float rng 100., i)) in
+  Array.iter (fun (w, i) -> Heap.push h w i) items;
+  let popped = ref [] in
+  let rec drain () =
+    match Heap.pop_max h with
+    | Some (w, _) ->
+      popped := w :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  (* popped collected in reverse, so it should be ascending reversed. *)
+  let ws = Array.of_list !popped in
+  let sorted = Array.copy ws in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "pops in descending order" true (ws = sorted)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "max order" `Quick test_max_order;
+    Alcotest.test_case "tie break by insertion" `Quick test_tie_break_insertion_order;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved_push_pop;
+    Alcotest.test_case "500 random items vs sort" `Quick test_random_against_sort;
+  ]

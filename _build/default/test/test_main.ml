@@ -1,0 +1,25 @@
+(* Test entry point: one alcotest run covering every library. *)
+
+let () =
+  Alcotest.run "trgplace"
+    [
+      ("prng", Test_prng.suite);
+      ("stats", Test_stats.suite);
+      ("heap", Test_heap.suite);
+      ("table", Test_table.suite);
+      ("program", Test_program.suite);
+      ("trace", Test_trace.suite);
+      ("cache", Test_cache.suite);
+      ("graph", Test_graph.suite);
+      ("qset", Test_qset.suite);
+      ("profile", Test_profile.suite);
+      ("place", Test_place.suite);
+      ("synth", Test_synth.suite);
+      ("eval", Test_eval.suite);
+      ("extensions", Test_extensions.suite);
+      ("tuple_db", Test_tuple_db.suite);
+      ("blocks", Test_blocks.suite);
+      ("reuse", Test_reuse.suite);
+      ("differential", Test_differential.suite);
+      ("coverage", Test_coverage.suite);
+    ]

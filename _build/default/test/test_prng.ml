@@ -1,0 +1,142 @@
+module Prng = Trg_util.Prng
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_int_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_int_in_bounds () =
+  let rng = Prng.create 8 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int_in rng 3 9 in
+    Alcotest.(check bool) "in [3,9]" true (v >= 3 && v <= 9)
+  done;
+  Alcotest.(check int) "degenerate range" 5 (Prng.int_in rng 5 5)
+
+let test_float_bounds () =
+  let rng = Prng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_int_uniformity () =
+  let rng = Prng.create 10 in
+  let counts = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let v = Prng.int rng 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 8 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d ~uniform (%d)" i c)
+        true
+        (abs (c - expected) < expected / 5))
+    counts
+
+let test_normal_moments () =
+  let rng = Prng.create 11 in
+  let n = 100_000 in
+  let samples = Array.init n (fun _ -> Prng.normal rng) in
+  let mean = Trg_util.Stats.mean samples in
+  let sd = Trg_util.Stats.stddev samples in
+  Alcotest.(check bool) "mean ~0" true (Float.abs mean < 0.02);
+  Alcotest.(check bool) "stddev ~1" true (Float.abs (sd -. 1.) < 0.02)
+
+let test_log_normal_positive () =
+  let rng = Prng.create 12 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Prng.log_normal rng ~mu:0. ~sigma:1. > 0.)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Prng.create 13 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate ~0.3" true (Float.abs (rate -. 0.3) < 0.01)
+
+let test_shuffle_permutation () =
+  let rng = Prng.create 14 in
+  let a = Array.init 100 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 (fun i -> i)) sorted;
+  Alcotest.(check bool) "actually moved" true (a <> Array.init 100 (fun i -> i))
+
+let test_sample_distinct () =
+  let rng = Prng.create 15 in
+  let a = Array.init 50 (fun i -> i) in
+  let s = Prng.sample rng a 20 in
+  Alcotest.(check int) "20 drawn" 20 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to Array.length sorted - 1 do
+    Alcotest.(check bool) "distinct" true (sorted.(i) <> sorted.(i - 1))
+  done
+
+let test_zipf_skew () =
+  let rng = Prng.create 16 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    let v = Prng.zipf rng ~n:10 ~s:1.2 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank0 > rank9" true (counts.(0) > 3 * counts.(9));
+  Alcotest.(check bool) "rank0 most common" true
+    (Array.for_all (fun c -> c <= counts.(0)) counts)
+
+let test_zipf_sampler_agrees () =
+  let sample = Prng.zipf_sampler ~n:50 ~s:1.1 in
+  let rng = Prng.create 17 in
+  for _ = 1 to 1000 do
+    let v = sample rng in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 50)
+  done
+
+let test_split_independent () =
+  let rng = Prng.create 18 in
+  let child = Prng.split rng in
+  let a = Prng.bits64 rng and b = Prng.bits64 child in
+  Alcotest.(check bool) "streams distinct" true (a <> b)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+    Alcotest.test_case "normal moments" `Quick test_normal_moments;
+    Alcotest.test_case "log-normal positive" `Quick test_log_normal_positive;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "sample distinct" `Quick test_sample_distinct;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf sampler range" `Quick test_zipf_sampler_agrees;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+  ]

@@ -1,0 +1,117 @@
+module Qset = Trg_profile.Qset
+
+let fixed32 _ = 32
+
+let collect q p =
+  let seen = ref [] in
+  let prior = Qset.reference q p ~between:(fun x -> seen := x :: !seen) in
+  (prior, List.rev !seen)
+
+(* The paper's Figure 3: building the TRG from trace #2 (M X M Z M X ...),
+   every procedure one cache line, Q bound of twice a 3-line cache. *)
+let test_figure3_steps () =
+  let q = Qset.create ~capacity_bytes:192 ~size_of:fixed32 in
+  let m = 0 and x = 1 and z = 3 in
+  Alcotest.(check bool) "M new" true (collect q m = (false, []));
+  Alcotest.(check bool) "X new" true (collect q x = (false, []));
+  (* (a): processing M increments W(M, X). *)
+  Alcotest.(check bool) "M sees X between" true (collect q m = (true, [ x ]));
+  (* (b): processing Z adds nothing (no previous occurrence). *)
+  Alcotest.(check bool) "Z new" true (collect q z = (false, []));
+  Alcotest.(check (list int)) "Q order X M Z" [ x; m; z ] (Qset.members q);
+  (* (c): processing M increments W(M, Z). *)
+  Alcotest.(check bool) "M sees Z" true (collect q m = (true, [ z ]));
+  (* (d): processing X increments W(X, Z) and W(X, M). *)
+  Alcotest.(check bool) "X sees Z and M" true (collect q x = (true, [ z; m ]));
+  Alcotest.(check (list int)) "final order" [ z; m; x ] (Qset.members q)
+
+let test_byte_bound_eviction () =
+  let q = Qset.create ~capacity_bytes:64 ~size_of:fixed32 in
+  ignore (collect q 10);
+  ignore (collect q 11);
+  ignore (collect q 12);
+  (* 96 bytes resident; evicting the oldest still leaves >= 64, so it goes. *)
+  Alcotest.(check (list int)) "oldest evicted" [ 11; 12 ] (Qset.members q);
+  Alcotest.(check int) "bytes" 64 (Qset.total_bytes q)
+
+let test_eviction_stops_at_bound () =
+  let q = Qset.create ~capacity_bytes:100 ~size_of:fixed32 in
+  List.iter (fun p -> ignore (collect q p)) [ 1; 2; 3; 4; 5 ];
+  (* 5*32=160; remove 1 -> 128; removing 2 would leave 96 < 100, so stop. *)
+  Alcotest.(check (list int)) "kept just above bound" [ 2; 3; 4; 5 ] (Qset.members q)
+
+let test_reference_after_eviction_is_new () =
+  let q = Qset.create ~capacity_bytes:64 ~size_of:fixed32 in
+  ignore (collect q 1);
+  ignore (collect q 2);
+  ignore (collect q 3);
+  (* 1 was evicted: re-referencing it reports no prior occurrence. *)
+  let prior, _ = collect q 1 in
+  Alcotest.(check bool) "evicted means no prior" false prior
+
+let test_oversized_item_survives () =
+  let q = Qset.create ~capacity_bytes:64 ~size_of:(fun _ -> 1000) in
+  ignore (collect q 1);
+  Alcotest.(check (list int)) "giant stays" [ 1 ] (Qset.members q);
+  ignore (collect q 2);
+  (* Referencing 2 evicts 1 (removal keeps >= bound ... 2000-1000 >= 64). *)
+  Alcotest.(check (list int)) "giant evicted by next" [ 2 ] (Qset.members q)
+
+let test_between_order_is_trace_order () =
+  let q = Qset.create ~capacity_bytes:10_000 ~size_of:fixed32 in
+  List.iter (fun p -> ignore (collect q p)) [ 7; 1; 2; 3 ];
+  let _, between = collect q 7 in
+  Alcotest.(check (list int)) "trace order" [ 1; 2; 3 ] between
+
+let test_re_reference_moves_to_end () =
+  let q = Qset.create ~capacity_bytes:10_000 ~size_of:fixed32 in
+  List.iter (fun p -> ignore (collect q p)) [ 1; 2; 3 ];
+  ignore (collect q 1);
+  Alcotest.(check (list int)) "1 now most recent" [ 2; 3; 1 ] (Qset.members q)
+
+let test_stats () =
+  let q = Qset.create ~capacity_bytes:10_000 ~size_of:fixed32 in
+  List.iter (fun p -> ignore (collect q p)) [ 1; 2; 3; 1 ];
+  let s = Qset.stats q in
+  Alcotest.(check int) "steps" 4 s.Qset.steps;
+  Alcotest.(check int) "max" 3 s.Qset.max_entries;
+  (* populations after each step: 1, 2, 3, 3 -> avg 2.25 *)
+  Alcotest.(check (float 1e-9)) "avg" 2.25 s.Qset.avg_entries
+
+(* Property: Q's members are always distinct, and after any step that
+   appended a genuinely new identifier (the only steps on which the paper
+   performs evictions) the byte bound holds: total - size(oldest) < capacity.
+   Re-reference steps do not change Q's contents, so the bound can lag there
+   by at most the size skew of the moved entry. *)
+let prop_qset_invariants =
+  QCheck.Test.make ~name:"qset invariants under random reference streams" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 300) (int_range 0 20))
+    (fun refs ->
+      let q = Qset.create ~capacity_bytes:256 ~size_of:(fun p -> 16 + (p * 8)) in
+      List.for_all
+        (fun p ->
+          let had_prior = Qset.reference q p ~between:(fun _ -> ()) in
+          let members = Qset.members q in
+          let distinct = List.sort_uniq compare members in
+          List.length distinct = List.length members
+          && (had_prior
+             ||
+             match members with
+             | [] -> false
+             | oldest :: _ ->
+               Qset.total_bytes q - (16 + (oldest * 8)) < 256
+               || List.length members = 1))
+        refs)
+
+let suite =
+  [
+    Alcotest.test_case "Figure 3 steps" `Quick test_figure3_steps;
+    Alcotest.test_case "byte bound eviction" `Quick test_byte_bound_eviction;
+    Alcotest.test_case "eviction stops at bound" `Quick test_eviction_stops_at_bound;
+    Alcotest.test_case "evicted means no prior" `Quick test_reference_after_eviction_is_new;
+    Alcotest.test_case "oversized item survives" `Quick test_oversized_item_survives;
+    Alcotest.test_case "between in trace order" `Quick test_between_order_is_trace_order;
+    Alcotest.test_case "re-reference moves to end" `Quick test_re_reference_moves_to_end;
+    Alcotest.test_case "stats" `Quick test_stats;
+    QCheck_alcotest.to_alcotest prop_qset_invariants;
+  ]

@@ -1,0 +1,86 @@
+module Stats = Trg_util.Stats
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let check_f name expected actual =
+  Alcotest.(check bool) (Printf.sprintf "%s: %g vs %g" name expected actual) true
+    (feq expected actual)
+
+let test_mean () = check_f "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_variance () =
+  (* Sample variance of 2,4,4,4,5,5,7,9 is 32/7. *)
+  check_f "variance" (32. /. 7.) (Stats.variance [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_variance_singleton () = check_f "singleton variance" 0. (Stats.variance [| 5. |])
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.; -1.; 7.; 2. |] in
+  check_f "min" (-1.) lo;
+  check_f "max" 7. hi
+
+let test_median_odd () = check_f "median odd" 3. (Stats.median [| 5.; 1.; 3. |])
+
+let test_median_even () = check_f "median even" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |])
+
+let test_percentile () =
+  let a = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_f "p0" 1. (Stats.percentile a 0.);
+  check_f "p50" 3. (Stats.percentile a 50.);
+  check_f "p100" 5. (Stats.percentile a 100.);
+  check_f "p25" 2. (Stats.percentile a 25.)
+
+let test_pearson_perfect () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let ys = Array.map (fun x -> (2. *. x) +. 1.) xs in
+  check_f "r=1" 1. (Stats.pearson xs ys);
+  let ys_neg = Array.map (fun x -> -.x) xs in
+  check_f "r=-1" (-1.) (Stats.pearson xs ys_neg)
+
+let test_pearson_uncorrelated () =
+  let xs = [| 1.; 2.; 3.; 4. |] and ys = [| 1.; -1.; 1.; -1. |] in
+  let r = Stats.pearson xs ys in
+  Alcotest.(check bool) "|r| small" true (Float.abs r < 0.5)
+
+let test_pearson_degenerate () =
+  check_f "zero variance" 0. (Stats.pearson [| 1.; 1.; 1. |] [| 1.; 2.; 3. |])
+
+let test_spearman_monotone () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  let ys = Array.map (fun x -> x ** 3.) xs in
+  check_f "monotone rho=1" 1. (Stats.spearman xs ys)
+
+let test_cdf_points () =
+  let pts = Stats.cdf_points [| 3.; 1.; 2. |] in
+  Alcotest.(check int) "3 points" 3 (List.length pts);
+  let xs = List.map fst pts and fs = List.map snd pts in
+  Alcotest.(check (list (float 1e-9))) "sorted xs" [ 1.; 2.; 3. ] xs;
+  Alcotest.(check (list (float 1e-9))) "fractions" [ 1. /. 3.; 2. /. 3.; 1. ] fs
+
+let test_histogram () =
+  let h = Stats.histogram [| 0.; 1.; 2.; 3.; 3.9 |] ~bins:4 in
+  Alcotest.(check int) "4 bins" 4 (Array.length h);
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all counted" 5 total
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "mean empty raises" `Quick test_mean_empty;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "variance singleton" `Quick test_variance_singleton;
+    Alcotest.test_case "min_max" `Quick test_min_max;
+    Alcotest.test_case "median odd" `Quick test_median_odd;
+    Alcotest.test_case "median even" `Quick test_median_even;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "pearson perfect" `Quick test_pearson_perfect;
+    Alcotest.test_case "pearson uncorrelated" `Quick test_pearson_uncorrelated;
+    Alcotest.test_case "pearson degenerate" `Quick test_pearson_degenerate;
+    Alcotest.test_case "spearman monotone" `Quick test_spearman_monotone;
+    Alcotest.test_case "cdf points" `Quick test_cdf_points;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+  ]

@@ -1,0 +1,277 @@
+module Program = Trg_program.Program
+module Trace = Trg_trace.Trace
+module Event = Trg_trace.Event
+module Tstats = Trg_trace.Tstats
+module Shape = Trg_synth.Shape
+module Behavior = Trg_synth.Behavior
+module Walker = Trg_synth.Walker
+module Gen = Trg_synth.Gen
+module Bench = Trg_synth.Bench
+module Toy = Trg_synth.Toy
+
+let small = Bench.find "small"
+
+(* --- Behavior validation ------------------------------------------------ *)
+
+let test_behavior_rejects_bad_prob () =
+  Alcotest.(check bool) "prob > 1 rejected" true
+    (try
+       ignore (Behavior.make [| [ Behavior.Call { callee = 0; prob = 1.5 } ] |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_behavior_rejects_duplicate_sids () =
+  let sel () = Behavior.Select { sid = 0; callees = [| 0 |]; pattern = Behavior.Round_robin } in
+  Alcotest.(check bool) "dup sid rejected" true
+    (try
+       ignore (Behavior.make [| [ sel (); sel () ] |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_behavior_rejects_block_overflow () =
+  let program = Program.of_sizes [| 64 |] in
+  let b = Behavior.make [| [ Behavior.Block { off = 32; len = 64 } ] |] in
+  Alcotest.(check bool) "overflow rejected" true
+    (try
+       Behavior.validate_against program b;
+       false
+     with Invalid_argument _ -> true)
+
+let test_behavior_static_targets () =
+  let b =
+    Behavior.make
+      [|
+        [
+          Behavior.Call { callee = 2; prob = 0.5 };
+          Behavior.Loop
+            {
+              lo = 1;
+              hi = 2;
+              body = [ Behavior.Select { sid = 0; callees = [| 1; 2 |]; pattern = Behavior.Round_robin } ];
+            };
+        ];
+        [];
+        [];
+      |]
+  in
+  Alcotest.(check (list int)) "targets" [ 1; 2 ] (Behavior.static_call_targets b 0)
+
+(* --- Shape ---------------------------------------------------------------- *)
+
+let test_shape_hot_count () =
+  Alcotest.(check int) "small hot count"
+    (1 + 2 + (2 * 3) + (2 * 3 * 3) + 4 + 3)
+    (Shape.hot_count small)
+
+let test_shape_validation () =
+  Alcotest.(check bool) "structure too big rejected" true
+    (try
+       Shape.validate { small with Shape.n_procs = 10 };
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Generator ------------------------------------------------------------ *)
+
+let test_gen_deterministic () =
+  let a = Gen.generate small and b = Gen.generate small in
+  Alcotest.(check bool) "same sizes" true
+    (Array.for_all2
+       (fun (p : Trg_program.Proc.t) (q : Trg_program.Proc.t) -> p = q)
+       (Program.procs a.Gen.program) (Program.procs b.Gen.program))
+
+let test_gen_counts () =
+  let w = Gen.generate small in
+  Alcotest.(check int) "procs" small.Shape.n_procs (Program.n_procs w.Gen.program);
+  Alcotest.(check int) "drivers" 6 (Array.length w.Gen.roles.Gen.drivers);
+  Alcotest.(check int) "workers" 18 (Array.length w.Gen.roles.Gen.workers);
+  Alcotest.(check int) "cold fills the rest"
+    (small.Shape.n_procs - Shape.hot_count small)
+    (Array.length w.Gen.roles.Gen.cold)
+
+let test_gen_total_size_close () =
+  let w = Gen.generate small in
+  let total = Program.total_size w.Gen.program in
+  let target = small.Shape.total_bytes in
+  Alcotest.(check bool)
+    (Printf.sprintf "total %d within 25%% of %d" total target)
+    true
+    (float_of_int (abs (total - target)) /. float_of_int target < 0.25)
+
+let test_gen_roles_partition () =
+  let w = Gen.generate small in
+  let r = w.Gen.roles in
+  let all =
+    Array.concat
+      [ [| r.Gen.main |]; r.Gen.ctrls; r.Gen.drivers; r.Gen.workers; r.Gen.libs; r.Gen.leaves; r.Gen.cold ]
+  in
+  let sorted = Array.copy all in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "roles partition ids"
+    (Array.init small.Shape.n_procs (fun i -> i))
+    sorted
+
+let test_gen_main_is_zero () =
+  let w = Gen.generate small in
+  Alcotest.(check int) "walker entry" 0 w.Gen.roles.Gen.main
+
+(* --- Walker ----------------------------------------------------------------- *)
+
+let test_walker_exact_budget () =
+  let w = Gen.generate small in
+  let params = { small.Shape.train with Walker.target_events = 5000 } in
+  let t = Walker.run w.Gen.program w.Gen.behavior params in
+  Alcotest.(check int) "exact length" 5000 (Trace.length t)
+
+let test_walker_deterministic () =
+  let w = Gen.generate small in
+  let params = { small.Shape.train with Walker.target_events = 2000 } in
+  let a = Walker.run w.Gen.program w.Gen.behavior params in
+  let b = Walker.run w.Gen.program w.Gen.behavior params in
+  Alcotest.(check bool) "same trace" true (Trace.to_list a = Trace.to_list b)
+
+let test_walker_seed_changes_trace () =
+  let w = Gen.generate small in
+  let params = { small.Shape.train with Walker.target_events = 2000 } in
+  let a = Walker.run w.Gen.program w.Gen.behavior params in
+  let b =
+    Walker.run w.Gen.program w.Gen.behavior { params with Walker.seed = params.Walker.seed + 1 }
+  in
+  Alcotest.(check bool) "different traces" true (Trace.to_list a <> Trace.to_list b)
+
+let test_walker_starts_with_enter_main () =
+  let w = Gen.generate small in
+  let params = { small.Shape.train with Walker.target_events = 100 } in
+  let t = Walker.run w.Gen.program w.Gen.behavior params in
+  let first = Trace.get t 0 in
+  Alcotest.(check bool) "enter main first" true
+    (first.Event.kind = Event.Enter && first.Event.proc = 0)
+
+let test_walker_events_within_proc_bounds () =
+  let w = Gen.generate small in
+  let params = { small.Shape.train with Walker.target_events = 20_000 } in
+  let t = Walker.run w.Gen.program w.Gen.behavior params in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let size = Program.size w.Gen.program e.Event.proc in
+      if e.Event.offset + e.Event.len > size then
+        Alcotest.failf "event %d+%d exceeds proc %d size %d" e.Event.offset e.Event.len
+          e.Event.proc size)
+    t
+
+let test_walker_transition_kinds_consistent () =
+  (* An Enter/Resume event's proc differs from the previous event's proc;
+     a Run event's proc matches it. *)
+  let w = Gen.generate small in
+  let params = { small.Shape.train with Walker.target_events = 20_000 } in
+  let t = Walker.run w.Gen.program w.Gen.behavior params in
+  let prev = ref (-1) in
+  Trace.iter
+    (fun (e : Event.t) ->
+      (match e.Event.kind with
+      | Event.Run ->
+        if !prev >= 0 && e.Event.proc <> !prev then
+          Alcotest.failf "Run event switched proc %d -> %d" !prev e.Event.proc
+      | Event.Enter | Event.Resume -> ());
+      prev := e.Event.proc)
+    t
+
+let test_walker_hot_procs_dominate () =
+  let w = Gen.generate small in
+  let t = Gen.train_trace w in
+  let stats = Tstats.compute ~n_procs:(Program.n_procs w.Gen.program) t in
+  let refs_of ids = Array.fold_left (fun acc p -> acc + stats.Tstats.ref_counts.(p)) 0 ids in
+  let hot =
+    refs_of w.Gen.roles.Gen.workers + refs_of w.Gen.roles.Gen.drivers
+    + refs_of w.Gen.roles.Gen.libs + refs_of w.Gen.roles.Gen.leaves
+  in
+  let cold = refs_of w.Gen.roles.Gen.cold in
+  Alcotest.(check bool)
+    (Printf.sprintf "hot %d >> cold %d" hot cold)
+    true
+    (hot > 20 * cold);
+  Alcotest.(check bool) "cold code still executes" true (cold > 0)
+
+let test_walker_loop_scale_lengthens_dwell () =
+  let w = Gen.generate small in
+  let base = { small.Shape.train with Walker.target_events = 50_000 } in
+  let scaled = { base with Walker.loop_scale = 2.0; Walker.seed = base.Walker.seed } in
+  let t1 = Walker.run w.Gen.program w.Gen.behavior base in
+  let t2 = Walker.run w.Gen.program w.Gen.behavior scaled in
+  let s1 = Tstats.compute ~n_procs:(Program.n_procs w.Gen.program) t1 in
+  let s2 = Tstats.compute ~n_procs:(Program.n_procs w.Gen.program) t2 in
+  (* Longer loops at equal event budget mean fewer transitions. *)
+  Alcotest.(check bool) "fewer transitions when scaled" true
+    (s2.Tstats.n_transitions < s1.Tstats.n_transitions)
+
+(* --- Bench shapes ------------------------------------------------------------ *)
+
+let test_bench_six_benchmarks () =
+  Alcotest.(check (list string)) "names"
+    [ "gcc"; "go"; "ghostscript"; "m88ksim"; "perl"; "vortex" ]
+    Bench.names
+
+let test_bench_shapes_valid () =
+  List.iter (fun s -> Shape.validate s) Bench.all
+
+let test_bench_hot_counts_match_table1 () =
+  (* Structural hot counts approximate Table 1's popular counts. *)
+  List.iter2
+    (fun shape expected ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s hot count" shape.Shape.name)
+        expected (Shape.hot_count shape))
+    Bench.all [ 136; 112; 216; 31; 36; 156 ]
+
+let test_bench_find_unknown () =
+  Alcotest.(check bool) "unknown raises" true
+    (try
+       ignore (Bench.find "xlisp");
+       false
+     with Not_found -> true)
+
+(* --- Toy -------------------------------------------------------------------- *)
+
+let test_toy_program_shape () =
+  Alcotest.(check int) "4 procs" 4 (Program.n_procs Toy.program);
+  Alcotest.(check int) "3 lines" 3 (Trg_cache.Config.n_lines Toy.cache)
+
+let test_toy_trace_lengths () =
+  (* 1 + 4 events per iteration. *)
+  Alcotest.(check int) "alternating" 321 (Trace.length (Toy.trace_alternating ()));
+  Alcotest.(check int) "blocked" 321 (Trace.length (Toy.trace_blocked ()))
+
+let test_toy_call_balance () =
+  let stats = Tstats.compute ~n_procs:4 (Toy.trace_blocked ()) in
+  Alcotest.(check int) "X entered 40x" 40 stats.Tstats.enter_counts.(Toy.x);
+  Alcotest.(check int) "Y entered 40x" 40 stats.Tstats.enter_counts.(Toy.y);
+  Alcotest.(check int) "Z entered 80x" 80 stats.Tstats.enter_counts.(Toy.z)
+
+let suite =
+  [
+    Alcotest.test_case "behavior rejects bad prob" `Quick test_behavior_rejects_bad_prob;
+    Alcotest.test_case "behavior rejects dup sids" `Quick test_behavior_rejects_duplicate_sids;
+    Alcotest.test_case "behavior rejects block overflow" `Quick test_behavior_rejects_block_overflow;
+    Alcotest.test_case "behavior static targets" `Quick test_behavior_static_targets;
+    Alcotest.test_case "shape hot count" `Quick test_shape_hot_count;
+    Alcotest.test_case "shape validation" `Quick test_shape_validation;
+    Alcotest.test_case "gen deterministic" `Quick test_gen_deterministic;
+    Alcotest.test_case "gen counts" `Quick test_gen_counts;
+    Alcotest.test_case "gen total size close" `Quick test_gen_total_size_close;
+    Alcotest.test_case "gen roles partition" `Quick test_gen_roles_partition;
+    Alcotest.test_case "gen main is zero" `Quick test_gen_main_is_zero;
+    Alcotest.test_case "walker exact budget" `Quick test_walker_exact_budget;
+    Alcotest.test_case "walker deterministic" `Quick test_walker_deterministic;
+    Alcotest.test_case "walker seed changes trace" `Quick test_walker_seed_changes_trace;
+    Alcotest.test_case "walker enters main first" `Quick test_walker_starts_with_enter_main;
+    Alcotest.test_case "walker events in bounds" `Quick test_walker_events_within_proc_bounds;
+    Alcotest.test_case "walker transition kinds" `Quick test_walker_transition_kinds_consistent;
+    Alcotest.test_case "walker hot procs dominate" `Quick test_walker_hot_procs_dominate;
+    Alcotest.test_case "walker loop_scale dwell" `Quick test_walker_loop_scale_lengthens_dwell;
+    Alcotest.test_case "bench six benchmarks" `Quick test_bench_six_benchmarks;
+    Alcotest.test_case "bench shapes valid" `Quick test_bench_shapes_valid;
+    Alcotest.test_case "bench hot counts (Table 1)" `Quick test_bench_hot_counts_match_table1;
+    Alcotest.test_case "bench find unknown" `Quick test_bench_find_unknown;
+    Alcotest.test_case "toy program shape" `Quick test_toy_program_shape;
+    Alcotest.test_case "toy trace lengths" `Quick test_toy_trace_lengths;
+    Alcotest.test_case "toy call balance" `Quick test_toy_call_balance;
+  ]

@@ -1,0 +1,39 @@
+module Table = Trg_util.Table
+
+let test_render_basic () =
+  let s = Table.render ~header:[ "name"; "value" ] [ [ "a"; "1" ]; [ "bb"; "22" ] ] in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  Alcotest.(check bool) "has rule" true
+    (String.for_all (fun c -> c = '-') (List.nth lines 1))
+
+let test_render_pads_short_rows () =
+  let s = Table.render ~header:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_fmt_pct () =
+  Alcotest.(check string) "pct" "4.86%" (Table.fmt_pct 0.0486);
+  Alcotest.(check string) "pct decimals" "12.3%" (Table.fmt_pct ~decimals:1 0.123)
+
+let test_fmt_bytes () =
+  Alcotest.(check string) "kilobytes" "2277 K" (Table.fmt_bytes (2277 * 1024));
+  Alcotest.(check string) "small" "512 B" (Table.fmt_bytes 512)
+
+let test_fmt_int () =
+  Alcotest.(check string) "thousands" "1,234,567" (Table.fmt_int 1234567);
+  Alcotest.(check string) "small" "42" (Table.fmt_int 42);
+  Alcotest.(check string) "negative" "-1,000" (Table.fmt_int (-1000))
+
+let test_fmt_float () =
+  Alcotest.(check string) "two decimals" "3.14" (Table.fmt_float 3.14159);
+  Alcotest.(check string) "four decimals" "3.1416" (Table.fmt_float ~decimals:4 3.14159)
+
+let suite =
+  [
+    Alcotest.test_case "render basic" `Quick test_render_basic;
+    Alcotest.test_case "render pads short rows" `Quick test_render_pads_short_rows;
+    Alcotest.test_case "fmt_pct" `Quick test_fmt_pct;
+    Alcotest.test_case "fmt_bytes" `Quick test_fmt_bytes;
+    Alcotest.test_case "fmt_int" `Quick test_fmt_int;
+    Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+  ]
