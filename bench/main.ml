@@ -168,5 +168,9 @@ let () =
   print_endline "trgplace reproduction: Gloy, Blackwell, Smith, Calder —";
   print_endline "\"Procedure Placement Using Temporal Ordering Information\" (MICRO-30, 1997)";
   Printf.printf "mode: %s\n" (if quick then "quick" else "full (paper-faithful)");
-  Report.all opts;
+  (match Report.all opts with
+  | [] -> ()
+  | failures ->
+    Report.print_summary failures;
+    exit 3);
   run_benchmarks ()

@@ -50,13 +50,36 @@ let options_term =
     let doc = "Print full CDFs / point sets rather than summaries." in
     Arg.(value & flag & info [ "full-output" ] ~doc)
   in
-  let make verbose runs points benches quick full_output =
+  let keep_going =
+    let doc =
+      "Isolate failures: a benchmark that fails to prepare or evaluate is \
+       reported and skipped instead of aborting the batch.  The exit code \
+       is 3 when any step failed."
+    in
+    Arg.(value & flag & info [ "keep-going"; "k" ] ~doc)
+  in
+  let strict =
+    let doc = "Abort on the first failure (the default; overrides $(b,--keep-going))." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let force_fail =
+    let doc =
+      "Fault injection: force the named benchmark's preparation to fail \
+       (repeatable).  For exercising $(b,--keep-going) isolation."
+    in
+    Arg.(value & opt_all string [] & info [ "force-fail" ] ~docv:"NAME" ~doc)
+  in
+  let make verbose runs points benches quick full_output keep_going strict
+      force_fail =
     setup_logs verbose;
+    let keep_going = keep_going && not strict in
     if quick then
       {
         Trg_eval.Report.quick_options with
         Trg_eval.Report.print_cdf = full_output;
         print_points = full_output;
+        keep_going;
+        force_fail;
       }
     else
       let selected =
@@ -68,12 +91,24 @@ let options_term =
         benches = selected;
         print_cdf = full_output;
         print_points = full_output;
+        keep_going;
+        force_fail;
       }
   in
-  Term.(const make $ verbose_term $ runs $ points $ benches $ quick $ full_output)
+  Term.(
+    const make $ verbose_term $ runs $ points $ benches $ quick $ full_output
+    $ keep_going $ strict $ force_fail)
 
 let experiment name doc f =
-  let term = Term.(const f $ options_term) in
+  let run options =
+    match f options with
+    | [] -> ()
+    | failures ->
+      Trg_eval.Report.print_summary failures;
+      (* Partial failure: results above are valid, but not complete. *)
+      exit 3
+  in
+  let term = Term.(const run $ options_term) in
   Cmd.v (Cmd.info name ~doc) term
 
 let demo_cmd =
@@ -253,6 +288,54 @@ let export_dot_cmd =
   in
   Cmd.v (Cmd.info "export-dot" ~doc) Term.(const run $ bench $ what $ out $ min_weight)
 
+let verify_cmd =
+  let doc =
+    "Check artifact integrity: header, records, and (v2) CRC-32 trailer of \
+     trace, program and layout files."
+  in
+  let files =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc:"Artifact files.")
+  in
+  let sniff_magic path =
+    In_channel.with_open_bin path (fun ic ->
+        match In_channel.input_line ic with
+        | Some line -> Trg_util.Fault.magic_of_line line
+        | None -> "")
+  in
+  let verify_one path =
+    let described f describe =
+      match f with Ok v -> Ok (describe v) | Error e -> Error (Trg_util.Fault.to_string e)
+    in
+    match sniff_magic path with
+    | exception Sys_error msg -> Error msg
+    | "trgplace-trace" | "trgplace-traceb" ->
+      described (Trg_trace.Io.load_result path) (fun t ->
+          Printf.sprintf "trace (%d events)" (Trg_trace.Trace.length t))
+    | "trgplace-program" ->
+      described (Trg_program.Serial.load_program_result path) (fun p ->
+          Printf.sprintf "program (%d procedures)" (Trg_program.Program.n_procs p))
+    | "trgplace-layout" ->
+      described (Trg_program.Serial.verify_layout_result path) (fun n ->
+          Printf.sprintf "layout (%d procedures, structural check only)" n)
+    | got -> Error (Printf.sprintf "unknown artifact magic %S" got)
+  in
+  let run files =
+    let ok =
+      List.fold_left
+        (fun ok path ->
+          match verify_one path with
+          | Ok msg ->
+            Printf.printf "%s: OK %s\n" path msg;
+            ok
+          | Error msg ->
+            Printf.printf "%s: FAIL %s\n" path msg;
+            false)
+        true files
+    in
+    if not ok then exit 1
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ files)
+
 let show_layout_cmd =
   let doc = "Show a layout's cache mapping (per-set occupants)." in
   let program_f =
@@ -296,6 +379,7 @@ let cmds =
     simulate_cmd;
     export_dot_cmd;
     show_layout_cmd;
+    verify_cmd;
     experiment "table1" "Reproduce Table 1 (benchmark characteristics)."
       Trg_eval.Report.table1;
     experiment "characterize" "Reuse-distance workload characterisation."
@@ -332,4 +416,11 @@ let cmds =
 let () =
   let doc = "procedure placement using temporal ordering information (MICRO-30 reproduction)" in
   let info = Cmd.info "trgplace" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info cmds))
+  (* [Failure] is the boundary for expected runtime errors (corrupt artifacts,
+     strict-mode aborts): render it as a one-line message instead of letting
+     cmdliner report an internal error.  Anything else is still a crash. *)
+  exit
+    (try Cmd.eval ~catch:false (Cmd.group info cmds)
+     with Failure msg ->
+       Printf.eprintf "trgplace: %s\n%!" msg;
+       1)

@@ -7,7 +7,11 @@ type options = {
   benches : Shape.t list;
   print_cdf : bool;
   print_points : bool;
+  keep_going : bool;
+  force_fail : string list;
 }
+
+type failure = { experiment : string; bench : string option; message : string }
 
 let default_options =
   {
@@ -16,6 +20,8 @@ let default_options =
     benches = Bench.all;
     print_cdf = true;
     print_points = true;
+    keep_going = false;
+    force_fail = [];
   }
 
 let quick_options =
@@ -25,13 +31,16 @@ let quick_options =
     benches = [ Bench.find "small" ];
     print_cdf = false;
     print_points = false;
+    keep_going = false;
+    force_fail = [];
   }
 
 (* Prepared runners are cached per shape so [all] prepares each benchmark
    once across experiments. *)
 let cache : (string, Runner.t) Hashtbl.t = Hashtbl.create 8
 
-let runner shape =
+let runner options shape =
+  Runner.force_fail options.force_fail;
   let name = shape.Shape.name in
   match Hashtbl.find_opt cache name with
   | Some r -> r
@@ -39,6 +48,44 @@ let runner shape =
     let r = Runner.prepare shape in
     Hashtbl.add cache name r;
     r
+
+let message_of = function Failure m -> m | e -> Printexc.to_string e
+
+(* Isolation boundary.  Strict mode (the default) re-raises, matching the
+   pre-isolation behavior; with [keep_going] the failure is reported,
+   recorded, and the rest of the batch proceeds. *)
+let guarded options ~experiment ?bench failures f =
+  match f () with
+  | v -> Some v
+  | exception e when options.keep_going ->
+    let message = message_of e in
+    Printf.printf "!! %s%s FAILED: %s\n" experiment
+      (match bench with Some b -> " [" ^ b ^ "]" | None -> "")
+      message;
+    failures := { experiment; bench; message } :: !failures;
+    None
+
+(* Run [f] on every selected benchmark, isolating failures per benchmark
+   and keeping the successful results. *)
+let per_bench options ~experiment f =
+  let failures = ref [] in
+  let results =
+    List.filter_map
+      (fun s ->
+        guarded options ~experiment ~bench:s.Shape.name failures (fun () -> f s))
+      options.benches
+  in
+  (results, List.rev !failures)
+
+let per_bench_unit options ~experiment f =
+  let _, failures = per_bench options ~experiment (fun s -> f s) in
+  failures
+
+(* Experiments that run on one chosen benchmark. *)
+let single options ~experiment ~bench f =
+  let failures = ref [] in
+  ignore (guarded options ~experiment ~bench failures f);
+  List.rev !failures
 
 let pick options preferred =
   let by_name name = List.find_opt (fun s -> s.Shape.name = name) options.benches in
@@ -50,75 +97,124 @@ let pick options preferred =
     | [] -> invalid_arg "Report: no benchmarks selected")
 
 let table1 options =
-  let rows = List.map (fun s -> Table1.row_of (runner s)) options.benches in
-  Table1.print rows
+  let rows, failures =
+    per_bench options ~experiment:"table1" (fun s -> Table1.row_of (runner options s))
+  in
+  Table1.print rows;
+  failures
 
 let characterize options =
-  Charact.print (List.map (fun s -> Charact.row_of (runner s)) options.benches)
+  let rows, failures =
+    per_bench options ~experiment:"characterize" (fun s ->
+        Charact.row_of (runner options s))
+  in
+  Charact.print rows;
+  failures
 
 let figure5 options =
-  List.iter
-    (fun s ->
-      let result = Figure5.run ~runs:options.runs (runner s) in
+  per_bench_unit options ~experiment:"figure5" (fun s ->
+      let result = Figure5.run ~runs:options.runs (runner options s) in
       Figure5.print ~cdf:options.print_cdf result)
-    options.benches
 
 let figure6 options =
   let shape = pick options "go" in
-  Figure6.print ~points:options.print_points
-    (Figure6.run ~n:options.fig6_points (runner shape))
+  single options ~experiment:"figure6" ~bench:shape.Shape.name (fun () ->
+      Figure6.print ~points:options.print_points
+        (Figure6.run ~n:options.fig6_points (runner options shape)))
 
 let padding options =
-  Padding.print_many
-    (List.map (fun shape -> Padding.run (runner shape)) options.benches)
+  let results, failures =
+    per_bench options ~experiment:"padding" (fun s -> Padding.run (runner options s))
+  in
+  Padding.print_many results;
+  failures
 
-let setassoc _options = Setassoc.print (Setassoc.run (Bench.find "small"))
+let setassoc options =
+  let shape = Bench.find "small" in
+  single options ~experiment:"setassoc" ~bench:shape.Shape.name (fun () ->
+      Setassoc.print (Setassoc.run shape))
 
 let ablation options =
   let shape = pick options "small" in
-  Ablation.print (Ablation.run (runner shape))
+  single options ~experiment:"ablation" ~bench:shape.Shape.name (fun () ->
+      Ablation.print (Ablation.run (runner options shape)))
 
 let splitting options =
-  List.iter (fun shape -> Splitting.print (Splitting.run (runner shape))) options.benches
+  per_bench_unit options ~experiment:"splitting" (fun s ->
+      Splitting.print (Splitting.run (runner options s)))
 
 let paging options =
-  List.iter (fun shape -> Paging.print (Paging.run (runner shape))) options.benches
+  per_bench_unit options ~experiment:"paging" (fun s ->
+      Paging.print (Paging.run (runner options s)))
 
 let sampling options =
   let shape = pick options "gcc" in
-  Sampling.print (Sampling.run (runner shape))
+  single options ~experiment:"sampling" ~bench:shape.Shape.name (fun () ->
+      Sampling.print (Sampling.run (runner options shape)))
 
 let blocks options =
-  List.iter (fun shape -> Blocks.print (Blocks.run (runner shape))) options.benches
+  per_bench_unit options ~experiment:"blocks" (fun s ->
+      Blocks.print (Blocks.run (runner options s)))
 
 let online options =
   let shape = pick options "perl" in
-  Online.print (Online.run (runner shape))
+  single options ~experiment:"online" ~bench:shape.Shape.name (fun () ->
+      Online.print (Online.run (runner options shape)))
 
 let headroom options =
   let shape = pick options "go" in
-  Headroom.print (Headroom.run (runner shape))
+  single options ~experiment:"headroom" ~bench:shape.Shape.name (fun () ->
+      Headroom.print (Headroom.run (runner options shape)))
 
 let hierarchy options =
-  List.iter (fun shape -> Hierarchy.print (Hierarchy.run (runner shape))) options.benches
+  per_bench_unit options ~experiment:"hierarchy" (fun s ->
+      Hierarchy.print (Hierarchy.run (runner options s)))
 
 let sweep options =
   let shape = pick options "go" in
-  Sweep.print (Sweep.run shape)
+  single options ~experiment:"sweep" ~bench:shape.Shape.name (fun () ->
+      Sweep.print (Sweep.run shape))
 
 let all options =
-  table1 options;
-  characterize options;
-  figure5 options;
-  figure6 options;
-  padding options;
-  setassoc options;
-  ablation options;
-  splitting options;
-  paging options;
-  sampling options;
-  blocks options;
-  online options;
-  headroom options;
-  hierarchy options;
-  sweep options
+  let experiments =
+    [
+      ("table1", table1);
+      ("characterize", characterize);
+      ("figure5", figure5);
+      ("figure6", figure6);
+      ("padding", padding);
+      ("setassoc", setassoc);
+      ("ablation", ablation);
+      ("splitting", splitting);
+      ("paging", paging);
+      ("sampling", sampling);
+      ("blocks", blocks);
+      ("online", online);
+      ("headroom", headroom);
+      ("hierarchy", hierarchy);
+      ("sweep", sweep);
+    ]
+  in
+  List.concat_map
+    (fun (experiment, f) ->
+      (* A second boundary around the whole experiment catches failures
+         outside any per-benchmark body (printing, aggregation). *)
+      match f options with
+      | failures -> failures
+      | exception e when options.keep_going ->
+        let message = message_of e in
+        Printf.printf "!! %s FAILED: %s\n" experiment message;
+        [ { experiment; bench = None; message } ])
+    experiments
+
+let print_summary failures =
+  match failures with
+  | [] -> ()
+  | _ ->
+    Printf.printf "\n%d experiment step(s) failed:\n" (List.length failures);
+    List.iter
+      (fun { experiment; bench; message } ->
+        Printf.printf "  %-12s %-8s %s\n" experiment
+          (match bench with Some b -> b | None -> "-")
+          message)
+      failures

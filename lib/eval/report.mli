@@ -2,7 +2,13 @@
 
     Used by [bench/main.exe] (the full reproduction run) and the [trgplace]
     CLI.  All entry points print their results to stdout as ASCII tables
-    mirroring the paper's presentation. *)
+    mirroring the paper's presentation.
+
+    Every experiment is {b failure-isolating}: with [keep_going] set, one
+    benchmark raising does not kill the batch — the failure is reported
+    inline, recorded in the returned list, and the remaining benchmarks
+    still run.  Strict mode ([keep_going = false], the default) re-raises
+    the first failure, matching the historical behavior. *)
 
 type options = {
   runs : int;  (** Figure 5 perturbed placements per algorithm *)
@@ -10,57 +16,75 @@ type options = {
   benches : Trg_synth.Shape.t list;  (** benchmarks to evaluate *)
   print_cdf : bool;  (** print full Figure 5 CDFs *)
   print_points : bool;  (** print full Figure 6 point sets *)
+  keep_going : bool;
+      (** isolate failures per benchmark instead of aborting the batch *)
+  force_fail : string list;
+      (** fault injection: benchmarks that fail to prepare (see
+          {!Runner.force_fail}) *)
+}
+
+type failure = {
+  experiment : string;
+  bench : string option;  (** [None] for failures outside a benchmark body *)
+  message : string;
 }
 
 val default_options : options
-(** Paper-faithful: 40 runs, 80 points, all six benchmarks. *)
+(** Paper-faithful: 40 runs, 80 points, all six benchmarks, strict. *)
 
 val quick_options : options
-(** Small and fast: 8 runs, 20 points, the [small] workload only. *)
+(** Small and fast: 8 runs, 20 points, the [small] workload only, strict. *)
 
-val table1 : options -> unit
+val table1 : options -> failure list
+(** Each experiment returns the failures it isolated — always [[]] in
+    strict mode, where the first failure raises instead. *)
 
-val characterize : options -> unit
+val characterize : options -> failure list
 (** Reuse-distance characterisation of every selected benchmark. *)
 
-val figure5 : options -> unit
+val figure5 : options -> failure list
 
-val figure6 : options -> unit
+val figure6 : options -> failure list
 (** Runs on [go] (as in the paper) when it is among the selected
     benchmarks, otherwise on the first selected benchmark. *)
 
-val padding : options -> unit
+val padding : options -> failure list
 (** Runs on [perl] when selected, otherwise on the first benchmark. *)
 
-val setassoc : options -> unit
+val setassoc : options -> failure list
 (** Runs on the [small] workload (pair databases are quadratic in Q). *)
 
-val ablation : options -> unit
+val ablation : options -> failure list
 (** Runs on the first selected benchmark. *)
 
-val splitting : options -> unit
+val splitting : options -> failure list
 (** Procedure splitting + GBSC on every selected benchmark. *)
 
-val paging : options -> unit
+val paging : options -> failure list
 (** Page-locality comparison on every selected benchmark. *)
 
-val sampling : options -> unit
+val sampling : options -> failure list
 (** Sampled-profile quality study on the first selected benchmark. *)
 
-val blocks : options -> unit
+val blocks : options -> failure list
 (** Intra-procedure block reordering on every selected benchmark. *)
 
-val online : options -> unit
+val online : options -> failure list
 (** Online-vs-offline profiling comparison on the first selected benchmark. *)
 
-val headroom : options -> unit
+val headroom : options -> failure list
 (** Greedy-vs-annealed comparison on the first selected benchmark. *)
 
-val hierarchy : options -> unit
+val hierarchy : options -> failure list
 (** Two-level hierarchy study on every selected benchmark. *)
 
-val sweep : options -> unit
+val sweep : options -> failure list
 (** Cache-size sweep on [go] when selected, else the first benchmark. *)
 
-val all : options -> unit
-(** Every experiment in paper order, followed by the sweep. *)
+val all : options -> failure list
+(** Every experiment in paper order, followed by the sweep.  With
+    [keep_going], partial results are printed and every isolated failure
+    is returned; callers turn a non-empty list into a non-zero exit. *)
+
+val print_summary : failure list -> unit
+(** Prints a per-failure summary table (nothing for [[]]). *)

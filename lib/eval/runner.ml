@@ -18,13 +18,34 @@ type t = {
   wcg : Trg_profile.Graph.t;
 }
 
+(* Fault-injection hook: benchmarks named here fail to prepare.  Set by
+   [trgplace --force-fail] (via {!Report}) to exercise the batch runner's
+   failure isolation without needing a genuinely broken workload. *)
+let forced_failures : string list ref = ref []
+
+let force_fail names = forced_failures := names
+
+(* Annotate failures with the benchmark and pipeline stage so a batch
+   report can say more than "exception somewhere in prepare". *)
+let stage shape name f =
+  try f ()
+  with e ->
+    let msg = match e with Failure m -> m | e -> Printexc.to_string e in
+    failwith (Printf.sprintf "%s: %s stage failed: %s" shape.Shape.name name msg)
+
 let prepare ?config shape =
+  if List.mem shape.Shape.name !forced_failures then
+    failwith
+      (Printf.sprintf "%s: forced failure injected (--force-fail)"
+         shape.Shape.name);
   let config = match config with Some c -> c | None -> Gbsc.default_config () in
-  let workload = Gen.generate shape in
-  let train = Gen.train_trace workload in
-  let test = Gen.test_trace workload in
-  let prof = Gbsc.profile config workload.Gen.program train in
-  let wcg = Wcg.build train in
+  let workload = stage shape "generate" (fun () -> Gen.generate shape) in
+  let train = stage shape "train-trace" (fun () -> Gen.train_trace workload) in
+  let test = stage shape "test-trace" (fun () -> Gen.test_trace workload) in
+  let prof =
+    stage shape "profile" (fun () -> Gbsc.profile config workload.Gen.program train)
+  in
+  let wcg = stage shape "wcg" (fun () -> Wcg.build train) in
   { shape; workload; train; test; config; prof; wcg }
 
 let program t = t.workload.Gen.program

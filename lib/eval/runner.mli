@@ -16,7 +16,14 @@ type t = {
 }
 
 val prepare : ?config:Trg_place.Gbsc.config -> Trg_synth.Shape.t -> t
-(** Default config: the paper's 8 KB direct-mapped operating point. *)
+(** Default config: the paper's 8 KB direct-mapped operating point.
+    Failures in any preparation stage are re-raised as [Failure] tagged
+    with the benchmark name and stage. *)
+
+val force_fail : string list -> unit
+(** Fault-injection hook: [prepare] raises for benchmarks named here.
+    Used by [trgplace --force-fail] and the failure-isolation tests to
+    exercise batch error handling. *)
 
 val program : t -> Trg_program.Program.t
 

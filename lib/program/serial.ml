@@ -1,67 +1,141 @@
+module Fault = Trg_util.Fault
+module Checksum = Trg_util.Checksum
+
 let program_magic = "trgplace-program"
 
 let layout_magic = "trgplace-layout"
 
-let version = 1
+let version = 2
 
-let write_program oc program =
-  Printf.fprintf oc "%s %d %d\n" program_magic version (Program.n_procs program);
+(* --- serialisation --------------------------------------------------- *)
+
+let with_trailer buf =
+  let crc = Checksum.string (Buffer.contents buf) in
+  Buffer.add_string buf (Fault.crc_trailer crc);
+  Buffer.contents buf
+
+let program_string program =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d %d\n" program_magic version (Program.n_procs program));
   Program.iter
-    (fun (p : Proc.t) -> Printf.fprintf oc "%d %d %s\n" p.id p.size p.name)
-    program
+    (fun (p : Proc.t) ->
+      Buffer.add_string buf (Printf.sprintf "%d %d %s\n" p.id p.size p.name))
+    program;
+  with_trailer buf
 
-let parse_header ~magic line =
-  try
-    Scanf.sscanf line "%s %d %d" (fun m v n ->
-        if m <> magic then failwith ("Serial: bad magic, expected " ^ magic);
-        if v <> version then failwith "Serial: unsupported version";
-        n)
-  with Scanf.Scan_failure _ | End_of_file -> failwith "Serial: bad header"
+let layout_string layout =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d %d\n" layout_magic version (Layout.n_procs layout));
+  Array.iteri
+    (fun p addr -> Buffer.add_string buf (Printf.sprintf "%d %d\n" p addr))
+    (Layout.addresses layout);
+  with_trailer buf
+
+let write_program oc program = output_string oc (program_string program)
+
+let write_layout oc layout = output_string oc (layout_string layout)
+
+(* --- parsing --------------------------------------------------------- *)
+
+let bad_record fmt = Printf.ksprintf (fun m -> Fault.fail (Fault.Bad_record m)) fmt
+
+let read_program_reader r =
+  let header = Fault.Reader.line r ~what:"program header" in
+  let version, n =
+    Fault.parse_header ~magic:program_magic ~max_version:version header
+  in
+  let procs = ref [] in
+  for _ = 1 to n do
+    let line = Fault.Reader.line r ~what:"program records" in
+    let proc =
+      try
+        Scanf.sscanf line "%d %d %s@\n" (fun id size name ->
+            Proc.make ~id ~name ~size)
+      with
+      | Scanf.Scan_failure _ | Failure _ | End_of_file | Invalid_argument _ ->
+        bad_record "bad procedure line: %s" line
+    in
+    procs := proc :: !procs
+  done;
+  if version >= 2 then Fault.check_text_trailer r;
+  try Program.make (Array.of_list (List.rev !procs))
+  with Invalid_argument msg -> bad_record "invalid program: %s" msg
+
+(* Structural layout parse: header + records + trailer, with ids checked
+   against the record count.  Cross-validation against a program (count
+   match, overlap) happens in [read_layout_reader] on top of this. *)
+let read_layout_records r =
+  let header = Fault.Reader.line r ~what:"layout header" in
+  let version, n =
+    Fault.parse_header ~magic:layout_magic ~max_version:version header
+  in
+  (* Keyed by proc id so a hostile header count cannot force a huge
+     upfront allocation: n is only trusted once n records actually
+     parsed. *)
+  let addrs = Hashtbl.create (min (max n 1) 4096) in
+  for _ = 1 to n do
+    let line = Fault.Reader.line r ~what:"layout records" in
+    let p, a =
+      try Scanf.sscanf line "%d %d" (fun p a -> (p, a))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+        bad_record "bad layout line: %s" line
+    in
+    if p < 0 || p >= n then
+      bad_record "layout procedure id %d out of range [0, %d)" p n;
+    if Hashtbl.mem addrs p then
+      bad_record "duplicate layout entry for procedure %d" p;
+    if a < 0 then bad_record "negative address %d for procedure %d" a p;
+    Hashtbl.add addrs p a
+  done;
+  if version >= 2 then Fault.check_text_trailer r;
+  (* n records with distinct ids in [0, n) is a bijection, so every id
+     is present. *)
+  (n, Array.init n (fun p -> Hashtbl.find addrs p))
+
+let read_layout_reader program r =
+  let n, addr = read_layout_records r in
+  if n <> Program.n_procs program then
+    bad_record "layout has %d procedures but the program has %d" n
+      (Program.n_procs program);
+  try Layout.of_addresses program addr
+  with Invalid_argument msg -> bad_record "invalid layout: %s" msg
 
 let read_program ic =
-  let n = parse_header ~magic:program_magic (input_line ic) in
-  let procs =
-    Array.init n (fun _ ->
-        let line = try input_line ic with End_of_file -> failwith "Serial: truncated program" in
-        try
-          Scanf.sscanf line "%d %d %s@\n" (fun id size name ->
-              Proc.make ~id ~name ~size)
-        with Scanf.Scan_failure _ | Invalid_argument _ ->
-          failwith ("Serial: bad procedure line: " ^ line))
-  in
-  Program.make procs
-
-let with_out path f =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
-
-let with_in path f =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
-
-let save_program path program = with_out path (fun oc -> write_program oc program)
-
-let load_program path = with_in path read_program
-
-let write_layout oc layout =
-  Printf.fprintf oc "%s %d %d\n" layout_magic version (Layout.n_procs layout);
-  Array.iteri
-    (fun p addr -> Printf.fprintf oc "%d %d\n" p addr)
-    (Layout.addresses layout)
+  Fault.or_fail (fun () -> read_program_reader (Fault.Reader.of_channel ic))
 
 let read_layout program ic =
-  let n = parse_header ~magic:layout_magic (input_line ic) in
-  if n <> Program.n_procs program then
-    failwith "Serial: layout does not match program";
-  let addr = Array.make n 0 in
-  for _ = 1 to n do
-    let line = try input_line ic with End_of_file -> failwith "Serial: truncated layout" in
-    try Scanf.sscanf line "%d %d" (fun p a -> addr.(p) <- a)
-    with Scanf.Scan_failure _ | Invalid_argument _ ->
-      failwith ("Serial: bad layout line: " ^ line)
-  done;
-  Layout.of_addresses program addr
+  Fault.or_fail (fun () -> read_layout_reader program (Fault.Reader.of_channel ic))
 
-let save_layout path layout = with_out path (fun oc -> write_layout oc layout)
+(* --- files ----------------------------------------------------------- *)
 
-let load_layout program path = with_in path (read_layout program)
+let load ~op path parse =
+  Fault.result (fun () ->
+      Fault.io_point ~op:(op ^ " " ^ path);
+      In_channel.with_open_bin path (fun ic ->
+          parse (Fault.Reader.of_channel ic)))
+
+let load_program_result path = load ~op:"read program" path read_program_reader
+
+let load_layout_result program path =
+  load ~op:"read layout" path (read_layout_reader program)
+
+let verify_layout_result path =
+  load ~op:"verify layout" path (fun r -> fst (read_layout_records r))
+
+let save_program_result path program =
+  Fault.result (fun () -> Fault.atomic_write path (program_string program))
+
+let save_layout_result path layout =
+  Fault.result (fun () -> Fault.atomic_write path (layout_string layout))
+
+let unwrap = function Ok v -> v | Error e -> failwith (Fault.to_string e)
+
+let save_program path program = unwrap (save_program_result path program)
+
+let load_program path = unwrap (load_program_result path)
+
+let save_layout path layout = unwrap (save_layout_result path layout)
+
+let load_layout program path = unwrap (load_layout_result program path)

@@ -26,11 +26,13 @@ let kind_of_char = function
 
 let kind_to_int = function Enter -> 0 | Resume -> 1 | Run -> 2
 
+(* [unpack] feeds this with untrusted on-disk words, so an unknown tag is
+   a data error, not a broken internal invariant. *)
 let kind_of_int = function
   | 0 -> Enter
   | 1 -> Resume
   | 2 -> Run
-  | _ -> assert false
+  | k -> invalid_arg (Printf.sprintf "Event.kind_of_int: %d" k)
 
 (* Bit layout (low to high): len:23 | offset:24 | proc:14 | kind:2 *)
 let pack t =

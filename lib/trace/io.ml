@@ -1,125 +1,122 @@
+module Fault = Trg_util.Fault
+module Checksum = Trg_util.Checksum
+
 let magic = "trgplace-trace"
-
-let version = 1
-
-let write_channel oc trace =
-  Printf.fprintf oc "%s %d %d\n" magic version (Trace.length trace);
-  Trace.iter
-    (fun (e : Event.t) ->
-      Printf.fprintf oc "%c %d %d %d\n" (Event.kind_to_char e.kind) e.proc e.offset
-        e.len)
-    trace
-
-let read_channel ic =
-  let header = input_line ic in
-  let n =
-    try
-      Scanf.sscanf header "%s %d %d" (fun m v n ->
-          if m <> magic then failwith "Trace.Io: bad magic";
-          if v <> version then failwith "Trace.Io: unsupported version";
-          n)
-    with Scanf.Scan_failure _ | End_of_file -> failwith "Trace.Io: bad header"
-  in
-  let builder = Trace.Builder.create ~capacity:(max n 1) () in
-  (try
-     for _ = 1 to n do
-       let line = input_line ic in
-       let event =
-         try
-           Scanf.sscanf line "%c %d %d %d" (fun k proc offset len ->
-               Event.make ~kind:(Event.kind_of_char k) ~proc ~offset ~len)
-         with Scanf.Scan_failure _ | Invalid_argument _ ->
-           failwith ("Trace.Io: bad event line: " ^ line)
-       in
-       Trace.Builder.add builder event
-     done
-   with End_of_file -> failwith "Trace.Io: truncated trace");
-  Trace.Builder.build builder
 
 let binary_magic = "trgplace-traceb"
 
-let write_channel_binary oc trace =
-  Printf.fprintf oc "%s %d %d\n" binary_magic version (Trace.length trace);
-  let buf = Bytes.create 8 in
+let version = 2
+
+(* Hostile headers can claim absurd counts; builders grow on demand, so
+   cap the upfront allocation instead of trusting the header. *)
+let initial_capacity n = max 1 (min n 65536)
+
+(* --- serialisation --------------------------------------------------- *)
+
+let text_string trace =
+  let buf = Buffer.create (16 * Trace.length trace + 64) in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d %d\n" magic version (Trace.length trace));
+  Trace.iter
+    (fun (e : Event.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%c %d %d %d\n" (Event.kind_to_char e.kind) e.proc
+           e.offset e.len))
+    trace;
+  let crc = Checksum.string (Buffer.contents buf) in
+  Buffer.add_string buf (Fault.crc_trailer crc);
+  Buffer.contents buf
+
+let binary_string trace =
+  let buf = Buffer.create ((8 * Trace.length trace) + 64) in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d %d\n" binary_magic version (Trace.length trace));
+  let word = Bytes.create 8 in
   Trace.iter
     (fun e ->
-      Bytes.set_int64_le buf 0 (Int64.of_int (Event.pack e));
-      output_bytes oc buf)
-    trace
+      Bytes.set_int64_le word 0 (Int64.of_int (Event.pack e));
+      Buffer.add_bytes buf word)
+    trace;
+  let crc = Checksum.string (Buffer.contents buf) in
+  Buffer.add_int32_le buf (Int32.of_int crc);
+  Buffer.contents buf
 
-let read_channel_binary_body ic n =
-  let builder = Trace.Builder.create ~capacity:(max n 1) () in
-  let buf = Bytes.create 8 in
-  (try
-     for _ = 1 to n do
-       really_input ic buf 0 8;
-       let packed = Int64.to_int (Bytes.get_int64_le buf 0) in
-       (* Unpack/repack validates field ranges implicitly via Event.make. *)
-       let e = Event.unpack packed in
-       Trace.Builder.add builder
-         (Event.make ~kind:e.Event.kind ~proc:e.Event.proc ~offset:e.Event.offset
-            ~len:e.Event.len)
-     done
-   with End_of_file -> failwith "Trace.Io: truncated binary trace");
+let write_channel oc trace = output_string oc (text_string trace)
+
+let write_channel_binary oc trace = output_string oc (binary_string trace)
+
+(* --- parsing --------------------------------------------------------- *)
+
+let parse_event line =
+  try
+    Scanf.sscanf line "%c %d %d %d" (fun k proc offset len ->
+        Event.make ~kind:(Event.kind_of_char k) ~proc ~offset ~len)
+  with
+  | Scanf.Scan_failure _ | Failure _ | End_of_file | Invalid_argument _ ->
+    Fault.fail (Fault.Bad_record ("bad event line: " ^ line))
+
+(* Shared text body reader: [read_channel] and [load] both end up here. *)
+let read_text_body r ~version ~n =
+  let builder = Trace.Builder.create ~capacity:(initial_capacity n) () in
+  for _ = 1 to n do
+    Trace.Builder.add builder (parse_event (Fault.Reader.line r ~what:"trace events"))
+  done;
+  if version >= 2 then Fault.check_text_trailer r;
   Trace.Builder.build builder
 
-let read_channel_binary ic =
-  let header = input_line ic in
-  let n =
-    try
-      Scanf.sscanf header "%s %d %d" (fun m v n ->
-          if m <> binary_magic then failwith "Trace.Io: bad binary magic";
-          if v <> version then failwith "Trace.Io: unsupported version";
-          n)
-    with Scanf.Scan_failure _ | End_of_file -> failwith "Trace.Io: bad header"
-  in
-  read_channel_binary_body ic n
+let read_binary_body r ~version ~n =
+  let builder = Trace.Builder.create ~capacity:(initial_capacity n) () in
+  let buf = Bytes.create 8 in
+  for _ = 1 to n do
+    Fault.Reader.block r buf ~len:8 ~what:"binary trace events";
+    let packed = Int64.to_int (Bytes.get_int64_le buf 0) in
+    let e =
+      try
+        let e = Event.unpack packed in
+        Event.make ~kind:e.Event.kind ~proc:e.Event.proc ~offset:e.Event.offset
+          ~len:e.Event.len
+      with Invalid_argument msg ->
+        Fault.fail (Fault.Bad_record ("bad binary event: " ^ msg))
+    in
+    Trace.Builder.add builder e
+  done;
+  if version >= 2 then Fault.check_binary_trailer r;
+  Trace.Builder.build builder
 
-let save_binary path trace =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> write_channel_binary oc trace)
+(* Dispatch on the header's magic word; both formats, both versions. *)
+let read_reader r =
+  let header = Fault.Reader.line r ~what:"trace header" in
+  match Fault.magic_of_line header with
+  | m when m = binary_magic ->
+    let version, n = Fault.parse_header ~magic:binary_magic ~max_version:version header in
+    read_binary_body r ~version ~n
+  | m when m = magic ->
+    let version, n = Fault.parse_header ~magic ~max_version:version header in
+    read_text_body r ~version ~n
+  | got -> Fault.fail (Fault.Bad_magic { expected = magic; got })
 
-let save path trace =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> write_channel oc trace)
+let read_channel ic = Fault.or_fail (fun () -> read_reader (Fault.Reader.of_channel ic))
 
-let load path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      (* Dispatch on the header's magic word. *)
-      let header = input_line ic in
-      let magic_of h = try String.sub h 0 (String.index h ' ') with Not_found -> h in
-      let parse m =
-        try
-          Scanf.sscanf header "%s %d %d" (fun m' v n ->
-              if m' <> m then failwith "Trace.Io: bad magic";
-              if v <> version then failwith "Trace.Io: unsupported version";
-              n)
-        with Scanf.Scan_failure _ | End_of_file -> failwith "Trace.Io: bad header"
-      in
-      match magic_of header with
-      | m when m = binary_magic -> read_channel_binary_body ic (parse binary_magic)
-      | m when m = magic ->
-        let n = parse magic in
-        let builder = Trace.Builder.create ~capacity:(max n 1) () in
-        (try
-           for _ = 1 to n do
-             let line = input_line ic in
-             let event =
-               try
-                 Scanf.sscanf line "%c %d %d %d" (fun k proc offset len ->
-                     Event.make ~kind:(Event.kind_of_char k) ~proc ~offset ~len)
-               with Scanf.Scan_failure _ | Invalid_argument _ ->
-                 failwith ("Trace.Io: bad event line: " ^ line)
-             in
-             Trace.Builder.add builder event
-           done
-         with End_of_file -> failwith "Trace.Io: truncated trace");
-        Trace.Builder.build builder
-      | _ -> failwith "Trace.Io: unknown trace format")
+let read_channel_binary ic = read_channel ic
+
+(* --- files ----------------------------------------------------------- *)
+
+let load_result path =
+  Fault.result (fun () ->
+      Fault.io_point ~op:("read " ^ path);
+      In_channel.with_open_bin path (fun ic ->
+          read_reader (Fault.Reader.of_channel ic)))
+
+let save_result path trace =
+  Fault.result (fun () -> Fault.atomic_write path (text_string trace))
+
+let save_binary_result path trace =
+  Fault.result (fun () -> Fault.atomic_write path (binary_string trace))
+
+let unwrap = function Ok v -> v | Error e -> failwith (Fault.to_string e)
+
+let load path = unwrap (load_result path)
+
+let save path trace = unwrap (save_result path trace)
+
+let save_binary path trace = unwrap (save_binary_result path trace)

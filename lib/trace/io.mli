@@ -1,33 +1,57 @@
-(** Text serialisation of traces.
+(** Serialisation of traces.
 
     The paper's toolchain stored ATOM-generated traces on disk between the
-    profiling and placement steps; this codec plays that role.  The format
-    is one event per line: [<kind> <proc> <offset> <len>] with kind one of
-    [E]/[R]/[.] (see {!Event.kind_to_char}), preceded by a header line
-    [trgplace-trace 1 <n_events>]. *)
+    profiling and placement steps; this codec plays that role.  The text
+    format is one event per line: [<kind> <proc> <offset> <len>] with kind
+    one of [E]/[R]/[.] (see {!Event.kind_to_char}), preceded by a header
+    line [trgplace-trace <version> <n_events>].
+
+    {b Format v2} (the version written by this code) appends an integrity
+    trailer — [#crc <hex>] for the text format, four raw little-endian
+    CRC-32 bytes for the binary format — covering every byte before it.
+    v1 files (no trailer) produced by earlier versions still load.  Saves
+    are atomic: content is written to [<path>.tmp] and renamed into
+    place, so a crash never leaves a half-written artifact.
+
+    Each loader exists in two flavours: a [_result] form returning a typed
+    {!Trg_util.Fault.error}, and a compatibility form raising [Failure]
+    with the rendered error. *)
+
+val version : int
+(** The format version written by {!save} / {!save_binary} (2). *)
 
 val write_channel : out_channel -> Trace.t -> unit
 
 val read_channel : in_channel -> Trace.t
-(** Raises [Failure] on a malformed stream. *)
+(** Reads either format, detected from the header, v1 or v2.  Raises
+    [Failure] on malformed input. *)
 
 val save : string -> Trace.t -> unit
-(** [save path trace] writes to a file. *)
+(** [save path trace] atomically writes the v2 text format. *)
+
+val save_result : string -> Trace.t -> (unit, Trg_util.Fault.error) result
 
 val load : string -> Trace.t
-(** Loads either format, detected from the header.  Raises [Sys_error] or
-    [Failure]. *)
+(** Loads either format, detected from the header.  Raises [Failure]. *)
+
+val load_result : string -> (Trace.t, Trg_util.Fault.error) result
+(** Typed-error loader: every malformed input — wrong magic, unknown
+    version, truncation, unparseable record, checksum mismatch, OS-level
+    failure — maps to the matching {!Trg_util.Fault.error}. *)
 
 (** {2 Binary format}
 
     A fixed-width binary encoding — one little-endian 64-bit word per
-    event ({!Event.pack}) after a [trgplace-traceb 1 <n>] header line —
-    roughly 4x smaller and an order of magnitude faster to parse than the
-    text form.  Million-event profile traces are the paper's working
-    medium, so the codec matters. *)
+    event ({!Event.pack}) after a [trgplace-traceb <version> <n>] header
+    line — roughly 4x smaller and an order of magnitude faster to parse
+    than the text form.  Million-event profile traces are the paper's
+    working medium, so the codec matters. *)
 
 val write_channel_binary : out_channel -> Trace.t -> unit
 
 val read_channel_binary : in_channel -> Trace.t
+(** Alias of {!read_channel}: the header names the format. *)
 
 val save_binary : string -> Trace.t -> unit
+
+val save_binary_result : string -> Trace.t -> (unit, Trg_util.Fault.error) result

@@ -1,0 +1,41 @@
+(* Table-driven CRC-32.  The digest lives in the low 32 bits of an int;
+   OCaml ints are 63-bit so no overflow handling is needed. *)
+
+let mask = 0xFFFFFFFF
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then (!c lsr 1) lxor 0xEDB88320 else !c lsr 1
+         done;
+         !c))
+
+let empty = 0
+
+let update_byte table crc b = (crc lsr 8) lxor table.((crc lxor b) land 0xFF)
+
+let substring ?(crc = empty) s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Checksum.substring";
+  let table = Lazy.force table in
+  let c = ref (crc lxor mask) in
+  for i = pos to pos + len - 1 do
+    c := update_byte table !c (Char.code (String.unsafe_get s i))
+  done;
+  !c lxor mask
+
+let string ?crc s = substring ?crc s ~pos:0 ~len:(String.length s)
+
+let bytes ?crc b ~pos ~len =
+  substring ?crc (Bytes.unsafe_to_string b) ~pos ~len
+
+let to_hex crc = Printf.sprintf "%08x" (crc land mask)
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    match int_of_string_opt ("0x" ^ s) with
+    | Some v when v >= 0 && v <= mask -> Some v
+    | _ -> None

@@ -1,0 +1,523 @@
+(* Robustness tests for the artifact pipeline: CRC-32, round-trips of the
+   v2 formats, v1 compatibility, a corruption matrix asserting every fault
+   yields a typed [Fault.error], the deterministic fault injector, the
+   retry combinator, and the failure-isolating batch runner. *)
+
+module Checksum = Trg_util.Checksum
+module Fault = Trg_util.Fault
+module Event = Trg_trace.Event
+module Trace = Trg_trace.Trace
+module Io = Trg_trace.Io
+module Program = Trg_program.Program
+module Layout = Trg_program.Layout
+module Serial = Trg_program.Serial
+module Report = Trg_eval.Report
+module Runner = Trg_eval.Runner
+
+let ev kind proc offset len = Event.make ~kind ~proc ~offset ~len
+
+let sample_events =
+  [
+    ev Event.Enter 0 0 32;
+    ev Event.Enter 1 0 16;
+    ev Event.Run 1 16 16;
+    ev Event.Resume 0 32 32;
+    ev Event.Enter 2 0 64;
+  ]
+
+let sample_trace = Trace.of_list sample_events
+
+let sample_program = Program.of_sizes [| 32; 64; 48 |]
+
+let sample_layout = Layout.default sample_program
+
+let with_temp f =
+  let path = Filename.temp_file "trgplace_faults" ".artifact" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(* --- CRC-32 ---------------------------------------------------------- *)
+
+let test_crc_vector () =
+  Alcotest.(check string) "check vector" "cbf43926" (Checksum.to_hex (Checksum.string "123456789"));
+  Alcotest.(check string) "empty" "00000000" (Checksum.to_hex Checksum.empty)
+
+let test_crc_chaining () =
+  let a = "trgplace" and b = " artifact pipeline" in
+  Alcotest.(check int) "chained = whole"
+    (Checksum.string (a ^ b))
+    (Checksum.string ~crc:(Checksum.string a) b);
+  Alcotest.(check int) "substring"
+    (Checksum.string "345")
+    (Checksum.substring "123456789" ~pos:2 ~len:3)
+
+let test_crc_hex_roundtrip () =
+  let crc = Checksum.string "some artifact" in
+  Alcotest.(check (option int)) "of_hex . to_hex" (Some crc) (Checksum.of_hex (Checksum.to_hex crc));
+  Alcotest.(check (option int)) "bad width" None (Checksum.of_hex "abc");
+  Alcotest.(check (option int)) "not hex" None (Checksum.of_hex "zzzzzzzz")
+
+(* --- round-trips ----------------------------------------------------- *)
+
+let test_text_trace_roundtrip () =
+  with_temp (fun path ->
+      Io.save path sample_trace;
+      (match Io.load_result path with
+      | Ok t -> Alcotest.(check bool) "events" true (Trace.to_list t = sample_events)
+      | Error e -> Alcotest.failf "unexpected error: %s" (Fault.to_string e));
+      Alcotest.(check bool) "no temp residue" false (Sys.file_exists (path ^ ".tmp")))
+
+let test_binary_trace_roundtrip () =
+  with_temp (fun path ->
+      Io.save_binary path sample_trace;
+      match Io.load_result path with
+      | Ok t -> Alcotest.(check bool) "events" true (Trace.to_list t = sample_events)
+      | Error e -> Alcotest.failf "unexpected error: %s" (Fault.to_string e))
+
+let test_program_roundtrip () =
+  with_temp (fun path ->
+      Serial.save_program path sample_program;
+      match Serial.load_program_result path with
+      | Ok p ->
+        Alcotest.(check int) "procs" (Program.n_procs sample_program) (Program.n_procs p)
+      | Error e -> Alcotest.failf "unexpected error: %s" (Fault.to_string e))
+
+let test_layout_roundtrip () =
+  with_temp (fun path ->
+      Serial.save_layout path sample_layout;
+      match Serial.load_layout_result sample_program path with
+      | Ok l ->
+        Alcotest.(check bool) "addresses" true
+          (Layout.addresses l = Layout.addresses sample_layout)
+      | Error e -> Alcotest.failf "unexpected error: %s" (Fault.to_string e))
+
+let test_missing_file () =
+  match Io.load_result "/nonexistent/trgplace.trace" with
+  | Error (Fault.Io_error _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Fault.to_string e)
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+
+(* --- v1 compatibility ------------------------------------------------ *)
+
+(* Derive a v1 file (no trailer) from the v2 bytes: drop the trailer and
+   rewrite the header version — exactly the format the seed code wrote. *)
+let v1_of_v2_text content =
+  let lines = String.split_on_char '\n' content in
+  let lines = List.filter (fun l -> l <> "" && not (String.length l >= 4 && String.sub l 0 4 = "#crc")) lines in
+  match lines with
+  | header :: records ->
+    let header =
+      match String.index_opt header ' ' with
+      | Some i ->
+        let magic = String.sub header 0 i in
+        let rest = String.sub header (i + 1) (String.length header - i - 1) in
+        let j = String.index rest ' ' in
+        magic ^ " 1" ^ String.sub rest j (String.length rest - j)
+      | None -> header
+    in
+    String.concat "" (List.map (fun l -> l ^ "\n") (header :: records))
+  | [] -> content
+
+let test_v1_text_trace_loads () =
+  with_temp (fun path ->
+      Io.save path sample_trace;
+      write_file path (v1_of_v2_text (read_file path));
+      match Io.load_result path with
+      | Ok t -> Alcotest.(check bool) "v1 text trace" true (Trace.to_list t = sample_events)
+      | Error e -> Alcotest.failf "v1 rejected: %s" (Fault.to_string e))
+
+let test_v1_binary_trace_loads () =
+  with_temp (fun path ->
+      Io.save_binary path sample_trace;
+      let content = read_file path in
+      (* Drop the 4 trailer bytes, rewrite the header version. *)
+      let content = String.sub content 0 (String.length content - 4) in
+      let header_end = String.index content '\n' in
+      let header = String.sub content 0 header_end in
+      let header =
+        Scanf.sscanf header "%s %d %d" (fun m _ n -> Printf.sprintf "%s %d %d" m 1 n)
+      in
+      write_file path
+        (header ^ String.sub content header_end (String.length content - header_end));
+      match Io.load_result path with
+      | Ok t -> Alcotest.(check bool) "v1 binary trace" true (Trace.to_list t = sample_events)
+      | Error e -> Alcotest.failf "v1 rejected: %s" (Fault.to_string e))
+
+let test_v1_program_and_layout_load () =
+  with_temp (fun path ->
+      Serial.save_program path sample_program;
+      write_file path (v1_of_v2_text (read_file path));
+      (match Serial.load_program_result path with
+      | Ok p -> Alcotest.(check int) "v1 program" 3 (Program.n_procs p)
+      | Error e -> Alcotest.failf "v1 program rejected: %s" (Fault.to_string e));
+      Serial.save_layout path sample_layout;
+      write_file path (v1_of_v2_text (read_file path));
+      match Serial.load_layout_result sample_program path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "v1 layout rejected: %s" (Fault.to_string e))
+
+(* --- corruption matrix ----------------------------------------------- *)
+
+(* Each artifact kind: name, writer, typed loader. *)
+let kinds : (string * (string -> unit) * (string -> (unit, Fault.error) result)) list =
+  [
+    ( "text-trace",
+      (fun p -> Io.save p sample_trace),
+      fun p -> Result.map ignore (Io.load_result p) );
+    ( "binary-trace",
+      (fun p -> Io.save_binary p sample_trace),
+      fun p -> Result.map ignore (Io.load_result p) );
+    ( "program",
+      (fun p -> Serial.save_program p sample_program),
+      fun p -> Result.map ignore (Serial.load_program_result p) );
+    ( "layout",
+      (fun p -> Serial.save_layout p sample_layout),
+      fun p -> Result.map ignore (Serial.load_layout_result sample_program p) );
+  ]
+
+let replace_first ~sub ~by s =
+  let n = String.length s and m = String.length sub in
+  let rec find i =
+    if i + m > n then None else if String.sub s i m = sub then Some i else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+  | None -> Alcotest.failf "corruption pattern %S not found" sub
+
+let lines_of s = String.split_on_char '\n' s
+
+let unlines ls = String.concat "\n" ls
+
+(* Corruption modes.  [expect] names the error constructors the mode may
+   legitimately produce — which one fires can depend on where in the
+   record structure the damage lands, but it must always be one of
+   these. *)
+let describe = function
+  | Fault.Bad_magic _ -> "Bad_magic"
+  | Fault.Unsupported_version _ -> "Unsupported_version"
+  | Fault.Checksum_mismatch _ -> "Checksum_mismatch"
+  | Fault.Truncated _ -> "Truncated"
+  | Fault.Bad_record _ -> "Bad_record"
+  | Fault.Io_error _ -> "Io_error"
+
+(* The text trailer is exactly 14 bytes ("#crc " + 8 hex + newline), so
+   cutting 14 removes precisely the trailer of every text artifact (and
+   tears mid-record in the binary one): always [Truncated]. *)
+let truncate_mode content = String.sub content 0 (String.length content - 14)
+
+(* A deeper cut also tears the last record, which may surface as a parse
+   error instead. *)
+let torn_tail_mode content = String.sub content 0 (String.length content - 20)
+
+let drop_trailer content = String.sub content 0 (String.length content - 6)
+
+let bad_magic_mode content = replace_first ~sub:"trgplace-" ~by:"xxxxxxxx-" content
+
+let bad_version_mode content = replace_first ~sub:" 2 " ~by:" 9 " content
+
+let oversized_count_mode content =
+  match lines_of content with
+  | header :: rest ->
+    let header =
+      Scanf.sscanf header "%s %d %d" (fun m v n -> Printf.sprintf "%s %d %d" m v (n + 5))
+    in
+    unlines (header :: rest)
+  | [] -> content
+
+let bad_record_mode content =
+  match lines_of content with
+  | header :: _ :: rest -> unlines (header :: "zz zz zz" :: rest)
+  | _ -> content
+
+let binary_zero_record content =
+  let header_end = String.index content '\n' + 1 in
+  let b = Bytes.of_string content in
+  Bytes.fill b header_end 8 '\000';
+  Bytes.to_string b
+
+let corruption_matrix =
+  [
+    ("truncation", truncate_mode, [ "Truncated" ]);
+    ("torn tail", torn_tail_mode, [ "Truncated"; "Bad_record" ]);
+    ("missing trailer", drop_trailer, [ "Truncated"; "Bad_record" ]);
+    ("bad magic", bad_magic_mode, [ "Bad_magic" ]);
+    ("bad version", bad_version_mode, [ "Unsupported_version" ]);
+    ("oversized count", oversized_count_mode, [ "Truncated"; "Bad_record" ]);
+    ("garbled record", bad_record_mode, [ "Bad_record"; "Checksum_mismatch"; "Truncated" ]);
+  ]
+
+let check_corruption ~kind ~mode load path mutate expect =
+  let content = mutate (read_file path) in
+  write_file path content;
+  let outcome = try `Result (load path) with e -> `Raised e in
+  match outcome with
+  | `Result (Error e) ->
+    let name = describe e in
+    if not (List.mem name expect) then
+      Alcotest.failf "%s/%s: got %s (%s), expected one of [%s]" kind mode name
+        (Fault.to_string e) (String.concat "; " expect)
+  | `Result (Ok ()) -> Alcotest.failf "%s/%s: corruption not detected" kind mode
+  | `Raised e ->
+    Alcotest.failf "%s/%s: untyped exception escaped the loader: %s" kind mode
+      (Printexc.to_string e)
+
+let test_corruption_matrix () =
+  List.iter
+    (fun (kind, save, load) ->
+      List.iter
+        (fun (mode, mutate, expect) ->
+          with_temp (fun path ->
+              save path;
+              check_corruption ~kind ~mode load path mutate expect))
+        corruption_matrix)
+    kinds
+
+let test_bit_flips_detected () =
+  (* Text artifacts: a single in-record digit change that still parses is
+     exactly what the CRC trailer exists to catch. *)
+  List.iter
+    (fun (kind, save, load, sub, by) ->
+      with_temp (fun path ->
+          save path;
+          check_corruption ~kind ~mode:"bit flip" load path
+            (replace_first ~sub ~by)
+            [ "Checksum_mismatch" ]))
+    [
+      ( "text-trace",
+        (fun p -> Io.save p sample_trace),
+        (fun p -> Result.map ignore (Io.load_result p)),
+        "E 0 0 32",
+        "E 0 1 32" );
+      ( "program",
+        (fun p -> Serial.save_program p sample_program),
+        (fun p -> Result.map ignore (Serial.load_program_result p)),
+        "0 32 p0",
+        "0 33 p0" );
+      ( "layout",
+        (fun p -> Serial.save_layout p sample_layout),
+        (fun p -> Result.map ignore (Serial.load_layout_result sample_program p)),
+        "2 96",
+        "2 97" );
+    ];
+  (* Binary trace: flipped bits either break the CRC or a field range. *)
+  with_temp (fun path ->
+      Io.save_binary path sample_trace;
+      let flip content =
+        let i = String.index content '\n' + 3 in
+        let b = Bytes.of_string content in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+        Bytes.to_string b
+      in
+      check_corruption ~kind:"binary-trace" ~mode:"bit flip"
+        (fun p -> Result.map ignore (Io.load_result p))
+        path flip
+        [ "Checksum_mismatch"; "Bad_record" ])
+
+let test_binary_bad_record () =
+  with_temp (fun path ->
+      Io.save_binary path sample_trace;
+      check_corruption ~kind:"binary-trace" ~mode:"zeroed record"
+        (fun p -> Result.map ignore (Io.load_result p))
+        path binary_zero_record
+        [ "Bad_record"; "Checksum_mismatch" ])
+
+(* Regression for the out-of-bounds write in [Serial.read_layout]: an
+   unvalidated proc id used to index the address array directly and
+   escape as [Invalid_argument "index out of bounds"]. *)
+let test_layout_id_out_of_range () =
+  with_temp (fun path ->
+      Serial.save_layout path sample_layout;
+      check_corruption ~kind:"layout" ~mode:"id out of range"
+        (fun p -> Result.map ignore (Serial.load_layout_result sample_program p))
+        path
+        (replace_first ~sub:"1 32" ~by:"7 32")
+        [ "Bad_record" ])
+
+let test_layout_duplicate_id () =
+  with_temp (fun path ->
+      Serial.save_layout path sample_layout;
+      check_corruption ~kind:"layout" ~mode:"duplicate id"
+        (fun p -> Result.map ignore (Serial.load_layout_result sample_program p))
+        path
+        (replace_first ~sub:"1 32" ~by:"0 32")
+        [ "Bad_record" ])
+
+let test_verify_layout_structural () =
+  with_temp (fun path ->
+      Serial.save_layout path sample_layout;
+      (match Serial.verify_layout_result path with
+      | Ok n -> Alcotest.(check int) "procs" 3 n
+      | Error e -> Alcotest.failf "verify failed: %s" (Fault.to_string e));
+      write_file path (replace_first ~sub:"1 32" ~by:"7 32" (read_file path));
+      match Serial.verify_layout_result path with
+      | Error (Fault.Bad_record _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Fault.to_string e)
+      | Ok _ -> Alcotest.fail "structural fault not detected")
+
+(* --- fault injector -------------------------------------------------- *)
+
+let test_injector_deterministic () =
+  let payload = String.concat "\n" (List.init 50 (fun i -> string_of_int (i * 7))) in
+  let corrupt seed =
+    Fault.corrupt (Fault.injector ~bit_flip_rate:0.05 ~truncate_rate:0.2 ~seed ()) payload
+  in
+  Alcotest.(check string) "same seed, same damage" (corrupt 42) (corrupt 42);
+  Alcotest.(check bool) "damage applied" true (corrupt 42 <> payload)
+
+let test_injector_io_failures () =
+  let inj = Fault.injector ~io_fail_rate:1.0 ~seed:7 () in
+  with_temp (fun path ->
+      Io.save path sample_trace;
+      let before = read_file path in
+      (* Writes fail with a typed error and leave the artifact intact... *)
+      (match Fault.with_injector inj (fun () -> Io.save_result path Trace.(of_list [])) with
+      | Error (Fault.Io_error _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Fault.to_string e)
+      | Ok () -> Alcotest.fail "injected write fault did not fire");
+      Alcotest.(check string) "original artifact untouched" before (read_file path);
+      Alcotest.(check bool) "no temp residue" false (Sys.file_exists (path ^ ".tmp"));
+      (* ...and reads fail with a typed error too. *)
+      match Fault.with_injector inj (fun () -> Io.load_result path) with
+      | Error (Fault.Io_error _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Fault.to_string e)
+      | Ok _ -> Alcotest.fail "injected read fault did not fire")
+
+let test_injector_corrupts_writes () =
+  (* Heavy bit-flipping on the write path: whatever the damage hits —
+     header, records, trailer — the loader must answer with a typed
+     error, never an escaped exception. *)
+  let inj = Fault.injector ~bit_flip_rate:0.02 ~seed:3 () in
+  let big = Trace.of_list (List.concat (List.init 40 (fun _ -> sample_events))) in
+  with_temp (fun path ->
+      (match Fault.with_injector inj (fun () -> Io.save_result path big) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "save failed: %s" (Fault.to_string e));
+      match try `Result (Io.load_result path) with e -> `Raised e with
+      | `Result (Error _) -> ()
+      | `Result (Ok t) ->
+        (* Astronomically unlikely with ~70 expected flips, but only a
+           clean CRC would let it through. *)
+        Alcotest.(check bool) "flips evaded the CRC" true (Trace.to_list t = Trace.to_list big)
+      | `Raised e ->
+        Alcotest.failf "untyped exception escaped: %s" (Printexc.to_string e))
+
+(* --- retry ----------------------------------------------------------- *)
+
+let test_retry_succeeds_after_transients () =
+  let calls = ref 0 in
+  let slept = ref [] in
+  let v =
+    Fault.with_retry ~attempts:5 ~base_delay:0.01
+      ~sleep:(fun d -> slept := d :: !slept)
+      (fun () ->
+        incr calls;
+        if !calls < 3 then Fault.fail (Fault.Io_error "transient");
+        "done")
+  in
+  Alcotest.(check string) "value" "done" v;
+  Alcotest.(check int) "attempts used" 3 !calls;
+  Alcotest.(check (list (float 1e-9))) "exponential backoff" [ 0.02; 0.01 ] !slept
+
+let test_retry_exhausts () =
+  let calls = ref 0 in
+  (match
+     Fault.with_retry ~attempts:3 (fun () ->
+         incr calls;
+         Fault.fail (Fault.Io_error "still down"))
+   with
+  | (_ : unit) -> Alcotest.fail "expected failure"
+  | exception Fault.Error (Fault.Io_error _) -> ());
+  Alcotest.(check int) "all attempts used" 3 !calls
+
+let test_retry_not_retryable () =
+  let calls = ref 0 in
+  (match
+     Fault.with_retry ~attempts:3 (fun () ->
+         incr calls;
+         failwith "logic bug")
+   with
+  | (_ : unit) -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "no retries for permanent errors" 1 !calls
+
+(* --- failure-isolating batch runner ---------------------------------- *)
+
+let isolation_options =
+  {
+    Report.runs = 1;
+    fig6_points = 3;
+    benches = [ Trg_synth.Bench.find "small"; Trg_synth.Bench.find "go" ];
+    print_cdf = false;
+    print_points = false;
+    keep_going = true;
+    force_fail = [ "go" ];
+  }
+
+let test_strict_mode_propagates () =
+  Fun.protect
+    ~finally:(fun () -> Runner.force_fail [])
+    (fun () ->
+      match Report.table1 { isolation_options with keep_going = false } with
+      | _ -> Alcotest.fail "strict mode swallowed the failure"
+      | exception Failure msg ->
+        Alcotest.(check bool) "names the benchmark" true
+          (String.length msg >= 2 && String.sub msg 0 2 = "go"))
+
+let test_keep_going_isolates () =
+  Fun.protect
+    ~finally:(fun () -> Runner.force_fail [])
+    (fun () ->
+      let failures = Report.table1 isolation_options in
+      Alcotest.(check int) "one failure recorded" 1 (List.length failures);
+      let f = List.hd failures in
+      Alcotest.(check string) "experiment" "table1" f.Report.experiment;
+      Alcotest.(check (option string)) "bench" (Some "go") f.Report.bench)
+
+let test_keep_going_batch () =
+  Fun.protect
+    ~finally:(fun () -> Runner.force_fail [])
+    (fun () ->
+      let failures = Report.all isolation_options in
+      Alcotest.(check bool) "failures recorded" true (failures <> []);
+      (* Only the forced benchmark fails; everything on [small] completed. *)
+      List.iter
+        (fun (f : Report.failure) ->
+          Alcotest.(check (option string))
+            (Printf.sprintf "failure traces to the broken benchmark (%s/%s)"
+               f.Report.experiment f.Report.message)
+            (Some "go") f.Report.bench)
+        failures)
+
+let suite =
+  [
+    Alcotest.test_case "crc32 check vector" `Quick test_crc_vector;
+    Alcotest.test_case "crc32 chaining" `Quick test_crc_chaining;
+    Alcotest.test_case "crc32 hex roundtrip" `Quick test_crc_hex_roundtrip;
+    Alcotest.test_case "v2 text trace roundtrip" `Quick test_text_trace_roundtrip;
+    Alcotest.test_case "v2 binary trace roundtrip" `Quick test_binary_trace_roundtrip;
+    Alcotest.test_case "v2 program roundtrip" `Quick test_program_roundtrip;
+    Alcotest.test_case "v2 layout roundtrip" `Quick test_layout_roundtrip;
+    Alcotest.test_case "missing file is Io_error" `Quick test_missing_file;
+    Alcotest.test_case "v1 text trace loads" `Quick test_v1_text_trace_loads;
+    Alcotest.test_case "v1 binary trace loads" `Quick test_v1_binary_trace_loads;
+    Alcotest.test_case "v1 program/layout load" `Quick test_v1_program_and_layout_load;
+    Alcotest.test_case "corruption matrix" `Quick test_corruption_matrix;
+    Alcotest.test_case "bit flips detected" `Quick test_bit_flips_detected;
+    Alcotest.test_case "binary bad record" `Quick test_binary_bad_record;
+    Alcotest.test_case "layout id out of range" `Quick test_layout_id_out_of_range;
+    Alcotest.test_case "layout duplicate id" `Quick test_layout_duplicate_id;
+    Alcotest.test_case "verify layout structural" `Quick test_verify_layout_structural;
+    Alcotest.test_case "injector deterministic" `Quick test_injector_deterministic;
+    Alcotest.test_case "injector io failures" `Quick test_injector_io_failures;
+    Alcotest.test_case "injector corrupts writes" `Quick test_injector_corrupts_writes;
+    Alcotest.test_case "retry after transients" `Quick test_retry_succeeds_after_transients;
+    Alcotest.test_case "retry exhausts" `Quick test_retry_exhausts;
+    Alcotest.test_case "retry permanent error" `Quick test_retry_not_retryable;
+    Alcotest.test_case "strict mode propagates" `Quick test_strict_mode_propagates;
+    Alcotest.test_case "keep-going isolates" `Quick test_keep_going_isolates;
+    Alcotest.test_case "keep-going batch reports partial" `Slow test_keep_going_batch;
+  ]

@@ -22,4 +22,5 @@ let () =
       ("reuse", Test_reuse.suite);
       ("differential", Test_differential.suite);
       ("coverage", Test_coverage.suite);
+      ("io_faults", Test_io_faults.suite);
     ]
