@@ -32,7 +32,28 @@ module Trg = Trg_profile.Trg
 module Perturb = Trg_profile.Perturb
 module Table = Trg_util.Table
 
-let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+(* Strict argument handling: an unrecognized flag is a hard error, not a
+   silent full run (a mistyped [--quikc] used to cost minutes). *)
+let usage () = Printf.eprintf "usage: %s [--quick]\n" Sys.argv.(0)
+
+let quick =
+  let quick = ref false in
+  let ok = ref true in
+  for i = 1 to Array.length Sys.argv - 1 do
+    match Sys.argv.(i) with
+    | "--quick" -> quick := true
+    | "--help" | "-h" ->
+      usage ();
+      exit 0
+    | arg ->
+      Printf.eprintf "bench: unrecognized argument %S\n" arg;
+      ok := false
+  done;
+  if not !ok then begin
+    usage ();
+    exit 2
+  end;
+  !quick
 
 let benchmark_tests () =
   (* Timing subjects: [small] for profile-building benches, [go] for the

@@ -5,6 +5,8 @@
    one benchmark and prints a compact before/after comparison. *)
 
 open Cmdliner
+module J = Trg_obs.Json
+module Log = Trg_obs.Log
 
 let bench_names = Trg_synth.Bench.names @ [ "small" ]
 
@@ -13,14 +15,14 @@ let shapes_of_names names =
     (fun n ->
       try Trg_synth.Bench.find n
       with Not_found ->
-        Printf.eprintf "unknown benchmark %S (choose from: %s)\n" n
-          (String.concat ", " bench_names);
+        Log.err (fun m ->
+            m "unknown benchmark %S (choose from: %s)" n
+              (String.concat ", " bench_names));
         exit 2)
     names
 
 let setup_logs verbose =
-  Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+  Log.set_level (if verbose then Log.Info else Log.Warn)
 
 let verbose_term =
   let doc = "Log placement progress (info level) to stderr." in
@@ -99,16 +101,58 @@ let options_term =
     const make $ verbose_term $ runs $ points $ benches $ quick $ full_output
     $ keep_going $ strict $ force_fail)
 
+(* --- telemetry manifest plumbing ------------------------------------- *)
+
+let metrics_term =
+  let doc =
+    "Enable telemetry and write a JSON run manifest (resolved options, \
+     counters, spans, heap statistics, exit status) to $(docv) when the \
+     command finishes — also on partial or complete failure.  Inspect it \
+     with $(b,trgplace stats)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let config_json (o : Trg_eval.Report.options) =
+  [
+    ("runs", J.Int o.Trg_eval.Report.runs);
+    ("fig6_points", J.Int o.fig6_points);
+    ( "benches",
+      J.List (List.map (fun s -> J.String s.Trg_synth.Shape.name) o.benches) );
+    ("print_cdf", J.Bool o.print_cdf);
+    ("print_points", J.Bool o.print_points);
+    ("keep_going", J.Bool o.keep_going);
+    ("force_fail", J.List (List.map (fun n -> J.String n) o.force_fail));
+  ]
+
+(* Manifest writing wraps every command outcome, so a failed run still
+   leaves a machine-readable record of how far it got. *)
+let finish_run ~command ~config metrics_out status code =
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    let manifest =
+      Trg_obs.Manifest.build ~command ~argv:(Array.to_list Sys.argv) ~config
+        ~status ~exit_code:code ()
+    in
+    Trg_obs.Manifest.write path manifest;
+    Log.info (fun m -> m "wrote run manifest %s" path));
+  if code <> 0 then exit code
+
 let experiment name doc f =
-  let run options =
-    match f options with
-    | [] -> ()
+  let run options metrics_out =
+    if metrics_out <> None then Trg_obs.Span.set_enabled true;
+    let finish = finish_run ~command:name ~config:(config_json options) metrics_out in
+    match Trg_obs.Span.with_ name (fun () -> f options) with
+    | [] -> finish Trg_obs.Manifest.Ok 0
     | failures ->
       Trg_eval.Report.print_summary failures;
       (* Partial failure: results above are valid, but not complete. *)
-      exit 3
+      finish Trg_obs.Manifest.Partial 3
+    | exception Failure msg ->
+      Log.err (fun m -> m "%s" msg);
+      finish Trg_obs.Manifest.Failed 1
   in
-  let term = Term.(const run $ options_term) in
+  let term = Term.(const run $ options_term $ metrics_term) in
   Cmd.v (Cmd.info name ~doc) term
 
 let demo_cmd =
@@ -116,33 +160,44 @@ let demo_cmd =
   let bench =
     Arg.(value & opt string "small" & info [ "bench"; "b" ] ~docv:"NAME" ~doc:"Benchmark name.")
   in
-  let run name =
-    let shape = shapes_of_names [ name ] |> List.hd in
-    let r = Trg_eval.Runner.prepare shape in
-    let module Table = Trg_util.Table in
-    Table.section (Printf.sprintf "DEMO — %s" name);
-    let layouts =
-      [
-        ("default", Trg_eval.Runner.default_layout r);
-        ("Hwu-Chang", Trg_eval.Runner.hwu_chang_layout r);
-        ("Torrellas", Trg_eval.Runner.torrellas_layout r);
-        ("PH", Trg_eval.Runner.ph_layout r);
-        ("HKC", Trg_eval.Runner.hkc_layout r);
-        ("GBSC", Trg_eval.Runner.gbsc_layout r);
-      ]
+  let run name metrics_out =
+    if metrics_out <> None then Trg_obs.Span.set_enabled true;
+    let finish =
+      finish_run ~command:"demo" ~config:[ ("bench", J.String name) ] metrics_out
     in
-    Table.print
-      ~header:[ "layout"; "train MR"; "test MR" ]
-      (List.map
-         (fun (label, layout) ->
-           [
-             label;
-             Table.fmt_pct (Trg_eval.Runner.train_miss_rate r layout);
-             Table.fmt_pct (Trg_eval.Runner.test_miss_rate r layout);
-           ])
-         layouts)
+    let body () =
+      let shape = shapes_of_names [ name ] |> List.hd in
+      let r = Trg_eval.Runner.prepare shape in
+      let module Table = Trg_util.Table in
+      Table.section (Printf.sprintf "DEMO — %s" name);
+      let layouts =
+        [
+          ("default", Trg_eval.Runner.default_layout r);
+          ("Hwu-Chang", Trg_eval.Runner.hwu_chang_layout r);
+          ("Torrellas", Trg_eval.Runner.torrellas_layout r);
+          ("PH", Trg_eval.Runner.ph_layout r);
+          ("HKC", Trg_eval.Runner.hkc_layout r);
+          ("GBSC", Trg_eval.Runner.gbsc_layout r);
+        ]
+      in
+      Table.print
+        ~header:[ "layout"; "train MR"; "test MR" ]
+        (List.map
+           (fun (label, layout) ->
+             [
+               label;
+               Table.fmt_pct (Trg_eval.Runner.train_miss_rate r layout);
+               Table.fmt_pct (Trg_eval.Runner.test_miss_rate r layout);
+             ])
+           layouts)
+    in
+    match Trg_obs.Span.with_ "demo" body with
+    | () -> finish Trg_obs.Manifest.Ok 0
+    | exception Failure msg ->
+      Log.err (fun m -> m "%s" msg);
+      finish Trg_obs.Manifest.Failed 1
   in
-  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ bench)
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ bench $ metrics_term)
 
 (* --- file-based pipeline commands ------------------------------------ *)
 
@@ -336,6 +391,154 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ files)
 
+let stats_cmd =
+  let doc =
+    "Validate a telemetry run manifest (from $(b,--metrics-out)) and \
+     pretty-print it as ASCII tables."
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MANIFEST" ~doc:"Manifest file to render.")
+  in
+  let run file =
+    let module Table = Trg_util.Table in
+    let fail msg =
+      Log.err (fun m -> m "%s: %s" file msg);
+      exit 1
+    in
+    let json =
+      match Trg_obs.Manifest.load file with Ok j -> j | Error msg -> fail msg
+    in
+    (match Trg_obs.Manifest.validate json with
+    | Ok () -> ()
+    | Error msg -> fail msg);
+    let str k =
+      match J.member k json with Some (J.String s) -> s | _ -> "?"
+    in
+    let obj_fields k =
+      match J.member k json with Some (J.Obj fields) -> fields | _ -> []
+    in
+    let left2 = [ Table.Left; Table.Left ] in
+    Table.section (Printf.sprintf "RUN MANIFEST — %s (%s)" (str "command") (str "status"));
+    let argv =
+      match J.member "argv" json with
+      | Some (J.List l) -> String.concat " " (List.filter_map J.to_string_opt l)
+      | _ -> ""
+    in
+    let exit_code =
+      match Option.bind (J.member "exit_code" json) J.to_int with
+      | Some n -> string_of_int n
+      | None -> "?"
+    in
+    Table.print ~align:left2 ~header:[ "run"; "value" ]
+      [
+        [ "schema"; str "schema" ];
+        [ "status"; str "status" ];
+        [ "exit code"; exit_code ];
+        [ "argv"; argv ];
+      ];
+    (match obj_fields "config" with
+    | [] -> ()
+    | fields ->
+      print_newline ();
+      Table.print ~align:left2 ~header:[ "option"; "value" ]
+        (List.map (fun (k, v) -> [ k; J.to_string v ]) fields));
+    (match obj_fields "gc" with
+    | [] -> ()
+    | fields ->
+      print_newline ();
+      Table.print ~header:[ "gc"; "value" ]
+        (List.map
+           (fun (k, v) ->
+             let rendered =
+               match J.to_float v with
+               | Some x -> Table.fmt_int (int_of_float x)
+               | None -> J.to_string v
+             in
+             [ k; rendered ])
+           fields));
+    (match obj_fields "counters" with
+    | [] -> ()
+    | fields ->
+      print_newline ();
+      Table.print ~header:[ "counter"; "value" ]
+        (List.map
+           (fun (k, v) ->
+             [ k; (match J.to_int v with Some n -> Table.fmt_int n | None -> "?") ])
+           fields));
+    (match obj_fields "gauges" with
+    | [] -> ()
+    | fields ->
+      print_newline ();
+      Table.print ~header:[ "gauge"; "value" ]
+        (List.map
+           (fun (k, v) ->
+             [ k; (match J.to_float v with Some x -> Table.fmt_float x | None -> "?") ])
+           fields));
+    (match obj_fields "histograms" with
+    | [] -> ()
+    | fields ->
+      print_newline ();
+      Table.print ~align:left2 ~header:[ "histogram"; "total"; "bucket counts" ]
+        (List.map
+           (fun (k, v) ->
+             let total =
+               match Option.bind (J.member "total" v) J.to_int with
+               | Some n -> Table.fmt_int n
+               | None -> "?"
+             in
+             let counts =
+               match Option.bind (J.member "counts" v) J.to_list with
+               | Some l ->
+                 String.concat " "
+                   (List.map
+                      (fun c ->
+                        match J.to_int c with Some n -> string_of_int n | None -> "?")
+                      l)
+               | None -> "?"
+             in
+             [ k; total; counts ])
+           fields));
+    (match Option.bind (J.member "spans" json) J.to_list with
+    | None | Some [] -> ()
+    | Some spans ->
+      print_newline ();
+      Table.print
+        ~align:[ Table.Left; Table.Right; Table.Right; Table.Left ]
+        ~header:[ "span"; "wall ms"; "alloc words"; "outcome" ]
+        (List.map
+           (fun s ->
+             let field k = J.member k s in
+             let name =
+               match Option.bind (field "name") J.to_string_opt with
+               | Some n -> n
+               | None -> "?"
+             in
+             let depth =
+               match Option.bind (field "depth") J.to_int with Some d -> d | None -> 0
+             in
+             let wall =
+               match Option.bind (field "wall_s") J.to_float with
+               | Some w -> Table.fmt_float ~decimals:3 (1000. *. w)
+               | None -> "?"
+             in
+             let alloc =
+               match Option.bind (field "alloc_words") J.to_float with
+               | Some a -> Table.fmt_int (int_of_float a)
+               | None -> "?"
+             in
+             let outcome =
+               match Option.bind (field "outcome") J.to_string_opt with
+               | Some o -> o
+               | None -> "?"
+             in
+             [ String.make (2 * depth) ' ' ^ name; wall; alloc; outcome ])
+           spans))
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ file)
+
 let show_layout_cmd =
   let doc = "Show a layout's cache mapping (per-set occupants)." in
   let program_f =
@@ -380,6 +583,7 @@ let cmds =
     export_dot_cmd;
     show_layout_cmd;
     verify_cmd;
+    stats_cmd;
     experiment "table1" "Reproduce Table 1 (benchmark characteristics)."
       Trg_eval.Report.table1;
     experiment "characterize" "Reuse-distance workload characterisation."
@@ -422,5 +626,5 @@ let () =
   exit
     (try Cmd.eval ~catch:false (Cmd.group info cmds)
      with Failure msg ->
-       Printf.eprintf "trgplace: %s\n%!" msg;
+       Log.err (fun m -> m "%s" msg);
        1)

@@ -3,16 +3,30 @@ module Layout = Trg_program.Layout
 module Trace = Trg_trace.Trace
 module Event = Trg_trace.Event
 
-type result = { accesses : int; misses : int; events : int }
+type result = { accesses : int; misses : int; evictions : int; events : int }
 
 let miss_rate r = if r.accesses = 0 then 0. else float_of_int r.misses /. float_of_int r.accesses
+
+(* Per-run telemetry; flushed from per-run totals, never from the probe
+   loops themselves. *)
+let m_simulations = Trg_obs.Metrics.counter "sim/simulations"
+let m_accesses = Trg_obs.Metrics.counter "sim/accesses"
+let m_misses = Trg_obs.Metrics.counter "sim/misses"
+let m_evictions = Trg_obs.Metrics.counter "sim/evictions"
+
+let record r =
+  Trg_obs.Metrics.incr m_simulations;
+  Trg_obs.Metrics.add m_accesses r.accesses;
+  Trg_obs.Metrics.add m_misses r.misses;
+  Trg_obs.Metrics.add m_evictions r.evictions;
+  r
 
 (* Direct-mapped: one tag per line, tag = memory line address. *)
 let simulate_direct addr (config : Config.t) trace =
   let n_lines = Config.n_lines config in
   let line_size = config.line_size in
   let tags = Array.make n_lines (-1) in
-  let accesses = ref 0 and misses = ref 0 in
+  let accesses = ref 0 and misses = ref 0 and evictions = ref 0 in
   Trace.iter
     (fun (e : Event.t) ->
       let base = addr.(e.proc) + e.offset in
@@ -22,11 +36,17 @@ let simulate_direct addr (config : Config.t) trace =
         let idx = la mod n_lines in
         if tags.(idx) <> la then begin
           incr misses;
+          if tags.(idx) >= 0 then incr evictions;
           tags.(idx) <- la
         end
       done)
     trace;
-  { accesses = !accesses; misses = !misses; events = Trace.length trace }
+  {
+    accesses = !accesses;
+    misses = !misses;
+    evictions = !evictions;
+    events = Trace.length trace;
+  }
 
 (* Set-associative with true LRU: each set is a slice of [tags] kept in
    most-recently-used-first order. *)
@@ -35,7 +55,7 @@ let simulate_assoc addr (config : Config.t) trace =
   let assoc = config.assoc in
   let line_size = config.line_size in
   let tags = Array.make (n_sets * assoc) (-1) in
-  let accesses = ref 0 and misses = ref 0 in
+  let accesses = ref 0 and misses = ref 0 and evictions = ref 0 in
   Trace.iter
     (fun (e : Event.t) ->
       let base = addr.(e.proc) + e.offset in
@@ -58,7 +78,9 @@ let simulate_assoc addr (config : Config.t) trace =
           if !way >= 0 then !way
           else begin
             incr misses;
-            assoc - 1 (* victim: least recently used, at the back *)
+            (* victim: least recently used, at the back *)
+            if tags.(start + assoc - 1) >= 0 then incr evictions;
+            assoc - 1
           end
         in
         (* Move to front. *)
@@ -68,13 +90,19 @@ let simulate_assoc addr (config : Config.t) trace =
         tags.(start) <- la
       done)
     trace;
-  { accesses = !accesses; misses = !misses; events = Trace.length trace }
+  {
+    accesses = !accesses;
+    misses = !misses;
+    evictions = !evictions;
+    events = Trace.length trace;
+  }
 
 let simulate program layout config trace =
   let n = Program.n_procs program in
   let addr = Array.init n (Layout.address layout) in
-  if config.Config.assoc = 1 then simulate_direct addr config trace
-  else simulate_assoc addr config trace
+  record
+    (if config.Config.assoc = 1 then simulate_direct addr config trace
+     else simulate_assoc addr config trace)
 
 (* Tree-PLRU: per set, [assoc - 1] direction bits arranged as an implicit
    binary tree.  On access, flip the path bits to point away from the
@@ -85,7 +113,7 @@ let simulate_plru program layout (config : Config.t) trace =
     invalid_arg "Sim.simulate_plru: associativity must be a power of two";
   let n = Program.n_procs program in
   let addr = Array.init n (Layout.address layout) in
-  if assoc = 1 then simulate_direct addr config trace
+  if assoc = 1 then record (simulate_direct addr config trace)
   else begin
     let n_sets = Config.n_sets config in
     let line_size = config.Config.line_size in
@@ -118,7 +146,7 @@ let simulate_plru program layout (config : Config.t) trace =
       done;
       !way
     in
-    let accesses = ref 0 and misses = ref 0 in
+    let accesses = ref 0 and misses = ref 0 and evictions = ref 0 in
     Trace.iter
       (fun (e : Event.t) ->
         let base_addr = addr.(e.proc) + e.offset in
@@ -140,18 +168,26 @@ let simulate_plru program layout (config : Config.t) trace =
           if !way < 0 then begin
             incr misses;
             way := victim set;
+            if tags.(start + !way) >= 0 then incr evictions;
             tags.(start + !way) <- la
           end;
           touch set !way
         done)
       trace;
-    { accesses = !accesses; misses = !misses; events = Trace.length trace }
+    record
+      {
+        accesses = !accesses;
+        misses = !misses;
+        evictions = !evictions;
+        events = Trace.length trace;
+      }
   end
 
 type hierarchy_result = { l1 : result; l2 : result; amat : float }
 
-(* A reusable single-cache probe function over line addresses. *)
-let make_probe (config : Config.t) =
+(* A reusable single-cache probe function over line addresses; displaced
+   resident lines are tallied in [evicted]. *)
+let make_probe (config : Config.t) ~evicted =
   let n_sets = Config.n_sets config in
   let assoc = config.assoc in
   let tags = Array.make (n_sets * assoc) (-1) in
@@ -169,6 +205,7 @@ let make_probe (config : Config.t) =
      with Exit -> ());
     let hit = !way >= 0 in
     let from_way = if hit then !way else assoc - 1 in
+    if (not hit) && tags.(start + assoc - 1) >= 0 then incr evicted;
     for w = from_way downto 1 do
       tags.(start + w) <- tags.(start + w - 1)
     done;
@@ -180,7 +217,8 @@ let simulate_hierarchy program layout ~(l1 : Config.t) ~(l2 : Config.t) trace =
     invalid_arg "Sim.simulate_hierarchy: L2 line size must be a multiple of L1's";
   let n = Program.n_procs program in
   let addr = Array.init n (Layout.address layout) in
-  let probe1 = make_probe l1 and probe2 = make_probe l2 in
+  let e1 = ref 0 and e2 = ref 0 in
+  let probe1 = make_probe l1 ~evicted:e1 and probe2 = make_probe l2 ~evicted:e2 in
   let ratio = l2.line_size / l1.line_size in
   let a1 = ref 0 and m1 = ref 0 and a2 = ref 0 and m2 = ref 0 in
   Trace.iter
@@ -196,8 +234,14 @@ let simulate_hierarchy program layout ~(l1 : Config.t) ~(l2 : Config.t) trace =
         end
       done)
     trace;
-  let l1r = { accesses = !a1; misses = !m1; events = Trace.length trace } in
-  let l2r = { accesses = !a2; misses = !m2; events = Trace.length trace } in
+  let l1r =
+    record
+      { accesses = !a1; misses = !m1; evictions = !e1; events = Trace.length trace }
+  in
+  let l2r =
+    record
+      { accesses = !a2; misses = !m2; evictions = !e2; events = Trace.length trace }
+  in
   let amat =
     if !a1 = 0 then 0.
     else
@@ -260,6 +304,8 @@ let paging program layout ~page_size ~frames trace =
         end
       done)
     trace;
+  Trg_obs.Metrics.add (Trg_obs.Metrics.counter "sim/page_accesses") !accesses;
+  Trg_obs.Metrics.add (Trg_obs.Metrics.counter "sim/page_faults") !faults;
   {
     page_accesses = !accesses;
     page_faults = !faults;

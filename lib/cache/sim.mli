@@ -3,11 +3,18 @@
     Given a layout (procedure addresses) and a trace (byte ranges executed),
     the simulator probes every cache line the program would fetch, in
     program order, and counts misses.  This is the measurement device behind
-    all of the paper's reported miss rates. *)
+    all of the paper's reported miss rates.
+
+    Every simulation also feeds the [sim/*] telemetry counters
+    ({!Trg_obs.Metrics}): [sim/simulations], [sim/accesses], [sim/misses],
+    [sim/evictions], and [sim/page_accesses] / [sim/page_faults] for
+    {!paging}.  Counts are accumulated per run after the hot loop, so the
+    instrumentation costs nothing per access. *)
 
 type result = {
   accesses : int;  (** number of line references *)
   misses : int;
+  evictions : int;  (** misses that displaced a resident line *)
   events : int;  (** number of trace events processed *)
 }
 

@@ -7,9 +7,17 @@ module Trg = Trg_profile.Trg
 module Popularity = Trg_profile.Popularity
 module Tstats = Trg_trace.Tstats
 
-let log_src = Logs.Src.create "trgplace.gbsc" ~doc:"GBSC placement"
+module Log = Trg_obs.Log
+module Metrics = Trg_obs.Metrics
 
-module Log = (val Logs.src_log log_src)
+(* Telemetry: the paper's Section 4.4 cost drivers.  A "merge step" is one
+   merge_nodes application; each evaluates a full cost array over the
+   [n_sets] relative offsets of the two nodes (the candidate offsets). *)
+let m_merge_steps = Metrics.counter "gbsc/merge_steps"
+let m_cost_calls = Metrics.counter "gbsc/cost_calls"
+let m_offset_candidates = Metrics.counter "gbsc/offset_candidates"
+let m_placements = Metrics.counter "gbsc/placements"
+let m_profiles = Metrics.counter "gbsc/profiles"
 
 type config = {
   cache : Config.t;
@@ -44,6 +52,7 @@ type profile = {
 
 let profile config program trace =
   validate config;
+  Metrics.incr m_profiles;
   let tstats = Tstats.compute ~n_procs:(Program.n_procs program) trace in
   let popularity =
     Popularity.select ~coverage:config.coverage ~min_refs:config.min_refs program
@@ -74,8 +83,11 @@ let place_nodes config program ~select ~model =
     | Cost.Blend parts -> List.exists (fun (m, _) -> sparse_model m) parts
   in
   let packed_ties = sparse_model model in
+  let cost_calls = ref 0 and offset_candidates = ref 0 in
   let merge n1 n2 =
     let cost = Cost.offsets_cost model program ~line_size ~n_sets ~n1 ~n2 in
+    incr cost_calls;
+    offset_candidates := !offset_candidates + Array.length cost;
     let shift =
       if packed_ties then
         Cost.best_offset_packed cost
@@ -94,13 +106,17 @@ let place_nodes config program ~select ~model =
     merged
   in
   let nodes = Merge_driver.run ~graph:select ~init:Node.singleton ~merge in
+  Metrics.add m_merge_steps !merges;
+  Metrics.add m_cost_calls !cost_calls;
+  Metrics.add m_offset_candidates !offset_candidates;
   Log.info (fun m ->
-      m "merged %d popular procedures into %d nodes (%d merges)"
+      m "GBSC: merged %d popular procedures into %d nodes (%d merges)"
         (List.length (Graph.nodes select))
         (List.length nodes) !merges);
   nodes
 
 let place_with ?affinity config program ~select ~model =
+  Metrics.incr m_placements;
   let nodes = place_nodes config program ~select ~model in
   let placed = List.concat_map Node.members nodes in
   let in_nodes = Hashtbl.create 64 in

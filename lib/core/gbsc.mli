@@ -10,7 +10,14 @@
       cost over all cache offsets ([merge_nodes], Figure 4);
     + linearise the surviving nodes' cache-relative alignments into a
       complete layout, filling alignment gaps with unpopular procedures
-      (Section 4.3). *)
+      (Section 4.3).
+
+    Telemetry ({!Trg_obs.Metrics}): [gbsc/profiles], [gbsc/placements],
+    [gbsc/merge_steps] (merge_nodes applications), [gbsc/cost_calls] and
+    [gbsc/offset_candidates] (cost-array cells evaluated) — the work terms
+    of the paper's Section 4.4 running-time argument.  {!Hkc.place} reuses
+    this merge machinery, so its work is counted here too; progress logs
+    go through {!Trg_obs.Log} at info/debug level. *)
 
 type config = {
   cache : Trg_cache.Config.t;  (** target cache *)

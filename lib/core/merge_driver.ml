@@ -8,7 +8,14 @@ type 'node group = {
   adj : (int, float) Hashtbl.t; (* neighbor repr -> combined weight *)
 }
 
+(* Telemetry: heap churn of the greedy merge loop, flushed once per run. *)
+let m_runs = Trg_obs.Metrics.counter "merge/runs"
+let m_pops = Trg_obs.Metrics.counter "merge/heap_pops"
+let m_stale = Trg_obs.Metrics.counter "merge/stale_pops"
+let m_merges = Trg_obs.Metrics.counter "merge/merges"
+
 let run ~graph ~init ~merge =
+  let pops = ref 0 and stale_pops = ref 0 and merges = ref 0 in
   let groups : (int, 'a group) Hashtbl.t = Hashtbl.create 64 in
   let parent : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let rec find id =
@@ -38,6 +45,7 @@ let run ~graph ~init ~merge =
     match Heap.pop_max heap with
     | None -> ()
     | Some (w, (u, v)) ->
+      incr pops;
       let ru = find u and rv = find v in
       let stale =
         ru = rv
@@ -47,7 +55,9 @@ let run ~graph ~init ~merge =
         | Some current -> current <> w
         | None -> true
       in
-      if not stale then begin
+      if stale then incr stale_pops
+      else begin
+        incr merges;
         let gu = Hashtbl.find groups ru and gv = Hashtbl.find groups rv in
         (* Keep the larger group fixed; it becomes n1. *)
         let big, small =
@@ -84,6 +94,10 @@ let run ~graph ~init ~merge =
       loop ()
   in
   loop ();
+  Trg_obs.Metrics.incr m_runs;
+  Trg_obs.Metrics.add m_pops !pops;
+  Trg_obs.Metrics.add m_stale !stale_pops;
+  Trg_obs.Metrics.add m_merges !merges;
   let remaining = Hashtbl.fold (fun _ g acc -> g :: acc) groups [] in
   let sorted =
     List.sort

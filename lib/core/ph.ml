@@ -72,14 +72,25 @@ let merge_chains program wcg chain_of a b =
   List.iter (fun p -> Hashtbl.replace chain_of p a.cid) b.procs;
   { cid = a.cid; procs = combined }
 
+let m_placements = Trg_obs.Metrics.counter "ph/placements"
+let m_chain_merges = Trg_obs.Metrics.counter "ph/chain_merges"
+
 let order ~wcg program =
   let chain_of = Hashtbl.create 64 in
   List.iter (fun p -> Hashtbl.replace chain_of p p) (Graph.nodes wcg);
+  let chain_merges = ref 0 in
   let chains =
     Merge_driver.run ~graph:wcg
       ~init:(fun p -> { cid = p; procs = [ p ] })
-      ~merge:(fun a b -> merge_chains program wcg chain_of a b)
+      ~merge:(fun a b ->
+        incr chain_merges;
+        merge_chains program wcg chain_of a b)
   in
+  Trg_obs.Metrics.add m_chain_merges !chain_merges;
+  Trg_obs.Log.info (fun m ->
+      m "PH: %d chains from %d procedures (%d chain merges)" (List.length chains)
+        (List.length (Graph.nodes wcg))
+        !chain_merges);
   let in_chain = Array.make (Program.n_procs program) false in
   let placed =
     List.concat_map
@@ -95,4 +106,5 @@ let order ~wcg program =
   Array.of_list (placed @ !rest)
 
 let place ?(align = 4) ~wcg program =
+  Trg_obs.Metrics.incr m_placements;
   Layout.contiguous ~align program (order ~wcg program)

@@ -39,6 +39,8 @@ let quick_options =
    once across experiments. *)
 let cache : (string, Runner.t) Hashtbl.t = Hashtbl.create 8
 
+let reset_prepared () = Hashtbl.reset cache
+
 let runner options shape =
   Runner.force_fail options.force_fail;
   let name = shape.Shape.name in
@@ -53,9 +55,14 @@ let message_of = function Failure m -> m | e -> Printexc.to_string e
 
 (* Isolation boundary.  Strict mode (the default) re-raises, matching the
    pre-isolation behavior; with [keep_going] the failure is reported,
-   recorded, and the rest of the batch proceeds. *)
+   recorded, and the rest of the batch proceeds.  Each guarded body is a
+   telemetry span named after the benchmark (or the experiment for
+   whole-experiment bodies), so manifests carry one span per
+   (experiment, benchmark) with its outcome — including failures, which
+   the span records before the isolation boundary sees them. *)
 let guarded options ~experiment ?bench failures f =
-  match f () with
+  let span = match bench with Some b -> b | None -> experiment in
+  match Trg_obs.Span.with_ span f with
   | v -> Some v
   | exception e when options.keep_going ->
     let message = message_of e in
@@ -199,7 +206,7 @@ let all options =
     (fun (experiment, f) ->
       (* A second boundary around the whole experiment catches failures
          outside any per-benchmark body (printing, aggregation). *)
-      match f options with
+      match Trg_obs.Span.with_ experiment (fun () -> f options) with
       | failures -> failures
       | exception e when options.keep_going ->
         let message = message_of e in

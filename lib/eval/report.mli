@@ -88,3 +88,8 @@ val all : options -> failure list
 
 val print_summary : failure list -> unit
 (** Prints a per-failure summary table (nothing for [[]]). *)
+
+val reset_prepared : unit -> unit
+(** Drops the prepared-benchmark cache, forcing the next experiment to
+    re-run {!Runner.prepare}.  Tests use this to exercise preparation
+    paths (fault injection, telemetry spans) deterministically. *)

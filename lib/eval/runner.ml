@@ -26,27 +26,31 @@ let forced_failures : string list ref = ref []
 let force_fail names = forced_failures := names
 
 (* Annotate failures with the benchmark and pipeline stage so a batch
-   report can say more than "exception somewhere in prepare". *)
+   report can say more than "exception somewhere in prepare"; each stage
+   is also a telemetry span, so manifests show where preparation time
+   and allocation go per benchmark. *)
 let stage shape name f =
-  try f ()
+  try Trg_obs.Span.with_ name f
   with e ->
     let msg = match e with Failure m -> m | e -> Printexc.to_string e in
     failwith (Printf.sprintf "%s: %s stage failed: %s" shape.Shape.name name msg)
 
 let prepare ?config shape =
-  if List.mem shape.Shape.name !forced_failures then
-    failwith
-      (Printf.sprintf "%s: forced failure injected (--force-fail)"
-         shape.Shape.name);
-  let config = match config with Some c -> c | None -> Gbsc.default_config () in
-  let workload = stage shape "generate" (fun () -> Gen.generate shape) in
-  let train = stage shape "train-trace" (fun () -> Gen.train_trace workload) in
-  let test = stage shape "test-trace" (fun () -> Gen.test_trace workload) in
-  let prof =
-    stage shape "profile" (fun () -> Gbsc.profile config workload.Gen.program train)
-  in
-  let wcg = stage shape "wcg" (fun () -> Wcg.build train) in
-  { shape; workload; train; test; config; prof; wcg }
+  Trg_obs.Span.with_ ("prepare:" ^ shape.Shape.name) (fun () ->
+      Trg_obs.Log.info (fun m -> m "preparing benchmark %s" shape.Shape.name);
+      if List.mem shape.Shape.name !forced_failures then
+        failwith
+          (Printf.sprintf "%s: forced failure injected (--force-fail)"
+             shape.Shape.name);
+      let config = match config with Some c -> c | None -> Gbsc.default_config () in
+      let workload = stage shape "generate" (fun () -> Gen.generate shape) in
+      let train = stage shape "train-trace" (fun () -> Gen.train_trace workload) in
+      let test = stage shape "test-trace" (fun () -> Gen.test_trace workload) in
+      let prof =
+        stage shape "profile" (fun () -> Gbsc.profile config workload.Gen.program train)
+      in
+      let wcg = stage shape "wcg" (fun () -> Wcg.build train) in
+      { shape; workload; train; test; config; prof; wcg })
 
 let program t = t.workload.Gen.program
 

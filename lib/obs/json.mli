@@ -1,0 +1,42 @@
+(** Minimal JSON values for telemetry manifests.
+
+    The telemetry layer must not pull in external dependencies, so this
+    module provides just enough JSON: a value type, a deterministic
+    printer (object fields keep insertion order, floats render via a
+    shortest-round-trip heuristic), and a strict recursive-descent
+    parser for reading manifests back ([trgplace stats]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Deterministic rendering.  [indent = 0] (the default) is compact
+    single-line JSON; a positive [indent] pretty-prints with that many
+    spaces per nesting level.  Object fields print in insertion order;
+    callers wanting sorted output sort before constructing. *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the subset this module prints (standard JSON with
+    integer and floating-point numbers).  Numbers parse as [Int] when
+    they contain no fraction or exponent and fit in an OCaml [int].
+    Errors carry a byte offset. *)
+
+(** {2 Accessors} — total functions returning [option]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] is the first binding of [k], if any. *)
+
+val to_list : t -> t list option
+val to_int : t -> int option
+(** [Int n] or an integral [Float]. *)
+
+val to_float : t -> float option
+(** [Float x] or [Int n] as a float. *)
+
+val to_string_opt : t -> string option

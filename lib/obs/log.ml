@@ -1,0 +1,29 @@
+type level = Quiet | Error | Warn | Info | Debug
+
+let rank = function Quiet -> 0 | Error -> 1 | Warn -> 2 | Info -> 3 | Debug -> 4
+
+let label = function
+  | Quiet -> "quiet"
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let current = ref Warn
+
+let set_level l = current := l
+
+let level () = !current
+
+let log lvl msgf =
+  if rank lvl <= rank !current then
+    msgf (fun fmt ->
+        Printf.eprintf ("trgplace: [%s] " ^^ fmt ^^ "\n%!") (label lvl))
+
+let err msgf = log Error msgf
+
+let warn msgf = log Warn msgf
+
+let info msgf = log Info msgf
+
+let debug msgf = log Debug msgf

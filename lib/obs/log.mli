@@ -1,0 +1,24 @@
+(** One level-tagged stderr logging convention for the whole pipeline.
+
+    Replaces the mixture of [Logs] (GBSC only) and bare [Printf.eprintf]
+    (CLI error paths): every component logs through this module so one
+    [--verbose] flag covers PH, HKC, the runner and GBSC alike.
+
+    Messages are formatted lazily, [Logs]-style — the closure is only
+    applied when the level is enabled:
+
+    {[ Log.info (fun m -> m "merged %d nodes" n) ]}
+
+    Output goes to stderr as ["trgplace: [LEVEL] message\n"]. *)
+
+type level = Quiet | Error | Warn | Info | Debug
+
+val set_level : level -> unit
+(** Default: [Warn]. *)
+
+val level : unit -> level
+
+val err : ((('a, out_channel, unit) format -> 'a) -> unit) -> unit
+val warn : ((('a, out_channel, unit) format -> 'a) -> unit) -> unit
+val info : ((('a, out_channel, unit) format -> 'a) -> unit) -> unit
+val debug : ((('a, out_channel, unit) format -> 'a) -> unit) -> unit

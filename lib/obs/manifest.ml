@@ -1,0 +1,92 @@
+let schema = "trgplace-manifest/1"
+
+type status = Ok | Partial | Failed
+
+let status_to_string = function
+  | Ok -> "ok"
+  | Partial -> "partial-failure"
+  | Failed -> "failed"
+
+let gc_json () =
+  let s = Gc.quick_stat () in
+  Json.Obj
+    [
+      ("minor_words", Json.Float s.Gc.minor_words);
+      ("promoted_words", Json.Float s.Gc.promoted_words);
+      ("major_words", Json.Float s.Gc.major_words);
+      ("heap_words", Json.Int s.Gc.heap_words);
+      ("top_heap_words", Json.Int s.Gc.top_heap_words);
+      ("minor_collections", Json.Int s.Gc.minor_collections);
+      ("major_collections", Json.Int s.Gc.major_collections);
+      ("compactions", Json.Int s.Gc.compactions);
+    ]
+
+let build ~command ?(argv = []) ?(config = []) ~status ~exit_code () =
+  let metrics = Metrics.to_json () in
+  let field k =
+    match Json.member k metrics with Some v -> v | None -> Json.Obj []
+  in
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("command", Json.String command);
+      ("argv", Json.List (List.map (fun a -> Json.String a) argv));
+      ("config", Json.Obj config);
+      ("status", Json.String (status_to_string status));
+      ("exit_code", Json.Int exit_code);
+      ("gc", gc_json ());
+      ("counters", field "counters");
+      ("gauges", field "gauges");
+      ("histograms", field "histograms");
+      ("spans", Span.to_json ());
+    ]
+
+let write path json =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (match
+     output_string oc (Json.to_string ~indent:2 json);
+     output_char oc '\n'
+   with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> Json.of_string contents
+
+let validate json =
+  let require name check =
+    match Json.member name json with
+    | None -> Error (Printf.sprintf "manifest: missing %S member" name)
+    | Some v ->
+      if check v then Result.Ok ()
+      else Error (Printf.sprintf "manifest: member %S has the wrong type" name)
+  in
+  let is_obj = function Json.Obj _ -> true | _ -> false in
+  let is_list = function Json.List _ -> true | _ -> false in
+  let is_string = function Json.String _ -> true | _ -> false in
+  let is_int = function Json.Int _ -> true | _ -> false in
+  let ( let* ) = Result.bind in
+  let* () =
+    match Json.member "schema" json with
+    | Some (Json.String s) when s = schema -> Result.Ok ()
+    | Some (Json.String s) ->
+      Error (Printf.sprintf "manifest: unsupported schema %S (want %S)" s schema)
+    | Some _ | None -> Error "manifest: missing schema marker"
+  in
+  let* () = require "command" is_string in
+  let* () = require "argv" is_list in
+  let* () = require "config" is_obj in
+  let* () = require "status" is_string in
+  let* () = require "exit_code" is_int in
+  let* () = require "gc" is_obj in
+  let* () = require "counters" is_obj in
+  let* () = require "gauges" is_obj in
+  let* () = require "histograms" is_obj in
+  require "spans" is_list

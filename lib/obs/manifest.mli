@@ -1,0 +1,36 @@
+(** Structured run manifests: one JSON document per run.
+
+    A manifest captures what a run was (command, argv, resolved options),
+    what it did (counters, gauges, histograms, completed spans) and how
+    it ended (status, exit code, GC/heap statistics), so perf trajectories
+    can be compared machine-to-machine and commit-to-commit. *)
+
+val schema : string
+(** ["trgplace-manifest/1"]; bumped on incompatible layout changes. *)
+
+type status = Ok | Partial | Failed
+
+val status_to_string : status -> string
+(** ["ok"], ["partial-failure"], ["failed"]. *)
+
+val build :
+  command:string ->
+  ?argv:string list ->
+  ?config:(string * Json.t) list ->
+  status:status ->
+  exit_code:int ->
+  unit ->
+  Json.t
+(** Snapshots the metrics registry, completed spans and [Gc.quick_stat]
+    (including [top_heap_words], the peak major-heap size) at call time. *)
+
+val write : string -> Json.t -> unit
+(** Pretty-printed JSON, written atomically (temp file + rename) so a
+    crash mid-write never leaves a torn manifest.
+    @raise Sys_error on I/O failure. *)
+
+val load : string -> (Json.t, string) result
+
+val validate : Json.t -> (unit, string) result
+(** Structural check used by [trgplace stats]: schema marker plus the
+    presence and types of the required top-level members. *)

@@ -1,0 +1,149 @@
+type counter = { c_name : string; mutable count : int }
+
+type gauge = { g_name : string; mutable gvalue : float; mutable g_set : bool }
+
+type histogram = {
+  h_name : string;
+  limits : float array;
+  buckets : int array;  (* length = Array.length limits + 1; last = overflow *)
+  mutable total : int;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_clash name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is already registered as another metric kind" name)
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (C c) -> c
+  | Some _ -> kind_clash name
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.replace registry name (C c);
+    c
+
+let incr c = c.count <- c.count + 1
+
+let add c n = c.count <- c.count + n
+
+let value c = c.count
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (G g) -> g
+  | Some _ -> kind_clash name
+  | None ->
+    let g = { g_name = name; gvalue = 0.; g_set = false } in
+    Hashtbl.replace registry name (G g);
+    g
+
+let set_gauge g v =
+  g.gvalue <- v;
+  g.g_set <- true
+
+let max_gauge g v =
+  if (not g.g_set) || v > g.gvalue then set_gauge g v
+
+let gauge_value g = g.gvalue
+
+let default_limits = [| 1.; 10.; 100.; 1_000.; 10_000.; 100_000.; 1_000_000. |]
+
+let histogram ?(limits = default_limits) name =
+  match Hashtbl.find_opt registry name with
+  | Some (H h) -> h
+  | Some _ -> kind_clash name
+  | None ->
+    if Array.length limits = 0 then invalid_arg "Metrics.histogram: empty limits";
+    Array.iteri
+      (fun i l ->
+        if i > 0 && limits.(i - 1) >= l then
+          invalid_arg "Metrics.histogram: limits must be strictly increasing")
+      limits;
+    let h =
+      {
+        h_name = name;
+        limits = Array.copy limits;
+        buckets = Array.make (Array.length limits + 1) 0;
+        total = 0;
+      }
+    in
+    Hashtbl.replace registry name (H h);
+    h
+
+let observe h v =
+  let n = Array.length h.limits in
+  let rec bucket i = if i >= n || v <= h.limits.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.total <- h.total + 1
+
+let histogram_counts h = Array.copy h.buckets
+
+let histogram_total h = h.total
+
+let selected prefix name =
+  match prefix with
+  | None -> true
+  | Some p ->
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+
+let sorted_fold ?prefix f =
+  Hashtbl.fold
+    (fun name m acc -> if selected prefix name then f name m acc else acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+
+let counters ?prefix () =
+  sorted_fold ?prefix (fun name m acc ->
+      match m with C c -> (name, c.count) :: acc | _ -> acc)
+
+let gauges ?prefix () =
+  sorted_fold ?prefix (fun name m acc ->
+      match m with G g when g.g_set -> (name, g.gvalue) :: acc | _ -> acc)
+
+let histograms ?prefix () =
+  sorted_fold ?prefix (fun name m acc ->
+      match m with H h -> (name, h) :: acc | _ -> acc)
+
+let to_json ?prefix () =
+  let counters =
+    List.map (fun (name, v) -> (name, Json.Int v)) (counters ?prefix ())
+  in
+  let gauges =
+    List.map (fun (name, v) -> (name, Json.Float v)) (gauges ?prefix ())
+  in
+  let histograms =
+    List.map
+      (fun (name, h) ->
+        ( name,
+          Json.Obj
+            [
+              ("limits", Json.List (Array.to_list h.limits |> List.map (fun l -> Json.Float l)));
+              ("counts", Json.List (Array.to_list h.buckets |> List.map (fun c -> Json.Int c)));
+              ("total", Json.Int h.total);
+            ] ))
+      (histograms ?prefix ())
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj histograms);
+    ]
+
+let clear () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> c.count <- 0
+      | G g ->
+        g.gvalue <- 0.;
+        g.g_set <- false
+      | H h ->
+        Array.fill h.buckets 0 (Array.length h.buckets) 0;
+        h.total <- 0)
+    registry

@@ -1,0 +1,58 @@
+(** Named counters, gauges and fixed-bucket histograms.
+
+    One process-wide registry.  Registration is idempotent — asking for a
+    metric that already exists returns the existing handle — so
+    instrumented modules can register handles at module-initialisation
+    time and updates are a single unconditional field mutation, cheap
+    enough to leave enabled on hot paths.  Instrumentation that would
+    otherwise pay per-event costs accumulates into local references and
+    flushes once per operation instead.
+
+    Snapshots are deterministic: metrics render sorted by name. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Find-or-create.  @raise Invalid_argument if [name] is already
+    registered as a different metric kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val max_gauge : gauge -> float -> unit
+(** Keeps the maximum of all values offered; a fresh gauge holds the
+    first offered value. *)
+
+val gauge_value : gauge -> float
+
+val histogram : ?limits:float array -> string -> histogram
+(** Fixed upper-bound buckets ([limits] must be strictly increasing), plus
+    an implicit overflow bucket.  The default limits are decades
+    1, 10, ..., 1e6.  [?limits] is ignored when the histogram already
+    exists. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_counts : histogram -> int array
+(** Bucket occupancies, length [Array.length limits + 1] (last = overflow). *)
+
+val histogram_total : histogram -> int
+
+val counters : ?prefix:string -> unit -> (string * int) list
+(** Sorted by name; [?prefix] keeps only names starting with it. *)
+
+val gauges : ?prefix:string -> unit -> (string * float) list
+
+val to_json : ?prefix:string -> unit -> Json.t
+(** [Obj] with ["counters"], ["gauges"] and ["histograms"] members, each
+    sorted by metric name. *)
+
+val clear : unit -> unit
+(** Zeroes every registered metric (handles stay valid).  For tests and
+    for delimiting measurement windows; registration survives because
+    instrumented modules cache their handles. *)

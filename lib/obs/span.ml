@@ -1,0 +1,89 @@
+type outcome = Finished | Failed
+
+type record = {
+  name : string;
+  path : string;
+  depth : int;
+  wall_s : float;
+  alloc_words : float;
+  outcome : outcome;
+}
+
+type frame = { f_name : string; f_path : string; t0 : float; alloc0 : float }
+
+let on = ref false
+
+let set_enabled v = on := v
+
+let enabled () = !on
+
+let stack : frame list ref = ref []
+
+let completed : record list ref = ref []
+
+(* Words ever allocated by the program: immune to collections, so deltas
+   are monotone by construction.  [Gc.minor_words] reads the live young
+   pointer; [quick_stat.minor_words] only advances at minor collections,
+   which would hide most of a short span's allocation in native code. *)
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words
+
+let enter name =
+  let path =
+    match !stack with [] -> name | top :: _ -> top.f_path ^ "/" ^ name
+  in
+  stack :=
+    { f_name = name; f_path = path; t0 = Unix.gettimeofday (); alloc0 = allocated_words () }
+    :: !stack
+
+let leave outcome =
+  match !stack with
+  | [] -> ()
+  | top :: rest ->
+    stack := rest;
+    let wall_s = Float.max 0. (Unix.gettimeofday () -. top.t0) in
+    let alloc_words = Float.max 0. (allocated_words () -. top.alloc0) in
+    completed :=
+      {
+        name = top.f_name;
+        path = top.f_path;
+        depth = List.length rest;
+        wall_s;
+        alloc_words;
+        outcome;
+      }
+      :: !completed
+
+let with_ name f =
+  if not !on then f ()
+  else begin
+    enter name;
+    match f () with
+    | v ->
+      leave Finished;
+      v
+    | exception e ->
+      leave Failed;
+      raise e
+  end
+
+let records () = List.rev !completed
+
+let reset () = completed := []
+
+let to_json () =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("name", Json.String r.name);
+             ("path", Json.String r.path);
+             ("depth", Json.Int r.depth);
+             ("wall_s", Json.Float r.wall_s);
+             ("alloc_words", Json.Float r.alloc_words);
+             ( "outcome",
+               Json.String (match r.outcome with Finished -> "ok" | Failed -> "failed") );
+           ])
+       (records ()))

@@ -1,0 +1,39 @@
+(** Nested span timers: wall time plus allocation deltas per region.
+
+    Spans are {b disabled by default}; when disabled, {!with_} is a bool
+    check and a call, so instrumented hot paths stay benchmark-neutral.
+    When enabled (e.g. by [trgplace --metrics-out]), each completed span
+    records its name, nesting path, wall-clock duration and the words it
+    allocated (from [Gc.quick_stat] deltas), in completion order — an
+    inner span always precedes its parent, so the record list is a
+    deterministic post-order traversal of the dynamic span tree. *)
+
+type outcome = Finished | Failed
+
+type record = {
+  name : string;
+  path : string;  (** slash-joined names of enclosing spans + [name] *)
+  depth : int;  (** 0 for a root span *)
+  wall_s : float;  (** elapsed wall seconds, clamped to [>= 0.] *)
+  alloc_words : float;
+      (** words allocated during the span (minor + major - promoted),
+          clamped to [>= 0.] *)
+  outcome : outcome;  (** [Failed] when the body raised *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span.  If [f] raises, the span
+    records [Failed] and the exception propagates unchanged. *)
+
+val records : unit -> record list
+(** Completed spans in completion order. *)
+
+val reset : unit -> unit
+(** Forgets all completed spans (open spans are unaffected). *)
+
+val to_json : unit -> Json.t
+(** [List] of span objects in completion order: [name], [path], [depth],
+    [wall_s], [alloc_words], [outcome] ("ok" / "failed"). *)

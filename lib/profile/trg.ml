@@ -7,18 +7,37 @@ type built = { graph : Graph.t; qstats : Qset.stats }
 
 let default_chunk_size = 256
 
+(* Telemetry: builder work volumes, flushed once per [build_stream] from
+   local accumulators so the per-event path carries no registry traffic. *)
+let m_builds = Trg_obs.Metrics.counter "trg/builds"
+let m_refs = Trg_obs.Metrics.counter "trg/qset_references"
+let m_edge_incrs = Trg_obs.Metrics.counter "trg/edge_increments"
+let m_qsteps = Trg_obs.Metrics.counter "trg/qset_steps"
+let g_qmax = Trg_obs.Metrics.gauge "trg/qset_max_entries"
+
 let build_stream ~capacity_bytes ~size_of feed =
   let graph = Graph.create ~hint:1024 () in
   let q = Qset.create ~capacity_bytes ~size_of in
   let last = ref (-1) in
+  let refs = ref 0 and edge_incrs = ref 0 in
   let emit p =
     if p <> !last then begin
       last := p;
-      ignore (Qset.reference q p ~between:(fun inter -> Graph.add_edge graph p inter 1.))
+      incr refs;
+      ignore
+        (Qset.reference q p ~between:(fun inter ->
+             incr edge_incrs;
+             Graph.add_edge graph p inter 1.))
     end
   in
   feed emit;
-  { graph; qstats = Qset.stats q }
+  let qstats = Qset.stats q in
+  Trg_obs.Metrics.incr m_builds;
+  Trg_obs.Metrics.add m_refs !refs;
+  Trg_obs.Metrics.add m_edge_incrs !edge_incrs;
+  Trg_obs.Metrics.add m_qsteps qstats.Qset.steps;
+  Trg_obs.Metrics.max_gauge g_qmax (float_of_int qstats.Qset.max_entries);
+  { graph; qstats }
 
 let build_select ?(keep = fun _ -> true) ~capacity_bytes program trace =
   let feed emit =

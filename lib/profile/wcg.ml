@@ -1,19 +1,28 @@
 module Trace = Trg_trace.Trace
 module Event = Trg_trace.Event
 
+let m_builds = Trg_obs.Metrics.counter "wcg/builds"
+let m_edge_inserts = Trg_obs.Metrics.counter "wcg/edge_inserts"
+
 let build_with ~count_resume trace =
   let g = Graph.create () in
   let prev = ref (-1) in
+  let inserts = ref 0 in
+  let edge p q =
+    incr inserts;
+    Graph.add_edge g p q 1.
+  in
   Trace.iter
     (fun (e : Event.t) ->
       (match e.kind with
-      | Event.Enter -> if !prev >= 0 && !prev <> e.proc then Graph.add_edge g !prev e.proc 1.
+      | Event.Enter -> if !prev >= 0 && !prev <> e.proc then edge !prev e.proc
       | Event.Resume ->
-        if count_resume && !prev >= 0 && !prev <> e.proc then
-          Graph.add_edge g !prev e.proc 1.
+        if count_resume && !prev >= 0 && !prev <> e.proc then edge !prev e.proc
       | Event.Run -> ());
       prev := e.proc)
     trace;
+  Trg_obs.Metrics.incr m_builds;
+  Trg_obs.Metrics.add m_edge_inserts !inserts;
   g
 
 let build trace = build_with ~count_resume:true trace

@@ -112,13 +112,15 @@ let run_streaming program behavior params ~f =
     in
     stmts behavior.Behavior.bodies.(proc)
   in
-  try
-    while true do
-      let before = !emitted in
-      exec 0 0;
-      if !emitted = before then invalid_arg "Walker.run: main emitted no events"
-    done
-  with Budget_exhausted -> ()
+  (try
+     while true do
+       let before = !emitted in
+       exec 0 0;
+       if !emitted = before then invalid_arg "Walker.run: main emitted no events"
+     done
+   with Budget_exhausted -> ());
+  Trg_obs.Metrics.incr (Trg_obs.Metrics.counter "walker/runs");
+  Trg_obs.Metrics.add (Trg_obs.Metrics.counter "walker/events") !emitted
 
 let run program behavior params =
   let builder = Trace.Builder.create ~capacity:params.target_events () in

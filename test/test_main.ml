@@ -23,4 +23,5 @@ let () =
       ("differential", Test_differential.suite);
       ("coverage", Test_coverage.suite);
       ("io_faults", Test_io_faults.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,355 @@
+(* Telemetry subsystem: JSON codec, metric semantics, span nesting and
+   allocation accounting, manifest structure, and the integration with the
+   failure-isolating batch runner. *)
+
+module Json = Trg_obs.Json
+module Metrics = Trg_obs.Metrics
+module Span = Trg_obs.Span
+module Manifest = Trg_obs.Manifest
+module Report = Trg_eval.Report
+module Runner = Trg_eval.Runner
+
+(* --- JSON ------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+        ( "values",
+          Json.List
+            [
+              Json.Int (-3);
+              Json.Float 2.5;
+              Json.String "quote \" backslash \\ newline \n tab \t";
+              Json.Bool true;
+              Json.Bool false;
+              Json.Null;
+            ] );
+        ("nested", Json.Obj [ ("k", Json.List [ Json.Obj [ ("n", Json.Int 1) ] ]) ]);
+      ]
+  in
+  (match Json.of_string (Json.to_string doc) with
+  | Ok parsed -> Alcotest.(check bool) "compact roundtrip" true (parsed = doc)
+  | Error msg -> Alcotest.fail msg);
+  match Json.of_string (Json.to_string ~indent:2 doc) with
+  | Ok parsed -> Alcotest.(check bool) "pretty roundtrip" true (parsed = doc)
+  | Error msg -> Alcotest.fail msg
+
+let test_json_numbers () =
+  (match Json.of_string "[0, -12, 3.5, 1e3, 2.5e-1]" with
+  | Ok (Json.List [ Json.Int 0; Json.Int (-12); Json.Float 3.5; Json.Float 1000.; Json.Float 0.25 ]) ->
+    ()
+  | Ok other -> Alcotest.failf "unexpected parse: %s" (Json.to_string other)
+  | Error msg -> Alcotest.fail msg);
+  (* Integral floats print with a trailing ".0" and parse back as floats,
+     so counter-vs-gauge distinctions survive a roundtrip. *)
+  Alcotest.(check string) "integral float" "[1.0]" (Json.to_string (Json.List [ Json.Float 1. ]))
+
+let test_json_errors () =
+  let expect_error s =
+    match Json.of_string s with
+    | Ok v -> Alcotest.failf "parsed %S as %s" s (Json.to_string v)
+    | Error _ -> ()
+  in
+  List.iter expect_error
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2"; "{\"a\":}" ]
+
+let test_json_accessors () =
+  let doc = Json.Obj [ ("a", Json.Int 3); ("b", Json.Float 1.5) ] in
+  Alcotest.(check (option int)) "member+to_int" (Some 3) (Option.bind (Json.member "a" doc) Json.to_int);
+  Alcotest.(check (option (float 1e-9))) "int as float" (Some 3.) (Option.bind (Json.member "a" doc) Json.to_float);
+  Alcotest.(check (option int)) "float not int" None (Option.bind (Json.member "b" doc) Json.to_int);
+  Alcotest.(check (option int)) "missing member" None (Option.bind (Json.member "c" doc) Json.to_int)
+
+(* --- metrics --------------------------------------------------------- *)
+
+let test_counter_semantics () =
+  let c = Metrics.counter "t.sem/counter" in
+  let base = Metrics.value c in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "incr + add" (base + 42) (Metrics.value c);
+  let c' = Metrics.counter "t.sem/counter" in
+  Metrics.incr c';
+  Alcotest.(check int) "registration is idempotent" (base + 43) (Metrics.value c)
+
+let test_gauge_semantics () =
+  let g = Metrics.gauge "t.sem/gauge" in
+  Metrics.set_gauge g 2.0;
+  Metrics.max_gauge g 1.0;
+  Alcotest.(check (float 1e-9)) "max keeps larger" 2.0 (Metrics.gauge_value g);
+  Metrics.max_gauge g 5.0;
+  Alcotest.(check (float 1e-9)) "max advances" 5.0 (Metrics.gauge_value g);
+  Metrics.set_gauge g 0.5;
+  Alcotest.(check (float 1e-9)) "set overwrites" 0.5 (Metrics.gauge_value g)
+
+let test_histogram_semantics () =
+  let h = Metrics.histogram ~limits:[| 1.; 10.; 100. |] "t.sem/hist" in
+  List.iter (Metrics.observe h) [ 0.5; 1.; 7.; 10.; 99.; 100.; 101.; 1e9 ];
+  Alcotest.(check (array int)) "bucket occupancy" [| 2; 2; 2; 2 |] (Metrics.histogram_counts h);
+  Alcotest.(check int) "total" 8 (Metrics.histogram_total h)
+
+let test_metric_kind_clash () =
+  ignore (Metrics.counter "t.sem/clash");
+  (match Metrics.gauge "t.sem/clash" with
+  | (_ : Metrics.gauge) -> Alcotest.fail "gauge on a counter name succeeded"
+  | exception Invalid_argument _ -> ());
+  match Metrics.histogram "t.sem/clash" with
+  | (_ : Metrics.histogram) -> Alcotest.fail "histogram on a counter name succeeded"
+  | exception Invalid_argument _ -> ()
+
+let test_metrics_clear () =
+  let c = Metrics.counter "t.sem/clearable" in
+  Metrics.add c 7;
+  Metrics.clear ();
+  Alcotest.(check int) "cleared to zero" 0 (Metrics.value c);
+  Metrics.incr c;
+  Alcotest.(check int) "handle survives clear" 1 (Metrics.value c)
+
+(* Prefix-scoped snapshots are deterministic byte-for-byte: sorted names,
+   stable float rendering.  Scoping to a test-owned prefix keeps the golden
+   string independent of whatever the instrumented libraries counted. *)
+let test_snapshot_golden () =
+  Metrics.clear ();
+  Metrics.add (Metrics.counter "t.golden/beta") 40;
+  Metrics.add (Metrics.counter "t.golden/alpha") 3;
+  Metrics.set_gauge (Metrics.gauge "t.golden/gamma") 2.5;
+  let h = Metrics.histogram ~limits:[| 1.; 10. |] "t.golden/hist" in
+  List.iter (Metrics.observe h) [ 0.5; 5.; 100. ];
+  Alcotest.(check string) "golden snapshot"
+    ("{\"counters\":{\"t.golden/alpha\":3,\"t.golden/beta\":40},"
+   ^ "\"gauges\":{\"t.golden/gamma\":2.5},"
+   ^ "\"histograms\":{\"t.golden/hist\":"
+   ^ "{\"limits\":[1.0,10.0],\"counts\":[1,1,1],\"total\":3}}}")
+    (Json.to_string (Metrics.to_json ~prefix:"t.golden/" ()))
+
+(* --- spans ----------------------------------------------------------- *)
+
+let with_spans f =
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_enabled false;
+      Span.reset ())
+    (fun () ->
+      Span.set_enabled true;
+      Span.reset ();
+      f ())
+
+let test_span_disabled_is_transparent () =
+  Span.set_enabled false;
+  Span.reset ();
+  Alcotest.(check int) "result passes through" 7 (Span.with_ "ghost" (fun () -> 7));
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Span.records ()))
+
+let test_span_nesting_and_order () =
+  with_spans (fun () ->
+      let v =
+        Span.with_ "a" (fun () ->
+            let x = Span.with_ "b" (fun () -> 1) in
+            let y = Span.with_ "c" (fun () -> 2) in
+            x + y)
+      in
+      Alcotest.(check int) "value" 3 v;
+      match Span.records () with
+      | [ b; c; a ] ->
+        Alcotest.(check string) "inner completes first" "b" b.Span.name;
+        Alcotest.(check string) "then sibling" "c" c.Span.name;
+        Alcotest.(check string) "parent completes last" "a" a.Span.name;
+        Alcotest.(check string) "nested path" "a/b" b.Span.path;
+        Alcotest.(check string) "sibling path" "a/c" c.Span.path;
+        Alcotest.(check string) "root path" "a" a.Span.path;
+        Alcotest.(check int) "child depth" 1 b.Span.depth;
+        Alcotest.(check int) "root depth" 0 a.Span.depth;
+        List.iter
+          (fun r ->
+            Alcotest.(check bool)
+              (r.Span.name ^ " finished") true
+              (r.Span.outcome = Span.Finished))
+          [ b; c; a ]
+      | records -> Alcotest.failf "expected 3 records, got %d" (List.length records))
+
+let test_span_failure_outcome () =
+  with_spans (fun () ->
+      (match Span.with_ "outer" (fun () -> Span.with_ "boom" (fun () -> failwith "kaput")) with
+      | (_ : int) -> Alcotest.fail "exception swallowed"
+      | exception Failure msg -> Alcotest.(check string) "exception intact" "kaput" msg);
+      match Span.records () with
+      | [ boom; outer ] ->
+        Alcotest.(check bool) "inner failed" true (boom.Span.outcome = Span.Failed);
+        Alcotest.(check string) "inner path" "outer/boom" boom.Span.path;
+        Alcotest.(check bool) "outer failed too" true (outer.Span.outcome = Span.Failed)
+      | records -> Alcotest.failf "expected 2 records, got %d" (List.length records))
+
+let test_span_alloc_monotone () =
+  with_spans (fun () ->
+      (* Minor-heap allocation: [Gc.quick_stat] reads the young pointer, so
+         small blocks show up immediately (a single large array would sit in
+         the major heap uncounted until the next slice). *)
+      let sink = ref [] in
+      ignore
+        (Span.with_ "outer" (fun () ->
+             ignore
+               (Span.with_ "inner" (fun () ->
+                    sink := List.init 20_000 (fun i -> float_of_int i +. 0.5)));
+             Sys.opaque_identity !sink));
+      match Span.records () with
+      | [ inner; outer ] ->
+        Alcotest.(check bool) "inner allocated its list" true
+          (inner.Span.alloc_words >= 50_000.);
+        Alcotest.(check bool) "parent includes child allocation" true
+          (outer.Span.alloc_words >= inner.Span.alloc_words);
+        Alcotest.(check bool) "wall times non-negative" true
+          (inner.Span.wall_s >= 0. && outer.Span.wall_s >= 0.
+          && outer.Span.wall_s >= inner.Span.wall_s)
+      | records -> Alcotest.failf "expected 2 records, got %d" (List.length records))
+
+(* --- manifests ------------------------------------------------------- *)
+
+let test_manifest_roundtrip () =
+  with_spans (fun () ->
+      ignore (Span.with_ "unit" (fun () -> ()));
+      let manifest =
+        Manifest.build ~command:"unit-test" ~argv:[ "trgplace"; "unit-test" ]
+          ~config:[ ("quick", Json.Bool true) ]
+          ~status:Manifest.Ok ~exit_code:0 ()
+      in
+      (match Manifest.validate manifest with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      let path = Filename.temp_file "trgplace_manifest" ".json" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Manifest.write path manifest;
+          match Manifest.load path with
+          | Error msg -> Alcotest.fail msg
+          | Ok loaded ->
+            Alcotest.(check bool) "disk roundtrip" true (loaded = manifest);
+            Alcotest.(check (option string)) "command" (Some "unit-test")
+              (Option.bind (Json.member "command" loaded) Json.to_string_opt);
+            Alcotest.(check bool) "peak heap recorded" true
+              (match
+                 Option.bind (Json.member "gc" loaded) (Json.member "top_heap_words")
+                 |> Fun.flip Option.bind Json.to_int
+               with
+              | Some words -> words > 0
+              | None -> false)))
+
+let test_manifest_validate_rejects () =
+  let reject label json =
+    match Manifest.validate json with
+    | Ok () -> Alcotest.failf "%s: validated" label
+    | Error _ -> ()
+  in
+  reject "not an object" (Json.Int 3);
+  reject "missing schema" (Json.Obj [ ("command", Json.String "x") ]);
+  reject "wrong schema"
+    (Json.Obj [ ("schema", Json.String "trgplace-manifest/999") ]);
+  match
+    Manifest.validate
+      (Manifest.build ~command:"x" ~status:Manifest.Failed ~exit_code:1 ())
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* --- integration with the batch runner ------------------------------- *)
+
+(* A benchmark whose preparation fails (here via --force-fail injection)
+   must surface in the manifest as a span with outcome "failed". *)
+let test_failed_benchmark_in_manifest () =
+  Fun.protect
+    ~finally:(fun () ->
+      Runner.force_fail [];
+      Span.set_enabled false;
+      Span.reset ())
+    (fun () ->
+      Report.reset_prepared ();
+      Span.set_enabled true;
+      Span.reset ();
+      let options =
+        { Report.quick_options with keep_going = true; force_fail = [ "small" ] }
+      in
+      let failures = Report.table1 options in
+      Alcotest.(check int) "one isolated failure" 1 (List.length failures);
+      let failed_span =
+        List.find_opt
+          (fun r -> r.Span.name = "small" && r.Span.outcome = Span.Failed)
+          (Span.records ())
+      in
+      Alcotest.(check bool) "failed span recorded" true (failed_span <> None);
+      let manifest =
+        Manifest.build ~command:"table1" ~argv:[ "trgplace"; "table1" ]
+          ~status:Manifest.Partial ~exit_code:3 ()
+      in
+      let path = Filename.temp_file "trgplace_manifest" ".json" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Manifest.write path manifest;
+          let loaded =
+            match Manifest.load path with
+            | Ok j -> j
+            | Error msg -> Alcotest.fail msg
+          in
+          (match Manifest.validate loaded with
+          | Ok () -> ()
+          | Error msg -> Alcotest.fail msg);
+          Alcotest.(check (option string)) "status" (Some "partial-failure")
+            (Option.bind (Json.member "status" loaded) Json.to_string_opt);
+          let spans =
+            match Option.bind (Json.member "spans" loaded) Json.to_list with
+            | Some spans -> spans
+            | None -> Alcotest.fail "manifest has no spans"
+          in
+          let failed_bench s =
+            Json.member "name" s = Some (Json.String "small")
+            && Json.member "outcome" s = Some (Json.String "failed")
+          in
+          Alcotest.(check bool) "manifest carries the failed benchmark" true
+            (List.exists failed_bench spans)))
+
+(* After a successful quick experiment, the work counters the acceptance
+   criteria name (cache-sim misses, GBSC merge steps) must be non-zero. *)
+let test_counters_populated_by_run () =
+  Fun.protect
+    ~finally:(fun () -> Runner.force_fail [])
+    (fun () ->
+      Report.reset_prepared ();
+      let misses = Metrics.counter "sim/misses" in
+      let merge_steps = Metrics.counter "gbsc/merge_steps" in
+      let before_misses = Metrics.value misses in
+      let before_merges = Metrics.value merge_steps in
+      let failures = Report.table1 Report.quick_options in
+      Alcotest.(check int) "clean run" 0 (List.length failures);
+      Alcotest.(check bool) "cache-sim misses counted" true
+        (Metrics.value misses > before_misses);
+      (* Table 1 only characterizes; placement work needs a placement. *)
+      let prepared = Runner.prepare (Trg_synth.Bench.find "small") in
+      ignore
+        (Trg_place.Gbsc.place (Runner.program prepared) prepared.Runner.prof);
+      Alcotest.(check bool) "GBSC merge steps counted" true
+        (Metrics.value merge_steps > before_merges))
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json numbers" `Quick test_json_numbers;
+    Alcotest.test_case "json parse errors" `Quick test_json_errors;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+    Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+    Alcotest.test_case "histogram semantics" `Quick test_histogram_semantics;
+    Alcotest.test_case "metric kind clash" `Quick test_metric_kind_clash;
+    Alcotest.test_case "metrics clear" `Quick test_metrics_clear;
+    Alcotest.test_case "snapshot golden" `Quick test_snapshot_golden;
+    Alcotest.test_case "span disabled transparent" `Quick test_span_disabled_is_transparent;
+    Alcotest.test_case "span nesting and order" `Quick test_span_nesting_and_order;
+    Alcotest.test_case "span failure outcome" `Quick test_span_failure_outcome;
+    Alcotest.test_case "span allocation monotone" `Quick test_span_alloc_monotone;
+    Alcotest.test_case "manifest roundtrip" `Quick test_manifest_roundtrip;
+    Alcotest.test_case "manifest validation rejects" `Quick test_manifest_validate_rejects;
+    Alcotest.test_case "failed benchmark in manifest" `Quick test_failed_benchmark_in_manifest;
+    Alcotest.test_case "run populates counters" `Quick test_counters_populated_by_run;
+  ]
