@@ -125,14 +125,15 @@ let config_json (o : Trg_eval.Report.options) =
   ]
 
 (* Manifest writing wraps every command outcome, so a failed run still
-   leaves a machine-readable record of how far it got. *)
-let finish_run ~command ~config metrics_out status code =
+   leaves a machine-readable record of how far it got.  [explain] embeds
+   a miss-attribution summary when the command produced one. *)
+let finish_run ~command ~config ?explain metrics_out status code =
   (match metrics_out with
   | None -> ()
   | Some path ->
     let manifest =
       Trg_obs.Manifest.build ~command ~argv:(Array.to_list Sys.argv) ~config
-        ~status ~exit_code:code ()
+        ?explain ~status ~exit_code:code ()
     in
     Trg_obs.Manifest.write path manifest;
     Log.info (fun m -> m "wrote run manifest %s" path));
@@ -391,10 +392,228 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ files)
 
+let explain_cmd =
+  let doc =
+    "Classify and attribute every cache miss of a layout: compulsory / \
+     capacity / conflict split (3C, via a fully-associative LRU shadow \
+     cache), the conflicting procedure pairs with their TRG edge weights, \
+     per-procedure and per-set pressure, and a temporal miss timeline."
+  in
+  let bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench"; "b" ] ~docv:"NAME"
+          ~doc:"Benchmark to diagnose (generates and profiles it first).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Shorthand for $(b,--bench small).")
+  in
+  let algos =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "algo"; "a" ] ~docv:"ALGO"
+          ~doc:
+            "Layouts to diagnose (repeatable): original, ph, hkc, gbsc, \
+             hwu-chang, torrellas.  Default: original ph hkc gbsc.")
+  in
+  let train =
+    Arg.(
+      value & flag
+      & info [ "train" ]
+          ~doc:"Diagnose on the training trace instead of the testing trace.")
+  in
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Skip the set-preserving line-alignment normalisation (compulsory \
+             counts are then not comparable across layouts).")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Rows per ranking table.")
+  in
+  let intervals =
+    Arg.(
+      value & opt int 60
+      & info [ "intervals" ] ~docv:"N" ~doc:"Miss-timeline resolution.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the full report as strict JSON (atomically).")
+  in
+  let program_f =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "program"; "p" ] ~docv:"FILE" ~doc:"Program file (file-triple mode).")
+  in
+  let layout_f =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "layout"; "l" ] ~docv:"FILE" ~doc:"Layout file (file-triple mode).")
+  in
+  let trace_f =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace"; "t" ] ~docv:"FILE" ~doc:"Trace file (file-triple mode).")
+  in
+  let run verbose bench quick algos train raw top intervals json_out program_f
+      layout_f trace_f cache metrics_out =
+    setup_logs verbose;
+    if metrics_out <> None then Trg_obs.Span.set_enabled true;
+    let config =
+      [
+        ("bench", match bench with Some b -> J.String b | None -> J.Null);
+        ("quick", J.Bool quick);
+        ("algos", J.List (List.map (fun a -> J.String a) algos));
+        ("train", J.Bool train);
+        ("raw", J.Bool raw);
+        ("top", J.Int top);
+        ("intervals", J.Int intervals);
+      ]
+    in
+    let body () =
+      match (program_f, layout_f, trace_f) with
+      | Some pf, Some lf, Some tf ->
+        let program = Trg_program.Serial.load_program pf in
+        let layout = Trg_program.Serial.load_layout program lf in
+        let trace = Trg_trace.Io.load tf in
+        (* No prepared profile in file mode: build TRG_select from the
+           given trace so the report still shows temporal-ordering
+           weights next to each conflicting pair. *)
+        let built =
+          Trg_profile.Trg.build_select
+            ~capacity_bytes:(2 * cache.Trg_cache.Config.size) program trace
+        in
+        Trg_eval.Explain.make ~intervals
+          ~source:(Printf.sprintf "%s + %s" (Filename.basename pf) (Filename.basename lf))
+          ~trace_label:(Filename.basename tf) ~cache
+          ~trg_weight:(Trg_profile.Graph.weight built.Trg_profile.Trg.graph)
+          ~program ~trace ~raw:true
+          [ (Filename.basename lf, layout) ]
+      | None, None, None ->
+        let name =
+          match (bench, quick) with
+          | Some b, _ -> b
+          | None, true -> "small"
+          | None, false -> "small"
+        in
+        let shape = shapes_of_names [ name ] |> List.hd in
+        let gconfig = Trg_place.Gbsc.default_config ~cache () in
+        let r = Trg_eval.Runner.prepare ~config:gconfig shape in
+        let algos =
+          match algos with [] -> Trg_eval.Explain.default_algos | l -> l
+        in
+        Trg_eval.Explain.of_runner ~intervals ~use_train:train ~raw ~algos r
+      | _ ->
+        Log.err (fun m ->
+            m "explain: give all of --program/--layout/--trace, or none");
+        exit 2
+    in
+    match Trg_obs.Span.with_ "explain" body with
+    | e ->
+      Trg_eval.Explain.print ~top e;
+      (match json_out with
+      | None -> ()
+      | Some path ->
+        Trg_obs.Manifest.write path (Trg_eval.Explain.to_json ~top e);
+        Printf.printf "\nwrote JSON report %s\n" path);
+      finish_run ~command:"explain" ~config
+        ~explain:(Trg_eval.Explain.summary_json e) metrics_out
+        Trg_obs.Manifest.Ok 0
+    | exception Failure msg ->
+      Log.err (fun m -> m "%s" msg);
+      finish_run ~command:"explain" ~config metrics_out Trg_obs.Manifest.Failed 1
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const run $ verbose_term $ bench $ quick $ algos $ train $ raw $ top
+      $ intervals $ json_out $ program_f $ layout_f $ trace_f $ cache_term
+      $ metrics_term)
+
+let compare_cmd =
+  let doc =
+    "Diff the deterministic metrics (counters, gauges, histogram totals) of \
+     two run manifests; exit 1 when any metric drifts beyond the tolerance.  \
+     Wall-clock spans and GC statistics are never compared, so machine noise \
+     passes and counter drift fails."
+  in
+  let file_a =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline manifest.")
+  in
+  let file_b =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CURRENT" ~doc:"Manifest to check against the baseline.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.
+      & info [ "tolerance" ] ~docv:"REL"
+          ~doc:"Allowed relative drift per metric (e.g. 0.02 for 2%).")
+  in
+  let run file_a file_b tolerance =
+    let load_validated file =
+      let fail msg =
+        Log.err (fun m -> m "%s: %s" file msg);
+        exit 2
+      in
+      let json =
+        match Trg_obs.Manifest.load file with Ok j -> j | Error msg -> fail msg
+      in
+      (match Trg_obs.Manifest.validate json with
+      | Ok () -> ()
+      | Error msg -> fail msg);
+      json
+    in
+    let base = load_validated file_a and current = load_validated file_b in
+    match Trg_obs.Manifest.diff ~tolerance base current with
+    | [] ->
+      Printf.printf "manifests agree: no metric drift beyond %.4f (%s vs %s)\n"
+        tolerance file_a file_b
+    | drifts ->
+      let module Table = Trg_util.Table in
+      Printf.printf "%d metric(s) drifted beyond %.4f:\n\n" (List.length drifts)
+        tolerance;
+      Table.print
+        ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+        ~header:[ "metric"; "baseline"; "current"; "rel" ]
+        (List.map
+           (fun d ->
+             let cell = function
+               | Some v -> Table.fmt_float v
+               | None -> "(absent)"
+             in
+             [
+               d.Trg_obs.Manifest.metric;
+               cell d.Trg_obs.Manifest.base;
+               cell d.Trg_obs.Manifest.current;
+               (if Float.is_integer d.Trg_obs.Manifest.rel || d.Trg_obs.Manifest.rel < infinity
+                then Table.fmt_pct d.Trg_obs.Manifest.rel
+                else "new/gone");
+             ])
+           drifts);
+      exit 1
+  in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ file_a $ file_b $ tolerance)
+
 let stats_cmd =
   let doc =
     "Validate a telemetry run manifest (from $(b,--metrics-out)) and \
-     pretty-print it as ASCII tables."
+     pretty-print it as ASCII tables, a machine-readable JSON summary \
+     ($(b,--json)), or a Chrome trace ($(b,--chrome-trace))."
   in
   let file =
     Arg.(
@@ -402,8 +621,25 @@ let stats_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"MANIFEST" ~doc:"Manifest file to render.")
   in
-  let run file =
-    let module Table = Trg_util.Table in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print a machine-readable summary (schema, status, counters, \
+             gauges, histogram totals, span tallies) as one JSON object on \
+             stdout instead of tables.")
+  in
+  let chrome_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Export the manifest's spans as Chrome trace-event JSON to \
+             $(docv) (loadable in chrome://tracing or Perfetto).")
+  in
+  let run render_tables file json_flag chrome_out =
     let fail msg =
       Log.err (fun m -> m "%s: %s" file msg);
       exit 1
@@ -414,6 +650,60 @@ let stats_cmd =
     (match Trg_obs.Manifest.validate json with
     | Ok () -> ()
     | Error msg -> fail msg);
+    (match chrome_out with
+    | None -> ()
+    | Some path ->
+      let spans =
+        match Option.bind (J.member "spans" json) J.to_list with
+        | Some l -> l
+        | None -> []
+      in
+      Trg_obs.Manifest.write path (Trg_obs.Span.chrome_of_spans spans);
+      if not json_flag then
+        Printf.printf "wrote Chrome trace %s (%d spans)\n" path
+          (List.length spans));
+    if json_flag then (
+      let member_or k d = match J.member k json with Some v -> v | None -> d in
+      let histogram_totals =
+        match J.member "histograms" json with
+        | Some (J.Obj fields) ->
+          J.Obj
+            (List.map
+               (fun (k, v) ->
+                 ( k,
+                   match Option.bind (J.member "total" v) J.to_float with
+                   | Some x -> J.Float x
+                   | None -> J.Null ))
+               fields)
+        | _ -> J.Obj []
+      in
+      let span_count =
+        match Option.bind (J.member "spans" json) J.to_list with
+        | Some l -> List.length l
+        | None -> 0
+      in
+      let summary =
+        J.Obj
+          ([
+             ("schema", member_or "schema" J.Null);
+             ("command", member_or "command" J.Null);
+             ("status", member_or "status" J.Null);
+             ("exit_code", member_or "exit_code" J.Null);
+             ("counters", member_or "counters" (J.Obj []));
+             ("gauges", member_or "gauges" (J.Obj []));
+             ("histogram_totals", histogram_totals);
+             ("span_count", J.Int span_count);
+           ]
+          @
+          match J.member "explain" json with
+          | Some e -> [ ("explain", e) ]
+          | None -> [])
+      in
+      print_endline (J.to_string ~indent:2 summary))
+    else render_tables json
+  in
+  let render_tables json =
+    let module Table = Trg_util.Table in
     let str k =
       match J.member k json with Some (J.String s) -> s | _ -> "?"
     in
@@ -537,7 +827,8 @@ let stats_cmd =
              [ String.make (2 * depth) ' ' ^ name; wall; alloc; outcome ])
            spans))
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ file)
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const (run render_tables) $ file $ json_flag $ chrome_out)
 
 let show_layout_cmd =
   let doc = "Show a layout's cache mapping (per-set occupants)." in
@@ -583,6 +874,8 @@ let cmds =
     export_dot_cmd;
     show_layout_cmd;
     verify_cmd;
+    explain_cmd;
+    compare_cmd;
     stats_cmd;
     experiment "table1" "Reproduce Table 1 (benchmark characteristics)."
       Trg_eval.Report.table1;

@@ -21,6 +21,18 @@ let record r =
   Trg_obs.Metrics.add m_evictions r.evictions;
   r
 
+(* L2 traffic is namespaced apart from the L1 scoreboard so sim/accesses
+   keeps meaning "L1 probes" whether or not a hierarchy is simulated. *)
+let m_l2_accesses = Trg_obs.Metrics.counter "sim/l2/accesses"
+let m_l2_misses = Trg_obs.Metrics.counter "sim/l2/misses"
+let m_l2_evictions = Trg_obs.Metrics.counter "sim/l2/evictions"
+
+let record_l2 r =
+  Trg_obs.Metrics.add m_l2_accesses r.accesses;
+  Trg_obs.Metrics.add m_l2_misses r.misses;
+  Trg_obs.Metrics.add m_l2_evictions r.evictions;
+  r
+
 (* Direct-mapped: one tag per line, tag = memory line address. *)
 let simulate_direct addr (config : Config.t) trace =
   let n_lines = Config.n_lines config in
@@ -239,7 +251,7 @@ let simulate_hierarchy program layout ~(l1 : Config.t) ~(l2 : Config.t) trace =
       { accesses = !a1; misses = !m1; evictions = !e1; events = Trace.length trace }
   in
   let l2r =
-    record
+    record_l2
       { accesses = !a2; misses = !m2; evictions = !e2; events = Trace.length trace }
   in
   let amat =
@@ -304,8 +316,8 @@ let paging program layout ~page_size ~frames trace =
         end
       done)
     trace;
-  Trg_obs.Metrics.add (Trg_obs.Metrics.counter "sim/page_accesses") !accesses;
-  Trg_obs.Metrics.add (Trg_obs.Metrics.counter "sim/page_faults") !faults;
+  Trg_obs.Metrics.add (Trg_obs.Metrics.counter "sim/page/accesses") !accesses;
+  Trg_obs.Metrics.add (Trg_obs.Metrics.counter "sim/page/faults") !faults;
   {
     page_accesses = !accesses;
     page_faults = !faults;

@@ -6,9 +6,13 @@
     all of the paper's reported miss rates.
 
     Every simulation also feeds the [sim/*] telemetry counters
-    ({!Trg_obs.Metrics}): [sim/simulations], [sim/accesses], [sim/misses],
-    [sim/evictions], and [sim/page_accesses] / [sim/page_faults] for
-    {!paging}.  Counts are accumulated per run after the hot loop, so the
+    ({!Trg_obs.Metrics}): [sim/simulations], [sim/accesses], [sim/misses]
+    and [sim/evictions] for the L1 scoreboard; [sim/l2/accesses],
+    [sim/l2/misses] and [sim/l2/evictions] for {!simulate_hierarchy}'s
+    second level; and [sim/page/accesses] / [sim/page/faults] for
+    {!paging}.  All four simulate entry points ({!simulate},
+    {!simulate_plru}, {!simulate_hierarchy}, {!paging}) feed this
+    namespace.  Counts are accumulated per run after the hot loop, so the
     instrumentation costs nothing per access. *)
 
 type result = {

@@ -1,0 +1,284 @@
+module Program = Trg_program.Program
+module Layout = Trg_program.Layout
+module Config = Trg_cache.Config
+module Attrib = Trg_cache.Attrib
+module Sim = Trg_cache.Sim
+module Graph = Trg_profile.Graph
+module Trg = Trg_profile.Trg
+module Gbsc = Trg_place.Gbsc
+module Json = Trg_obs.Json
+module Table = Trg_util.Table
+
+type layout_report = {
+  label : string;
+  attrib : Attrib.t;
+}
+
+type t = {
+  source : string;
+  trace_label : string;
+  cache : Config.t;
+  aligned : bool;
+  layouts : layout_report list;
+  trg_weight : int -> int -> float;
+  proc_name : int -> string;
+}
+
+let algo_labels = [ "original"; "ph"; "hkc"; "gbsc"; "hwu-chang"; "torrellas" ]
+
+let default_algos = [ "original"; "ph"; "hkc"; "gbsc" ]
+
+let layout_of runner = function
+  | "original" | "default" -> Runner.default_layout runner
+  | "ph" -> Runner.ph_layout runner
+  | "hkc" -> Runner.hkc_layout runner
+  | "gbsc" -> Runner.gbsc_layout runner
+  | "hwu-chang" -> Runner.hwu_chang_layout runner
+  | "torrellas" -> Runner.torrellas_layout runner
+  | other ->
+    failwith
+      (Printf.sprintf "explain: unknown layout %S (choose from: %s)" other
+         (String.concat ", " algo_labels))
+
+let make ?intervals ~source ~trace_label ~cache ~trg_weight ~program ~trace
+    ?(raw = false) labeled =
+  let n_sets = Config.n_sets cache in
+  let normalize layout =
+    if raw then layout
+    else Layout.line_align ~line_size:cache.Config.line_size ~n_sets program layout
+  in
+  let layouts =
+    List.map
+      (fun (label, layout) ->
+        let layout = normalize layout in
+        Trg_obs.Log.info (fun m -> m "attributing misses under %s" label);
+        let attrib =
+          Trg_obs.Span.with_ ("attrib:" ^ label) (fun () ->
+              Attrib.simulate ?intervals program layout cache trace)
+        in
+        { label; attrib })
+      labeled
+  in
+  { source; trace_label; cache; aligned = not raw; layouts; trg_weight;
+    proc_name = Program.name program }
+
+let of_runner ?intervals ?(use_train = false) ?raw ~algos runner =
+  let program = Runner.program runner in
+  let cache = runner.Runner.config.Gbsc.cache in
+  let trace = if use_train then runner.Runner.train else runner.Runner.test in
+  let trg_weight = Graph.weight runner.Runner.prof.Gbsc.select.Trg.graph in
+  make ?intervals ~source:runner.Runner.shape.Trg_synth.Shape.name
+    ~trace_label:(if use_train then "train" else "test")
+    ~cache ~trg_weight ~program ~trace ?raw
+    (List.map (fun label -> (label, layout_of runner label)) algos)
+
+(* --- text rendering --------------------------------------------------- *)
+
+let sparkline counts =
+  let levels = " .:-=+*#%@" in
+  let max_c = Array.fold_left max 1 counts in
+  String.init (Array.length counts) (fun i ->
+      let c = counts.(i) in
+      if c = 0 then ' '
+      else
+        let idx = 1 + (c * (String.length levels - 2) / max_c) in
+        levels.[idx])
+
+let classification_rows t =
+  List.map
+    (fun { label; attrib } ->
+      let r = attrib.Attrib.result in
+      [
+        label;
+        Table.fmt_int r.Sim.accesses;
+        Table.fmt_int r.Sim.misses;
+        Table.fmt_pct (Sim.miss_rate r);
+        Table.fmt_int attrib.Attrib.compulsory;
+        Table.fmt_int attrib.Attrib.capacity;
+        Table.fmt_int attrib.Attrib.conflict;
+        Table.fmt_int r.Sim.evictions;
+      ])
+    t.layouts
+
+let top_pairs ~top attrib =
+  let pairs = attrib.Attrib.conflict_pairs in
+  Array.to_list (Array.sub pairs 0 (min top (Array.length pairs)))
+
+let print ?(top = 10) t =
+  Table.section
+    (Printf.sprintf "EXPLAIN — %s (%s trace, %s)" t.source t.trace_label
+       (Format.asprintf "%a" Config.pp t.cache));
+  if t.aligned then
+    print_endline
+      "layouts normalised: set-preserving line alignment (compulsory counts \
+       comparable)";
+  print_newline ();
+  Table.print
+    ~header:
+      [ "layout"; "accesses"; "misses"; "MR"; "compulsory"; "capacity";
+        "conflict"; "evictions" ]
+    (classification_rows t);
+  List.iter
+    (fun ({ label; attrib } as _lr) ->
+      let conflict_total = max 1 attrib.Attrib.conflict in
+      print_newline ();
+      Printf.printf "-- %s: top conflicting pairs (of %d conflict misses)\n"
+        label attrib.Attrib.conflict;
+      (match top_pairs ~top attrib with
+      | [] -> print_endline "   (no conflict misses)"
+      | pairs ->
+        Table.print
+          ~align:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+          ~header:[ "evictor"; "victim"; "conflicts"; "share"; "TRG weight" ]
+          (List.map
+             (fun (e, v, c) ->
+               [
+                 t.proc_name e;
+                 t.proc_name v;
+                 Table.fmt_int c;
+                 Table.fmt_pct (float_of_int c /. float_of_int conflict_total);
+                 Table.fmt_float (t.trg_weight e v);
+               ])
+             pairs));
+      (* Hottest procedures by misses. *)
+      let procs =
+        Array.to_list
+          (Array.mapi (fun p s -> (p, s)) attrib.Attrib.per_proc)
+        |> List.filter (fun (_, s) -> s.Attrib.p_misses > 0)
+        |> List.sort (fun (p1, s1) (p2, s2) ->
+               match compare s2.Attrib.p_misses s1.Attrib.p_misses with
+               | 0 -> compare p1 p2
+               | o -> o)
+      in
+      (match procs with
+      | [] -> ()
+      | _ ->
+        print_newline ();
+        Printf.printf "-- %s: hottest procedures\n" label;
+        Table.print
+          ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+          ~header:[ "proc"; "accesses"; "misses"; "conflicts"; "evicted" ]
+          (List.map
+             (fun (p, s) ->
+               [
+                 t.proc_name p;
+                 Table.fmt_int s.Attrib.p_accesses;
+                 Table.fmt_int s.Attrib.p_misses;
+                 Table.fmt_int s.Attrib.p_conflicts;
+                 Table.fmt_int s.Attrib.p_evictions_caused;
+               ])
+             (List.filteri (fun i _ -> i < top) procs)));
+      (* Set pressure + phase behaviour. *)
+      let sm = attrib.Attrib.set_misses in
+      let hottest = ref 0 in
+      Array.iteri (fun s c -> if c > sm.(!hottest) then hottest := s) sm;
+      let total_sets = Array.length sm in
+      let mean =
+        float_of_int (Array.fold_left ( + ) 0 sm) /. float_of_int total_sets
+      in
+      print_newline ();
+      Printf.printf
+        "-- %s: set pressure — hottest set %d (%s misses, %d lines), mean \
+         %.1f misses/set\n"
+        label !hottest
+        (Table.fmt_int sm.(!hottest))
+        attrib.Attrib.set_lines.(!hottest)
+        mean;
+      Printf.printf "-- %s: miss timeline (%d events/interval)\n   [%s]\n" label
+        attrib.Attrib.interval_events
+        (sparkline attrib.Attrib.timeline))
+    t.layouts;
+  (* The paper's headline, stated directly when both sides are present. *)
+  let find l = List.find_opt (fun lr -> lr.label = l) t.layouts in
+  match (find "ph", find "gbsc") with
+  | Some ph, Some gbsc ->
+    print_newline ();
+    Printf.printf
+      "GBSC vs PH: %s vs %s conflict misses (%+d); compulsory %s vs %s\n"
+      (Table.fmt_int gbsc.attrib.Attrib.conflict)
+      (Table.fmt_int ph.attrib.Attrib.conflict)
+      (gbsc.attrib.Attrib.conflict - ph.attrib.Attrib.conflict)
+      (Table.fmt_int gbsc.attrib.Attrib.compulsory)
+      (Table.fmt_int ph.attrib.Attrib.compulsory)
+  | _ -> ()
+
+(* --- JSON rendering --------------------------------------------------- *)
+
+let json_schema = "trgplace-explain/1"
+
+let cache_json (c : Config.t) =
+  Json.Obj
+    [
+      ("size", Json.Int c.Config.size);
+      ("line_size", Json.Int c.Config.line_size);
+      ("assoc", Json.Int c.Config.assoc);
+    ]
+
+let layout_json ?(top = 10) t { label; attrib } =
+  let r = attrib.Attrib.result in
+  let conflicts =
+    Json.List
+      (List.map
+         (fun (e, v, c) ->
+           Json.Obj
+             [
+               ("evictor", Json.String (t.proc_name e));
+               ("victim", Json.String (t.proc_name v));
+               ("count", Json.Int c);
+               ("trg_weight", Json.Float (t.trg_weight e v));
+             ])
+         (top_pairs ~top attrib))
+  in
+  Json.Obj
+    [
+      ("label", Json.String label);
+      ("accesses", Json.Int r.Sim.accesses);
+      ("misses", Json.Int r.Sim.misses);
+      ("miss_rate", Json.Float (Sim.miss_rate r));
+      ("evictions", Json.Int r.Sim.evictions);
+      ("compulsory", Json.Int attrib.Attrib.compulsory);
+      ("capacity", Json.Int attrib.Attrib.capacity);
+      ("conflict", Json.Int attrib.Attrib.conflict);
+      ("distinct_lines", Json.Int attrib.Attrib.distinct_lines);
+      ("conflict_pairs_total", Json.Int (Array.length attrib.Attrib.conflict_pairs));
+      ("conflicts", conflicts);
+      ( "set_misses_max",
+        Json.Int (Array.fold_left max 0 attrib.Attrib.set_misses) );
+      ("interval_events", Json.Int attrib.Attrib.interval_events);
+      ( "timeline",
+        Json.List
+          (Array.to_list (Array.map (fun c -> Json.Int c) attrib.Attrib.timeline))
+      );
+    ]
+
+let to_json ?top t =
+  Json.Obj
+    [
+      ("schema", Json.String json_schema);
+      ("source", Json.String t.source);
+      ("trace", Json.String t.trace_label);
+      ("cache", cache_json t.cache);
+      ("aligned", Json.Bool t.aligned);
+      ("layouts", Json.List (List.map (layout_json ?top t) t.layouts));
+    ]
+
+let summary_json t =
+  Json.Obj
+    [
+      ("source", Json.String t.source);
+      ("trace", Json.String t.trace_label);
+      ("aligned", Json.Bool t.aligned);
+      ( "layouts",
+        Json.List
+          (List.map
+             (fun { label; attrib } ->
+               Json.Obj
+                 [
+                   ("label", Json.String label);
+                   ("misses", Json.Int attrib.Attrib.result.Sim.misses);
+                   ("compulsory", Json.Int attrib.Attrib.compulsory);
+                   ("capacity", Json.Int attrib.Attrib.capacity);
+                   ("conflict", Json.Int attrib.Attrib.conflict);
+                 ])
+             t.layouts) );
+    ]

@@ -1,0 +1,77 @@
+(** Layout diagnosis: render miss-attribution results as evidence.
+
+    {!Trg_cache.Attrib} classifies and attributes every miss; this module
+    turns those numbers into the paper's argument.  For each layout under
+    comparison it reports the compulsory / capacity / conflict split, the
+    top conflicting procedure pairs {e with their TRG edge weights
+    alongside} — so the claim "GBSC wins because the TRG sees the
+    interleavings the call graph cannot" is directly checkable — the
+    most-missing procedures, per-set pressure and a temporal miss
+    timeline.  Reports render as ASCII tables ({!print}) and as a strict
+    JSON document ({!to_json}) for CI; {!summary_json} is the compact
+    classification summary embedded in run manifests.
+
+    Unless [raw] is set, layouts are normalised with
+    {!Trg_program.Layout.line_align} (set-preserving, line-aligned), which
+    keeps every layout's conflict structure intact while making
+    compulsory-miss counts comparable across layouts. *)
+
+type layout_report = {
+  label : string;
+  attrib : Trg_cache.Attrib.t;
+}
+
+type t = {
+  source : string;  (** benchmark name or file description *)
+  trace_label : string;  (** ["test"], ["train"], or a file name *)
+  cache : Trg_cache.Config.t;
+  aligned : bool;  (** layouts were line-aligned before simulation *)
+  layouts : layout_report list;
+  trg_weight : int -> int -> float;  (** TRG_select edge weight lookup *)
+  proc_name : int -> string;
+}
+
+val algo_labels : string list
+(** Layout selectors accepted by {!of_runner}: ["original"], ["ph"],
+    ["hkc"], ["gbsc"], ["hwu-chang"], ["torrellas"]. *)
+
+val default_algos : string list
+(** ["original"; "ph"; "hkc"; "gbsc"] — the paper's core comparison. *)
+
+val of_runner :
+  ?intervals:int ->
+  ?use_train:bool ->
+  ?raw:bool ->
+  algos:string list ->
+  Runner.t ->
+  t
+(** Diagnose a prepared benchmark under the named layouts, on the test
+    trace (or the training trace with [use_train]).  TRG weights come
+    from the prepared profile's TRG_select.
+    @raise Failure on an unknown algo label. *)
+
+val make :
+  ?intervals:int ->
+  source:string ->
+  trace_label:string ->
+  cache:Trg_cache.Config.t ->
+  trg_weight:(int -> int -> float) ->
+  program:Trg_program.Program.t ->
+  trace:Trg_trace.Trace.t ->
+  ?raw:bool ->
+  (string * Trg_program.Layout.t) list ->
+  t
+(** Low-level constructor over explicit (label, layout) pairs — the
+    file-triple path of [trgplace explain]. *)
+
+val print : ?top:int -> t -> unit
+(** ASCII report: classification table, then per layout the top-[top]
+    (default 10) conflict pairs with TRG weights, hottest procedures,
+    set pressure and the miss timeline. *)
+
+val to_json : ?top:int -> t -> Trg_obs.Json.t
+(** Full report as one JSON document, schema ["trgplace-explain/1"]. *)
+
+val summary_json : t -> Trg_obs.Json.t
+(** Compact classification-only summary (per layout: accesses, misses,
+    compulsory, capacity, conflict) for embedding in run manifests. *)

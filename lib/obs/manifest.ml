@@ -1,4 +1,6 @@
-let schema = "trgplace-manifest/1"
+let schema = "trgplace-manifest/2"
+
+let v1_schema = "trgplace-manifest/1"
 
 type status = Ok | Partial | Failed
 
@@ -21,25 +23,26 @@ let gc_json () =
       ("compactions", Json.Int s.Gc.compactions);
     ]
 
-let build ~command ?(argv = []) ?(config = []) ~status ~exit_code () =
+let build ~command ?(argv = []) ?(config = []) ?explain ~status ~exit_code () =
   let metrics = Metrics.to_json () in
   let field k =
     match Json.member k metrics with Some v -> v | None -> Json.Obj []
   in
   Json.Obj
-    [
-      ("schema", Json.String schema);
-      ("command", Json.String command);
-      ("argv", Json.List (List.map (fun a -> Json.String a) argv));
-      ("config", Json.Obj config);
-      ("status", Json.String (status_to_string status));
-      ("exit_code", Json.Int exit_code);
-      ("gc", gc_json ());
-      ("counters", field "counters");
-      ("gauges", field "gauges");
-      ("histograms", field "histograms");
-      ("spans", Span.to_json ());
-    ]
+    ([
+       ("schema", Json.String schema);
+       ("command", Json.String command);
+       ("argv", Json.List (List.map (fun a -> Json.String a) argv));
+       ("config", Json.Obj config);
+       ("status", Json.String (status_to_string status));
+       ("exit_code", Json.Int exit_code);
+       ("gc", gc_json ());
+       ("counters", field "counters");
+       ("gauges", field "gauges");
+       ("histograms", field "histograms");
+       ("spans", Span.to_json ());
+     ]
+    @ match explain with None -> [] | Some e -> [ ("explain", e) ])
 
 let write path json =
   let tmp = path ^ ".tmp" in
@@ -75,9 +78,11 @@ let validate json =
   let ( let* ) = Result.bind in
   let* () =
     match Json.member "schema" json with
-    | Some (Json.String s) when s = schema -> Result.Ok ()
+    | Some (Json.String s) when s = schema || s = v1_schema -> Result.Ok ()
     | Some (Json.String s) ->
-      Error (Printf.sprintf "manifest: unsupported schema %S (want %S)" s schema)
+      Error
+        (Printf.sprintf "manifest: unsupported schema %S (want %S or %S)" s
+           schema v1_schema)
     | Some _ | None -> Error "manifest: missing schema marker"
   in
   let* () = require "command" is_string in
@@ -89,4 +94,63 @@ let validate json =
   let* () = require "counters" is_obj in
   let* () = require "gauges" is_obj in
   let* () = require "histograms" is_obj in
-  require "spans" is_list
+  let* () = require "spans" is_list in
+  match Json.member "explain" json with
+  | None -> Result.Ok ()
+  | Some v ->
+    if is_obj v then Result.Ok ()
+    else Error "manifest: member \"explain\" has the wrong type"
+
+(* --- regression diffing ---------------------------------------------- *)
+
+type drift = {
+  metric : string;
+  base : float option;
+  current : float option;
+  rel : float;
+}
+
+(* The comparable surface of a manifest: deterministic metrics only.
+   Wall times, GC statistics and span durations are machine noise by
+   design and never diffed. *)
+let comparable json =
+  let fields kind key extract =
+    match Json.member key json with
+    | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (name, v) ->
+          Option.map (fun x -> (kind ^ "/" ^ name, x)) (extract v))
+        fields
+    | _ -> []
+  in
+  fields "counters" "counters" Json.to_float
+  @ fields "gauges" "gauges" Json.to_float
+  @ fields "histograms" "histograms" (fun v ->
+        Option.bind (Json.member "total" v) Json.to_float)
+
+let relative_delta a b =
+  if a = b then 0.
+  else Float.abs (b -. a) /. Float.max 1. (Float.abs a)
+
+let diff ?(tolerance = 0.) base current =
+  let a = comparable base and b = comparable current in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k (Some v, None)) a;
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt tbl k with
+      | Some (base_v, _) -> Hashtbl.replace tbl k (base_v, Some v)
+      | None -> Hashtbl.replace tbl k (None, Some v))
+    b;
+  Hashtbl.fold
+    (fun metric (base_v, cur_v) acc ->
+      match (base_v, cur_v) with
+      | Some x, Some y ->
+        let rel = relative_delta x y in
+        if rel > tolerance then
+          { metric; base = Some x; current = Some y; rel } :: acc
+        else acc
+      | _ ->
+        { metric; base = base_v; current = cur_v; rel = infinity } :: acc)
+    tbl []
+  |> List.sort (fun d1 d2 -> compare d1.metric d2.metric)

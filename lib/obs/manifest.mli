@@ -1,12 +1,20 @@
 (** Structured run manifests: one JSON document per run.
 
     A manifest captures what a run was (command, argv, resolved options),
-    what it did (counters, gauges, histograms, completed spans) and how
-    it ended (status, exit code, GC/heap statistics), so perf trajectories
-    can be compared machine-to-machine and commit-to-commit. *)
+    what it did (counters, gauges, histograms, completed spans, optional
+    miss-attribution summary) and how it ended (status, exit code,
+    GC/heap statistics), so perf trajectories can be compared
+    machine-to-machine and commit-to-commit — mechanically, via
+    {!diff}. *)
 
 val schema : string
-(** ["trgplace-manifest/1"]; bumped on incompatible layout changes. *)
+(** ["trgplace-manifest/2"]; bumped on incompatible layout changes.
+    Version 2 adds span [start_s] fields and the optional ["explain"]
+    member. *)
+
+val v1_schema : string
+(** ["trgplace-manifest/1"] — still accepted by {!validate} and
+    {!diff}. *)
 
 type status = Ok | Partial | Failed
 
@@ -17,12 +25,15 @@ val build :
   command:string ->
   ?argv:string list ->
   ?config:(string * Json.t) list ->
+  ?explain:Json.t ->
   status:status ->
   exit_code:int ->
   unit ->
   Json.t
 (** Snapshots the metrics registry, completed spans and [Gc.quick_stat]
-    (including [top_heap_words], the peak major-heap size) at call time. *)
+    (including [top_heap_words], the peak major-heap size) at call time.
+    [explain], when given, embeds a miss-attribution classification
+    summary (see {!Trg_eval.Explain}) as the ["explain"] member. *)
 
 val write : string -> Json.t -> unit
 (** Pretty-printed JSON, written atomically (temp file + rename) so a
@@ -32,5 +43,24 @@ val write : string -> Json.t -> unit
 val load : string -> (Json.t, string) result
 
 val validate : Json.t -> (unit, string) result
-(** Structural check used by [trgplace stats]: schema marker plus the
-    presence and types of the required top-level members. *)
+(** Structural check used by [trgplace stats]: schema marker (v1 or v2)
+    plus the presence and types of the required top-level members. *)
+
+(** {2 Regression diffing} — the engine behind [trgplace compare]. *)
+
+type drift = {
+  metric : string;  (** e.g. ["counters/sim/misses"] *)
+  base : float option;  (** [None] = absent from the baseline manifest *)
+  current : float option;  (** [None] = absent from the current manifest *)
+  rel : float;
+      (** relative change [|current - base| / max 1 |base|];
+          [infinity] when the metric exists on only one side *)
+}
+
+val diff : ?tolerance:float -> Json.t -> Json.t -> drift list
+(** [diff ~tolerance base current] compares the {e deterministic} metric
+    surface of two manifests — counters, gauges and histogram totals —
+    and returns every metric whose relative change exceeds [tolerance]
+    (default 0) or that is present on one side only, sorted by name.
+    Wall-clock spans and GC statistics are machine noise and are never
+    compared.  An empty list means no drift. *)

@@ -4,10 +4,16 @@ type record = {
   name : string;
   path : string;
   depth : int;
+  start_s : float;
   wall_s : float;
   alloc_words : float;
   outcome : outcome;
 }
+
+(* Process epoch for span start times: fixed once at module load, so every
+   record's [start_s] lives on one shared, monotone-enough axis and the
+   Chrome-trace export can place spans without reconstructing nesting. *)
+let epoch = Unix.gettimeofday ()
 
 type frame = { f_name : string; f_path : string; t0 : float; alloc0 : float }
 
@@ -49,6 +55,7 @@ let leave outcome =
         name = top.f_name;
         path = top.f_path;
         depth = List.length rest;
+        start_s = Float.max 0. (top.t0 -. epoch);
         wall_s;
         alloc_words;
         outcome;
@@ -81,9 +88,66 @@ let to_json () =
              ("name", Json.String r.name);
              ("path", Json.String r.path);
              ("depth", Json.Int r.depth);
+             ("start_s", Json.Float r.start_s);
              ("wall_s", Json.Float r.wall_s);
              ("alloc_words", Json.Float r.alloc_words);
              ( "outcome",
                Json.String (match r.outcome with Finished -> "ok" | Failed -> "failed") );
            ])
        (records ()))
+
+(* Chrome trace-event format: one complete ("ph": "X") event per span,
+   timestamps and durations in microseconds.  chrome://tracing and
+   Perfetto both load the {"traceEvents": [...]} envelope. *)
+let chrome_of_spans spans =
+  let fallback_clock = ref 0. in
+  let events =
+    List.map
+      (fun s ->
+        let str k d =
+          match Option.bind (Json.member k s) Json.to_string_opt with
+          | Some v -> v
+          | None -> d
+        in
+        let num k d =
+          match Option.bind (Json.member k s) Json.to_float with
+          | Some v -> v
+          | None -> d
+        in
+        let dur = num "wall_s" 0. in
+        let ts =
+          (* Manifests older than schema 2 carry no start times; lay those
+             spans end to end so the trace still opens, and says so. *)
+          match Option.bind (Json.member "start_s" s) Json.to_float with
+          | Some t -> t
+          | None ->
+            let t = !fallback_clock in
+            fallback_clock := t +. dur;
+            t
+        in
+        Json.Obj
+          [
+            ("name", Json.String (str "name" "?"));
+            ("cat", Json.String "trgplace");
+            ("ph", Json.String "X");
+            ("ts", Json.Float (1e6 *. ts));
+            ("dur", Json.Float (1e6 *. dur));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 1);
+            ( "args",
+              Json.Obj
+                [
+                  ("path", Json.String (str "path" ""));
+                  ("alloc_words", Json.Float (num "alloc_words" 0.));
+                  ("outcome", Json.String (str "outcome" "ok"));
+                ] );
+          ])
+      spans
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ms") ]
+
+let to_chrome () =
+  match to_json () with
+  | Json.List spans -> chrome_of_spans spans
+  | _ -> chrome_of_spans []

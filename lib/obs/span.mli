@@ -14,6 +14,9 @@ type record = {
   name : string;
   path : string;  (** slash-joined names of enclosing spans + [name] *)
   depth : int;  (** 0 for a root span *)
+  start_s : float;
+      (** seconds between the process-wide span epoch (module load) and
+          the span's start — all records share one time axis *)
   wall_s : float;  (** elapsed wall seconds, clamped to [>= 0.] *)
   alloc_words : float;
       (** words allocated during the span (minor + major - promoted),
@@ -36,4 +39,14 @@ val reset : unit -> unit
 
 val to_json : unit -> Json.t
 (** [List] of span objects in completion order: [name], [path], [depth],
-    [wall_s], [alloc_words], [outcome] ("ok" / "failed"). *)
+    [start_s], [wall_s], [alloc_words], [outcome] ("ok" / "failed"). *)
+
+val chrome_of_spans : Json.t list -> Json.t
+(** Converts a manifest's span list (the objects of {!to_json}) to the
+    Chrome trace-event format — an [{"traceEvents": [...]}] envelope of
+    complete ("ph":"X") events with microsecond timestamps — loadable in
+    chrome://tracing and Perfetto.  Spans without [start_s] (manifests
+    older than schema 2) are laid end to end as an approximation. *)
+
+val to_chrome : unit -> Json.t
+(** {!chrome_of_spans} over the current completed records. *)

@@ -92,6 +92,22 @@ let random rng ?align program =
 
 let cache_line_of t ~line_size ~n_lines p = t.addr.(p) / line_size mod n_lines
 
+let line_align ~line_size ~n_sets program t =
+  if line_size <= 0 || n_sets <= 0 then
+    invalid_arg "Layout.line_align: line_size and n_sets must be positive";
+  let n = Array.length t.addr in
+  let addr = Array.make n 0 in
+  let cursor = ref 0 in
+  Array.iter
+    (fun p ->
+      let set = t.addr.(p) / line_size mod n_sets in
+      let cl = (!cursor + line_size - 1) / line_size in
+      let k = ((set - cl) mod n_sets + n_sets) mod n_sets in
+      addr.(p) <- (cl + k) * line_size;
+      cursor := addr.(p) + Program.size program p)
+    (order t);
+  of_addresses program addr
+
 let pp program ppf t =
   Array.iter
     (fun p ->

@@ -53,5 +53,16 @@ val cache_line_of : t -> line_size:int -> n_lines:int -> int -> int
     index of the first byte of procedure [p]:
     [(addr / line_size) mod n_lines]. *)
 
+val line_align : line_size:int -> n_sets:int -> Program.t -> t -> t
+(** Set-preserving line-aligned repack: procedures keep their address
+    order, every start moves to the nearest available line boundary whose
+    set index ([addr / line_size mod n_sets]) equals the set index of the
+    procedure's original first line.  The cache conflict structure the
+    layout encodes is untouched (line-to-set mapping per procedure is
+    preserved), but no procedure straddles a partial first line, so
+    distinct-line counts — and therefore compulsory misses — become
+    comparable across layouts of the same program.  Used by the
+    miss-attribution reports. *)
+
 val pp : Program.t -> Format.formatter -> t -> unit
 (** One line per procedure in address order, for debugging/examples. *)

@@ -10,6 +10,7 @@ let () =
       ("program", Test_program.suite);
       ("trace", Test_trace.suite);
       ("cache", Test_cache.suite);
+      ("attrib", Test_attrib.suite);
       ("graph", Test_graph.suite);
       ("qset", Test_qset.suite);
       ("profile", Test_profile.suite);

@@ -254,6 +254,159 @@ let test_manifest_validate_rejects () =
   | Ok () -> ()
   | Error msg -> Alcotest.fail msg
 
+(* Schema evolution: current manifests carry the v2 marker, but v1
+   manifests written by older builds must keep validating, and the
+   optional explain member must be an object when present. *)
+let test_manifest_schema_versions () =
+  let current = Manifest.build ~command:"x" ~status:Manifest.Ok ~exit_code:0 () in
+  Alcotest.(check (option string)) "current schema is v2"
+    (Some Manifest.schema)
+    (Option.bind (Json.member "schema" current) Json.to_string_opt);
+  let as_v1 =
+    match current with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (function
+             | "schema", _ -> ("schema", Json.String Manifest.v1_schema)
+             | kv -> kv)
+           fields)
+    | _ -> Alcotest.fail "manifest is not an object"
+  in
+  (match Manifest.validate as_v1 with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "v1 manifest rejected: %s" msg);
+  let explained =
+    Manifest.build ~command:"x"
+      ~explain:(Json.Obj [ ("layouts", Json.List []) ])
+      ~status:Manifest.Ok ~exit_code:0 ()
+  in
+  (match Manifest.validate explained with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "explain member rejected: %s" msg);
+  match
+    Manifest.validate
+      (match explained with
+      | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (function
+               | "explain", _ -> ("explain", Json.Int 3)
+               | kv -> kv)
+             fields)
+      | _ -> Alcotest.fail "manifest is not an object")
+  with
+  | Ok () -> Alcotest.fail "non-object explain validated"
+  | Error _ -> ()
+
+(* --- regression diffing ---------------------------------------------- *)
+
+let manifest_with ?(counters = []) ?(gauges = []) ?(totals = []) () =
+  Json.Obj
+    [
+      ("schema", Json.String Manifest.schema);
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) gauges));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Obj [ ("total", Json.Int v) ]))
+             totals) );
+      (* Non-deterministic members that diff must ignore. *)
+      ("gc", Json.Obj [ ("minor_words", Json.Float 1e9) ]);
+      ("spans", Json.List [ Json.Obj [ ("wall_s", Json.Float 99.) ] ]);
+    ]
+
+let test_manifest_diff () =
+  let base =
+    manifest_with
+      ~counters:[ ("sim/misses", 100); ("gone", 1) ]
+      ~gauges:[ ("peak", 2.0) ] ~totals:[ ("lat", 50) ] ()
+  in
+  let same =
+    manifest_with
+      ~counters:[ ("sim/misses", 100); ("gone", 1) ]
+      ~gauges:[ ("peak", 2.0) ] ~totals:[ ("lat", 50) ] ()
+  in
+  Alcotest.(check int) "identical manifests do not drift" 0
+    (List.length (Manifest.diff base same));
+  let current =
+    manifest_with
+      ~counters:[ ("sim/misses", 103); ("fresh", 7) ]
+      ~gauges:[ ("peak", 2.0) ] ~totals:[ ("lat", 50) ] ()
+  in
+  let drifts = Manifest.diff base current in
+  let metrics = List.map (fun d -> d.Manifest.metric) drifts in
+  Alcotest.(check (list string)) "drifted metrics, sorted"
+    [ "counters/fresh"; "counters/gone"; "counters/sim/misses" ] metrics;
+  let by_name n = List.find (fun d -> d.Manifest.metric = n) drifts in
+  Alcotest.(check (float 1e-9)) "relative delta" 0.03
+    (by_name "counters/sim/misses").Manifest.rel;
+  Alcotest.(check bool) "one-sided metrics are infinite drift" true
+    ((by_name "counters/fresh").Manifest.rel = infinity
+    && (by_name "counters/gone").Manifest.rel = infinity
+    && (by_name "counters/fresh").Manifest.base = None
+    && (by_name "counters/gone").Manifest.current = None);
+  (* Tolerance suppresses small drift but never one-sided metrics. *)
+  let tolerated = Manifest.diff ~tolerance:0.05 base current in
+  Alcotest.(check (list string)) "tolerance keeps only one-sided"
+    [ "counters/fresh"; "counters/gone" ]
+    (List.map (fun d -> d.Manifest.metric) tolerated);
+  (* GC and span noise alone never drifts. *)
+  Alcotest.(check int) "noise-only manifests agree" 0
+    (List.length (Manifest.diff (manifest_with ()) (manifest_with ())))
+
+(* --- Chrome trace export --------------------------------------------- *)
+
+let test_chrome_trace_export () =
+  with_spans (fun () ->
+      ignore
+        (Span.with_ "outer" (fun () -> Span.with_ "inner" (fun () -> 1 + 1)));
+      let records = Span.records () in
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            (r.Span.name ^ " has a start offset") true (r.Span.start_s >= 0.))
+        records;
+      let trace = Span.to_chrome () in
+      let events =
+        match Json.member "traceEvents" trace with
+        | Some (Json.List l) -> l
+        | _ -> Alcotest.fail "no traceEvents member"
+      in
+      Alcotest.(check int) "one event per span" (List.length records)
+        (List.length events);
+      List.iter
+        (fun e ->
+          Alcotest.(check (option string)) "complete event" (Some "X")
+            (Option.bind (Json.member "ph" e) Json.to_string_opt);
+          let non_negative k =
+            match Option.bind (Json.member k e) Json.to_float with
+            | Some x -> x >= 0.
+            | None -> false
+          in
+          Alcotest.(check bool) "ts and dur in microseconds" true
+            (non_negative "ts" && non_negative "dur"))
+        events;
+      (* A parent's [ts, ts+dur] interval must contain its child's. *)
+      let find name =
+        List.find
+          (fun e -> Json.member "name" e = Some (Json.String name))
+          events
+      in
+      let bounds e =
+        let f k =
+          match Option.bind (Json.member k e) Json.to_float with
+          | Some x -> x
+          | None -> Alcotest.fail "missing timing field"
+        in
+        (f "ts", f "ts" +. f "dur")
+      in
+      let t0_inner, t1_inner = bounds (find "inner") in
+      let t0_outer, t1_outer = bounds (find "outer") in
+      Alcotest.(check bool) "nesting preserved" true
+        (t0_outer <= t0_inner && t1_inner <= t1_outer))
+
 (* --- integration with the batch runner ------------------------------- *)
 
 (* A benchmark whose preparation fails (here via --force-fail injection)
@@ -350,6 +503,9 @@ let suite =
     Alcotest.test_case "span allocation monotone" `Quick test_span_alloc_monotone;
     Alcotest.test_case "manifest roundtrip" `Quick test_manifest_roundtrip;
     Alcotest.test_case "manifest validation rejects" `Quick test_manifest_validate_rejects;
+    Alcotest.test_case "manifest schema versions" `Quick test_manifest_schema_versions;
+    Alcotest.test_case "manifest diff" `Quick test_manifest_diff;
+    Alcotest.test_case "chrome trace export" `Quick test_chrome_trace_export;
     Alcotest.test_case "failed benchmark in manifest" `Quick test_failed_benchmark_in_manifest;
     Alcotest.test_case "run populates counters" `Quick test_counters_populated_by_run;
   ]
