@@ -468,6 +468,10 @@ let explain_cmd =
   let run verbose bench quick algos train raw top intervals json_out program_f
       layout_f trace_f cache metrics_out =
     setup_logs verbose;
+    if intervals <= 0 then begin
+      Log.err (fun m -> m "explain: --intervals must be positive (got %d)" intervals);
+      exit 2
+    end;
     if metrics_out <> None then Trg_obs.Span.set_enabled true;
     let config =
       [
@@ -497,7 +501,7 @@ let explain_cmd =
           ~source:(Printf.sprintf "%s + %s" (Filename.basename pf) (Filename.basename lf))
           ~trace_label:(Filename.basename tf) ~cache
           ~trg_weight:(Trg_profile.Graph.weight built.Trg_profile.Trg.graph)
-          ~program ~trace ~raw:true
+          ~program ~trace ~raw
           [ (Filename.basename lf, layout) ]
       | None, None, None ->
         let name =
@@ -518,6 +522,13 @@ let explain_cmd =
             m "explain: give all of --program/--layout/--trace, or none");
         exit 2
     in
+    (* Every failure mode of loading or simulating must still leave a
+       Failed-status manifest, so each known exception family is mapped
+       to the same exit path rather than escaping as a backtrace. *)
+    let failed msg =
+      Log.err (fun m -> m "%s" msg);
+      finish_run ~command:"explain" ~config metrics_out Trg_obs.Manifest.Failed 1
+    in
     match Trg_obs.Span.with_ "explain" body with
     | e ->
       Trg_eval.Explain.print ~top e;
@@ -529,9 +540,10 @@ let explain_cmd =
       finish_run ~command:"explain" ~config
         ~explain:(Trg_eval.Explain.summary_json e) metrics_out
         Trg_obs.Manifest.Ok 0
-    | exception Failure msg ->
-      Log.err (fun m -> m "%s" msg);
-      finish_run ~command:"explain" ~config metrics_out Trg_obs.Manifest.Failed 1
+    | exception Failure msg -> failed msg
+    | exception Invalid_argument msg -> failed msg
+    | exception Sys_error msg -> failed msg
+    | exception Trg_util.Fault.Error e -> failed (Trg_util.Fault.to_string e)
   in
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(

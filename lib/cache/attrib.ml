@@ -74,7 +74,7 @@ module Shadow = struct
   (* Probe-and-touch: returns whether [la] was resident, then makes it the
      most recent line, evicting the least recent when full. *)
   let access s la =
-    if Bytes.unsafe_get s.resident la <> '\000' then begin
+    if Bytes.get s.resident la <> '\000' then begin
       if s.head <> la then begin
         unlink s la;
         push_front s la
@@ -85,25 +85,52 @@ module Shadow = struct
       if s.count = s.capacity then begin
         let victim = s.tail in
         unlink s victim;
-        Bytes.unsafe_set s.resident victim '\000'
+        Bytes.set s.resident victim '\000'
       end
       else s.count <- s.count + 1;
-      Bytes.unsafe_set s.resident la '\001';
+      Bytes.set s.resident la '\001';
       push_front s la;
       false
     end
 end
 
+(* Traces can come from files, so events are untrusted: a run extending
+   past its procedure's end would produce line addresses beyond the layout
+   span that [simulate]'s tables are sized by.  Checked up front so bad
+   input yields one precise exception instead of a mid-simulation failure. *)
+let validate_trace program trace =
+  let n_procs = Program.n_procs program in
+  Trace.iteri
+    (fun ei (e : Event.t) ->
+      if e.proc < 0 || e.proc >= n_procs then
+        invalid_arg
+          (Printf.sprintf
+             "Attrib.simulate: event %d references procedure %d, but the \
+              program has %d"
+             ei e.proc n_procs);
+      let size = Program.size program e.proc in
+      if e.offset + e.len > size then
+        invalid_arg
+          (Printf.sprintf
+             "Attrib.simulate: event %d runs over bytes [%d, %d) of %s, \
+              which is only %d bytes"
+             ei e.offset (e.offset + e.len)
+             (Program.name program e.proc)
+             size))
+    trace
+
 let simulate ?(intervals = 60) program layout (config : Config.t) trace =
   if intervals <= 0 then invalid_arg "Attrib.simulate: intervals must be positive";
+  validate_trace program trace;
   let n_procs = Program.n_procs program in
   let addr = Array.init n_procs (Layout.address layout) in
   let n_sets = Config.n_sets config in
   let assoc = config.assoc in
   let line_size = config.line_size in
   let capacity = Config.n_lines config in
-  (* Line-id space: every reachable line address.  Events stay inside
-     their procedure, so the layout span bounds the largest address. *)
+  (* Line-id space: every reachable line address.  [validate_trace]
+     guarantees events stay inside their procedure, so the layout span
+     bounds the largest address. *)
   let n_line_ids = (Layout.span layout / line_size) + 2 in
   let tags = Array.make (n_sets * assoc) (-1) in
   let shadow = Shadow.create ~capacity ~n_lines:n_line_ids in
@@ -132,8 +159,8 @@ let simulate ?(intervals = 60) program layout (config : Config.t) trace =
       for la = first to last do
         incr accesses;
         pa.(p) <- pa.(p) + 1;
-        let fresh = Bytes.unsafe_get seen la = '\000' in
-        if fresh then Bytes.unsafe_set seen la '\001';
+        let fresh = Bytes.get seen la = '\000' in
+        if fresh then Bytes.set seen la '\001';
         (* The shadow is probed on every access so its recency order
            tracks the full reference stream, not just real-cache misses. *)
         let shadow_hit = Shadow.access shadow la in
@@ -186,7 +213,7 @@ let simulate ?(intervals = 60) program layout (config : Config.t) trace =
   let distinct = ref 0 in
   let set_lines = Array.make n_sets 0 in
   for la = 0 to n_line_ids - 1 do
-    if Bytes.unsafe_get seen la <> '\000' then begin
+    if Bytes.get seen la <> '\000' then begin
       incr distinct;
       let set = la mod n_sets in
       set_lines.(set) <- set_lines.(set) + 1

@@ -62,7 +62,12 @@ val simulate :
     replacement (direct-mapped when [assoc = 1], like {!Sim.simulate}).
     [intervals] (default 60) sets the timeline resolution; the trace is
     split into that many equal event intervals (at least one event
-    each). *)
+    each).
+
+    The trace is validated against the program up front: every event must
+    reference an existing procedure and stay within its byte range.
+    @raise Invalid_argument on a trace/program mismatch or when
+    [intervals <= 0]. *)
 
 val conflict_row_sums : t -> int array
 (** Per-victim-procedure totals of {!t.conflict_pairs} — by construction

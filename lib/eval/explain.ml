@@ -275,6 +275,7 @@ let summary_json t =
                Json.Obj
                  [
                    ("label", Json.String label);
+                   ("accesses", Json.Int attrib.Attrib.result.Sim.accesses);
                    ("misses", Json.Int attrib.Attrib.result.Sim.misses);
                    ("compulsory", Json.Int attrib.Attrib.compulsory);
                    ("capacity", Json.Int attrib.Attrib.capacity);

@@ -97,6 +97,26 @@ let test_micro_capacity () =
   Alcotest.(check int) "capacity" 4 a.Attrib.capacity;
   Alcotest.(check int) "conflict" 0 a.Attrib.conflict
 
+(* Traces loaded from files need not agree with the program
+   (Event.make allows any offset below 2^24), so Attrib.simulate must
+   reject events that leave their procedure or reference a procedure
+   the program does not have, instead of indexing tables sized by the
+   layout span. *)
+let test_rejects_mismatched_trace () =
+  let program = Program.of_sizes [| 32; 32 |] in
+  let cache = Config.make ~size:64 ~line_size:32 ~assoc:1 in
+  let layout = Layout.of_addresses program [| 0; 64 |] in
+  let expect_invalid label trace =
+    match Attrib.simulate program layout cache trace with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "run past procedure end"
+    (Trace.of_list [ ev Event.Enter 0 0 32; ev Event.Run 0 16 32 ]);
+  expect_invalid "offset past procedure end"
+    (Trace.of_list [ ev Event.Enter 1 4096 32 ]);
+  expect_invalid "unknown procedure" (Trace.of_list [ ev Event.Enter 7 0 8 ])
+
 let test_invariants_on_benchmark () =
   let r = Lazy.force prepared in
   let program = Runner.program r in
@@ -231,6 +251,8 @@ let suite =
   [
     Alcotest.test_case "micro conflict classification" `Quick test_micro_conflict;
     Alcotest.test_case "micro capacity classification" `Quick test_micro_capacity;
+    Alcotest.test_case "rejects trace/program mismatch" `Quick
+      test_rejects_mismatched_trace;
     Alcotest.test_case "invariants on benchmark" `Quick test_invariants_on_benchmark;
     Alcotest.test_case "fully associative has no conflicts" `Quick
       test_fully_assoc_no_conflict;
