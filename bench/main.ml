@@ -34,26 +34,37 @@ module Table = Trg_util.Table
 
 (* Strict argument handling: an unrecognized flag is a hard error, not a
    silent full run (a mistyped [--quikc] used to cost minutes). *)
-let usage () = Printf.eprintf "usage: %s [--quick]\n" Sys.argv.(0)
+let usage () = Printf.eprintf "usage: %s [--quick] [--jobs N]\n" Sys.argv.(0)
 
-let quick =
+let quick, jobs =
   let quick = ref false in
+  let jobs = ref 0 in
   let ok = ref true in
-  for i = 1 to Array.length Sys.argv - 1 do
-    match Sys.argv.(i) with
+  let i = ref 1 in
+  while !i <= Array.length Sys.argv - 1 do
+    (match Sys.argv.(!i) with
     | "--quick" -> quick := true
+    | "--jobs" | "-j" when !i < Array.length Sys.argv - 1 -> (
+      incr i;
+      match int_of_string_opt Sys.argv.(!i) with
+      | Some n when n >= 0 -> jobs := n
+      | Some _ | None ->
+        Printf.eprintf "bench: --jobs expects a non-negative integer, got %S\n"
+          Sys.argv.(!i);
+        ok := false)
     | "--help" | "-h" ->
       usage ();
       exit 0
     | arg ->
       Printf.eprintf "bench: unrecognized argument %S\n" arg;
-      ok := false
+      ok := false);
+    incr i
   done;
   if not !ok then begin
     usage ();
     exit 2
   end;
-  !quick
+  (!quick, !jobs)
 
 let benchmark_tests () =
   (* Timing subjects: [small] for profile-building benches, [go] for the
@@ -134,6 +145,9 @@ let benchmark_tests () =
         Gbsc.profile small.Runner.config (program small) small.Runner.train);
     t "sim/test-trace(go)" (fun () ->
         Runner.test_miss_rate go (Runner.default_layout go));
+    (* Pool substrate: the checksummed frame encoding a worker reply pays. *)
+    t "pool/frame-encode(64K)" (fun () ->
+        Trg_eval.Pool.Frame.encode (String.make 65536 'x'));
   ]
 
 let run_benchmarks () =
@@ -183,8 +197,9 @@ let run_benchmarks () =
 
 let () =
   let opts =
-    if quick then Report.quick_options
-    else { Report.default_options with print_cdf = true; print_points = true }
+    if quick then { Report.quick_options with jobs }
+    else
+      { Report.default_options with print_cdf = true; print_points = true; jobs }
   in
   print_endline "trgplace reproduction: Gloy, Blackwell, Smith, Calder —";
   print_endline "\"Procedure Placement Using Temporal Ordering Information\" (MICRO-30, 1997)";

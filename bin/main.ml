@@ -71,10 +71,34 @@ let options_term =
     in
     Arg.(value & opt_all string [] & info [ "force-fail" ] ~docv:"NAME" ~doc)
   in
+  let jobs =
+    let doc =
+      "Worker processes for sharded evaluation.  0 (the default) \
+       auto-detects the CPU count.  Results are identical whatever the \
+       job count."
+    in
+    Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let timeout =
+    let doc =
+      "Per-work-unit wall-clock budget in seconds; an overrunning worker \
+       is killed and the unit reported as failed."
+    in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
   let make verbose runs points benches quick full_output keep_going strict
-      force_fail =
+      force_fail jobs timeout =
     setup_logs verbose;
     let keep_going = keep_going && not strict in
+    if jobs < 0 then begin
+      Log.err (fun m -> m "--jobs must be non-negative (got %d)" jobs);
+      exit 2
+    end;
+    (match timeout with
+    | Some t when t <= 0. ->
+      Log.err (fun m -> m "--timeout must be positive (got %g)" t);
+      exit 2
+    | _ -> ());
     if quick then
       {
         Trg_eval.Report.quick_options with
@@ -82,6 +106,8 @@ let options_term =
         print_points = full_output;
         keep_going;
         force_fail;
+        jobs;
+        timeout;
       }
     else
       let selected =
@@ -95,11 +121,13 @@ let options_term =
         print_points = full_output;
         keep_going;
         force_fail;
+        jobs;
+        timeout;
       }
   in
   Term.(
     const make $ verbose_term $ runs $ points $ benches $ quick $ full_output
-    $ keep_going $ strict $ force_fail)
+    $ keep_going $ strict $ force_fail $ jobs $ timeout)
 
 (* --- telemetry manifest plumbing ------------------------------------- *)
 
@@ -122,6 +150,9 @@ let config_json (o : Trg_eval.Report.options) =
     ("print_points", J.Bool o.print_points);
     ("keep_going", J.Bool o.keep_going);
     ("force_fail", J.List (List.map (fun n -> J.String n) o.force_fail));
+    ("jobs", J.Int o.jobs);
+    ( "timeout",
+      match o.timeout with Some t -> J.Float t | None -> J.Null );
   ]
 
 (* Manifest writing wraps every command outcome, so a failed run still

@@ -30,31 +30,38 @@ let layout_of (r : Runner.t) algo ~wcg ~select ~place =
       ~model:
         (Trg_place.Cost.Trg_chunks { chunks = r.Runner.prof.Gbsc.chunks; trg = place })
 
-let run ?(runs = 40) ?(s = Perturb.default_s) ?(seed = 7_777) (r : Runner.t) =
+(* Each run perturbs from its own index-derived PRNG, so per-algorithm
+   results are identical whether the algorithms are evaluated together
+   ({!run}) or as independent work units ({!run_algo}). *)
+let run_algo ?(runs = 40) ?(s = Perturb.default_s) ?(seed = 7_777) (r : Runner.t)
+    algo =
   let base_wcg = r.Runner.wcg in
   let base_select = r.Runner.prof.Gbsc.select.Trg.graph in
   let base_place = r.Runner.prof.Gbsc.place.Trg.graph in
-  let eval algo =
-    let unperturbed =
-      Runner.test_miss_rate r
-        (layout_of r algo ~wcg:base_wcg ~select:base_select ~place:base_place)
-    in
-    let rates =
-      Array.init runs (fun i ->
-          let rng = Prng.create (seed + (1000 * i) + Hashtbl.hash (algo_name algo)) in
-          let wcg = Perturb.graph rng ~s base_wcg in
-          let select = Perturb.graph rng ~s base_select in
-          let place = Perturb.graph rng ~s base_place in
-          Runner.test_miss_rate r (layout_of r algo ~wcg ~select ~place))
-    in
-    Array.sort compare rates;
-    { algo; unperturbed; sorted = rates }
+  let unperturbed =
+    Runner.test_miss_rate r
+      (layout_of r algo ~wcg:base_wcg ~select:base_select ~place:base_place)
   in
-  {
-    bench = r.Runner.shape.Trg_synth.Shape.name;
-    default_mr = Runner.test_miss_rate r (Runner.default_layout r);
-    results = List.map eval [ PH; HKC; GBSC ];
-  }
+  let rates =
+    Array.init runs (fun i ->
+        let rng = Prng.create (seed + (1000 * i) + Hashtbl.hash (algo_name algo)) in
+        let wcg = Perturb.graph rng ~s base_wcg in
+        let select = Perturb.graph rng ~s base_select in
+        let place = Perturb.graph rng ~s base_place in
+        Runner.test_miss_rate r (layout_of r algo ~wcg ~select ~place))
+  in
+  Array.sort compare rates;
+  { algo; unperturbed; sorted = rates }
+
+let default_miss_rate (r : Runner.t) =
+  Runner.test_miss_rate r (Runner.default_layout r)
+
+let of_results (r : Runner.t) ~default_mr results =
+  { bench = r.Runner.shape.Trg_synth.Shape.name; default_mr; results }
+
+let run ?runs ?s ?seed (r : Runner.t) =
+  of_results r ~default_mr:(default_miss_rate r)
+    (List.map (run_algo ?runs ?s ?seed r) [ PH; HKC; GBSC ])
 
 let print ?(cdf = true) b =
   Table.section (Printf.sprintf "FIGURE 5 — %s (miss rates on testing input)" b.bench);

@@ -28,6 +28,19 @@ type bench_result = {
 val run : ?runs:int -> ?s:float -> ?seed:int -> Runner.t -> bench_result
 (** Defaults: [runs] = 40 and [s] = 0.1, as in the paper. *)
 
+val run_algo : ?runs:int -> ?s:float -> ?seed:int -> Runner.t -> algo -> result
+(** One algorithm's share of {!run} — an independent work unit for the
+    evaluation pool.  Every perturbation draws from an index- and
+    algorithm-derived PRNG, so [run_algo] results equal the
+    corresponding slice of {!run}. *)
+
+val default_miss_rate : Runner.t -> float
+(** The default layout's miss rate on the testing trace (the figure's
+    baseline row). *)
+
+val of_results : Runner.t -> default_mr:float -> result list -> bench_result
+(** Reassembles a {!bench_result} from independently computed parts. *)
+
 val print : ?cdf:bool -> bench_result -> unit
 (** Prints the summary table (unperturbed MR plus min/median/max of the
     perturbed population) and, when [cdf] is set (default true), the sorted

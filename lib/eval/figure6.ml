@@ -20,7 +20,7 @@ type result = {
   rho_wcg : float;
 }
 
-let run ?(n = 80) ?(max_moved = 50) ?(seed = 4242) (r : Runner.t) =
+let run_range ?(max_moved = 50) ?(seed = 4242) (r : Runner.t) ~lo ~hi =
   let program = Runner.program r in
   let config = r.Runner.config in
   let cache = config.Gbsc.cache in
@@ -41,11 +41,14 @@ let run ?(n = 80) ?(max_moved = 50) ?(seed = 4242) (r : Runner.t) =
     if not (Hashtbl.mem in_nodes p) then filler := p :: !filler
   done;
   let filler = Array.of_list !filler in
-  let rng = Prng.create seed in
   let make_point i =
     let placed = Array.copy placed_arr in
-    (* The first point is the unmodified GBSC placement. *)
+    (* The first point is the unmodified GBSC placement.  Each point owns
+       an index-derived PRNG, so any [lo, hi) slice of the point set is
+       computable independently — the pool shards the points and the
+       concatenation equals the sequential run. *)
     if i > 0 then begin
+      let rng = Prng.create (seed + (7919 * i)) in
       let moved = Prng.int rng (max_moved + 1) in
       for _ = 1 to moved do
         let j = Prng.int rng (Array.length placed) in
@@ -63,7 +66,9 @@ let run ?(n = 80) ?(max_moved = 50) ?(seed = 4242) (r : Runner.t) =
       metric_wcg = Metric.wcg program ~wcg:r.Runner.wcg ~cache layout;
     }
   in
-  let points = Array.init n make_point in
+  Array.init (max 0 (hi - lo)) (fun k -> make_point (lo + k))
+
+let of_points (r : Runner.t) points =
   let misses = Array.map (fun p -> p.miss_rate) points in
   let m_trg = Array.map (fun p -> p.metric_trg) points in
   let m_wcg = Array.map (fun p -> p.metric_wcg) points in
@@ -75,6 +80,9 @@ let run ?(n = 80) ?(max_moved = 50) ?(seed = 4242) (r : Runner.t) =
     rho_trg = Stats.spearman misses m_trg;
     rho_wcg = Stats.spearman misses m_wcg;
   }
+
+let run ?(n = 80) ?max_moved ?seed (r : Runner.t) =
+  of_points r (run_range ?max_moved ?seed r ~lo:0 ~hi:n)
 
 let print ?(points = true) res =
   Table.section

@@ -21,6 +21,14 @@ type result = {
 val run : ?n:int -> ?max_moved:int -> ?seed:int -> Runner.t -> result
 (** Defaults: [n] = 80 layouts, [max_moved] = 50 procedures, as in the
     paper.  Miss rates are measured on the training trace, the input the
-    metric is built from. *)
+    metric is built from.  Point [i]'s perturbation draws from an
+    index-derived PRNG, so equal to {!run_range} slices concatenated. *)
+
+val run_range : ?max_moved:int -> ?seed:int -> Runner.t -> lo:int -> hi:int -> point array
+(** Points [lo, hi) of the point set — an independent work unit for the
+    evaluation pool.  Point 0 is always the unmodified GBSC placement. *)
+
+val of_points : Runner.t -> point array -> result
+(** Correlations over an assembled point set. *)
 
 val print : ?points:bool -> result -> unit

@@ -1,0 +1,408 @@
+module Fault = Trg_util.Fault
+module Checksum = Trg_util.Checksum
+module Metrics = Trg_obs.Metrics
+module Span = Trg_obs.Span
+
+type failure =
+  | Unit_failed of string
+  | Timed_out of float
+  | Worker_crashed of string
+  | Protocol_error of string
+  | Cancelled
+
+let failure_to_string = function
+  | Unit_failed msg -> msg
+  | Timed_out t -> Printf.sprintf "timed out after %.1fs (killed)" t
+  | Worker_crashed msg -> Printf.sprintf "worker crashed: %s" msg
+  | Protocol_error msg -> Printf.sprintf "result stream corrupt: %s" msg
+  | Cancelled -> "cancelled after an earlier failure"
+
+type 'a task = { key : string; work : unit -> 'a }
+
+type 'a outcome = { key : string; value : ('a, failure) result; output : string }
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let message_of = function Failure m -> m | e -> Printexc.to_string e
+
+(* --- wire format ------------------------------------------------------ *)
+
+module Frame = struct
+  let header_len = 8
+
+  let trailer_len = 4
+
+  (* Far above any real reply; a corrupt length field must not drive a
+     gigantic allocation. *)
+  let max_len = 1 lsl 30
+
+  let encode payload =
+    let len = String.length payload in
+    let b = Bytes.create (header_len + len + trailer_len) in
+    Bytes.set_int64_le b 0 (Int64.of_int len);
+    Bytes.blit_string payload 0 b header_len len;
+    Bytes.set_int32_le b (header_len + len) (Int32.of_int (Checksum.string payload));
+    Bytes.unsafe_to_string b
+
+  let rec write_all fd s pos len =
+    if len > 0 then begin
+      let n =
+        try Unix.write_substring fd s pos len with
+        | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+        | Unix.Unix_error (e, _, _) ->
+          Fault.fail
+            (Fault.Io_error
+               (Printf.sprintf "pool pipe write: %s" (Unix.error_message e)))
+      in
+      write_all fd s (pos + n) (len - n)
+    end
+
+  let write fd payload =
+    let s = encode payload in
+    write_all fd s 0 (String.length s)
+
+  let read_retrying fd b pos len =
+    let rec go () =
+      try Unix.read fd b pos len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | Unix.Unix_error (e, _, _) ->
+        Fault.fail
+          (Fault.Io_error
+             (Printf.sprintf "pool pipe read: %s" (Unix.error_message e)))
+    in
+    go ()
+
+  (* Reads exactly [len] bytes; [0] bytes mid-object is a truncation, not
+     a clean end of stream. *)
+  let rec read_exact fd b pos len ~what =
+    if len > 0 then begin
+      let n = read_retrying fd b pos len in
+      if n = 0 then Fault.fail (Fault.Truncated what);
+      read_exact fd b (pos + n) (len - n) ~what
+    end
+
+  let read fd =
+    let header = Bytes.create header_len in
+    let first = read_retrying fd header 0 header_len in
+    if first = 0 then raise End_of_file;
+    read_exact fd header first (header_len - first) ~what:"pool frame header";
+    let len = Int64.to_int (Bytes.get_int64_le header 0) in
+    if len < 0 || len > max_len then
+      Fault.fail (Fault.Bad_record (Printf.sprintf "pool frame length %d" len));
+    let payload = Bytes.create len in
+    read_exact fd payload 0 len ~what:"pool frame payload";
+    let trailer = Bytes.create trailer_len in
+    read_exact fd trailer 0 trailer_len ~what:"pool frame checksum";
+    let payload = Bytes.unsafe_to_string payload in
+    let stored = Int32.to_int (Bytes.get_int32_le trailer 0) land 0xFFFFFFFF in
+    let computed = Checksum.string payload in
+    if stored <> computed then
+      Fault.fail (Fault.Checksum_mismatch { stored; computed });
+    payload
+end
+
+(* --- worker side ------------------------------------------------------ *)
+
+(* What travels back per unit: the value (or the failure message), the
+   unit's telemetry deltas, and its captured stdout.  Marshaled with
+   closure support — parent and worker are the same binary, so code
+   pointers are valid, and values like prepared runners may close over
+   functions. *)
+type 'a reply = {
+  r_value : ('a, string) result;
+  r_metrics : Metrics.snapshot;
+  r_spans : Span.record list;
+  r_output : string;
+}
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Redirect fd 1 to a per-unit temp file so a unit's printing can be
+   replayed by the parent in task order.  The temp name embeds the pid:
+   forked workers share the parent's [Filename.temp_file] PRNG state and
+   would otherwise race for the same candidate names. *)
+let captured f =
+  let path =
+    Filename.temp_file (Printf.sprintf "trg-pool-%d-" (Unix.getpid ())) ".out"
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      flush stdout;
+      let saved = Unix.dup Unix.stdout in
+      let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+      Unix.dup2 fd Unix.stdout;
+      Unix.close fd;
+      let v = try Ok (f ()) with e -> Error (message_of e) in
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      (v, read_whole path))
+
+let execute task =
+  (* The registry and span list restart from zero for every unit, so the
+     reply carries exactly this unit's deltas; the parent re-adds them.
+     Mutating them here is invisible to the parent (copy-on-write). *)
+  Metrics.clear ();
+  Span.reset ();
+  let value, output = captured task.work in
+  {
+    r_value = value;
+    r_metrics = Metrics.snapshot ();
+    r_spans = Span.records ();
+    r_output = output;
+  }
+
+let worker_body tasks ~task_r ~reply_w =
+  let rec loop () =
+    match (Marshal.from_string (Frame.read task_r) 0 : int) with
+    | exception End_of_file -> ()
+    | idx when idx < 0 -> ()
+    | idx ->
+      let reply = execute tasks.(idx) in
+      Frame.write reply_w (Marshal.to_string reply [ Marshal.Closures ]);
+      loop ()
+  in
+  loop ()
+
+(* --- parent side ------------------------------------------------------ *)
+
+type worker = {
+  pid : int;
+  task_w : Unix.file_descr;
+  reply_r : Unix.file_descr;
+  mutable current : int option;  (* task index in flight *)
+  mutable deadline : float;  (* [infinity] = no timeout pending *)
+  mutable closing : bool;  (* shutdown sent, EOF expected *)
+}
+
+type 'a slot = Pending | Replied of 'a reply | Broken of failure
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let spawn tasks siblings =
+  let task_r, task_w = Unix.pipe () in
+  let reply_r, reply_w = Unix.pipe () in
+  (* Anything buffered on the parent's channels would otherwise be
+     flushed a second time from inside the child. *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (* An inherited copy of a sibling's pipe ends would keep that pipe
+       open after the sibling dies and defeat EOF-based crash
+       detection. *)
+    List.iter
+      (fun w ->
+        close_quietly w.task_w;
+        close_quietly w.reply_r)
+      siblings;
+    close_quietly task_w;
+    close_quietly reply_r;
+    let code =
+      match worker_body tasks ~task_r ~reply_w with
+      | () -> 0
+      | exception _ -> 1
+    in
+    (* Skip the parent's at_exit machinery and inherited buffers. *)
+    Unix._exit code
+  | pid ->
+    Unix.close task_r;
+    Unix.close reply_w;
+    { pid; task_w; reply_r; current = None; deadline = infinity; closing = false }
+
+let wait_status pid =
+  let rec go () =
+    try snd (Unix.waitpid [] pid)
+    with Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  try go () with Unix.Unix_error _ -> Unix.WEXITED 0
+
+let status_to_string = function
+  | Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+
+let run (type a) ?jobs ?timeout ?(fail_fast = false) (tasks : a task list) :
+    a outcome list =
+  match tasks with
+  | [] -> []
+  | _ ->
+    let task_arr = Array.of_list tasks in
+    let n = Array.length task_arr in
+    let jobs =
+      min n (match jobs with Some j when j >= 1 -> j | Some _ | None -> default_jobs ())
+    in
+    let slots : a slot array = Array.make n Pending in
+    let next = ref 0 in
+    let have_failure = ref false in
+    let workers : worker list ref = ref [] in
+    let record idx f =
+      slots.(idx) <- Broken f;
+      have_failure := true
+    in
+    let dispatchable () = !next < n && not (fail_fast && !have_failure) in
+    let shutdown w =
+      if not w.closing then begin
+        w.closing <- true;
+        (try Frame.write w.task_w (Marshal.to_string (-1) []) with
+        | Fault.Error _ -> ());
+        close_quietly w.task_w
+      end
+    in
+    let assign w =
+      if dispatchable () then begin
+        let idx = !next in
+        incr next;
+        w.current <- Some idx;
+        w.deadline <-
+          (match timeout with
+          | Some t -> Unix.gettimeofday () +. t
+          | None -> infinity);
+        (* A write failure means the worker already died; the EOF path
+           attributes the unit to the crash. *)
+        try Frame.write w.task_w (Marshal.to_string idx []) with
+        | Fault.Error _ -> ()
+      end
+      else shutdown w
+    in
+    let retire w =
+      close_quietly w.reply_r;
+      if not w.closing then close_quietly w.task_w;
+      workers := List.filter (fun x -> x.pid <> w.pid) !workers
+    in
+    let replace () =
+      if dispatchable () then begin
+        let w = spawn task_arr !workers in
+        workers := w :: !workers;
+        assign w
+      end
+    in
+    let kill_retire_replace w failure =
+      (match w.current with Some idx -> record idx failure | None -> ());
+      w.current <- None;
+      (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (wait_status w.pid);
+      retire w;
+      replace ()
+    in
+    let on_eof w =
+      let status = wait_status w.pid in
+      (match w.current with
+      | Some idx ->
+        record idx
+          (Worker_crashed
+             (Printf.sprintf "%s before replying" (status_to_string status)))
+      | None -> ());
+      retire w;
+      replace ()
+    in
+    let on_readable w =
+      match
+        let payload = Frame.read w.reply_r in
+        (Marshal.from_string payload 0 : a reply)
+      with
+      | reply -> (
+        match w.current with
+        | Some idx ->
+          slots.(idx) <- Replied reply;
+          (match reply.r_value with
+          | Error _ -> have_failure := true
+          | Ok _ -> ());
+          w.current <- None;
+          w.deadline <- infinity;
+          assign w
+        | None ->
+          kill_retire_replace w (Protocol_error "unsolicited reply frame"))
+      | exception End_of_file -> on_eof w
+      | exception Fault.Error e ->
+        kill_retire_replace w (Protocol_error (Fault.to_string e))
+      | exception Failure msg ->
+        (* [Marshal.from_string] rejected the payload. *)
+        kill_retire_replace w (Protocol_error msg)
+    in
+    (* SIGPIPE's default disposition would kill the parent on a write to
+       a crashed worker; with it ignored the write fails with EPIPE and
+       is handled like any other crash. *)
+    let prev_sigpipe =
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ | Sys_error _ -> None
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun w ->
+            (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (wait_status w.pid);
+            close_quietly w.reply_r;
+            if not w.closing then close_quietly w.task_w)
+          !workers;
+        workers := [];
+        match prev_sigpipe with
+        | Some h -> ( try Sys.set_signal Sys.sigpipe h with Invalid_argument _ -> ())
+        | None -> ())
+      (fun () ->
+        for _ = 1 to jobs do
+          workers := spawn task_arr !workers :: !workers
+        done;
+        List.iter assign (List.rev !workers);
+        while !workers <> [] do
+          let now = Unix.gettimeofday () in
+          let expired = List.filter (fun w -> w.deadline <= now) !workers in
+          if expired <> [] then
+            List.iter
+              (fun w ->
+                if List.memq w !workers then
+                  kill_retire_replace w
+                    (Timed_out (Option.value timeout ~default:0.)))
+              expired
+          else begin
+            let fds = List.map (fun w -> w.reply_r) !workers in
+            let tmo =
+              let d =
+                List.fold_left
+                  (fun acc w -> Float.min acc w.deadline)
+                  infinity !workers
+              in
+              if d = infinity then -1. else Float.max 0.01 (d -. now)
+            in
+            match Unix.select fds [] [] tmo with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | readable, _, _ ->
+              (* Look readable fds up in a pre-select snapshot: a worker
+                 retired mid-iteration may have released its fd number to
+                 a freshly spawned replacement. *)
+              let snapshot = !workers in
+              List.iter
+                (fun fd ->
+                  match
+                    List.find_opt (fun w -> w.reply_r = fd) snapshot
+                  with
+                  | Some w when List.memq w !workers -> on_readable w
+                  | Some _ | None -> ())
+                readable
+          end
+        done);
+    (* Task order, never completion order: absorb each unit's telemetry
+       and emit its outcome by index. *)
+    Array.to_list
+      (Array.mapi
+         (fun idx slot ->
+           let task = task_arr.(idx) in
+           match slot with
+           | Replied reply ->
+             Metrics.absorb reply.r_metrics;
+             Span.inject reply.r_spans;
+             let value =
+               match reply.r_value with
+               | Ok v -> Ok v
+               | Error msg -> Error (Unit_failed msg)
+             in
+             { key = task.key; value; output = reply.r_output }
+           | Broken f -> { key = task.key; value = Error f; output = "" }
+           | Pending -> { key = task.key; value = Error Cancelled; output = "" })
+         slots)

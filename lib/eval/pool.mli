@@ -1,0 +1,90 @@
+(** Fork-based worker pool for sharding evaluation work units.
+
+    The paper's evaluation is embarrassingly parallel: benchmarks are
+    prepared and then simulated under many independent layouts and cache
+    configurations.  {!run} forks [jobs] worker processes, hands each
+    idle worker the next task (dynamic dispatch, so uneven units balance
+    across workers), and streams results back over pipes as
+    length-prefixed, CRC-32-checked frames ({!Frame}).  Corrupt frames
+    surface as the artifact pipeline's typed {!Trg_util.Fault.Error}s.
+
+    {b Determinism.}  The result list is in task order, never completion
+    order.  Each worker zeroes the telemetry registry before a unit and
+    ships the unit's metric/span deltas back with the result; the parent
+    absorbs them in task order with {!Trg_obs.Metrics.absorb} (counters
+    add, gauges max, histograms add pointwise — associative and
+    commutative), so manifests are bit-identical for any worker count.
+    A unit's stdout is captured in the worker and replayed by the caller,
+    again in task order.
+
+    {b Isolation.}  A unit that raises, crashes its worker, or exceeds
+    the per-unit [timeout] (SIGKILL escalation) yields a [failure]
+    outcome for that unit only; the worker is respawned and the batch
+    continues — the same partial-results semantics as [--keep-going].
+
+    Workers are forked at {!run} time, so task closures and everything
+    they capture (prepared benchmarks, options) are inherited by memory
+    snapshot; only results travel back, marshaled with closure support
+    since parent and workers are the same binary. *)
+
+type failure =
+  | Unit_failed of string  (** the task body raised; payload is the message *)
+  | Timed_out of float  (** killed after exceeding the per-unit timeout (s) *)
+  | Worker_crashed of string
+      (** the worker process died mid-unit (signal, [exit], OOM kill) *)
+  | Protocol_error of string
+      (** the worker's result stream was corrupt (CRC mismatch, truncated
+          or malformed frame) *)
+  | Cancelled  (** never dispatched: an earlier unit failed under [fail_fast] *)
+
+val failure_to_string : failure -> string
+
+type 'a task = {
+  key : string;  (** label used in failure messages; need not be unique *)
+  work : unit -> 'a;  (** runs in a forked worker *)
+}
+
+type 'a outcome = {
+  key : string;
+  value : ('a, failure) result;
+  output : string;  (** the unit's captured stdout (empty on [Cancelled]) *)
+}
+
+val default_jobs : unit -> int
+(** Worker count when none is requested: the machine's available
+    parallelism ([Domain.recommended_domain_count]), at least 1. *)
+
+val run :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?fail_fast:bool ->
+  'a task list ->
+  'a outcome list
+(** Executes every task and returns their outcomes in task order.
+    [jobs] defaults to {!default_jobs}[ ()] (values [< 1] mean the
+    default); at most [List.length tasks] workers are forked.  [timeout]
+    is per unit, in seconds (default: none).  With [fail_fast] (default
+    false), no new units are dispatched after the first failure;
+    undispatched units report [Cancelled].  In-flight units still finish.
+
+    Telemetry deltas of completed units (including failed ones — their
+    spans carry the [Failed] outcome) are absorbed into the calling
+    process's registry in task order. *)
+
+(** The pipe wire format: [<8-byte LE payload length> <payload>
+    <4-byte LE CRC-32 of payload>].  Exposed for tests. *)
+module Frame : sig
+  val write : Unix.file_descr -> string -> unit
+  (** Writes one frame, retrying short writes.  Raises
+      [Trg_util.Fault.Error (Io_error _)] on write failure. *)
+
+  val read : Unix.file_descr -> string
+  (** Blocking read of one frame; returns the payload.
+      @raise End_of_file on a clean end of stream (no partial frame)
+      @raise Trg_util.Fault.Error on a truncated stream
+        ([Truncated]), an implausible length field ([Bad_record]) or a
+        checksum mismatch ([Checksum_mismatch]). *)
+
+  val encode : string -> string
+  (** The exact bytes {!write} emits for a payload. *)
+end

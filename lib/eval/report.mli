@@ -4,6 +4,14 @@
     CLI.  All entry points print their results to stdout as ASCII tables
     mirroring the paper's presentation.
 
+    Execution is {b sharded}: benchmark preparation and per-layout
+    simulation are decomposed into work units and distributed over a pool
+    of forked worker processes (see {!Pool}).  The decomposition is fixed
+    — it never depends on the job count — per-unit PRNGs make every unit's
+    numbers independent of scheduling, and unit output and telemetry are
+    replayed in task order, so results (stdout, counters, manifests) are
+    identical whatever [jobs] is set to.
+
     Every experiment is {b failure-isolating}: with [keep_going] set, one
     benchmark raising does not kill the batch — the failure is reported
     inline, recorded in the returned list, and the remaining benchmarks
@@ -19,8 +27,13 @@ type options = {
   keep_going : bool;
       (** isolate failures per benchmark instead of aborting the batch *)
   force_fail : string list;
-      (** fault injection: benchmarks that fail to prepare (see
-          {!Runner.force_fail}) *)
+      (** fault injection: benchmarks whose preparation fails (threaded to
+          every {!Runner.prepare} the experiments perform) *)
+  jobs : int;
+      (** worker processes; [0] (the default) auto-detects the CPU count *)
+  timeout : float option;
+      (** per-work-unit wall-clock budget in seconds; an overrunning
+          worker is killed and the unit reported as failed *)
 }
 
 type failure = {
@@ -82,14 +95,11 @@ val sweep : options -> failure list
 (** Cache-size sweep on [go] when selected, else the first benchmark. *)
 
 val all : options -> failure list
-(** Every experiment in paper order, followed by the sweep.  With
-    [keep_going], partial results are printed and every isolated failure
-    is returned; callers turn a non-empty list into a non-zero exit. *)
+(** Every experiment in paper order, followed by the sweep.  All
+    experiments' work units share one pool, so a slow experiment overlaps
+    the rest of the batch.  With [keep_going], partial results are printed
+    and every isolated failure is returned; callers turn a non-empty list
+    into a non-zero exit. *)
 
 val print_summary : failure list -> unit
 (** Prints a per-failure summary table (nothing for [[]]). *)
-
-val reset_prepared : unit -> unit
-(** Drops the prepared-benchmark cache, forcing the next experiment to
-    re-run {!Runner.prepare}.  Tests use this to exercise preparation
-    paths (fault injection, telemetry spans) deterministically. *)

@@ -18,13 +18,6 @@ type t = {
   wcg : Trg_profile.Graph.t;
 }
 
-(* Fault-injection hook: benchmarks named here fail to prepare.  Set by
-   [trgplace --force-fail] (via {!Report}) to exercise the batch runner's
-   failure isolation without needing a genuinely broken workload. *)
-let forced_failures : string list ref = ref []
-
-let force_fail names = forced_failures := names
-
 (* Annotate failures with the benchmark and pipeline stage so a batch
    report can say more than "exception somewhere in prepare"; each stage
    is also a telemetry span, so manifests show where preparation time
@@ -35,10 +28,10 @@ let stage shape name f =
     let msg = match e with Failure m -> m | e -> Printexc.to_string e in
     failwith (Printf.sprintf "%s: %s stage failed: %s" shape.Shape.name name msg)
 
-let prepare ?config shape =
+let prepare ?config ?(force_fail = []) shape =
   Trg_obs.Span.with_ ("prepare:" ^ shape.Shape.name) (fun () ->
       Trg_obs.Log.info (fun m -> m "preparing benchmark %s" shape.Shape.name);
-      if List.mem shape.Shape.name !forced_failures then
+      if List.mem shape.Shape.name force_fail then
         failwith
           (Printf.sprintf "%s: forced failure injected (--force-fail)"
              shape.Shape.name);

@@ -15,15 +15,19 @@ type t = {
   wcg : Trg_profile.Graph.t;  (** built from the training trace *)
 }
 
-val prepare : ?config:Trg_place.Gbsc.config -> Trg_synth.Shape.t -> t
+val prepare :
+  ?config:Trg_place.Gbsc.config ->
+  ?force_fail:string list ->
+  Trg_synth.Shape.t ->
+  t
 (** Default config: the paper's 8 KB direct-mapped operating point.
     Failures in any preparation stage are re-raised as [Failure] tagged
-    with the benchmark name and stage. *)
+    with the benchmark name and stage.
 
-val force_fail : string list -> unit
-(** Fault-injection hook: [prepare] raises for benchmarks named here.
-    Used by [trgplace --force-fail] and the failure-isolation tests to
-    exercise batch error handling. *)
+    [force_fail] is the fault-injection hook: preparation raises
+    immediately for benchmarks named in it.  It is explicit state
+    threaded from [trgplace --force-fail] (no global — workers forked by
+    {!Pool} and interleaved tests would otherwise share it). *)
 
 val program : t -> Trg_program.Program.t
 

@@ -20,10 +20,10 @@ type result = {
           (Figure 5's methodology applied to the Section 6 algorithm) *)
 }
 
-let section_for ~max_between ~assoc shape =
+let section_for ?force_fail ~max_between ~assoc shape =
   let cache = Config.make ~size:8192 ~line_size:32 ~assoc in
   let config = Gbsc.default_config ~cache () in
-  let r = Runner.prepare ~config shape in
+  let r = Runner.prepare ~config ?force_fail shape in
   let program = Runner.program r in
   (* The direct-mapped-targeted baseline: GBSC as if the cache were DM. *)
   let config_dm =
@@ -56,15 +56,20 @@ let section_for ~max_between ~assoc shape =
       ];
   }
 
-let sa_perturbation ~max_between ~runs shape =
+let run_section = section_for
+
+(* Each perturbation run draws from an index-derived PRNG, and min/max
+   combine associatively, so any [lo, hi) slice is an independent work
+   unit for the evaluation pool. *)
+let run_perturbation ?force_fail ?(max_between = 32) ~lo ~hi shape =
   let cache = Config.make ~size:8192 ~line_size:32 ~assoc:2 in
   let config = Gbsc.default_config ~cache () in
-  let r = Runner.prepare ~config shape in
+  let r = Runner.prepare ~config ?force_fail shape in
   let program = Runner.program r in
   let prof = Gbsc_sa.profile ~max_between config program r.Runner.train in
   let rates =
-    Array.init runs (fun i ->
-        let rng = Prng.create (31_000 + i) in
+    Array.init (max 1 (hi - lo)) (fun k ->
+        let rng = Prng.create (31_000 + lo + k) in
         let db = Perturb.pair_db rng ~s:Perturb.default_s prof.Gbsc_sa.pairs.Pair_db.db in
         let select =
           Perturb.graph rng ~s:Perturb.default_s prof.Gbsc_sa.select.Trg_profile.Trg.graph
@@ -79,13 +84,14 @@ let sa_perturbation ~max_between ~runs shape =
   let hi = Array.fold_left Float.max rates.(0) rates in
   (lo, hi)
 
-let run ?(max_between = 32) ?(runs = 8) shape =
-  {
-    bench = shape.Trg_synth.Shape.name;
-    two_way = section_for ~max_between ~assoc:2 shape;
-    four_way = section_for ~max_between ~assoc:4 shape;
-    sa_perturbed = sa_perturbation ~max_between ~runs shape;
-  }
+let of_parts shape ~two_way ~four_way ~sa_perturbed =
+  { bench = shape.Trg_synth.Shape.name; two_way; four_way; sa_perturbed }
+
+let run ?force_fail ?(max_between = 32) ?(runs = 8) shape =
+  of_parts shape
+    ~two_way:(section_for ?force_fail ~max_between ~assoc:2 shape)
+    ~four_way:(section_for ?force_fail ~max_between ~assoc:4 shape)
+    ~sa_perturbed:(run_perturbation ?force_fail ~max_between ~lo:0 ~hi:runs shape)
 
 let print_section bench (s : section) =
   Table.section

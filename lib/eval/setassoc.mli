@@ -20,9 +20,43 @@ type result = {
       (** min/max GBSC-SA miss rate over perturbed pair databases *)
 }
 
-val run : ?max_between:int -> ?runs:int -> Trg_synth.Shape.t -> result
+val run :
+  ?force_fail:string list ->
+  ?max_between:int ->
+  ?runs:int ->
+  Trg_synth.Shape.t ->
+  result
 (** Prepares the benchmark itself (it needs a 2-way configuration), so it
     takes a shape rather than a prepared runner.  [max_between] bounds the
     pair enumeration (default 32; see {!Trg_profile.Pair_db}). *)
+
+val run_section :
+  ?force_fail:string list ->
+  max_between:int ->
+  assoc:int ->
+  Trg_synth.Shape.t ->
+  section
+(** One associativity's comparison table — an independent work unit for
+    the evaluation pool. *)
+
+val run_perturbation :
+  ?force_fail:string list ->
+  ?max_between:int ->
+  lo:int ->
+  hi:int ->
+  Trg_synth.Shape.t ->
+  float * float
+(** Min/max GBSC-SA miss rate over perturbation runs [lo, hi).  Each run
+    draws from an index-derived PRNG and min/max combine associatively,
+    so slices are independent pool work units whose combination equals
+    the sequential run. *)
+
+val of_parts :
+  Trg_synth.Shape.t ->
+  two_way:section ->
+  four_way:section ->
+  sa_perturbed:float * float ->
+  result
+(** Reassembles a {!result} from independently computed parts. *)
 
 val print : result -> unit

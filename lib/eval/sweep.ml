@@ -15,21 +15,23 @@ type result = { bench : string; rows : row list }
 
 let default_sizes = [ 4096; 8192; 16384; 32768 ]
 
-let run ?(sizes = default_sizes) shape =
-  let row cache_bytes =
-    let cache = Config.make ~size:cache_bytes ~line_size:32 ~assoc:1 in
-    let config = Gbsc.default_config ~cache () in
-    let r = Runner.prepare ~config shape in
-    {
-      cache_bytes;
-      default_mr = Runner.test_miss_rate r (Runner.default_layout r);
-      torrellas_mr = Runner.test_miss_rate r (Runner.torrellas_layout r);
-      ph_mr = Runner.test_miss_rate r (Runner.ph_layout r);
-      hkc_mr = Runner.test_miss_rate r (Runner.hkc_layout r);
-      gbsc_mr = Runner.test_miss_rate r (Runner.gbsc_layout r);
-    }
-  in
-  { bench = shape.Trg_synth.Shape.name; rows = List.map row sizes }
+let run_size ?force_fail shape cache_bytes =
+  let cache = Config.make ~size:cache_bytes ~line_size:32 ~assoc:1 in
+  let config = Gbsc.default_config ~cache () in
+  let r = Runner.prepare ~config ?force_fail shape in
+  {
+    cache_bytes;
+    default_mr = Runner.test_miss_rate r (Runner.default_layout r);
+    torrellas_mr = Runner.test_miss_rate r (Runner.torrellas_layout r);
+    ph_mr = Runner.test_miss_rate r (Runner.ph_layout r);
+    hkc_mr = Runner.test_miss_rate r (Runner.hkc_layout r);
+    gbsc_mr = Runner.test_miss_rate r (Runner.gbsc_layout r);
+  }
+
+let of_rows shape rows = { bench = shape.Trg_synth.Shape.name; rows }
+
+let run ?force_fail ?(sizes = default_sizes) shape =
+  of_rows shape (List.map (run_size ?force_fail shape) sizes)
 
 let print res =
   Table.section

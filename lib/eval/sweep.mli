@@ -19,8 +19,19 @@ type row = {
 
 type result = { bench : string; rows : row list }
 
-val run : ?sizes:int list -> Trg_synth.Shape.t -> result
-(** Default sizes: 4 KB, 8 KB, 16 KB and 32 KB.  Prepares its own runners
-    (one per cache size). *)
+val default_sizes : int list
+(** 4 KB, 8 KB, 16 KB and 32 KB. *)
+
+val run : ?force_fail:string list -> ?sizes:int list -> Trg_synth.Shape.t -> result
+(** Default sizes: {!default_sizes}.  Prepares its own runners
+    (one per cache size); [force_fail] is threaded to each
+    {!Runner.prepare}. *)
+
+val run_size : ?force_fail:string list -> Trg_synth.Shape.t -> int -> row
+(** One cache size's row — an independent work unit for the evaluation
+    pool. *)
+
+val of_rows : Trg_synth.Shape.t -> row list -> result
+(** Reassembles a {!result} from independently computed rows. *)
 
 val print : result -> unit

@@ -135,6 +135,76 @@ let to_json ?prefix () =
       ("histograms", Json.Obj histograms);
     ]
 
+(* --- snapshots -------------------------------------------------------- *)
+
+type hist_state = { hs_limits : float array; hs_counts : int array; hs_total : int }
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_gauges : (string * float) list;
+  snap_histograms : (string * hist_state) list;
+}
+
+let empty_snapshot = { snap_counters = []; snap_gauges = []; snap_histograms = [] }
+
+let snapshot ?prefix () =
+  {
+    snap_counters = counters ?prefix ();
+    snap_gauges = gauges ?prefix ();
+    snap_histograms =
+      List.map
+        (fun (name, h) ->
+          ( name,
+            {
+              hs_limits = Array.copy h.limits;
+              hs_counts = Array.copy h.buckets;
+              hs_total = h.total;
+            } ))
+        (histograms ?prefix ());
+  }
+
+(* Merge two sorted association lists, combining values under equal keys.
+   Both inputs come from {!snapshot}, which sorts by name, so the merge is
+   a linear zip and the result is again sorted — merging is associative
+   and commutative as long as [combine] is. *)
+let rec merge_assoc combine a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | (ka, va) :: ra, (kb, vb) :: rb ->
+    if ka = kb then (ka, combine ka va vb) :: merge_assoc combine ra rb
+    else if ka < kb then (ka, va) :: merge_assoc combine ra b
+    else (kb, vb) :: merge_assoc combine a rb
+
+let combine_hist name a b =
+  if a.hs_limits <> b.hs_limits then
+    invalid_arg
+      (Printf.sprintf "Metrics.merge: histogram %S bucket limits disagree" name);
+  {
+    hs_limits = a.hs_limits;
+    hs_counts = Array.mapi (fun i c -> c + b.hs_counts.(i)) a.hs_counts;
+    hs_total = a.hs_total + b.hs_total;
+  }
+
+let merge a b =
+  {
+    snap_counters = merge_assoc (fun _ x y -> x + y) a.snap_counters b.snap_counters;
+    snap_gauges = merge_assoc (fun _ x y -> Float.max x y) a.snap_gauges b.snap_gauges;
+    snap_histograms = merge_assoc combine_hist a.snap_histograms b.snap_histograms;
+  }
+
+let absorb s =
+  List.iter (fun (name, v) -> add (counter name) v) s.snap_counters;
+  List.iter (fun (name, v) -> max_gauge (gauge name) v) s.snap_gauges;
+  List.iter
+    (fun (name, hs) ->
+      let h = histogram ~limits:hs.hs_limits name in
+      if h.limits <> hs.hs_limits then
+        invalid_arg
+          (Printf.sprintf "Metrics.absorb: histogram %S bucket limits disagree" name);
+      Array.iteri (fun i c -> h.buckets.(i) <- h.buckets.(i) + c) hs.hs_counts;
+      h.total <- h.total + hs.hs_total)
+    s.snap_histograms
+
 let clear () =
   Hashtbl.iter
     (fun _ m ->

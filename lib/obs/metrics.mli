@@ -52,6 +52,44 @@ val to_json : ?prefix:string -> unit -> Json.t
 (** [Obj] with ["counters"], ["gauges"] and ["histograms"] members, each
     sorted by metric name. *)
 
+(** {2 Snapshots}
+
+    A pure-data copy of the registry, safe to marshal between processes.
+    The evaluation worker pool clears the registry in each forked worker,
+    runs one work unit, snapshots the deltas and ships them back; the
+    parent {!absorb}s them.  Because counters and histograms combine by
+    addition and gauges by maximum, merging is associative and
+    commutative, so totals are independent of worker count and completion
+    order. *)
+
+type hist_state = {
+  hs_limits : float array;
+  hs_counts : int array;  (** length [Array.length hs_limits + 1] *)
+  hs_total : int;
+}
+
+type snapshot = {
+  snap_counters : (string * int) list;  (** sorted by name *)
+  snap_gauges : (string * float) list;  (** sorted by name; set gauges only *)
+  snap_histograms : (string * hist_state) list;  (** sorted by name *)
+}
+
+val empty_snapshot : snapshot
+
+val snapshot : ?prefix:string -> unit -> snapshot
+(** Copies the current registry state ([?prefix] filters by name). *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Keyed by name (inputs are sorted, so this is a linear zip): counters
+    add, gauges keep the maximum, histogram buckets add pointwise.
+    @raise Invalid_argument if a shared histogram's limits disagree. *)
+
+val absorb : snapshot -> unit
+(** Folds a snapshot into the live registry with {!merge}'s semantics
+    (counters add, gauges via {!max_gauge}, histogram buckets add).
+    Metrics absent from the registry are registered.
+    @raise Invalid_argument on histogram-limit or metric-kind clashes. *)
+
 val clear : unit -> unit
 (** Zeroes every registered metric (handles stay valid).  For tests and
     for delimiting measurement windows; registration survives because

@@ -77,6 +77,8 @@ let with_ name f =
 
 let records () = List.rev !completed
 
+let inject rs = completed := List.rev_append rs !completed
+
 let reset () = completed := []
 
 let to_json () =

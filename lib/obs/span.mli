@@ -37,6 +37,13 @@ val records : unit -> record list
 val reset : unit -> unit
 (** Forgets all completed spans (open spans are unaffected). *)
 
+val inject : record list -> unit
+(** Appends already-completed records (in the given order) after the
+    current ones.  The evaluation worker pool uses this to graft spans
+    recorded in forked workers into the parent's record list; [start_s]
+    values remain comparable because forked children inherit the parent's
+    span epoch. *)
+
 val to_json : unit -> Json.t
 (** [List] of span objects in completion order: [name], [path], [depth],
     [start_s], [wall_s], [alloc_words], [outcome] ("ok" / "failed"). *)

@@ -240,6 +240,32 @@ let prop_paging_matches_reference =
         refs;
       r.Sim.page_faults = !faults)
 
+(* --- miss attribution vs the scoreboard simulator ------------------------- *)
+
+(* The attribution simulator re-implements the cache to explain misses;
+   on any input its embedded result must equal {!Sim.simulate} exactly,
+   and the 3C split must account for every miss. *)
+let prop_attrib_matches_sim =
+  QCheck.Test.make ~name:"miss attribution matches Sim and 3C sums to total"
+    ~count:100
+    QCheck.(
+      triple (int_range 1 4) (int_range 1 4)
+        (list_of_size (Gen.int_range 1 200) (int_range 0 11)))
+    (fun (assoc, sets_exp, refs) ->
+      let n_sets = 1 lsl (sets_exp mod 3) in
+      let program = Program.of_sizes (Array.make 12 32) in
+      let rng = Prng.create (List.length refs + (17 * assoc) + n_sets) in
+      let layout = Trg_program.Layout.random rng program in
+      let cache = Config.make ~size:(n_sets * assoc * 32) ~line_size:32 ~assoc in
+      let trace = Trace.of_list (List.map ev refs) in
+      let sim = Sim.simulate program layout cache trace in
+      let at = Trg_cache.Attrib.simulate program layout cache trace in
+      at.Trg_cache.Attrib.result.Sim.misses = sim.Sim.misses
+      && at.Trg_cache.Attrib.result.Sim.accesses = sim.Sim.accesses
+      && at.Trg_cache.Attrib.compulsory + at.Trg_cache.Attrib.capacity
+         + at.Trg_cache.Attrib.conflict
+         = sim.Sim.misses)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_qset_matches_reference;
@@ -247,4 +273,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_lru_matches_reference;
     QCheck_alcotest.to_alcotest prop_reuse_matches_reference;
     QCheck_alcotest.to_alcotest prop_paging_matches_reference;
+    QCheck_alcotest.to_alcotest prop_attrib_matches_sim;
   ]

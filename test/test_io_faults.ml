@@ -455,42 +455,35 @@ let isolation_options =
     print_points = false;
     keep_going = true;
     force_fail = [ "go" ];
+    jobs = 2;
+    timeout = None;
   }
 
 let test_strict_mode_propagates () =
-  Fun.protect
-    ~finally:(fun () -> Runner.force_fail [])
-    (fun () ->
-      match Report.table1 { isolation_options with keep_going = false } with
-      | _ -> Alcotest.fail "strict mode swallowed the failure"
-      | exception Failure msg ->
-        Alcotest.(check bool) "names the benchmark" true
-          (String.length msg >= 2 && String.sub msg 0 2 = "go"))
+  match Report.table1 { isolation_options with keep_going = false } with
+  | _ -> Alcotest.fail "strict mode swallowed the failure"
+  | exception Failure msg ->
+    Alcotest.(check bool) "names the benchmark" true
+      (String.length msg >= 2 && String.sub msg 0 2 = "go")
 
 let test_keep_going_isolates () =
-  Fun.protect
-    ~finally:(fun () -> Runner.force_fail [])
-    (fun () ->
-      let failures = Report.table1 isolation_options in
-      Alcotest.(check int) "one failure recorded" 1 (List.length failures);
-      let f = List.hd failures in
-      Alcotest.(check string) "experiment" "table1" f.Report.experiment;
-      Alcotest.(check (option string)) "bench" (Some "go") f.Report.bench)
+  let failures = Report.table1 isolation_options in
+  Alcotest.(check int) "one failure recorded" 1 (List.length failures);
+  let f = List.hd failures in
+  Alcotest.(check string) "experiment" "table1" f.Report.experiment;
+  Alcotest.(check (option string)) "bench" (Some "go") f.Report.bench
 
 let test_keep_going_batch () =
-  Fun.protect
-    ~finally:(fun () -> Runner.force_fail [])
-    (fun () ->
-      let failures = Report.all isolation_options in
-      Alcotest.(check bool) "failures recorded" true (failures <> []);
-      (* Only the forced benchmark fails; everything on [small] completed. *)
-      List.iter
-        (fun (f : Report.failure) ->
-          Alcotest.(check (option string))
-            (Printf.sprintf "failure traces to the broken benchmark (%s/%s)"
-               f.Report.experiment f.Report.message)
-            (Some "go") f.Report.bench)
-        failures)
+  let failures = Report.all isolation_options in
+  Alcotest.(check bool) "failures recorded" true (failures <> []);
+  (* Only the forced benchmark fails; everything on [small] completed. *)
+  List.iter
+    (fun (f : Report.failure) ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "failure traces to the broken benchmark (%s/%s)"
+           f.Report.experiment f.Report.message)
+        (Some "go") f.Report.bench)
+    failures
 
 let suite =
   [

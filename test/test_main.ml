@@ -22,6 +22,8 @@ let () =
       ("blocks", Test_blocks.suite);
       ("reuse", Test_reuse.suite);
       ("differential", Test_differential.suite);
+      ("property", Test_property.suite);
+      ("pool", Test_pool.suite);
       ("coverage", Test_coverage.suite);
       ("io_faults", Test_io_faults.suite);
       ("obs", Test_obs.suite);

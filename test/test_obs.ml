@@ -414,11 +414,9 @@ let test_chrome_trace_export () =
 let test_failed_benchmark_in_manifest () =
   Fun.protect
     ~finally:(fun () ->
-      Runner.force_fail [];
       Span.set_enabled false;
       Span.reset ())
     (fun () ->
-      Report.reset_prepared ();
       Span.set_enabled true;
       Span.reset ();
       let options =
@@ -466,24 +464,19 @@ let test_failed_benchmark_in_manifest () =
 (* After a successful quick experiment, the work counters the acceptance
    criteria name (cache-sim misses, GBSC merge steps) must be non-zero. *)
 let test_counters_populated_by_run () =
-  Fun.protect
-    ~finally:(fun () -> Runner.force_fail [])
-    (fun () ->
-      Report.reset_prepared ();
-      let misses = Metrics.counter "sim/misses" in
-      let merge_steps = Metrics.counter "gbsc/merge_steps" in
-      let before_misses = Metrics.value misses in
-      let before_merges = Metrics.value merge_steps in
-      let failures = Report.table1 Report.quick_options in
-      Alcotest.(check int) "clean run" 0 (List.length failures);
-      Alcotest.(check bool) "cache-sim misses counted" true
-        (Metrics.value misses > before_misses);
-      (* Table 1 only characterizes; placement work needs a placement. *)
-      let prepared = Runner.prepare (Trg_synth.Bench.find "small") in
-      ignore
-        (Trg_place.Gbsc.place (Runner.program prepared) prepared.Runner.prof);
-      Alcotest.(check bool) "GBSC merge steps counted" true
-        (Metrics.value merge_steps > before_merges))
+  let misses = Metrics.counter "sim/misses" in
+  let merge_steps = Metrics.counter "gbsc/merge_steps" in
+  let before_misses = Metrics.value misses in
+  let before_merges = Metrics.value merge_steps in
+  let failures = Report.table1 Report.quick_options in
+  Alcotest.(check int) "clean run" 0 (List.length failures);
+  Alcotest.(check bool) "cache-sim misses counted" true
+    (Metrics.value misses > before_misses);
+  (* Table 1 only characterizes; placement work needs a placement. *)
+  let prepared = Runner.prepare (Trg_synth.Bench.find "small") in
+  ignore (Trg_place.Gbsc.place (Runner.program prepared) prepared.Runner.prof);
+  Alcotest.(check bool) "GBSC merge steps counted" true
+    (Metrics.value merge_steps > before_merges)
 
 let suite =
   [

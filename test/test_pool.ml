@@ -1,0 +1,263 @@
+(* The forked worker pool: wire format, scheduling, failure isolation,
+   and — most importantly — determinism: the same tasks must produce the
+   same outcomes, outputs and telemetry whatever the job count. *)
+
+module Pool = Trg_eval.Pool
+module Fault = Trg_util.Fault
+module Metrics = Trg_obs.Metrics
+module Report = Trg_eval.Report
+
+(* --- wire format ------------------------------------------------------ *)
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () -> f r w)
+
+let test_frame_roundtrip () =
+  with_pipe (fun r w ->
+      Pool.Frame.write w "hello pool";
+      Pool.Frame.write w "";
+      Alcotest.(check string) "payload" "hello pool" (Pool.Frame.read r);
+      Alcotest.(check string) "empty payload" "" (Pool.Frame.read r))
+
+let test_frame_clean_eof () =
+  with_pipe (fun r w ->
+      Unix.close w;
+      match Pool.Frame.read r with
+      | (_ : string) -> Alcotest.fail "expected End_of_file"
+      | exception End_of_file -> ())
+
+(* A frame with a corrupted payload byte must surface as a typed checksum
+   fault, never as garbage data. *)
+let test_frame_crc_corruption () =
+  with_pipe (fun r w ->
+      let frame = Bytes.of_string (Pool.Frame.encode "sensitive payload") in
+      (* Flip a bit inside the payload region (header is 8 bytes). *)
+      Bytes.set frame 10 (Char.chr (Char.code (Bytes.get frame 10) lxor 0x40));
+      let s = Bytes.to_string frame in
+      ignore (Unix.write_substring w s 0 (String.length s));
+      match Pool.Frame.read r with
+      | (_ : string) -> Alcotest.fail "corrupted frame was accepted"
+      | exception Fault.Error (Fault.Checksum_mismatch _) -> ()
+      | exception e ->
+        Alcotest.fail ("expected Checksum_mismatch, got " ^ Printexc.to_string e))
+
+let test_frame_truncation () =
+  with_pipe (fun r w ->
+      let s = Pool.Frame.encode "truncated in flight" in
+      ignore (Unix.write_substring w s 0 (String.length s - 3));
+      Unix.close w;
+      match Pool.Frame.read r with
+      | (_ : string) -> Alcotest.fail "truncated frame was accepted"
+      | exception Fault.Error (Fault.Truncated _) -> ()
+      | exception e ->
+        Alcotest.fail ("expected Truncated, got " ^ Printexc.to_string e))
+
+let test_frame_absurd_length () =
+  with_pipe (fun r w ->
+      (* A header claiming a terabyte payload must be rejected before
+         any allocation happens. *)
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0 (Int64.of_int (1 lsl 40));
+      ignore (Unix.write w b 0 8);
+      Unix.close w;
+      match Pool.Frame.read r with
+      | (_ : string) -> Alcotest.fail "absurd length was accepted"
+      | exception Fault.Error (Fault.Bad_record _) -> ()
+      | exception e ->
+        Alcotest.fail ("expected Bad_record, got " ^ Printexc.to_string e))
+
+(* --- scheduling and determinism --------------------------------------- *)
+
+let task key work = { Pool.key; work }
+
+let values outcomes =
+  List.map
+    (fun (o : _ Pool.outcome) ->
+      match o.Pool.value with Ok v -> Ok v | Error f -> Error (Pool.failure_to_string f))
+    outcomes
+
+(* Same tasks, different job counts: outcomes, order and captured output
+   must be identical. *)
+let test_jobs_invariance () =
+  let mk_tasks () =
+    List.init 13 (fun i ->
+        task (Printf.sprintf "unit %d" i) (fun () ->
+            let rng = Trg_util.Prng.create (1_000 + i) in
+            let acc = ref 0 in
+            for _ = 1 to 1000 do
+              acc := !acc + Trg_util.Prng.int rng 97
+            done;
+            Printf.printf "unit %d -> %d\n" i !acc;
+            !acc))
+  in
+  let run jobs = Pool.run ~jobs (mk_tasks ()) in
+  let o1 = run 1 and o4 = run 4 in
+  Alcotest.(check (list (result int string)))
+    "values identical across job counts" (values o1) (values o4);
+  Alcotest.(check (list string))
+    "outputs identical across job counts"
+    (List.map (fun o -> o.Pool.output) o1)
+    (List.map (fun o -> o.Pool.output) o4);
+  Alcotest.(check (list string))
+    "keys preserved in task order"
+    (List.init 13 (Printf.sprintf "unit %d"))
+    (List.map (fun o -> o.Pool.key) o1)
+
+(* A unit that raises fails alone; the rest of the batch completes. *)
+let test_unit_failure_isolated () =
+  let tasks =
+    [
+      task "ok1" (fun () -> 1);
+      task "boom" (fun () -> failwith "boom");
+      task "ok2" (fun () -> 2);
+    ]
+  in
+  let outcomes = Pool.run ~jobs:2 tasks in
+  Alcotest.(check (list (result int string)))
+    "failure isolated to its unit"
+    [ Ok 1; Error "boom"; Ok 2 ]
+    (values outcomes)
+
+(* fail_fast with one worker: everything after the failing unit is
+   cancelled, deterministically. *)
+let test_fail_fast_cancels () =
+  let tasks =
+    [
+      task "ok" (fun () -> 1);
+      task "boom" (fun () -> failwith "boom");
+      task "never" (fun () -> 3);
+    ]
+  in
+  let outcomes = Pool.run ~jobs:1 ~fail_fast:true tasks in
+  Alcotest.(check (list (result int string)))
+    "cancelled after the failure"
+    [ Ok 1; Error "boom"; Error (Pool.failure_to_string Pool.Cancelled) ]
+    (values outcomes)
+
+(* A worker dying mid-unit (here: hard exit, as a crash would) is
+   detected by pipe EOF; the unit is attributed, a fresh worker replaces
+   the dead one, and the batch completes without hanging. *)
+let test_worker_crash_isolated () =
+  let tasks =
+    [
+      task "ok1" (fun () -> 1);
+      task "crash" (fun () ->
+          Unix._exit 9 (* simulates a segfaulting worker *));
+      task "ok2" (fun () -> 2);
+      task "ok3" (fun () -> 3);
+    ]
+  in
+  let outcomes = Pool.run ~jobs:2 tasks in
+  (match (List.nth outcomes 1).Pool.value with
+  | Error (Pool.Worker_crashed _) -> ()
+  | Error f -> Alcotest.fail ("expected Worker_crashed, got " ^ Pool.failure_to_string f)
+  | Ok _ -> Alcotest.fail "crashed unit reported success");
+  List.iter
+    (fun (i, expected) ->
+      match (List.nth outcomes i).Pool.value with
+      | Ok v -> Alcotest.(check int) "surviving unit" expected v
+      | Error f -> Alcotest.fail ("survivor failed: " ^ Pool.failure_to_string f))
+    [ (0, 1); (2, 2); (3, 3) ]
+
+(* An overrunning unit is killed at the deadline and reported as timed
+   out; the batch finishes promptly. *)
+let test_timeout_kills () =
+  let t0 = Unix.gettimeofday () in
+  let tasks =
+    [ task "ok" (fun () -> 1); task "hang" (fun () -> Unix.sleep 600; 2) ]
+  in
+  let outcomes = Pool.run ~jobs:2 ~timeout:0.5 tasks in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "did not wait for the hung unit" true (elapsed < 30.);
+  (match (List.nth outcomes 1).Pool.value with
+  | Error (Pool.Timed_out _) -> ()
+  | Error f -> Alcotest.fail ("expected Timed_out, got " ^ Pool.failure_to_string f)
+  | Ok _ -> Alcotest.fail "hung unit reported success");
+  Alcotest.(check (result int string)) "fast unit unaffected" (Ok 1)
+    (List.hd (values outcomes))
+
+(* Worker-side telemetry must reach the parent: counters bumped inside
+   units are absorbed into the parent registry, independent of jobs. *)
+let test_metrics_propagate () =
+  let c = Metrics.counter "pool_test/work" in
+  let before = Metrics.value c in
+  let mk_tasks () =
+    List.init 6 (fun i -> task (string_of_int i) (fun () ->
+        Metrics.add (Metrics.counter "pool_test/work") (i + 1)))
+  in
+  ignore (Pool.run ~jobs:1 (mk_tasks ()));
+  let after_serial = Metrics.value c in
+  ignore (Pool.run ~jobs:3 (mk_tasks ()));
+  let after_parallel = Metrics.value c in
+  Alcotest.(check int) "serial run absorbed 1+..+6" (before + 21) after_serial;
+  Alcotest.(check int) "parallel run absorbed the same" (before + 42) after_parallel
+
+(* --- snapshot algebra -------------------------------------------------- *)
+
+let snap counters =
+  {
+    Metrics.snap_counters = counters;
+    snap_gauges = [];
+    snap_histograms = [];
+  }
+
+(* Totals must not depend on how per-worker snapshots are grouped —
+   that's what makes pooled counters equal to sequential ones. *)
+let test_merge_associative_commutative () =
+  let a = snap [ ("x", 1); ("y", 10) ] in
+  let b = snap [ ("x", 2); ("z", 100) ] in
+  let c = snap [ ("y", 20); ("z", 200) ] in
+  let eq = Alcotest.(check (list (pair string int))) in
+  eq "associative"
+    (Metrics.merge (Metrics.merge a b) c).Metrics.snap_counters
+    (Metrics.merge a (Metrics.merge b c)).Metrics.snap_counters;
+  eq "commutative"
+    (Metrics.merge a b).Metrics.snap_counters
+    (Metrics.merge b a).Metrics.snap_counters;
+  eq "identity"
+    (Metrics.merge a Metrics.empty_snapshot).Metrics.snap_counters
+    a.Metrics.snap_counters
+
+(* --- report-level determinism ----------------------------------------- *)
+
+(* The full experiment path: a quick table1 with 1 and with 4 workers
+   must add exactly the same amount to every counter. *)
+let test_report_jobs_invariance () =
+  let deltas jobs =
+    let before = Metrics.counters () in
+    let failures =
+      Report.table1 { Report.quick_options with jobs }
+    in
+    Alcotest.(check int) "clean run" 0 (List.length failures);
+    let after = Metrics.counters () in
+    List.map
+      (fun (name, v) ->
+        (name, v - (try List.assoc name before with Not_found -> 0)))
+      after
+  in
+  let d1 = deltas 1 in
+  let d4 = deltas 4 in
+  Alcotest.(check (list (pair string int))) "counter deltas identical" d1 d4
+
+let suite =
+  [
+    Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame clean EOF" `Quick test_frame_clean_eof;
+    Alcotest.test_case "frame CRC corruption detected" `Quick test_frame_crc_corruption;
+    Alcotest.test_case "frame truncation detected" `Quick test_frame_truncation;
+    Alcotest.test_case "frame absurd length rejected" `Quick test_frame_absurd_length;
+    Alcotest.test_case "outcomes invariant under jobs" `Quick test_jobs_invariance;
+    Alcotest.test_case "unit failure isolated" `Quick test_unit_failure_isolated;
+    Alcotest.test_case "fail-fast cancels the rest" `Quick test_fail_fast_cancels;
+    Alcotest.test_case "worker crash isolated" `Quick test_worker_crash_isolated;
+    Alcotest.test_case "timeout kills overrunning unit" `Quick test_timeout_kills;
+    Alcotest.test_case "worker metrics absorbed" `Quick test_metrics_propagate;
+    Alcotest.test_case "snapshot merge algebra" `Quick test_merge_associative_commutative;
+    Alcotest.test_case "report counters invariant under jobs" `Quick
+      test_report_jobs_invariance;
+  ]

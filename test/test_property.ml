@@ -1,0 +1,154 @@
+(* Property-based tests over randomized programs and traces: structural
+   invariants every placement algorithm must satisfy (layouts are
+   overlap-free and cover every procedure), set preservation of the
+   line-aligning repack, and miss-count invariance of traces round-tripped
+   through the checksummed I/O layer. *)
+
+module Program = Trg_program.Program
+module Layout = Trg_program.Layout
+module Config = Trg_cache.Config
+module Sim = Trg_cache.Sim
+module Event = Trg_trace.Event
+module Trace = Trg_trace.Trace
+module Io = Trg_trace.Io
+module Tstats = Trg_trace.Tstats
+module Wcg = Trg_profile.Wcg
+module Popularity = Trg_profile.Popularity
+module Gbsc = Trg_place.Gbsc
+module Prng = Trg_util.Prng
+
+(* --- randomized workloads --------------------------------------------- *)
+
+(* A program of [n] procedures with line-friendly sizes, and a trace
+   walking them with locality (a PRNG-driven Markov-ish walk: mostly
+   nearby procedures, occasional jumps), so graphs and popularity have
+   real structure. *)
+let gen_workload =
+  QCheck.Gen.(
+    pair (int_range 2 14) (pair (int_range 1 400) int)
+    |> map (fun (n_procs, (len, seed)) ->
+           let rng = Prng.create seed in
+           let sizes =
+             Array.init n_procs (fun _ -> 16 + (16 * Prng.int rng 8))
+           in
+           let program = Program.of_sizes sizes in
+           let cur = ref (Prng.int rng n_procs) in
+           let events =
+             List.init len (fun _ ->
+                 (if Prng.int rng 4 = 0 then cur := Prng.int rng n_procs
+                  else cur := (!cur + 1 + Prng.int rng 2) mod n_procs);
+                 Event.make ~kind:Event.Enter ~proc:!cur ~offset:0 ~len:16)
+           in
+           (program, Trace.of_list events)))
+
+let arb_workload =
+  QCheck.make gen_workload ~print:(fun (program, trace) ->
+      Printf.sprintf "%d procs, %d events" (Program.n_procs program)
+        (Trace.length trace))
+
+let small_cache = Config.make ~size:256 ~line_size:32 ~assoc:1
+
+let config = Gbsc.default_config ~cache:small_cache ()
+
+(* Every placement algorithm under test, from the same profile data. *)
+let layouts_of (program, trace) =
+  let prof = Gbsc.profile config program trace in
+  let wcg = Wcg.build trace in
+  let popularity = prof.Gbsc.popularity in
+  [
+    ("GBSC", Gbsc.place program prof);
+    ("PH", Trg_place.Ph.place ~wcg program);
+    ("HKC", Trg_place.Hkc.place config program ~wcg ~popularity);
+    ("Torrellas", Trg_place.Torrellas.place config program ~popularity);
+    ("Hwu-Chang", Trg_place.Hwu_chang.place ~wcg program);
+  ]
+
+(* A layout is valid iff it assigns every procedure an address and no two
+   procedures' byte ranges overlap — i.e. it is a permutation with gaps,
+   never a superposition. *)
+let layout_valid program layout =
+  let n = Program.n_procs program in
+  Array.length (Layout.addresses layout) = n
+  && Array.for_all (fun a -> a >= 0) (Layout.addresses layout)
+  &&
+  let by_addr =
+    List.sort compare
+      (List.init n (fun p -> (Layout.address layout p, Program.size program p)))
+  in
+  let rec no_overlap = function
+    | (a1, s1) :: ((a2, _) :: _ as rest) ->
+      a1 + s1 <= a2 && no_overlap rest
+    | _ -> true
+  in
+  no_overlap by_addr
+
+let prop_placements_are_permutations =
+  QCheck.Test.make
+    ~name:"every placement algorithm yields a complete overlap-free layout"
+    ~count:60 arb_workload
+    (fun workload ->
+      let program, _ = workload in
+      List.for_all
+        (fun (name, layout) ->
+          if layout_valid program layout then true
+          else QCheck.Test.fail_reportf "%s produced an invalid layout" name)
+        (layouts_of workload))
+
+(* --- line_align set preservation -------------------------------------- *)
+
+let prop_line_align_preserves_sets =
+  QCheck.Test.make
+    ~name:"line_align preserves every procedure's set index and validity"
+    ~count:80
+    QCheck.(pair arb_workload (int_range 1 8))
+    (fun ((program, _), n_sets_exp) ->
+      let n_sets = 1 lsl (n_sets_exp mod 5) in
+      let line_size = 32 in
+      let rng = Prng.create (Program.n_procs program + n_sets) in
+      let layout = Layout.random rng program in
+      let aligned = Layout.line_align ~line_size ~n_sets program layout in
+      layout_valid program aligned
+      && List.for_all
+           (fun p ->
+             let set l = Layout.address l p / line_size mod n_sets in
+             set layout = set aligned
+             && Layout.address aligned p mod line_size = 0)
+           (List.init (Program.n_procs program) Fun.id))
+
+(* --- trace I/O round-trip invariance ----------------------------------- *)
+
+let with_temp ext f =
+  let path = Filename.temp_file "trg_property" ext in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* Simulated miss counts are a function of the trace alone, so a trace
+   round-tripped through the v2 text or binary format must simulate
+   identically — checksummed I/O is transparent to every consumer. *)
+let prop_simulation_invariant_under_io =
+  QCheck.Test.make
+    ~name:"miss counts invariant under trace save/load round-trip" ~count:40
+    arb_workload
+    (fun (program, trace) ->
+      let layout = Layout.default program in
+      let misses t = (Sim.simulate program layout small_cache t).Sim.misses in
+      let reference = misses trace in
+      let via_text =
+        with_temp ".trace" (fun path ->
+            Io.save path trace;
+            misses (Io.load path))
+      in
+      let via_binary =
+        with_temp ".btrace" (fun path ->
+            Io.save_binary path trace;
+            misses (Io.load path))
+      in
+      reference = via_text && reference = via_binary)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_placements_are_permutations;
+    QCheck_alcotest.to_alcotest prop_line_align_preserves_sets;
+    QCheck_alcotest.to_alcotest prop_simulation_invariant_under_io;
+  ]
