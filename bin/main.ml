@@ -86,8 +86,17 @@ let options_term =
     in
     Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
   in
+  let retries =
+    let doc =
+      "Extra dispatches for work units lost to infrastructure faults (a \
+       crashed or timed-out worker, a corrupt result stream), with \
+       exponential backoff.  Units whose own code fails are never \
+       retried.  0 (the default) fails such units immediately."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
   let make verbose runs points benches quick full_output keep_going strict
-      force_fail jobs timeout =
+      force_fail jobs timeout retries =
     setup_logs verbose;
     let keep_going = keep_going && not strict in
     if jobs < 0 then begin
@@ -99,6 +108,10 @@ let options_term =
       Log.err (fun m -> m "--timeout must be positive (got %g)" t);
       exit 2
     | _ -> ());
+    if retries < 0 then begin
+      Log.err (fun m -> m "--retries must be non-negative (got %d)" retries);
+      exit 2
+    end;
     if quick then
       {
         Trg_eval.Report.quick_options with
@@ -108,6 +121,7 @@ let options_term =
         force_fail;
         jobs;
         timeout;
+        retries;
       }
     else
       let selected =
@@ -123,11 +137,12 @@ let options_term =
         force_fail;
         jobs;
         timeout;
+        retries;
       }
   in
   Term.(
     const make $ verbose_term $ runs $ points $ benches $ quick $ full_output
-    $ keep_going $ strict $ force_fail $ jobs $ timeout)
+    $ keep_going $ strict $ force_fail $ jobs $ timeout $ retries)
 
 (* --- telemetry manifest plumbing ------------------------------------- *)
 
@@ -151,8 +166,8 @@ let config_json (o : Trg_eval.Report.options) =
     ("keep_going", J.Bool o.keep_going);
     ("force_fail", J.List (List.map (fun n -> J.String n) o.force_fail));
     ("jobs", J.Int o.jobs);
-    ( "timeout",
-      match o.timeout with Some t -> J.Float t | None -> J.Null );
+    ("timeout", match o.timeout with Some t -> J.Float t | None -> J.Null);
+    ("retries", J.Int o.retries);
   ]
 
 (* Manifest writing wraps every command outcome, so a failed run still
@@ -266,6 +281,12 @@ let gen_cmd =
   in
   Cmd.v (Cmd.info "gen" ~doc) Term.(const run $ bench $ out_dir $ binary)
 
+(* Artifact loads behind the file-mode commands retry transient I/O
+   errors with real backoff ([Fault.with_retry]'s default sleep is a
+   no-op, kept for tests; {!Trg_util.Clock.sleep} waits out the delay,
+   resuming across EINTR). *)
+let retrying f = Trg_util.Fault.with_retry ~sleep:Trg_util.Clock.sleep f
+
 let place_cmd =
   let doc = "Compute a placement from a program file and a training trace file." in
   let program_f =
@@ -284,8 +305,8 @@ let place_cmd =
       & info [ "algo"; "a" ] ~docv:"ALGO" ~doc:"Placement algorithm: gbsc, gbsc-paged, gbsc-sa, ph, hkc or default.")
   in
   let run program_f trace_f out_f algo cache =
-    let program = Trg_program.Serial.load_program program_f in
-    let trace = Trg_trace.Io.load trace_f in
+    let program = retrying (fun () -> Trg_program.Serial.load_program program_f) in
+    let trace = retrying (fun () -> Trg_trace.Io.load trace_f) in
     let config = Trg_place.Gbsc.default_config ~cache () in
     let layout =
       match algo with
@@ -320,9 +341,11 @@ let simulate_cmd =
     Arg.(required & opt (some string) None & info [ "trace"; "t" ] ~docv:"FILE" ~doc:"Trace file.")
   in
   let run program_f layout_f trace_f cache =
-    let program = Trg_program.Serial.load_program program_f in
-    let layout = Trg_program.Serial.load_layout program layout_f in
-    let trace = Trg_trace.Io.load trace_f in
+    let program = retrying (fun () -> Trg_program.Serial.load_program program_f) in
+    let layout =
+      retrying (fun () -> Trg_program.Serial.load_layout program layout_f)
+    in
+    let trace = retrying (fun () -> Trg_trace.Io.load trace_f) in
     let result = Trg_cache.Sim.simulate program layout cache trace in
     Printf.printf "cache %s: %d accesses, %d misses, miss rate %.4f%%\n"
       (Format.asprintf "%a" Trg_cache.Config.pp cache)
@@ -518,9 +541,9 @@ let explain_cmd =
     let body () =
       match (program_f, layout_f, trace_f) with
       | Some pf, Some lf, Some tf ->
-        let program = Trg_program.Serial.load_program pf in
-        let layout = Trg_program.Serial.load_layout program lf in
-        let trace = Trg_trace.Io.load tf in
+        let program = retrying (fun () -> Trg_program.Serial.load_program pf) in
+        let layout = retrying (fun () -> Trg_program.Serial.load_layout program lf) in
+        let trace = retrying (fun () -> Trg_trace.Io.load tf) in
         (* No prepared profile in file mode: build TRG_select from the
            given trace so the report still shows temporal-ordering
            weights next to each conflicting pair. *)
@@ -889,13 +912,15 @@ let show_layout_cmd =
           ~doc:"Optional profile trace; when given, only popular procedures are shown.")
   in
   let run program_f layout_f trace_f cache =
-    let program = Trg_program.Serial.load_program program_f in
-    let layout = Trg_program.Serial.load_layout program layout_f in
+    let program = retrying (fun () -> Trg_program.Serial.load_program program_f) in
+    let layout =
+      retrying (fun () -> Trg_program.Serial.load_layout program layout_f)
+    in
     let only =
       match trace_f with
       | None -> None
       | Some path ->
-        let trace = Trg_trace.Io.load path in
+        let trace = retrying (fun () -> Trg_trace.Io.load path) in
         let stats =
           Trg_trace.Tstats.compute ~n_procs:(Trg_program.Program.n_procs program) trace
         in
@@ -909,6 +934,165 @@ let show_layout_cmd =
   Cmd.v (Cmd.info "show-layout" ~doc)
     Term.(const run $ program_f $ layout_f $ trace_f $ cache_term)
 
+let simtest_cmd =
+  let doc =
+    "Deterministic simulation testing of the evaluation pool: run seeded \
+     fault schedules (worker crashes, torn and corrupted reply frames, \
+     stuck workers, spurious wakeups, clock skew) against the in-process \
+     simulator and check that every work unit completes or is attributed \
+     to a typed fault, bit-for-bit reproducibly.  A reported seed replays \
+     forever: $(b,trgplace simtest --seed N --schedules 1)."
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Base seed; schedule $(i,k) uses seed $(docv)+$(i,k).")
+  in
+  let schedules =
+    Arg.(
+      value & opt int 16
+      & info [ "schedules" ] ~docv:"N" ~doc:"Number of random fault schedules to run.")
+  in
+  let units =
+    Arg.(
+      value & opt int 12
+      & info [ "units" ] ~docv:"N" ~doc:"Work units per simulated batch.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 3
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Simulated workers.  Fixed (not CPU-detected) so a seed replays \
+             identically on any machine.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 3
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Pool retries for units lost to injected infrastructure faults.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-unit deadline in virtual seconds; frees workers hit by a \
+             Stuck fault.")
+  in
+  let run seed schedules units jobs retries timeout metrics_out =
+    if metrics_out <> None then Trg_obs.Span.set_enabled true;
+    let config =
+      [
+        ("seed", J.Int seed);
+        ("schedules", J.Int schedules);
+        ("units", J.Int units);
+        ("jobs", J.Int jobs);
+        ("retries", J.Int retries);
+        ("timeout", J.Float timeout);
+      ]
+    in
+    let finish = finish_run ~command:"simtest" ~config metrics_out in
+    if schedules < 1 || units < 1 || jobs < 1 || retries < 0 || timeout <= 0. then begin
+      Log.err (fun m -> m "simtest: all sizes must be positive (retries >= 0)");
+      exit 2
+    end;
+    let module Metrics = Trg_obs.Metrics in
+    let module Pool = Trg_eval.Pool in
+    let module Sim = Trg_eval.Pool_sim in
+    let module Table = Trg_util.Table in
+    let unit_runs = Metrics.counter "simtest/unit_runs" in
+    let tasks =
+      List.init units (fun i ->
+          {
+            Pool.key = Printf.sprintf "unit%d" i;
+            work =
+              (fun () ->
+                Metrics.incr unit_runs;
+                (i * 0x9E3779B1) land 0xFFFFFF);
+          })
+    in
+    let violations = ref [] in
+    let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+    let cnt (d : Metrics.snapshot) name =
+      Option.value (List.assoc_opt name d.Metrics.snap_counters) ~default:0
+    in
+    let body () =
+      Table.section "SIMTEST — seeded fault schedules against the pool simulator";
+      let rows =
+        List.init schedules (fun k ->
+            let s = seed + k in
+            let sched = Sim.random_schedule ~seed:s ~units in
+            let go () =
+              Sim.run ~jobs ~timeout ~retries ~schedule:sched ~seed:s tasks
+            in
+            let before = Metrics.snapshot () in
+            let r1 = go () in
+            let mid = Metrics.snapshot () in
+            let r2 = go () in
+            let after = Metrics.snapshot () in
+            let d1 = Metrics.delta ~before ~after:mid in
+            let d2 = Metrics.delta ~before:mid ~after in
+            if List.length r1 <> units then
+              violate "seed %d: %d of %d units reported" s (List.length r1) units;
+            let same_outcomes =
+              List.length r1 = List.length r2
+              && List.for_all2
+                   (fun (a : int Pool.outcome) (b : int Pool.outcome) ->
+                     a.key = b.key && a.value = b.value && a.output = b.output)
+                   r1 r2
+            in
+            if not same_outcomes then
+              violate "seed %d: outcomes differ between identical runs" s;
+            if d1.Metrics.snap_counters <> d2.Metrics.snap_counters then
+              violate "seed %d: counter deltas differ between identical runs" s;
+            if d1.Metrics.snap_histograms <> d2.Metrics.snap_histograms then
+              violate "seed %d: histogram deltas differ between identical runs" s;
+            let ok =
+              List.length
+                (List.filter (fun (o : int Pool.outcome) -> Result.is_ok o.value) r1)
+            in
+            let injected =
+              cnt d1 "pool/sim/injected_crashes"
+              + cnt d1 "pool/sim/injected_torn_writes"
+              + cnt d1 "pool/sim/injected_corruptions"
+              + cnt d1 "pool/sim/injected_stucks"
+            in
+            [
+              string_of_int s;
+              string_of_int injected;
+              string_of_int (cnt d1 "pool/respawns");
+              string_of_int (cnt d1 "pool/retries");
+              Printf.sprintf "%d/%d" ok units;
+              (if same_outcomes then "yes" else "NO");
+            ])
+      in
+      Table.print
+        ~header:[ "seed"; "faults"; "respawns"; "retries"; "ok"; "deterministic" ]
+        rows
+    in
+    match Trg_obs.Span.with_ "simtest" body with
+    | () -> (
+      match !violations with
+      | [] ->
+        Printf.printf "simtest: %d schedules, no violations\n" schedules;
+        finish Trg_obs.Manifest.Ok 0
+      | vs ->
+        List.iter (fun v -> Log.err (fun m -> m "%s" v)) (List.rev vs);
+        finish Trg_obs.Manifest.Failed 1)
+    | exception Failure msg ->
+      (* A simulated deadlock lands here: the engine hung where production
+         would hang.  That is exactly the bug class this command exists to
+         catch, so it is a failure, not an error in the harness. *)
+      Log.err (fun m -> m "simtest: %s" msg);
+      finish Trg_obs.Manifest.Failed 1
+  in
+  Cmd.v
+    (Cmd.info "simtest" ~doc)
+    Term.(
+      const run $ seed $ schedules $ units $ jobs $ retries $ timeout $ metrics_term)
+
 let cmds =
   [
     gen_cmd;
@@ -920,6 +1104,7 @@ let cmds =
     explain_cmd;
     compare_cmd;
     stats_cmd;
+    simtest_cmd;
     experiment "table1" "Reproduce Table 1 (benchmark characteristics)."
       Trg_eval.Report.table1;
     experiment "characterize" "Reuse-distance workload characterisation."

@@ -17,6 +17,13 @@ let failure_to_string = function
   | Protocol_error msg -> Printf.sprintf "result stream corrupt: %s" msg
   | Cancelled -> "cancelled after an earlier failure"
 
+(* Infrastructure faults are worth a second attempt: the unit itself
+   never ran to completion.  A unit whose own body raised is
+   deterministic and would fail again. *)
+let retryable_failure = function
+  | Worker_crashed _ | Timed_out _ | Protocol_error _ -> true
+  | Unit_failed _ | Cancelled -> false
+
 type 'a task = { key : string; work : unit -> 'a }
 
 type 'a outcome = { key : string; value : ('a, failure) result; output : string }
@@ -25,9 +32,33 @@ let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
 let message_of = function Failure m -> m | e -> Printexc.to_string e
 
+(* Every counter here is bumped by the parent event loop, in amounts
+   that depend only on the task list and the faults that occurred —
+   never on the worker count — so manifests stay identical across
+   [--jobs] settings. *)
+let c_units_ok = Metrics.counter "pool/units_ok"
+
+let c_units_failed = Metrics.counter "pool/units_failed"
+
+let c_units_cancelled = Metrics.counter "pool/units_cancelled"
+
+let c_crashes = Metrics.counter "pool/worker_crashes"
+
+let c_timeouts = Metrics.counter "pool/timeouts"
+
+let c_protocol_errors = Metrics.counter "pool/protocol_errors"
+
+let c_respawns = Metrics.counter "pool/respawns"
+
+let c_retries = Metrics.counter "pool/retries"
+
 (* --- wire format ------------------------------------------------------ *)
 
-module Frame = struct
+(* Byte-level frame codec parameterized by the transport, so the exact
+   same framing (and its fault behaviour) runs over real pipes and over
+   the simulator's virtual ones.  [write_fn]/[read_fn] follow the
+   {!Pool_os.S} [write]/[read] contracts. *)
+module Wire = struct
   let header_len = 8
 
   let trailer_len = 4
@@ -44,55 +75,37 @@ module Frame = struct
     Bytes.set_int32_le b (header_len + len) (Int32.of_int (Checksum.string payload));
     Bytes.unsafe_to_string b
 
-  let rec write_all fd s pos len =
-    if len > 0 then begin
-      let n =
-        try Unix.write_substring fd s pos len with
-        | Unix.Unix_error (Unix.EINTR, _, _) -> 0
-        | Unix.Unix_error (e, _, _) ->
-          Fault.fail
-            (Fault.Io_error
-               (Printf.sprintf "pool pipe write: %s" (Unix.error_message e)))
-      in
-      write_all fd s (pos + n) (len - n)
-    end
-
-  let write fd payload =
+  let write ~write_fn payload =
     let s = encode payload in
-    write_all fd s 0 (String.length s)
-
-  let read_retrying fd b pos len =
-    let rec go () =
-      try Unix.read fd b pos len with
-      | Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-      | Unix.Unix_error (e, _, _) ->
-        Fault.fail
-          (Fault.Io_error
-             (Printf.sprintf "pool pipe read: %s" (Unix.error_message e)))
+    let rec write_all pos len =
+      if len > 0 then begin
+        let n = write_fn s pos len in
+        write_all (pos + n) (len - n)
+      end
     in
-    go ()
+    write_all 0 (String.length s)
 
-  (* Reads exactly [len] bytes; [0] bytes mid-object is a truncation, not
-     a clean end of stream. *)
-  let rec read_exact fd b pos len ~what =
+  (* Reads exactly [len] bytes; [0] bytes mid-object is a truncation,
+     not a clean end of stream. *)
+  let rec read_exact ~read_fn b pos len ~what =
     if len > 0 then begin
-      let n = read_retrying fd b pos len in
+      let n = read_fn b pos len in
       if n = 0 then Fault.fail (Fault.Truncated what);
-      read_exact fd b (pos + n) (len - n) ~what
+      read_exact ~read_fn b (pos + n) (len - n) ~what
     end
 
-  let read fd =
+  let read ~read_fn =
     let header = Bytes.create header_len in
-    let first = read_retrying fd header 0 header_len in
+    let first = read_fn header 0 header_len in
     if first = 0 then raise End_of_file;
-    read_exact fd header first (header_len - first) ~what:"pool frame header";
+    read_exact ~read_fn header first (header_len - first) ~what:"pool frame header";
     let len = Int64.to_int (Bytes.get_int64_le header 0) in
     if len < 0 || len > max_len then
       Fault.fail (Fault.Bad_record (Printf.sprintf "pool frame length %d" len));
     let payload = Bytes.create len in
-    read_exact fd payload 0 len ~what:"pool frame payload";
+    read_exact ~read_fn payload 0 len ~what:"pool frame payload";
     let trailer = Bytes.create trailer_len in
-    read_exact fd trailer 0 trailer_len ~what:"pool frame checksum";
+    read_exact ~read_fn trailer 0 trailer_len ~what:"pool frame checksum";
     let payload = Bytes.unsafe_to_string payload in
     let stored = Int32.to_int (Bytes.get_int32_le trailer 0) land 0xFFFFFFFF in
     let computed = Checksum.string payload in
@@ -146,7 +159,9 @@ let captured f =
 let execute task =
   (* The registry and span list restart from zero for every unit, so the
      reply carries exactly this unit's deltas; the parent re-adds them.
-     Mutating them here is invisible to the parent (copy-on-write). *)
+     Mutating them here is invisible to the parent under the forking
+     backend (copy-on-write); the simulator's [isolated] hook saves and
+     restores the parent state around this call. *)
   Metrics.clear ();
   Span.reset ();
   let value, output = captured task.work in
@@ -157,252 +172,309 @@ let execute task =
     r_output = output;
   }
 
-let worker_body tasks ~task_r ~reply_w =
-  let rec loop () =
-    match (Marshal.from_string (Frame.read task_r) 0 : int) with
-    | exception End_of_file -> ()
-    | idx when idx < 0 -> ()
-    | idx ->
-      let reply = execute tasks.(idx) in
-      Frame.write reply_w (Marshal.to_string reply [ Marshal.Closures ]);
-      loop ()
-  in
-  loop ()
+(* --- the engine, generic over the OS backend -------------------------- *)
 
-(* --- parent side ------------------------------------------------------ *)
+module Make (Os : Pool_os.S) = struct
+  type worker = {
+    pid : Os.pid;
+    task_w : Os.fd;
+    reply_r : Os.fd;
+    mutable current : int option;  (* task index in flight *)
+    mutable deadline : float;  (* [infinity] = no timeout pending *)
+    mutable closing : bool;  (* shutdown sent, EOF expected *)
+  }
 
-type worker = {
-  pid : int;
-  task_w : Unix.file_descr;
-  reply_r : Unix.file_descr;
-  mutable current : int option;  (* task index in flight *)
-  mutable deadline : float;  (* [infinity] = no timeout pending *)
-  mutable closing : bool;  (* shutdown sent, EOF expected *)
-}
+  type 'a slot = Pending | Replied of 'a reply | Broken of failure
 
-type 'a slot = Pending | Replied of 'a reply | Broken of failure
+  let write_frame os fd payload =
+    Wire.write ~write_fn:(fun s pos len -> Os.write os fd s pos len) payload
 
-let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+  let read_frame os fd = Wire.read ~read_fn:(fun b pos len -> Os.read os fd b pos len)
 
-let spawn tasks siblings =
-  let task_r, task_w = Unix.pipe () in
-  let reply_r, reply_w = Unix.pipe () in
-  (* Anything buffered on the parent's channels would otherwise be
-     flushed a second time from inside the child. *)
-  flush stdout;
-  flush stderr;
-  match Unix.fork () with
-  | 0 ->
-    (* An inherited copy of a sibling's pipe ends would keep that pipe
-       open after the sibling dies and defeat EOF-based crash
-       detection. *)
-    List.iter
-      (fun w ->
-        close_quietly w.task_w;
-        close_quietly w.reply_r)
-      siblings;
-    close_quietly task_w;
-    close_quietly reply_r;
-    let code =
-      match worker_body tasks ~task_r ~reply_w with
-      | () -> 0
-      | exception _ -> 1
+  let worker_body os tasks ~task_r ~reply_w =
+    let rec loop () =
+      match (Marshal.from_string (read_frame os task_r) 0 : int) with
+      | exception End_of_file -> ()
+      | idx when idx < 0 -> ()
+      | idx ->
+        let reply = Os.isolated os (fun () -> execute tasks.(idx)) in
+        write_frame os reply_w (Marshal.to_string reply [ Marshal.Closures ]);
+        loop ()
     in
-    (* Skip the parent's at_exit machinery and inherited buffers. *)
-    Unix._exit code
-  | pid ->
-    Unix.close task_r;
-    Unix.close reply_w;
-    { pid; task_w; reply_r; current = None; deadline = infinity; closing = false }
+    loop ()
 
-let wait_status pid =
-  let rec go () =
-    try snd (Unix.waitpid [] pid)
-    with Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-  in
-  try go () with Unix.Unix_error _ -> Unix.WEXITED 0
-
-let status_to_string = function
-  | Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
-  | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
-  | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
-
-let run (type a) ?jobs ?timeout ?(fail_fast = false) (tasks : a task list) :
-    a outcome list =
-  match tasks with
-  | [] -> []
-  | _ ->
-    let task_arr = Array.of_list tasks in
-    let n = Array.length task_arr in
-    let jobs =
-      min n (match jobs with Some j when j >= 1 -> j | Some _ | None -> default_jobs ())
-    in
-    let slots : a slot array = Array.make n Pending in
-    let next = ref 0 in
-    let have_failure = ref false in
-    let workers : worker list ref = ref [] in
-    let record idx f =
-      slots.(idx) <- Broken f;
-      have_failure := true
-    in
-    let dispatchable () = !next < n && not (fail_fast && !have_failure) in
-    let shutdown w =
-      if not w.closing then begin
-        w.closing <- true;
-        (try Frame.write w.task_w (Marshal.to_string (-1) []) with
-        | Fault.Error _ -> ());
-        close_quietly w.task_w
-      end
-    in
-    let assign w =
-      if dispatchable () then begin
-        let idx = !next in
-        incr next;
-        w.current <- Some idx;
-        w.deadline <-
-          (match timeout with
-          | Some t -> Unix.gettimeofday () +. t
-          | None -> infinity);
-        (* A write failure means the worker already died; the EOF path
-           attributes the unit to the crash. *)
-        try Frame.write w.task_w (Marshal.to_string idx []) with
-        | Fault.Error _ -> ()
-      end
-      else shutdown w
-    in
-    let retire w =
-      close_quietly w.reply_r;
-      if not w.closing then close_quietly w.task_w;
-      workers := List.filter (fun x -> x.pid <> w.pid) !workers
-    in
-    let replace () =
-      if dispatchable () then begin
-        let w = spawn task_arr !workers in
-        workers := w :: !workers;
-        assign w
-      end
-    in
-    let kill_retire_replace w failure =
-      (match w.current with Some idx -> record idx failure | None -> ());
-      w.current <- None;
-      (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
-      ignore (wait_status w.pid);
-      retire w;
-      replace ()
-    in
-    let on_eof w =
-      let status = wait_status w.pid in
-      (match w.current with
-      | Some idx ->
-        record idx
-          (Worker_crashed
-             (Printf.sprintf "%s before replying" (status_to_string status)))
-      | None -> ());
-      retire w;
-      replace ()
-    in
-    let on_readable w =
-      match
-        let payload = Frame.read w.reply_r in
-        (Marshal.from_string payload 0 : a reply)
-      with
-      | reply -> (
-        match w.current with
-        | Some idx ->
-          slots.(idx) <- Replied reply;
-          (match reply.r_value with
-          | Error _ -> have_failure := true
-          | Ok _ -> ());
-          w.current <- None;
-          w.deadline <- infinity;
-          assign w
-        | None ->
-          kill_retire_replace w (Protocol_error "unsolicited reply frame"))
-      | exception End_of_file -> on_eof w
-      | exception Fault.Error e ->
-        kill_retire_replace w (Protocol_error (Fault.to_string e))
-      | exception Failure msg ->
-        (* [Marshal.from_string] rejected the payload. *)
-        kill_retire_replace w (Protocol_error msg)
-    in
-    (* SIGPIPE's default disposition would kill the parent on a write to
-       a crashed worker; with it ignored the write fails with EPIPE and
-       is handled like any other crash. *)
-    let prev_sigpipe =
-      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
-      with Invalid_argument _ | Sys_error _ -> None
-    in
-    Fun.protect
-      ~finally:(fun () ->
-        List.iter
-          (fun w ->
-            (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
-            ignore (wait_status w.pid);
-            close_quietly w.reply_r;
-            if not w.closing then close_quietly w.task_w)
-          !workers;
-        workers := [];
-        match prev_sigpipe with
-        | Some h -> ( try Sys.set_signal Sys.sigpipe h with Invalid_argument _ -> ())
-        | None -> ())
-      (fun () ->
-        for _ = 1 to jobs do
-          workers := spawn task_arr !workers :: !workers
-        done;
-        List.iter assign (List.rev !workers);
-        while !workers <> [] do
-          let now = Unix.gettimeofday () in
-          let expired = List.filter (fun w -> w.deadline <= now) !workers in
-          if expired <> [] then
-            List.iter
-              (fun w ->
-                if List.memq w !workers then
-                  kill_retire_replace w
-                    (Timed_out (Option.value timeout ~default:0.)))
-              expired
-          else begin
-            let fds = List.map (fun w -> w.reply_r) !workers in
-            let tmo =
-              let d =
-                List.fold_left
-                  (fun acc w -> Float.min acc w.deadline)
-                  infinity !workers
-              in
-              if d = infinity then -1. else Float.max 0.01 (d -. now)
-            in
-            match Unix.select fds [] [] tmo with
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-            | readable, _, _ ->
-              (* Look readable fds up in a pre-select snapshot: a worker
-                 retired mid-iteration may have released its fd number to
-                 a freshly spawned replacement. *)
-              let snapshot = !workers in
-              List.iter
-                (fun fd ->
-                  match
-                    List.find_opt (fun w -> w.reply_r = fd) snapshot
-                  with
-                  | Some w when List.memq w !workers -> on_readable w
-                  | Some _ | None -> ())
-                readable
+  let run (type a) ~os ?jobs ?timeout ?(retries = 0) ?(retry_delay = 0.05)
+      ?(fail_fast = false) (tasks : a task list) : a outcome list =
+    if retries < 0 then invalid_arg "Pool.run: retries < 0";
+    match tasks with
+    | [] -> []
+    | _ ->
+      let task_arr = Array.of_list tasks in
+      let n = Array.length task_arr in
+      let jobs =
+        min n
+          (match jobs with Some j when j >= 1 -> j | Some _ | None -> default_jobs ())
+      in
+      let slots : a slot array = Array.make n Pending in
+      (* Dispatch count per unit; a unit is retried while its count is
+         still <= [retries]. *)
+      let attempts = Array.make n 0 in
+      (* The failure that queued a unit for retry — reported if the
+         batch is cut before the retry runs. *)
+      let last_failure : failure option array = Array.make n None in
+      let next = ref 0 in
+      (* Sorted by (ready time, index): deterministic pick order. *)
+      let retry_q : (float * int) list ref = ref [] in
+      let have_failure = ref false in
+      let workers : worker list ref = ref [] in
+      let settle idx f =
+        slots.(idx) <- Broken f;
+        have_failure := true
+      in
+      let fail_unit idx f =
+        if retryable_failure f && attempts.(idx) <= retries then begin
+          Metrics.incr c_retries;
+          last_failure.(idx) <- Some f;
+          (* [Fault.with_retry]'s backoff curve: delay doubles per
+             attempt, but waits on the pool's (monotonic or virtual)
+             clock instead of blocking the event loop. *)
+          let backoff = retry_delay *. (2. ** float_of_int (attempts.(idx) - 1)) in
+          retry_q := List.merge compare !retry_q [ (Os.now os +. backoff, idx) ]
+        end
+        else settle idx f
+      in
+      let cut () = fail_fast && !have_failure in
+      let pending_work () = (not (cut ())) && (!next < n || !retry_q <> []) in
+      let next_task now =
+        match !retry_q with
+        | (ready, idx) :: rest when ready <= now ->
+          retry_q := rest;
+          Some idx
+        | _ ->
+          if !next < n then begin
+            let idx = !next in
+            incr next;
+            Some idx
           end
-        done);
-    (* Task order, never completion order: absorb each unit's telemetry
-       and emit its outcome by index. *)
-    Array.to_list
-      (Array.mapi
-         (fun idx slot ->
-           let task = task_arr.(idx) in
-           match slot with
-           | Replied reply ->
-             Metrics.absorb reply.r_metrics;
-             Span.inject reply.r_spans;
-             let value =
-               match reply.r_value with
-               | Ok v -> Ok v
-               | Error msg -> Error (Unit_failed msg)
-             in
-             { key = task.key; value; output = reply.r_output }
-           | Broken f -> { key = task.key; value = Error f; output = "" }
-           | Pending -> { key = task.key; value = Error Cancelled; output = "" })
-         slots)
+          else None
+      in
+      let shutdown w =
+        if not w.closing then begin
+          w.closing <- true;
+          (try write_frame os w.task_w (Marshal.to_string (-1) []) with
+          | Fault.Error _ -> ());
+          Os.close os w.task_w
+        end
+      in
+      let assign w =
+        if not (pending_work ()) then shutdown w
+        else
+          match next_task (Os.now os) with
+          | None -> ()  (* only unready retries left: stay idle, poll later *)
+          | Some idx ->
+            attempts.(idx) <- attempts.(idx) + 1;
+            w.current <- Some idx;
+            w.deadline <-
+              (match timeout with Some t -> Os.now os +. t | None -> infinity);
+            (* A write failure means the worker already died; the EOF
+               path attributes the unit to the crash. *)
+            (try write_frame os w.task_w (Marshal.to_string idx []) with
+            | Fault.Error _ -> ())
+      in
+      let retire w =
+        Os.close os w.reply_r;
+        if not w.closing then Os.close os w.task_w;
+        workers := List.filter (fun x -> x.pid <> w.pid) !workers
+      in
+      let spawn_worker () =
+        let close_in_child =
+          List.concat_map (fun w -> [ w.task_w; w.reply_r ]) !workers
+        in
+        let pid, task_w, reply_r =
+          Os.spawn os ~close_in_child (fun ~task_r ~reply_w ->
+              worker_body os task_arr ~task_r ~reply_w)
+        in
+        { pid; task_w; reply_r; current = None; deadline = infinity; closing = false }
+      in
+      (* The supervisor: a dead worker is replaced whenever work remains,
+         so one crashy unit cannot silently halve the pool's capacity. *)
+      let replace () =
+        if pending_work () then begin
+          Metrics.incr c_respawns;
+          let w = spawn_worker () in
+          workers := w :: !workers;
+          assign w
+        end
+      in
+      let kill_retire_replace w failure =
+        (match w.current with Some idx -> fail_unit idx failure | None -> ());
+        w.current <- None;
+        Os.kill os w.pid;
+        ignore (Os.wait os w.pid);
+        retire w;
+        replace ()
+      in
+      let on_eof w =
+        let status = Os.wait os w.pid in
+        if not w.closing then Metrics.incr c_crashes;
+        (match w.current with
+        | Some idx ->
+          fail_unit idx
+            (Worker_crashed (Printf.sprintf "%s before replying" status))
+        | None -> ());
+        retire w;
+        replace ()
+      in
+      let on_readable w =
+        match
+          let payload = read_frame os w.reply_r in
+          (Marshal.from_string payload 0 : a reply)
+        with
+        | reply -> (
+          match w.current with
+          | Some idx ->
+            slots.(idx) <- Replied reply;
+            (match reply.r_value with
+            | Error _ -> have_failure := true
+            | Ok _ -> ());
+            w.current <- None;
+            w.deadline <- infinity;
+            assign w
+          | None ->
+            Metrics.incr c_protocol_errors;
+            kill_retire_replace w (Protocol_error "unsolicited reply frame"))
+        | exception End_of_file -> on_eof w
+        | exception Fault.Error e ->
+          Metrics.incr c_protocol_errors;
+          kill_retire_replace w (Protocol_error (Fault.to_string e))
+        | exception Failure msg ->
+          (* [Marshal.from_string] rejected the payload. *)
+          Metrics.incr c_protocol_errors;
+          kill_retire_replace w (Protocol_error msg)
+      in
+      (* SIGPIPE's default disposition would kill the parent on a write
+         to a crashed worker; with it ignored the write fails with EPIPE
+         and is handled like any other crash. *)
+      let prev_sigpipe =
+        try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+        with Invalid_argument _ | Sys_error _ -> None
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun w ->
+              Os.kill os w.pid;
+              ignore (Os.wait os w.pid);
+              Os.close os w.reply_r;
+              if not w.closing then Os.close os w.task_w)
+            !workers;
+          workers := [];
+          match prev_sigpipe with
+          | Some h -> (
+            try Sys.set_signal Sys.sigpipe h with Invalid_argument _ -> ())
+          | None -> ())
+        (fun () ->
+          for _ = 1 to jobs do
+            workers := spawn_worker () :: !workers
+          done;
+          List.iter assign (List.rev !workers);
+          while !workers <> [] do
+            let now = Os.now os in
+            let expired = List.filter (fun w -> w.deadline <= now) !workers in
+            if expired <> [] then
+              List.iter
+                (fun w ->
+                  if List.memq w !workers then begin
+                    Metrics.incr c_timeouts;
+                    kill_retire_replace w
+                      (Timed_out (Option.value timeout ~default:0.))
+                  end)
+                expired
+            else begin
+              (* Idle workers pick up retries as their backoff expires
+                 (or shut down once no work can ever reach them). *)
+              List.iter
+                (fun w -> if w.current = None && not w.closing then assign w)
+                (List.rev !workers);
+              if !workers <> [] then begin
+                let fds = List.map (fun w -> w.reply_r) !workers in
+                let tmo =
+                  let d =
+                    List.fold_left
+                      (fun acc w -> Float.min acc w.deadline)
+                      infinity !workers
+                  in
+                  let d =
+                    match !retry_q with
+                    | (ready, _) :: _ -> Float.min d ready
+                    | [] -> d
+                  in
+                  if d = infinity then -1. else Float.max 0.01 (d -. now)
+                in
+                (* Look readable fds up in a pre-select snapshot: a
+                   worker retired mid-iteration may have released its fd
+                   number to a freshly spawned replacement. *)
+                let readable = Os.select os fds tmo in
+                let snapshot = !workers in
+                List.iter
+                  (fun fd ->
+                    match List.find_opt (fun w -> w.reply_r = fd) snapshot with
+                    | Some w when List.memq w !workers -> on_readable w
+                    | Some _ | None -> ())
+                  readable
+              end
+            end
+          done);
+      (* Task order, never completion order: absorb each unit's telemetry
+         and emit its outcome by index. *)
+      Array.to_list
+        (Array.mapi
+           (fun idx slot ->
+             let task = task_arr.(idx) in
+             match slot with
+             | Replied reply ->
+               Metrics.absorb reply.r_metrics;
+               Span.inject reply.r_spans;
+               let value =
+                 match reply.r_value with
+                 | Ok v ->
+                   Metrics.incr c_units_ok;
+                   Ok v
+                 | Error msg ->
+                   Metrics.incr c_units_failed;
+                   Error (Unit_failed msg)
+               in
+               { key = task.key; value; output = reply.r_output }
+             | Broken f ->
+               Metrics.incr c_units_failed;
+               { key = task.key; value = Error f; output = "" }
+             | Pending -> (
+               (* Never settled: either cancelled before its first
+                  dispatch, or cut while waiting for a retry — in which
+                  case the original infrastructure fault is the honest
+                  attribution. *)
+               match last_failure.(idx) with
+               | Some f ->
+                 Metrics.incr c_units_failed;
+                 { key = task.key; value = Error f; output = "" }
+               | None ->
+                 Metrics.incr c_units_cancelled;
+                 { key = task.key; value = Error Cancelled; output = "" }))
+           slots)
+end
+
+(* --- the production instantiation ------------------------------------- *)
+
+module Real_engine = Make (Pool_os.Real)
+
+let run ?jobs ?timeout ?retries ?retry_delay ?fail_fast tasks =
+  Real_engine.run ~os:() ?jobs ?timeout ?retries ?retry_delay ?fail_fast tasks
+
+module Frame = struct
+  let encode = Wire.encode
+
+  let write fd payload =
+    Wire.write ~write_fn:(fun s pos len -> Pool_os.Real.write () fd s pos len) payload
+
+  let read fd = Wire.read ~read_fn:(fun b pos len -> Pool_os.Real.read () fd b pos len)
+end

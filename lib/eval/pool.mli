@@ -1,4 +1,5 @@
-(** Fork-based worker pool for sharding evaluation work units.
+(** Worker pool for sharding evaluation work units, generic over its OS
+    backend.
 
     The paper's evaluation is embarrassingly parallel: benchmarks are
     prepared and then simulated under many independent layouts and cache
@@ -8,6 +9,14 @@
     length-prefixed, CRC-32-checked frames ({!Frame}).  Corrupt frames
     surface as the artifact pipeline's typed {!Trg_util.Fault.Error}s.
 
+    All of that logic — framing, scheduling, per-unit deadlines,
+    supervision, retries — lives in {!Make}, a functor over the small OS
+    surface {!Pool_os.S}.  {!run} is [Make(Pool_os.Real)]: real forked
+    processes, real pipes, the real monotonic clock.
+    {!Trg_eval.Pool_sim} instantiates the same engine over a
+    deterministic in-process simulator to execute seeded fault
+    schedules.
+
     {b Determinism.}  The result list is in task order, never completion
     order.  Each worker zeroes the telemetry registry before a unit and
     ships the unit's metric/span deltas back with the result; the parent
@@ -15,12 +24,21 @@
     add, gauges max, histograms add pointwise — associative and
     commutative), so manifests are bit-identical for any worker count.
     A unit's stdout is captured in the worker and replayed by the caller,
-    again in task order.
+    again in task order.  The pool's own [pool/*] counters (units by
+    outcome, crashes, timeouts, protocol errors, respawns, retries) are
+    bumped in amounts independent of the worker count, preserving the
+    jobs-invariance of manifests.
 
-    {b Isolation.}  A unit that raises, crashes its worker, or exceeds
-    the per-unit [timeout] (SIGKILL escalation) yields a [failure]
-    outcome for that unit only; the worker is respawned and the batch
-    continues — the same partial-results semantics as [--keep-going].
+    {b Isolation and supervision.}  A unit that raises, crashes its
+    worker, or exceeds the per-unit [timeout] (SIGKILL escalation)
+    yields a [failure] outcome for that unit only; as long as work
+    remains, a dead worker is replaced by a fresh one, so the batch
+    continues at full width — the same partial-results semantics as
+    [--keep-going].
+
+    {b Deadlines} are computed on the monotonic clock
+    ({!Trg_util.Clock.monotonic}), so a wall-clock step (NTP, manual
+    [date]) neither fires every timeout at once nor starves them.
 
     Workers are forked at {!run} time, so task closures and everything
     they capture (prepared benchmarks, options) are inherited by memory
@@ -38,6 +56,11 @@ type failure =
   | Cancelled  (** never dispatched: an earlier unit failed under [fail_fast] *)
 
 val failure_to_string : failure -> string
+
+val retryable_failure : failure -> bool
+(** Whether a failure is an infrastructure fault (crash, timeout,
+    corrupt stream) that retrying could plausibly cure — as opposed to
+    the unit's own code failing deterministically. *)
 
 type 'a task = {
   key : string;  (** label used in failure messages; need not be unique *)
@@ -57,19 +80,48 @@ val default_jobs : unit -> int
 val run :
   ?jobs:int ->
   ?timeout:float ->
+  ?retries:int ->
+  ?retry_delay:float ->
   ?fail_fast:bool ->
   'a task list ->
   'a outcome list
 (** Executes every task and returns their outcomes in task order.
     [jobs] defaults to {!default_jobs}[ ()] (values [< 1] mean the
     default); at most [List.length tasks] workers are forked.  [timeout]
-    is per unit, in seconds (default: none).  With [fail_fast] (default
-    false), no new units are dispatched after the first failure;
-    undispatched units report [Cancelled].  In-flight units still finish.
+    is per unit, in seconds (default: none).
+
+    [retries] (default 0) re-dispatches a unit whose failure satisfies
+    {!retryable_failure} up to that many extra times, with exponential
+    backoff starting at [retry_delay] seconds (default 0.05, doubling
+    per attempt — {!Trg_util.Fault.with_retry}'s curve, but waited on
+    the pool clock without blocking other workers).  A unit that
+    exhausts its retries reports its {e last} failure.
+
+    With [fail_fast] (default false), no new units are dispatched after
+    the first definitive failure; undispatched units report [Cancelled],
+    and units cut while awaiting a retry report the infrastructure
+    fault that queued them.  In-flight units still finish.
 
     Telemetry deltas of completed units (including failed ones — their
     spans carry the [Failed] outcome) are absorbed into the calling
     process's registry in task order. *)
+
+(** The pool engine over an arbitrary OS backend.  [Make(Pool_os.Real)]
+    is the production pool; {!Trg_eval.Pool_sim} instantiates it over
+    the deterministic simulator.  The [os] value is threaded through
+    every OS interaction. *)
+module Make (Os : Pool_os.S) : sig
+  val run :
+    os:Os.os ->
+    ?jobs:int ->
+    ?timeout:float ->
+    ?retries:int ->
+    ?retry_delay:float ->
+    ?fail_fast:bool ->
+    'a task list ->
+    'a outcome list
+  (** Same contract as the top-level {!run}, against [os]. *)
+end
 
 (** The pipe wire format: [<8-byte LE payload length> <payload>
     <4-byte LE CRC-32 of payload>].  Exposed for tests. *)

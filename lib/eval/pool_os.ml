@@ -1,0 +1,99 @@
+module Fault = Trg_util.Fault
+module Clock = Trg_util.Clock
+
+module type S = sig
+  type os
+  type fd
+  type pid
+
+  val spawn :
+    os -> close_in_child:fd list -> (task_r:fd -> reply_w:fd -> unit) -> pid * fd * fd
+
+  val kill : os -> pid -> unit
+
+  val wait : os -> pid -> string
+
+  val write : os -> fd -> string -> int -> int -> int
+
+  val read : os -> fd -> bytes -> int -> int -> int
+
+  val close : os -> fd -> unit
+
+  val select : os -> fd list -> float -> fd list
+
+  val now : os -> float
+
+  val sleep : os -> float -> unit
+
+  val isolated : os -> (unit -> 'a) -> 'a
+end
+
+module Real = struct
+  type os = unit
+
+  type fd = Unix.file_descr
+
+  type pid = int
+
+  let close () fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+  let spawn () ~close_in_child body =
+    let task_r, task_w = Unix.pipe () in
+    let reply_r, reply_w = Unix.pipe () in
+    (* Anything buffered on the parent's channels would otherwise be
+       flushed a second time from inside the child. *)
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      List.iter (close ()) close_in_child;
+      close () task_w;
+      close () reply_r;
+      let code = match body ~task_r ~reply_w with () -> 0 | exception _ -> 1 in
+      (* Skip the parent's at_exit machinery and inherited buffers. *)
+      Unix._exit code
+    | pid ->
+      close () task_r;
+      close () reply_w;
+      (pid, task_w, reply_r)
+
+  let kill () pid = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+  let wait () pid =
+    let rec go () =
+      try snd (Unix.waitpid [] pid)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    match try go () with Unix.Unix_error _ -> Unix.WEXITED 0 with
+    | Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
+    | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+    | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+
+  let write () fd s pos len =
+    try Unix.write_substring fd s pos len with
+    | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    | Unix.Unix_error (e, _, _) ->
+      Fault.fail
+        (Fault.Io_error (Printf.sprintf "pool pipe write: %s" (Unix.error_message e)))
+
+  let read () fd b pos len =
+    let rec go () =
+      try Unix.read fd b pos len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | Unix.Unix_error (e, _, _) ->
+        Fault.fail
+          (Fault.Io_error (Printf.sprintf "pool pipe read: %s" (Unix.error_message e)))
+    in
+    go ()
+
+  let select () fds tmo =
+    match Unix.select fds [] [] tmo with
+    | readable, _, _ -> readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+
+  let now () = Clock.monotonic ()
+
+  let sleep () d = Clock.sleep d
+
+  let isolated () f = f ()
+end

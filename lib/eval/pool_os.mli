@@ -1,0 +1,97 @@
+(** The operating-system surface of the evaluation pool.
+
+    {!Pool} needs exactly this much from the outside world: spawning
+    workers wired up with a task pipe and a reply pipe, byte-level pipe
+    I/O, readiness multiplexing, killing and reaping, a monotonic clock
+    and a sleep.  Everything else — framing, checksums, scheduling,
+    retries, supervision — is backend-independent pool logic.
+
+    Two implementations exist:
+    - {!Real}: the production backend ([Unix.fork], real pipes,
+      [Unix.select], {!Trg_util.Clock}).  Bit-for-bit the pool's
+      historical behaviour.
+    - {!Trg_eval.Pool_sim}: a deterministic in-process simulator that
+      runs workers as effect-based fibers under a virtual clock and
+      executes seeded fault schedules (crashes, torn frames, CRC
+      corruption, stuck workers, clock skew) — the FoundationDB-style
+      simulation-testing backend.
+
+    The interface is deliberately low-level (bytes, not frames) so that
+    the CRC-checked wire format itself is exercised identically under
+    both backends and fault injection can corrupt real frame bytes. *)
+
+module type S = sig
+  type os
+  (** One backend instance.  The real backend is stateless; the
+      simulator carries its virtual clock, pipes, fibers and fault
+      schedule here. *)
+
+  type fd
+  (** Pipe endpoint.  Must support structural equality ([=]): the pool
+      looks up select results by comparing descriptors. *)
+
+  type pid
+
+  (** {2 Processes} *)
+
+  val spawn :
+    os -> close_in_child:fd list -> (task_r:fd -> reply_w:fd -> unit) -> pid * fd * fd
+  (** [spawn os ~close_in_child body] starts a worker running [body]
+      over a fresh task pipe and reply pipe, and returns
+      [(pid, task_w, reply_r)] — the parent's ends.  [close_in_child]
+      lists sibling descriptors the worker must not inherit (a leaked
+      copy of a sibling's pipe end would defeat EOF-based crash
+      detection).  The worker's exit status reflects [body]: returning
+      exits 0, raising exits 1. *)
+
+  val kill : os -> pid -> unit
+  (** Hard-kill (SIGKILL semantics: the worker gets no chance to flush
+      or reply).  Never raises; killing a dead worker is a no-op. *)
+
+  val wait : os -> pid -> string
+  (** Reaps the worker and returns a human-readable exit status
+      ("exited with code 2", "killed by signal 9", ...).  Never
+      raises. *)
+
+  (** {2 Byte streams}
+
+      Read and write mirror [Unix.read]/[Unix.write_substring]: partial
+      transfers are allowed (the pool loops), [read] returning [0] means
+      end of stream, and hard errors surface as
+      [Trg_util.Fault.Error (Io_error _)].  [EINTR] is absorbed by the
+      backend ([write] may report 0 bytes written). *)
+
+  val write : os -> fd -> string -> int -> int -> int
+
+  val read : os -> fd -> bytes -> int -> int -> int
+
+  val close : os -> fd -> unit
+  (** Never raises; closing twice is a no-op. *)
+
+  val select : os -> fd list -> float -> fd list
+  (** Readable descriptors among the given ones, blocking up to the
+      timeout in seconds (negative = no timeout).  A signal interrupting
+      the wait yields [[]], never an exception — one [EINTR] must not
+      abort a whole evaluation. *)
+
+  (** {2 Time} *)
+
+  val now : os -> float
+  (** Monotonic seconds (arbitrary origin).  All pool deadline and
+      backoff arithmetic goes through this — never the wall clock, which
+      can jump. *)
+
+  val sleep : os -> float -> unit
+
+  (** {2 In-process isolation} *)
+
+  val isolated : os -> (unit -> 'a) -> 'a
+  (** Wraps the worker-side execution of one unit.  The real backend is
+      the identity — a forked worker owns a copy-on-write registry, so
+      clearing it is invisible to the parent.  The simulator runs
+      workers in the parent process and uses this hook to save and
+      restore the parent's telemetry around the unit. *)
+end
+
+(** The production backend. *)
+module Real : S with type os = unit and type fd = Unix.file_descr and type pid = int

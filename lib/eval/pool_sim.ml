@@ -1,0 +1,432 @@
+module Fault = Trg_util.Fault
+module Prng = Trg_util.Prng
+module Metrics = Trg_obs.Metrics
+module Span = Trg_obs.Span
+
+type fault = Crash | Torn of int | Corrupt | Stuck
+
+type schedule = {
+  replies : (int * fault) list;
+  eintr : int list;
+  reorder : int list;
+  skew : (int * float) list;
+}
+
+let empty_schedule = { replies = []; eintr = []; reorder = []; skew = [] }
+
+(* Injection counters: how much adversity a schedule actually delivered.
+   Zero outside simulation runs. *)
+let c_crash = Metrics.counter "pool/sim/injected_crashes"
+
+let c_torn = Metrics.counter "pool/sim/injected_torn_writes"
+
+let c_corrupt = Metrics.counter "pool/sim/injected_corruptions"
+
+let c_stuck = Metrics.counter "pool/sim/injected_stucks"
+
+let c_eintr = Metrics.counter "pool/sim/injected_eintrs"
+
+let c_reorder = Metrics.counter "pool/sim/injected_reorders"
+
+let c_skew = Metrics.counter "pool/sim/injected_skews"
+
+(* --- the simulated operating system ----------------------------------- *)
+
+(* A pipe is a byte buffer with liveness flags for each end.  [consumed]
+   marks how much of [buf]'s prefix has already been read, so reads are
+   a blit, not a rebuild. *)
+type pipe = {
+  buf : Buffer.t;
+  mutable consumed : int;
+  mutable r_open : bool;
+  mutable w_open : bool;
+}
+
+type role = Read_end | Write_end
+
+(* Worker-side descriptors perform effects when they would block (and
+   reply writes are where reply-sequence faults fire); parent-side
+   descriptors never block — the engine only reads what select reported
+   ready. *)
+type endpoint = {
+  pipe : pipe;
+  role : role;
+  worker_side : bool;
+  is_reply : bool;
+  mutable open_ : bool;
+}
+
+type fiber_state =
+  | Not_started of (unit -> unit)
+  | Waiting of { fd : int; k : (unit, unit) Effect.Deep.continuation }
+  | Hung of { k : (unit, unit) Effect.Deep.continuation }
+  | Done
+
+type worker = {
+  wid : int;
+  mutable state : fiber_state;
+  mutable status : string;  (* exit status, meaningful once [Done] *)
+  w_task_r : int;
+  w_reply_w : int;
+}
+
+type os = {
+  rng : Prng.t;
+  schedule : schedule;
+  fds : (int, endpoint) Hashtbl.t;
+  workers : (int, worker) Hashtbl.t;
+  mutable next_fd : int;
+  mutable next_wid : int;
+  mutable vnow : float;  (* the virtual monotonic clock *)
+  mutable reply_seq : int;  (* reply frames attempted, across all workers *)
+  mutable select_seq : int;  (* select calls so far *)
+}
+
+type _ Effect.t += Await : int -> unit Effect.t | Hang : unit Effect.t
+
+exception Killed
+
+exception Crashed
+
+module Sim_os = struct
+  type nonrec os = os
+
+  type fd = int
+
+  type pid = int
+
+  let ep os fd =
+    match Hashtbl.find_opt os.fds fd with
+    | Some e -> e
+    | None -> invalid_arg (Printf.sprintf "Pool_sim: unknown fd %d" fd)
+
+  let close os fd =
+    let e = ep os fd in
+    if e.open_ then begin
+      e.open_ <- false;
+      match e.role with
+      | Read_end -> e.pipe.r_open <- false
+      | Write_end -> e.pipe.w_open <- false
+    end
+
+  let new_fd os pipe role ~worker_side ~is_reply =
+    let fd = os.next_fd in
+    os.next_fd <- fd + 1;
+    Hashtbl.replace os.fds fd { pipe; role; worker_side; is_reply; open_ = true };
+    fd
+
+  let new_pipe os ~is_reply =
+    let pipe = { buf = Buffer.create 256; consumed = 0; r_open = true; w_open = true } in
+    let r ~worker_side = new_fd os pipe Read_end ~worker_side ~is_reply in
+    let w ~worker_side = new_fd os pipe Write_end ~worker_side ~is_reply in
+    (pipe, r, w)
+
+  let available p = Buffer.length p.buf - p.consumed
+
+  let take p b pos len =
+    let n = min len (available p) in
+    Buffer.blit p.buf p.consumed b pos n;
+    p.consumed <- p.consumed + n;
+    if p.consumed = Buffer.length p.buf then begin
+      Buffer.clear p.buf;
+      p.consumed <- 0
+    end;
+    n
+
+  (* --- the scheduler --------------------------------------------------- *)
+
+  let finish os w status =
+    w.state <- Done;
+    w.status <- status;
+    close os w.w_task_r;
+    close os w.w_reply_w
+
+  let handler os w =
+    {
+      Effect.Deep.retc = (fun () -> finish os w "exited with code 0");
+      exnc =
+        (fun e ->
+          match e with
+          | Killed -> finish os w "killed by signal 9"
+          | Crashed -> finish os w "killed by signal 11"
+          | _ -> finish os w "exited with code 1");
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Await fd ->
+            Some
+              (fun (k : (b, _) Effect.Deep.continuation) ->
+                w.state <- Waiting { fd; k })
+          | Hang -> Some (fun k -> w.state <- Hung { k })
+          | _ -> None);
+    }
+
+  (* A fiber is runnable when it has not started yet, or when the read it
+     blocked on can now make progress (bytes buffered, or EOF).  Hung
+     fibers are unrunnable by design; only a kill frees them. *)
+  let runnable os w =
+    match w.state with
+    | Not_started _ -> true
+    | Waiting { fd; _ } ->
+      let e = ep os fd in
+      available e.pipe > 0 || not e.pipe.w_open
+    | Hung _ | Done -> false
+
+  let step os w =
+    match w.state with
+    | Not_started f -> Effect.Deep.match_with f () (handler os w)
+    | Waiting { k; _ } -> Effect.Deep.continue k ()
+    | Hung _ | Done -> ()
+
+  (* Run fibers to quiescence, lowest worker id first so the execution
+     order is a function of the schedule alone.  Fibers only suspend
+     between whole frames, so after a pump the parent never observes a
+     frame half-written by a live worker. *)
+  let rec pump os =
+    let next =
+      Hashtbl.fold
+        (fun _ w acc ->
+          if runnable os w then
+            match acc with Some best when best.wid < w.wid -> acc | _ -> Some w
+          else acc)
+        os.workers None
+    in
+    match next with
+    | Some w ->
+      step os w;
+      pump os
+    | None -> ()
+
+  (* --- Pool_os.S ------------------------------------------------------- *)
+
+  let spawn os ~close_in_child:_ body =
+    (* Fibers share the parent's descriptor table, so there are no
+       inherited copies to close: EOF detection works out of the box. *)
+    let _task_pipe, task_r, task_w =
+      let p, r, w = new_pipe os ~is_reply:false in
+      (p, r ~worker_side:true, w ~worker_side:false)
+    in
+    let _reply_pipe, reply_r, reply_w =
+      let p, r, w = new_pipe os ~is_reply:true in
+      (p, r ~worker_side:false, w ~worker_side:true)
+    in
+    let wid = os.next_wid in
+    os.next_wid <- wid + 1;
+    let w =
+      {
+        wid;
+        state = Not_started (fun () -> body ~task_r ~reply_w);
+        status = "running";
+        w_task_r = task_r;
+        w_reply_w = reply_w;
+      }
+    in
+    Hashtbl.replace os.workers wid w;
+    (wid, task_w, reply_r)
+
+  let kill os pid =
+    match Hashtbl.find_opt os.workers pid with
+    | None -> ()
+    | Some w -> (
+      match w.state with
+      | Done -> ()
+      | Not_started _ -> finish os w "killed by signal 9"
+      | Waiting { k; _ } | Hung { k } -> (
+        (* Unwinds the fiber through [exnc], which records the status
+           and closes the worker-side ends. *)
+        try Effect.Deep.discontinue k Killed with _ -> ()))
+
+  let wait os pid =
+    match Hashtbl.find_opt os.workers pid with
+    | Some { state = Done; status; _ } -> status
+    | Some _ | None -> "still running"
+
+  let reply_fault os =
+    let seq = os.reply_seq in
+    os.reply_seq <- seq + 1;
+    List.assoc_opt seq os.schedule.replies
+
+  let write os fd s pos len =
+    let e = ep os fd in
+    if not e.pipe.r_open then
+      Fault.fail (Fault.Io_error "pool pipe write: Broken pipe");
+    if e.worker_side && e.is_reply then begin
+      (* [Wire.write] hands the whole encoded frame to one write call
+         (simulated writes are never short), so this is exactly "about
+         to emit reply #seq" — the injection point. *)
+      match reply_fault os with
+      | Some Crash ->
+        Metrics.incr c_crash;
+        raise Crashed
+      | Some (Torn n) ->
+        Metrics.incr c_torn;
+        Buffer.add_substring e.pipe.buf s pos (min n len);
+        raise Crashed
+      | Some Stuck ->
+        Metrics.incr c_stuck;
+        Effect.perform Hang;
+        (* Unreachable: a hung fiber is only ever discontinued. *)
+        raise Killed
+      | Some Corrupt ->
+        Metrics.incr c_corrupt;
+        let b = Bytes.of_string (String.sub s pos len) in
+        (* Flip one bit strictly inside the payload region of the frame
+           (past the 8-byte length, before the 4-byte CRC) so the
+           corruption is the checksum's job to catch, not the length
+           guard's.  Frames this small can't occur (payloads are
+           marshaled values), but guard anyway. *)
+        if len > 13 then begin
+          let off = 8 + Prng.int os.rng (len - 12) in
+          let bit = Prng.int os.rng 8 in
+          Bytes.set b off
+            (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl bit)))
+        end;
+        Buffer.add_bytes e.pipe.buf b;
+        len
+      | None ->
+        Buffer.add_substring e.pipe.buf s pos len;
+        len
+    end
+    else begin
+      Buffer.add_substring e.pipe.buf s pos len;
+      len
+    end
+
+  let rec read os fd b pos len =
+    let e = ep os fd in
+    if available e.pipe > 0 then take e.pipe b pos len
+    else if not e.pipe.w_open then 0
+    else if e.worker_side then begin
+      Effect.perform (Await fd);
+      read os fd b pos len
+    end
+    else begin
+      (* Parent reading ahead of select: let the fibers catch up.  If
+         nothing fills the pipe the parent is stuck for good. *)
+      pump os;
+      if available e.pipe > 0 || not e.pipe.w_open then read os fd b pos len
+      else
+        failwith
+          "Pool_sim: simulated deadlock (parent read on an empty pipe no \
+           fiber can fill)"
+    end
+
+  let readable_fd os fd =
+    let e = ep os fd in
+    available e.pipe > 0 || not e.pipe.w_open
+
+  let select os fds tmo =
+    pump os;
+    let seq = os.select_seq in
+    os.select_seq <- seq + 1;
+    (match List.assoc_opt seq os.schedule.skew with
+    | Some jump when jump > 0. ->
+      Metrics.incr c_skew;
+      os.vnow <- os.vnow +. jump
+    | Some _ | None -> ());
+    if List.mem seq os.schedule.eintr then begin
+      Metrics.incr c_eintr;
+      []
+    end
+    else begin
+      let ready = List.filter (readable_fd os) fds in
+      match ready with
+      | [] ->
+        if tmo >= 0. then begin
+          (* Nothing can change until the parent acts again: jump the
+             virtual clock straight to the timeout. *)
+          os.vnow <- os.vnow +. tmo;
+          []
+        end
+        else
+          failwith
+            "Pool_sim: simulated deadlock (select with no timeout and no \
+             runnable worker; a Stuck fault needs a timeout)"
+      | _ ->
+        if List.mem seq os.schedule.reorder then begin
+          Metrics.incr c_reorder;
+          List.rev ready
+        end
+        else ready
+    end
+
+  let now os = os.vnow
+
+  let sleep os d = if d > 0. then os.vnow <- os.vnow +. d
+
+  (* Workers share the parent's heap, so running a unit (which clears
+     the telemetry registry) would trample the parent's accumulated
+     state.  Save it, run the unit, and splice it back.  Safe because
+     fibers never suspend inside [execute] — the parent cannot observe
+     the intermediate state.  Restoring by [absorb] relies on the merge
+     algebra; gauges holding negative values would be revived as their
+     max with 0 (none exist in this codebase). *)
+  let isolated os f =
+    os.vnow <- os.vnow +. 0.001;
+    let saved_metrics = Metrics.snapshot () in
+    let saved_spans = Span.records () in
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.clear ();
+        Metrics.absorb saved_metrics;
+        Span.reset ();
+        Span.inject saved_spans)
+      f
+end
+
+module Engine = Pool.Make (Sim_os)
+
+let run ?jobs ?timeout ?retries ?retry_delay ?fail_fast
+    ?(schedule = empty_schedule) ~seed tasks =
+  let os =
+    {
+      rng = Prng.create seed;
+      schedule;
+      fds = Hashtbl.create 64;
+      workers = Hashtbl.create 16;
+      next_fd = 3;
+      next_wid = 1000;
+      vnow = 0.;
+      reply_seq = 0;
+      select_seq = 0;
+    }
+  in
+  Engine.run ~os ?jobs ?timeout ?retries ?retry_delay ?fail_fast tasks
+
+let random_schedule ~seed ~units =
+  let rng = Prng.create seed in
+  let units = max 1 units in
+  (* Enough faults to matter, few enough that retries + respawns can
+     still finish the batch.  Reply sequence numbers run past [units]
+     because every retry writes a fresh reply. *)
+  let n_faults = Prng.int_in rng 1 (max 2 (units / 2)) in
+  let horizon = units + (2 * n_faults) in
+  let seqs = Array.init horizon Fun.id in
+  let chosen = Prng.sample rng seqs (min n_faults horizon) in
+  let replies =
+    Array.to_list chosen
+    |> List.sort compare
+    |> List.map (fun seq ->
+           let f =
+             (* Crash-heavy: crashes exercise the supervisor, the rarest
+                and most valuable path. *)
+             match Prng.int rng 10 with
+             | 0 | 1 | 2 | 3 | 4 -> Crash
+             | 5 | 6 -> Torn (Prng.int rng 48)
+             | 7 | 8 -> Corrupt
+             | _ -> Stuck
+           in
+           (seq, f))
+  in
+  let some_indices bound count =
+    List.init count (fun _ -> Prng.int rng bound) |> List.sort_uniq compare
+  in
+  let n_selects = 4 * horizon in
+  {
+    replies;
+    eintr = some_indices n_selects (Prng.int rng 3);
+    reorder = some_indices n_selects (Prng.int rng 3);
+    skew =
+      some_indices n_selects (Prng.int rng 2)
+      |> List.map (fun i -> (i, Prng.float rng 0.5));
+  }

@@ -1,0 +1,91 @@
+(** Deterministic simulation backend for the evaluation pool.
+
+    Runs the exact production pool engine ({!Pool.Make}) against an
+    in-process operating system: workers are cooperative fibers (OCaml
+    effects) instead of forked processes, pipes are byte buffers, the
+    clock is virtual, and [select] is a scheduler step.  Because every
+    source of nondeterminism — scheduling order, time, and failures — is
+    owned by the simulator, a run is a pure function of
+    [(seed, schedule, tasks, options)]: the same inputs reproduce the
+    same outcomes, the same telemetry, and the same supervisor actions,
+    bit for bit.  This is the FoundationDB recipe: find a
+    once-in-a-thousand-runs bug in CI, then replay it forever from its
+    seed.
+
+    {b What can be injected.}  A {!schedule} scripts faults at two
+    levels.  Reply-sequence faults fire when a worker is about to write
+    its [n]-th reply frame (counting across all workers, in virtual
+    time): the worker can crash without writing ({!Crash} — the parent
+    sees a clean EOF, as after a SIGKILL), crash mid-frame ({!Torn} —
+    the parent sees a truncated stream), emit a frame with a flipped
+    payload bit ({!Corrupt} — caught by the CRC), or hang without
+    replying ({!Stuck} — the parent's deadline kill fires, so schedules
+    containing [Stuck] require a [timeout]).  Select-sequence faults
+    perturb the event loop itself: a spurious [EINTR]-style empty
+    wakeup, reversed readiness ordering, or a forward virtual-clock jump
+    (skew).  Each injection increments a [pool/sim/*] counter.
+
+    {b What the engine must then do} — and what the tests assert — is
+    respawn crashed workers, attribute every unit to a typed failure or
+    retry it to success, and never hang or lose a unit.
+
+    Simulated workers run the unit bodies in the calling process, so a
+    unit's side effects (files written, global state) are {e not}
+    isolated the way [fork] isolates them; telemetry is saved and
+    restored around each unit.  Use workloads whose tasks are
+    self-contained, as the property tests do. *)
+
+type fault =
+  | Crash  (** die before writing the reply; parent sees EOF *)
+  | Torn of int
+      (** write at most this many bytes of the reply frame, then die *)
+  | Corrupt  (** flip one payload bit; the frame CRC must catch it *)
+  | Stuck
+      (** hang instead of replying; only a deadline kill frees the
+          worker, so the run needs a [timeout] *)
+
+type schedule = {
+  replies : (int * fault) list;
+      (** fault to inject at the n-th reply write, n counted from 0
+          across all workers (retries write fresh replies and advance
+          the count) *)
+  eintr : int list;
+      (** select calls (counted from 0) that wake empty, as after a
+          signal *)
+  reorder : int list;
+      (** select calls whose readiness list is reversed, modelling
+          arbitrary readiness order *)
+  skew : (int * float) list;
+      (** select calls before which the virtual clock jumps forward by
+          the given seconds (monotonic clocks never jump back) *)
+}
+
+val empty_schedule : schedule
+(** No faults: the simulator behaves as a perfectly reliable OS, and
+    outcomes match the real backend's on the same workload. *)
+
+val random_schedule : seed:int -> units:int -> schedule
+(** A reproducible schedule drawn from the seed, sized for a workload of
+    [units] tasks: a handful of reply faults of every kind (weighted
+    towards crashes) plus occasional event-loop perturbations.  Always
+    pair with a [timeout] — the schedule may contain {!Stuck}. *)
+
+val run :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?retry_delay:float ->
+  ?fail_fast:bool ->
+  ?schedule:schedule ->
+  seed:int ->
+  'a Pool.task list ->
+  'a Pool.outcome list
+(** {!Pool.run}'s contract, executed under simulation.  [schedule]
+    defaults to {!empty_schedule}; [seed] feeds the PRNG used for
+    fault details (e.g. which payload bit {!Corrupt} flips) — outcomes
+    are a pure function of all arguments.
+
+    @raise Failure if the simulation deadlocks: every worker is blocked,
+    no timeout is pending, and no fault can unblock them (e.g. a
+    {!Stuck} fault without a [timeout]).  A production pool would hang
+    in the same situation; the simulator reports it instead. *)

@@ -12,6 +12,7 @@ type options = {
   force_fail : string list;
   jobs : int;
   timeout : float option;
+  retries : int;
 }
 
 type failure = { experiment : string; bench : string option; message : string }
@@ -27,6 +28,7 @@ let default_options =
     force_fail = [];
     jobs = 0;
     timeout = None;
+    retries = 0;
   }
 
 let quick_options =
@@ -40,6 +42,7 @@ let quick_options =
     force_fail = [];
     jobs = 0;
     timeout = None;
+    retries = 0;
   }
 
 let message_of = function Failure m -> m | e -> Printexc.to_string e
@@ -378,7 +381,9 @@ let spec_sweep =
 (* --- glue: prepare, shard, replay ------------------------------------- *)
 
 let pool_params options =
-  ((if options.jobs >= 1 then Some options.jobs else None), options.timeout)
+  ( (if options.jobs >= 1 then Some options.jobs else None),
+    options.timeout,
+    options.retries )
 
 (* Runs a batch of experiments in two pool phases.
 
@@ -396,7 +401,7 @@ let run_specs options specs =
   let ctx =
     { options; prepared = Hashtbl.create 8; prep_errors = Hashtbl.create 8 }
   in
-  let jobs, timeout = pool_params options in
+  let jobs, timeout, retries = pool_params options in
   let fail_fast = not options.keep_going in
   let needed =
     let seen = Hashtbl.create 8 in
@@ -420,7 +425,7 @@ let run_specs options specs =
         })
       needed
   in
-  let prep_outcomes = Pool.run ?jobs ?timeout ~fail_fast prep_tasks in
+  let prep_outcomes = Pool.run ?jobs ?timeout ~retries ~fail_fast prep_tasks in
   List.iter2
     (fun shape (o : Runner.t Pool.outcome) ->
       print_string o.Pool.output;
@@ -461,7 +466,7 @@ let run_specs options specs =
         })
       by_weight
   in
-  let outcomes = Pool.run ?jobs ?timeout ~fail_fast tasks in
+  let outcomes = Pool.run ?jobs ?timeout ~retries ~fail_fast tasks in
   let results : payload Pool.outcome option array = Array.make n_units None in
   List.iter2 (fun (i, _, _) o -> results.(i) <- Some o) by_weight outcomes;
   (* In strict mode a cancelled unit is never the root cause; point its

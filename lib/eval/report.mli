@@ -34,6 +34,10 @@ type options = {
   timeout : float option;
       (** per-work-unit wall-clock budget in seconds; an overrunning
           worker is killed and the unit reported as failed *)
+  retries : int;
+      (** extra dispatches for units lost to infrastructure faults
+          (worker crash, timeout, corrupt reply stream) — see
+          {!Pool.run}; [0] (the default) fails such units immediately *)
 }
 
 type failure = {

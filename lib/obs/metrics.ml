@@ -192,6 +192,43 @@ let merge a b =
     snap_histograms = merge_assoc combine_hist a.snap_histograms b.snap_histograms;
   }
 
+let delta ~before ~after =
+  let d_counters =
+    List.filter_map
+      (fun (name, v) ->
+        let v0 =
+          Option.value (List.assoc_opt name before.snap_counters) ~default:0
+        in
+        if v = v0 then None else Some (name, v - v0))
+      after.snap_counters
+  in
+  let d_gauges =
+    List.filter
+      (fun (name, v) ->
+        match List.assoc_opt name before.snap_gauges with
+        | Some v0 -> v <> v0
+        | None -> true)
+      after.snap_gauges
+  in
+  let d_histograms =
+    List.filter_map
+      (fun (name, hs) ->
+        match List.assoc_opt name before.snap_histograms with
+        | None -> if hs.hs_total = 0 then None else Some (name, hs)
+        | Some hs0 ->
+          if hs0.hs_limits <> hs.hs_limits then
+            invalid_arg
+              (Printf.sprintf "Metrics.delta: histogram %S bucket limits disagree"
+                 name);
+          let counts = Array.mapi (fun i c -> c - hs0.hs_counts.(i)) hs.hs_counts in
+          let total = hs.hs_total - hs0.hs_total in
+          if total = 0 && Array.for_all (( = ) 0) counts then None
+          else
+            Some (name, { hs_limits = hs.hs_limits; hs_counts = counts; hs_total = total }))
+      after.snap_histograms
+  in
+  { snap_counters = d_counters; snap_gauges = d_gauges; snap_histograms = d_histograms }
+
 let absorb s =
   List.iter (fun (name, v) -> add (counter name) v) s.snap_counters;
   List.iter (fun (name, v) -> max_gauge (gauge name) v) s.snap_gauges;

@@ -84,6 +84,14 @@ val merge : snapshot -> snapshot -> snapshot
     add, gauges keep the maximum, histogram buckets add pointwise.
     @raise Invalid_argument if a shared histogram's limits disagree. *)
 
+val delta : before:snapshot -> after:snapshot -> snapshot
+(** What changed between two snapshots of the same registry: counters and
+    histogram buckets subtract, gauges report [after]'s value; entries
+    that did not change are dropped.  Used to compare the telemetry of
+    two runs performed in one process (e.g. the simulation tester's
+    determinism check).
+    @raise Invalid_argument if a shared histogram's limits disagree. *)
+
 val absorb : snapshot -> unit
 (** Folds a snapshot into the live registry with {!merge}'s semantics
     (counters add, gauges via {!max_gauge}, histogram buckets add).

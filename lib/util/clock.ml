@@ -1,0 +1,20 @@
+external monotonic_s : unit -> float = "trg_clock_monotonic_s"
+
+let monotonic_available = monotonic_s () >= 0.
+
+let wall = Unix.gettimeofday
+
+let monotonic = if monotonic_available then monotonic_s else wall
+
+let sleep d =
+  if d > 0. then begin
+    let deadline = monotonic () +. d in
+    let rec go remaining =
+      if remaining > 0. then begin
+        (try Unix.sleepf remaining
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go (deadline -. monotonic ())
+      end
+    in
+    go d
+  end

@@ -1,0 +1,31 @@
+(** Process clocks for deadline arithmetic and backoff.
+
+    Deadlines computed from the wall clock misbehave when the wall clock
+    jumps: an NTP step can fire every pending timeout at once, or starve
+    them for hours.  {!monotonic} reads [CLOCK_MONOTONIC] (via a tiny C
+    stub) and is immune to jumps; when the platform offers no monotonic
+    clock it silently degrades to the wall clock, preserving behaviour on
+    exotic hosts.
+
+    The evaluation pool routes every deadline and retry-backoff delay
+    through this module (see {!Trg_eval.Pool_os}); its deterministic
+    simulation backend substitutes a virtual clock with the same
+    interface. *)
+
+val monotonic : unit -> float
+(** Seconds from an arbitrary (per-process) origin, never decreasing
+    under wall-clock adjustments.  Only differences are meaningful. *)
+
+val monotonic_available : bool
+(** Whether {!monotonic} is backed by a real monotonic clock ([false]
+    means the gettimeofday fallback is in use). *)
+
+val wall : unit -> float
+(** [Unix.gettimeofday] — seconds since the epoch, for timestamps that
+    must be meaningful outside the process. *)
+
+val sleep : float -> unit
+(** Sleeps at least the given number of seconds, resuming after [EINTR]
+    until the (monotonic) deadline passes.  Non-positive durations return
+    immediately.  Pass this as [~sleep] to {!Fault.with_retry} when a
+    caller wants real backoff rather than the no-op default. *)

@@ -1,0 +1,33 @@
+/* Monotonic time for Trg_util.Clock.
+
+   CLOCK_MONOTONIC is immune to wall-clock jumps (NTP steps, manual
+   resets), which is what deadline arithmetic needs.  Returns a negative
+   value when the clock is unavailable so the OCaml side can fall back
+   to gettimeofday. */
+
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+
+#if defined(_WIN32)
+
+CAMLprim value trg_clock_monotonic_s(value unit)
+{
+  CAMLparam1(unit);
+  CAMLreturn(caml_copy_double(-1.0));
+}
+
+#else
+
+#include <time.h>
+
+CAMLprim value trg_clock_monotonic_s(value unit)
+{
+  CAMLparam1(unit);
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    CAMLreturn(caml_copy_double(-1.0));
+  CAMLreturn(caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9));
+}
+
+#endif

@@ -144,6 +144,6 @@ val with_retry :
     [Error (Io_error _)] and [Sys_error _]) up to [attempts] times
     (default 3) with exponential backoff: [sleep (base_delay * 2^k)]
     before retry [k].  [sleep] defaults to a no-op so retries are
-    immediate and deterministic; pass [Unix.sleepf] for real backoff.
+    immediate and deterministic; pass {!Clock.sleep} for real (EINTR-resuming) backoff.
     The last failure is re-raised when attempts are exhausted;
     non-retryable exceptions propagate immediately. *)

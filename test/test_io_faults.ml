@@ -457,6 +457,7 @@ let isolation_options =
     force_fail = [ "go" ];
     jobs = 2;
     timeout = None;
+    retries = 0;
   }
 
 let test_strict_mode_propagates () =

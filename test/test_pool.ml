@@ -244,6 +244,258 @@ let test_report_jobs_invariance () =
   let d4 = deltas 4 in
   Alcotest.(check (list (pair string int))) "counter deltas identical" d1 d4
 
+(* --- deterministic simulation ------------------------------------------ *)
+
+(* The same pool engine, run against the in-process simulated OS
+   (Pool_sim): seeded fault schedules exercise the crash/corruption/
+   timeout paths that are impossible to trigger reliably with real
+   processes, and determinism is checked exactly (same seed, same
+   everything). *)
+
+module Sim = Trg_eval.Pool_sim
+
+let counter_value name = Metrics.value (Metrics.counter name)
+
+let counter_delta name f =
+  let before = counter_value name in
+  let r = f () in
+  (r, counter_value name - before)
+
+(* With no faults scheduled, the simulator must be indistinguishable from
+   the real forked backend: same values, same captured output, same
+   order. *)
+let test_sim_matches_real () =
+  let mk () =
+    List.init 7 (fun i ->
+        task (Printf.sprintf "u%d" i) (fun () ->
+            Printf.printf "unit %d speaking\n" i;
+            (i * 31) + 1))
+  in
+  let real = Pool.run ~jobs:3 (mk ()) in
+  let sim = Sim.run ~jobs:3 ~seed:1 (mk ()) in
+  Alcotest.(check (list (result int string)))
+    "values match the real backend" (values real) (values sim);
+  Alcotest.(check (list string))
+    "outputs match the real backend"
+    (List.map (fun o -> o.Pool.output) real)
+    (List.map (fun o -> o.Pool.output) sim);
+  Alcotest.(check (list string))
+    "keys match the real backend"
+    (List.map (fun o -> o.Pool.key) real)
+    (List.map (fun o -> o.Pool.key) sim)
+
+(* One worker, so reply sequence numbers are task indices: a crash
+   scheduled at reply 1 must fail exactly unit 1, as a crash. *)
+let test_sim_crash_attributed () =
+  let tasks = List.init 4 (fun i -> task (Printf.sprintf "u%d" i) (fun () -> i)) in
+  let schedule = { Sim.empty_schedule with replies = [ (1, Sim.Crash) ] } in
+  let outcomes, crashes =
+    counter_delta "pool/worker_crashes" (fun () ->
+        Sim.run ~jobs:1 ~seed:1 ~schedule tasks)
+  in
+  Alcotest.(check int) "one crash counted" 1 crashes;
+  (match (List.nth outcomes 1).Pool.value with
+  | Error (Pool.Worker_crashed _) -> ()
+  | Error f -> Alcotest.fail ("expected Worker_crashed, got " ^ Pool.failure_to_string f)
+  | Ok _ -> Alcotest.fail "crashed unit reported success");
+  List.iter
+    (fun i ->
+      Alcotest.(check (result int string))
+        "survivor" (Ok i)
+        (List.nth (values outcomes) i))
+    [ 0; 2; 3 ]
+
+(* The self-healing path: the supervisor respawns the crashed worker and
+   the retry re-dispatches the lost unit, so the batch ends all-green. *)
+let test_sim_retry_cures_crash () =
+  let tasks = List.init 4 (fun i -> task (Printf.sprintf "u%d" i) (fun () -> i)) in
+  let schedule = { Sim.empty_schedule with replies = [ (1, Sim.Crash) ] } in
+  let outcomes, respawns =
+    counter_delta "pool/respawns" (fun () ->
+        Sim.run ~jobs:1 ~seed:1 ~retries:1 ~schedule tasks)
+  in
+  Alcotest.(check int) "crashed worker was respawned" 1 respawns;
+  Alcotest.(check (list (result int string)))
+    "every unit recovered"
+    [ Ok 0; Ok 1; Ok 2; Ok 3 ]
+    (values outcomes)
+
+(* A flipped payload bit must surface as a typed protocol error — the
+   CRC's whole job — never as a wrong value. *)
+let test_sim_corruption_detected () =
+  let tasks = List.init 3 (fun i -> task (Printf.sprintf "u%d" i) (fun () -> i)) in
+  let schedule = { Sim.empty_schedule with replies = [ (0, Sim.Corrupt) ] } in
+  let outcomes, proto =
+    counter_delta "pool/protocol_errors" (fun () ->
+        Sim.run ~jobs:1 ~seed:1 ~schedule tasks)
+  in
+  Alcotest.(check int) "one protocol error counted" 1 proto;
+  match (List.hd outcomes).Pool.value with
+  | Error (Pool.Protocol_error _) -> ()
+  | Error f -> Alcotest.fail ("expected Protocol_error, got " ^ Pool.failure_to_string f)
+  | Ok _ -> Alcotest.fail "corrupt reply was accepted"
+
+(* A worker dying mid-frame leaves a truncated stream: also a protocol
+   error, and recoverable by retry. *)
+let test_sim_torn_write_detected () =
+  let tasks = List.init 3 (fun i -> task (Printf.sprintf "u%d" i) (fun () -> i)) in
+  let schedule = { Sim.empty_schedule with replies = [ (0, Sim.Torn 5) ] } in
+  let outcomes = Sim.run ~jobs:1 ~seed:1 ~schedule tasks in
+  (match (List.hd outcomes).Pool.value with
+  | Error (Pool.Protocol_error _) -> ()
+  | Error f -> Alcotest.fail ("expected Protocol_error, got " ^ Pool.failure_to_string f)
+  | Ok _ -> Alcotest.fail "torn reply was accepted");
+  let cured = Sim.run ~jobs:1 ~seed:1 ~retries:1 ~schedule tasks in
+  Alcotest.(check (list (result int string)))
+    "retry cures the torn write" [ Ok 0; Ok 1; Ok 2 ] (values cured)
+
+(* A stuck worker never replies; only the monotonic deadline frees it. *)
+let test_sim_stuck_times_out () =
+  let tasks = List.init 3 (fun i -> task (Printf.sprintf "u%d" i) (fun () -> i)) in
+  let schedule = { Sim.empty_schedule with replies = [ (2, Sim.Stuck) ] } in
+  let outcomes, timeouts =
+    counter_delta "pool/timeouts" (fun () ->
+        Sim.run ~jobs:1 ~timeout:1.0 ~seed:1 ~schedule tasks)
+  in
+  Alcotest.(check int) "one timeout counted" 1 timeouts;
+  match (List.nth outcomes 2).Pool.value with
+  | Error (Pool.Timed_out _) -> ()
+  | Error f -> Alcotest.fail ("expected Timed_out, got " ^ Pool.failure_to_string f)
+  | Ok _ -> Alcotest.fail "stuck unit reported success"
+
+(* Regression for the EINTR handling in the event loop: spurious empty
+   select wakeups (what a signal does to the real backend) must be
+   absorbed, not abort or corrupt the batch. *)
+let test_sim_eintr_harmless () =
+  let tasks = List.init 5 (fun i -> task (Printf.sprintf "u%d" i) (fun () -> i)) in
+  let schedule = { Sim.empty_schedule with eintr = [ 0; 1; 2; 5 ] } in
+  let outcomes, injected =
+    counter_delta "pool/sim/injected_eintrs" (fun () ->
+        Sim.run ~jobs:2 ~seed:1 ~schedule tasks)
+  in
+  Alcotest.(check bool) "wakeups were actually injected" true (injected >= 1);
+  Alcotest.(check (list (result int string)))
+    "batch unaffected by spurious wakeups"
+    [ Ok 0; Ok 1; Ok 2; Ok 3; Ok 4 ]
+    (values outcomes)
+
+(* The headline acceptance scenario: a schedule that crashes every
+   initial worker at least once must still complete every unit (here:
+   all succeed, via respawn + retry), never hang, never lose a unit. *)
+let test_sim_crash_every_worker_completes () =
+  let n = 8 in
+  let tasks = List.init n (fun i -> task (Printf.sprintf "u%d" i) (fun () -> i * i)) in
+  (* Replies 0, 1 and 2 are the first replies of the three initial
+     workers (fibers pump in worker order), so each one crashes once. *)
+  let schedule =
+    { Sim.empty_schedule with replies = [ (0, Sim.Crash); (1, Sim.Crash); (2, Sim.Crash) ] }
+  in
+  let outcomes, respawns =
+    counter_delta "pool/respawns" (fun () ->
+        Sim.run ~jobs:3 ~timeout:5.0 ~retries:3 ~seed:1 ~schedule tasks)
+  in
+  Alcotest.(check int) "all units reported" n (List.length outcomes);
+  Alcotest.(check bool) "every initial worker was respawned" true (respawns >= 3);
+  Alcotest.(check (list (result int string)))
+    "every unit completed"
+    (List.init n (fun i -> Ok (i * i)))
+    (values outcomes)
+
+(* Same seed, same schedule, same options: outcomes and counter deltas
+   must be bit-for-bit identical — the property that makes a failing
+   seed replayable. *)
+let test_sim_determinism () =
+  let mk () = List.init 10 (fun i -> task (Printf.sprintf "u%d" i) (fun () -> i * 3)) in
+  let schedule = Sim.random_schedule ~seed:42 ~units:10 in
+  let go () = Sim.run ~jobs:3 ~timeout:2.0 ~retries:2 ~seed:42 ~schedule (mk ()) in
+  let before = Metrics.snapshot () in
+  let r1 = go () in
+  let mid = Metrics.snapshot () in
+  let r2 = go () in
+  let after = Metrics.snapshot () in
+  Alcotest.(check (list (result int string))) "outcomes identical" (values r1) (values r2);
+  Alcotest.(check (list string))
+    "outputs identical"
+    (List.map (fun o -> o.Pool.output) r1)
+    (List.map (fun o -> o.Pool.output) r2);
+  let d1 = Metrics.delta ~before ~after:mid and d2 = Metrics.delta ~before:mid ~after in
+  Alcotest.(check (list (pair string int)))
+    "counter deltas identical (including pool/respawns)" d1.Metrics.snap_counters
+    d2.Metrics.snap_counters
+
+(* fail_fast cutting the batch while a unit waits for its retry: the
+   unit must report the infrastructure fault that queued it, not a
+   misleading Cancelled. *)
+let test_sim_fail_fast_reports_original_fault () =
+  let tasks =
+    [
+      task "crashy" (fun () -> 0);
+      task "boom" (fun () -> failwith "boom");
+      task "never" (fun () -> 2);
+    ]
+  in
+  let schedule = { Sim.empty_schedule with replies = [ (0, Sim.Crash) ] } in
+  let outcomes =
+    Sim.run ~jobs:1 ~retries:2 ~fail_fast:true ~seed:1 ~schedule tasks
+  in
+  (match (List.nth outcomes 0).Pool.value with
+  | Error (Pool.Worker_crashed _) -> ()
+  | Error f ->
+    Alcotest.fail ("expected the original Worker_crashed, got " ^ Pool.failure_to_string f)
+  | Ok _ -> Alcotest.fail "cut unit reported success");
+  Alcotest.(check (result int string))
+    "definitive failure kept" (Error "boom")
+    (List.nth (values outcomes) 1);
+  Alcotest.(check (result int string))
+    "undispatched unit cancelled"
+    (Error (Pool.failure_to_string Pool.Cancelled))
+    (List.nth (values outcomes) 2)
+
+(* A unit's telemetry is absorbed exactly once even when the unit ran
+   twice (first reply lost to a crash, second delivered). *)
+let test_sim_metrics_absorbed_once_with_retry () =
+  let tasks =
+    List.init 4 (fun i ->
+        task (Printf.sprintf "u%d" i) (fun () ->
+            Metrics.incr (Metrics.counter "pool_test/sim_work")))
+  in
+  let schedule = { Sim.empty_schedule with replies = [ (1, Sim.Crash) ] } in
+  let outcomes, work =
+    counter_delta "pool_test/sim_work" (fun () ->
+        Sim.run ~jobs:1 ~retries:1 ~seed:1 ~schedule tasks)
+  in
+  Alcotest.(check int) "all units succeeded" 4
+    (List.length (List.filter (fun o -> Result.is_ok o.Pool.value) outcomes));
+  Alcotest.(check int) "one increment per unit, not per attempt" 4 work
+
+(* The retry path on the real forked backend: a worker that dies on the
+   unit's first dispatch succeeds on the second, because the retry runs
+   in a fresh process that can observe the first attempt's side effect. *)
+let test_real_retry_cures_crash () =
+  let marker = Filename.temp_file "trg-pool-retry-" ".flag" in
+  Sys.remove marker;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove marker with Sys_error _ -> ())
+    (fun () ->
+      let tasks =
+        [
+          task "flaky" (fun () ->
+              if Sys.file_exists marker then 42
+              else begin
+                let oc = open_out marker in
+                close_out oc;
+                Unix._exit 9
+              end);
+        ]
+      in
+      let outcomes, retries =
+        counter_delta "pool/retries" (fun () ->
+            Pool.run ~jobs:1 ~retries:2 ~retry_delay:0.01 tasks)
+      in
+      Alcotest.(check int) "one retry consumed" 1 retries;
+      Alcotest.(check (list (result int string)))
+        "second attempt succeeded" [ Ok 42 ] (values outcomes))
+
 let suite =
   [
     Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
@@ -260,4 +512,19 @@ let suite =
     Alcotest.test_case "snapshot merge algebra" `Quick test_merge_associative_commutative;
     Alcotest.test_case "report counters invariant under jobs" `Quick
       test_report_jobs_invariance;
+    Alcotest.test_case "sim matches real backend" `Quick test_sim_matches_real;
+    Alcotest.test_case "sim crash attributed" `Quick test_sim_crash_attributed;
+    Alcotest.test_case "sim retry cures crash" `Quick test_sim_retry_cures_crash;
+    Alcotest.test_case "sim corruption detected" `Quick test_sim_corruption_detected;
+    Alcotest.test_case "sim torn write detected" `Quick test_sim_torn_write_detected;
+    Alcotest.test_case "sim stuck worker times out" `Quick test_sim_stuck_times_out;
+    Alcotest.test_case "sim spurious wakeups harmless" `Quick test_sim_eintr_harmless;
+    Alcotest.test_case "sim crash-every-worker completes" `Quick
+      test_sim_crash_every_worker_completes;
+    Alcotest.test_case "sim determinism" `Quick test_sim_determinism;
+    Alcotest.test_case "sim fail-fast keeps original fault" `Quick
+      test_sim_fail_fast_reports_original_fault;
+    Alcotest.test_case "sim metrics absorbed once with retry" `Quick
+      test_sim_metrics_absorbed_once_with_retry;
+    Alcotest.test_case "real retry cures crash" `Quick test_real_retry_cures_crash;
   ]

@@ -146,9 +146,74 @@ let prop_simulation_invariant_under_io =
       in
       reference = via_text && reference = via_binary)
 
+(* --- deterministic simulation of the evaluation pool ------------------- *)
+
+module Pool = Trg_eval.Pool
+module Psim = Trg_eval.Pool_sim
+module Metrics = Trg_obs.Metrics
+
+let pool_tasks units =
+  List.init units (fun i ->
+      {
+        Pool.key = Printf.sprintf "u%d" i;
+        work =
+          (fun () ->
+            Metrics.incr (Metrics.counter "property/sim_units");
+            Printf.printf "u%d\n" i;
+            (i * 37) land 0xFFFF);
+      })
+
+let outcome_repr (o : int Pool.outcome) =
+  ( o.Pool.key,
+    (match o.Pool.value with
+    | Ok v -> "ok " ^ string_of_int v
+    | Error f -> "error " ^ Pool.failure_to_string f),
+    o.Pool.output )
+
+(* The simulation tester's foundation: a run is a pure function of
+   (seed, schedule, tasks, options).  Two identical runs must agree on
+   every unit outcome, every captured output, and every counter delta —
+   including the absorbed per-unit metrics and the supervisor's
+   pool/respawns — or a failing seed could not be replayed. *)
+let prop_sim_deterministic =
+  QCheck.Test.make ~name:"pool simulation is a pure function of its seed" ~count:60
+    QCheck.(triple (int_range 0 100_000) (int_range 1 20) (int_range 1 4))
+    (fun (seed, units, jobs) ->
+      let schedule = Psim.random_schedule ~seed ~units in
+      let go () =
+        Psim.run ~jobs ~timeout:2.0 ~retries:2 ~schedule ~seed (pool_tasks units)
+      in
+      let before = Metrics.snapshot () in
+      let r1 = go () in
+      let mid = Metrics.snapshot () in
+      let r2 = go () in
+      let after = Metrics.snapshot () in
+      let d1 = Metrics.delta ~before ~after:mid
+      and d2 = Metrics.delta ~before:mid ~after in
+      if List.map outcome_repr r1 <> List.map outcome_repr r2 then
+        QCheck.Test.fail_reportf "outcomes differ across identical runs (seed %d)"
+          seed
+      else if d1.Metrics.snap_counters <> d2.Metrics.snap_counters then
+        QCheck.Test.fail_reportf "counter deltas differ across identical runs (seed %d)"
+          seed
+      else List.length r1 = units)
+
+(* With no faults scheduled the simulator is just another pool backend,
+   and must be observationally identical to the real forked one. *)
+let prop_sim_empty_schedule_matches_real =
+  QCheck.Test.make ~name:"empty-schedule simulation matches the forked backend"
+    ~count:12
+    QCheck.(triple (int_range 0 100_000) (int_range 1 8) (int_range 1 3))
+    (fun (seed, units, jobs) ->
+      let real = Pool.run ~jobs (pool_tasks units) in
+      let sim = Psim.run ~jobs ~seed (pool_tasks units) in
+      List.map outcome_repr real = List.map outcome_repr sim)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_placements_are_permutations;
     QCheck_alcotest.to_alcotest prop_line_align_preserves_sets;
     QCheck_alcotest.to_alcotest prop_simulation_invariant_under_io;
+    QCheck_alcotest.to_alcotest prop_sim_deterministic;
+    QCheck_alcotest.to_alcotest prop_sim_empty_schedule_matches_real;
   ]
