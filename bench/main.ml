@@ -34,11 +34,14 @@ module Table = Trg_util.Table
 
 (* Strict argument handling: an unrecognized flag is a hard error, not a
    silent full run (a mistyped [--quikc] used to cost minutes). *)
-let usage () = Printf.eprintf "usage: %s [--quick] [--jobs N]\n" Sys.argv.(0)
+let usage () =
+  Printf.eprintf "usage: %s [--quick] [--jobs N] [--cost-engine full|incr|both]\n"
+    Sys.argv.(0)
 
-let quick, jobs =
+let quick, jobs, cost_engine =
   let quick = ref false in
   let jobs = ref 0 in
+  let cost_engine = ref `Both in
   let ok = ref true in
   let i = ref 1 in
   while !i <= Array.length Sys.argv - 1 do
@@ -52,6 +55,15 @@ let quick, jobs =
         Printf.eprintf "bench: --jobs expects a non-negative integer, got %S\n"
           Sys.argv.(!i);
         ok := false)
+    | "--cost-engine" when !i < Array.length Sys.argv - 1 -> (
+      incr i;
+      match Sys.argv.(!i) with
+      | "full" -> cost_engine := `Full
+      | "incr" -> cost_engine := `Incr
+      | "both" -> cost_engine := `Both
+      | s ->
+        Printf.eprintf "bench: --cost-engine expects full, incr or both, got %S\n" s;
+        ok := false)
     | "--help" | "-h" ->
       usage ();
       exit 0
@@ -64,7 +76,7 @@ let quick, jobs =
     usage ();
     exit 2
   end;
-  (!quick, !jobs)
+  (!quick, !jobs, !cost_engine)
 
 let benchmark_tests () =
   (* Timing subjects: [small] for profile-building benches, [go] for the
@@ -150,6 +162,62 @@ let benchmark_tests () =
         Trg_eval.Pool.Frame.encode (String.make 65536 'x'));
   ]
 
+(* Side-by-side placement wall time under the two cost engines — the
+   direct measurement of the incremental engine's payoff.  Placements are
+   recomputed under each engine in turn (engine selection is the
+   process-global in [Trg_place.Cost]); layouts are asserted identical, so
+   a speedup can never come from silently diverging answers. *)
+let compare_engines () =
+  Table.section "COST ENGINES — full vs incremental placement wall time";
+  let with_engine kind f =
+    let saved = Trg_place.Cost.engine () in
+    Trg_place.Cost.set_engine kind;
+    Fun.protect ~finally:(fun () -> Trg_place.Cost.set_engine saved) f
+  in
+  let time f =
+    let t0 = Trg_util.Clock.monotonic () in
+    let v = f () in
+    (v, Trg_util.Clock.monotonic () -. t0)
+  in
+  let subjects = if quick then [ "small" ] else [ "small"; "go"; "gcc" ] in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let r = Runner.prepare (Bench.find name) in
+        let program = Runner.program r in
+        let cases =
+          [
+            ("gbsc", fun () -> Gbsc.place program r.Runner.prof);
+            ( "hkc",
+              fun () ->
+                Hkc.place r.Runner.config program ~wcg:r.Runner.wcg
+                  ~popularity:r.Runner.prof.Gbsc.popularity );
+          ]
+        in
+        List.map
+          (fun (algo, place) ->
+            let full_layout, full_s = with_engine Trg_place.Cost.Full (fun () -> time place) in
+            let incr_layout, incr_s = with_engine Trg_place.Cost.Incr (fun () -> time place) in
+            if full_layout <> incr_layout then begin
+              Printf.eprintf "bench: %s/%s: engines produced different layouts\n"
+                name algo;
+              exit 1
+            end;
+            [
+              Printf.sprintf "%s/%s" algo name;
+              Printf.sprintf "%.1f ms" (1e3 *. full_s);
+              Printf.sprintf "%.1f ms" (1e3 *. incr_s);
+              (if incr_s > 0. then Printf.sprintf "%.1fx" (full_s /. incr_s) else "-");
+            ])
+          cases)
+      subjects
+  in
+  Table.print
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "placement"; "full"; "incr"; "speedup" ]
+    rows;
+  print_newline ()
+
 let run_benchmarks () =
   Table.section "BECHAMEL — timing (one test per table/figure + algorithms)";
   let tests = benchmark_tests () in
@@ -196,6 +264,11 @@ let run_benchmarks () =
   print_newline ()
 
 let () =
+  (* The reproduction itself runs under one engine: the selected one, or
+     the default (incr) when comparing both. *)
+  (match cost_engine with
+  | `Full -> Trg_place.Cost.set_engine Trg_place.Cost.Full
+  | `Incr | `Both -> Trg_place.Cost.set_engine Trg_place.Cost.Incr);
   let opts =
     if quick then { Report.quick_options with jobs }
     else
@@ -209,4 +282,5 @@ let () =
   | failures ->
     Report.print_summary failures;
     exit 3);
+  (match cost_engine with `Both -> compare_engines () | `Full | `Incr -> ());
   run_benchmarks ()

@@ -28,6 +28,22 @@ let verbose_term =
   let doc = "Log placement progress (info level) to stderr." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
+let cost_engine_term =
+  let doc =
+    "Conflict-cost evaluator for the placement search: $(b,incr) (the \
+     default) maintains pairwise cost arrays incrementally and is \
+     10-100x cheaper per merge; $(b,full) recomputes every cost array \
+     from profile edges.  Layouts and miss rates are bit-identical — \
+     models outside the incremental engine's exactness guarantee fall \
+     back to full automatically (counted in cost/incr/fallbacks)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum [ ("full", Trg_place.Cost.Full); ("incr", Trg_place.Cost.Incr) ])
+        Trg_place.Cost.Incr
+    & info [ "cost-engine" ] ~docv:"ENGINE" ~doc)
+
 let options_term =
   let runs =
     let doc = "Number of perturbed placements per algorithm (Figure 5)." in
@@ -96,8 +112,9 @@ let options_term =
     Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
   in
   let make verbose runs points benches quick full_output keep_going strict
-      force_fail jobs timeout retries =
+      force_fail jobs timeout retries cost_engine =
     setup_logs verbose;
+    Trg_place.Cost.set_engine cost_engine;
     let keep_going = keep_going && not strict in
     if jobs < 0 then begin
       Log.err (fun m -> m "--jobs must be non-negative (got %d)" jobs);
@@ -142,7 +159,8 @@ let options_term =
   in
   Term.(
     const make $ verbose_term $ runs $ points $ benches $ quick $ full_output
-    $ keep_going $ strict $ force_fail $ jobs $ timeout $ retries)
+    $ keep_going $ strict $ force_fail $ jobs $ timeout $ retries
+    $ cost_engine_term)
 
 (* --- telemetry manifest plumbing ------------------------------------- *)
 
@@ -168,6 +186,10 @@ let config_json (o : Trg_eval.Report.options) =
     ("jobs", J.Int o.jobs);
     ("timeout", match o.timeout with Some t -> J.Float t | None -> J.Null);
     ("retries", J.Int o.retries);
+    (* Read back from the process-global set at option-parse time, so the
+       manifest records the engine the run actually used. *)
+    ( "cost_engine",
+      J.String (Trg_place.Cost.engine_name (Trg_place.Cost.engine ())) );
   ]
 
 (* Manifest writing wraps every command outcome, so a failed run still
@@ -304,7 +326,8 @@ let place_cmd =
       & opt (enum [ ("gbsc", `Gbsc); ("gbsc-paged", `Paged); ("gbsc-sa", `Sa); ("ph", `Ph); ("hkc", `Hkc); ("default", `Default) ]) `Gbsc
       & info [ "algo"; "a" ] ~docv:"ALGO" ~doc:"Placement algorithm: gbsc, gbsc-paged, gbsc-sa, ph, hkc or default.")
   in
-  let run program_f trace_f out_f algo cache =
+  let run program_f trace_f out_f algo cache cost_engine =
+    Trg_place.Cost.set_engine cost_engine;
     let program = retrying (fun () -> Trg_program.Serial.load_program program_f) in
     let trace = retrying (fun () -> Trg_trace.Io.load trace_f) in
     let config = Trg_place.Gbsc.default_config ~cache () in
@@ -327,7 +350,8 @@ let place_cmd =
       (Trg_program.Layout.span layout)
       (Trg_program.Layout.gap_bytes layout program)
   in
-  Cmd.v (Cmd.info "place" ~doc) Term.(const run $ program_f $ trace_f $ out_f $ algo $ cache_term)
+  Cmd.v (Cmd.info "place" ~doc)
+    Term.(const run $ program_f $ trace_f $ out_f $ algo $ cache_term $ cost_engine_term)
 
 let simulate_cmd =
   let doc = "Simulate a layout file against a trace file and report the miss rate." in
@@ -520,8 +544,9 @@ let explain_cmd =
       & info [ "trace"; "t" ] ~docv:"FILE" ~doc:"Trace file (file-triple mode).")
   in
   let run verbose bench quick algos train raw top intervals json_out program_f
-      layout_f trace_f cache metrics_out =
+      layout_f trace_f cache cost_engine metrics_out =
     setup_logs verbose;
+    Trg_place.Cost.set_engine cost_engine;
     if intervals <= 0 then begin
       Log.err (fun m -> m "explain: --intervals must be positive (got %d)" intervals);
       exit 2
@@ -536,6 +561,7 @@ let explain_cmd =
         ("raw", J.Bool raw);
         ("top", J.Int top);
         ("intervals", J.Int intervals);
+        ("cost_engine", J.String (Trg_place.Cost.engine_name cost_engine));
       ]
     in
     let body () =
@@ -603,7 +629,7 @@ let explain_cmd =
     Term.(
       const run $ verbose_term $ bench $ quick $ algos $ train $ raw $ top
       $ intervals $ json_out $ program_f $ layout_f $ trace_f $ cache_term
-      $ metrics_term)
+      $ cost_engine_term $ metrics_term)
 
 let compare_cmd =
   let doc =
@@ -630,7 +656,19 @@ let compare_cmd =
       & info [ "tolerance" ] ~docv:"REL"
           ~doc:"Allowed relative drift per metric (e.g. 0.02 for 2%).")
   in
-  let run file_a file_b tolerance =
+  let only =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~docv:"PREFIX"
+          ~doc:
+            "Restrict the comparison to metrics under $(docv) (repeatable). \
+             A prefix matches the full metric name (e.g. counters/sim/) or \
+             the name after its kind segment (e.g. sim/).  Use to compare \
+             the layout-deterministic surface between runs whose \
+             work-counter profiles legitimately differ, such as \
+             $(b,--cost-engine full) vs $(b,incr).")
+  in
+  let run file_a file_b tolerance only =
     let load_validated file =
       let fail msg =
         Log.err (fun m -> m "%s: %s" file msg);
@@ -645,7 +683,22 @@ let compare_cmd =
       json
     in
     let base = load_validated file_a and current = load_validated file_b in
-    match Trg_obs.Manifest.diff ~tolerance base current with
+    let selected (d : Trg_obs.Manifest.drift) =
+      only = []
+      ||
+      let name = d.Trg_obs.Manifest.metric in
+      (* Metric names look like "counters/sim/misses"; accept a prefix of
+         the full name or of the part after the kind segment. *)
+      let tail =
+        match String.index_opt name '/' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
+      List.exists
+        (fun p -> String.starts_with ~prefix:p name || String.starts_with ~prefix:p tail)
+        only
+    in
+    match List.filter selected (Trg_obs.Manifest.diff ~tolerance base current) with
     | [] ->
       Printf.printf "manifests agree: no metric drift beyond %.4f (%s vs %s)\n"
         tolerance file_a file_b
@@ -673,7 +726,8 @@ let compare_cmd =
            drifts);
       exit 1
   in
-  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ file_a $ file_b $ tolerance)
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ file_a $ file_b $ tolerance $ only)
 
 let stats_cmd =
   let doc =

@@ -1,0 +1,202 @@
+(* Incremental conflict-cost engine for the placement search.
+
+   The greedy merge loop (Gbsc / Merge_driver) spends almost all of its
+   time recomputing Section 4.2 cost arrays from scratch: every merge
+   walks every profile edge between the two nodes and charges each line
+   pair.  But the cost array is linear in the edge weights, and a merge
+   only composes two previously known alignments — so the pairwise cost
+   arrays can be maintained incrementally.
+
+   For two placement groups A and B, define
+
+     D_{A,B}(i) = sum of w(a, b) over profile edges with a in A at
+                  (mod-C) line l_a and b in B at line l_b such that
+                  l_a = (l_b + i) mod C
+
+   — exactly the array [Cost.offsets_cost] computes (its convention:
+   [cost.((l1 - l2) mod C)]).  Two identities make deltas cheap:
+
+   - reversal:     D_{B,A}(j)  = D_{A,B}((-j) mod C)
+   - composition:  merging B into A at shift s (B's lines move to
+                   (l + s) mod C) gives, for any third group W,
+                   D_{A∪B,W}(i) = D_{A,W}(i) + D_{B,W}((i - s) mod C)
+
+   so a merge re-costs only the C entries of each pair touching the
+   absorbed group — O(degree × C) — instead of re-walking edges.
+
+   Exactness: profile weights are event counts, i.e. integral floats.
+   Sums of integral floats are exact (far below 2^53), so the composed
+   arrays are bit-identical to from-scratch recomputation and the argmin
+   (hence the layout) cannot drift.  Any non-integral charge poisons
+   that guarantee; {!charge} records it and callers are expected to fall
+   back to the full evaluator when {!exact} is false. *)
+
+module Metrics = Trg_obs.Metrics
+
+(* All [cost/incr/*] counters are flushed per operation (they are O(1)
+   per merge, not per access), and combine by addition, so totals are
+   jobs-invariant under the evaluation pool. *)
+let m_seeded_pairs = Metrics.counter "cost/incr/seeded_pairs"
+let m_queries = Metrics.counter "cost/incr/queries"
+let m_merges = Metrics.counter "cost/incr/merges"
+let m_deltas = Metrics.counter "cost/incr/deltas_applied"
+let m_sets_recosted = Metrics.counter "cost/incr/sets_recosted"
+
+type t = {
+  n_sets : int;
+  parent : (int, int) Hashtbl.t;  (* union-find over group ids *)
+  pairs : (int * int, float array) Hashtbl.t;
+      (* canonical (min root, max root) -> D array, oriented min-to-max *)
+  adj : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* root -> neighbour roots *)
+  mutable exact : bool;
+  mutable frozen : bool;
+}
+
+let create ~n_sets =
+  if n_sets <= 0 then invalid_arg "Incr.create: n_sets must be positive";
+  {
+    n_sets;
+    parent = Hashtbl.create 256;
+    pairs = Hashtbl.create 1024;
+    adj = Hashtbl.create 256;
+    exact = true;
+    frozen = false;
+  }
+
+let n_sets t = t.n_sets
+
+let exact t = t.exact
+
+let register t p = if not (Hashtbl.mem t.parent p) then Hashtbl.replace t.parent p p
+
+(* Path-compressing find; ids never seen before are singleton groups. *)
+let rec find t p =
+  match Hashtbl.find_opt t.parent p with
+  | None ->
+    Hashtbl.replace t.parent p p;
+    p
+  | Some q when q = p -> p
+  | Some q ->
+    let root = find t q in
+    Hashtbl.replace t.parent p root;
+    root
+
+let key a b = if a < b then (a, b) else (b, a)
+
+(* The stored array at key (a, b), a < b, is D_{a,b}: entry i is the
+   weight charged when b sits i sets after a. *)
+let reversed c d = Array.init c (fun i -> d.((c - i) mod c))
+
+let adj_of t p =
+  match Hashtbl.find_opt t.adj p with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 8 in
+    Hashtbl.replace t.adj p h;
+    h
+
+let pair_array t p1 p2 =
+  let k = key p1 p2 in
+  match Hashtbl.find_opt t.pairs k with
+  | Some d -> d
+  | None ->
+    let d = Array.make t.n_sets 0. in
+    Hashtbl.replace t.pairs k d;
+    Hashtbl.replace (adj_of t p1) p2 ();
+    Hashtbl.replace (adj_of t p2) p1 ();
+    Metrics.incr m_seeded_pairs;
+    d
+
+let charge t ~p1 ~p2 ~index w =
+  if t.frozen then invalid_arg "Incr.charge: engine is frozen";
+  if index < 0 || index >= t.n_sets then
+    invalid_arg "Incr.charge: index out of range";
+  (* Intra-group conflicts do not change with the offset (Section 4.2,
+     note 2), exactly as the full evaluator never charges them. *)
+  if p1 <> p2 && w <> 0. then begin
+    if not (Float.is_integer w) then t.exact <- false;
+    register t p1;
+    register t p2;
+    let d = pair_array t p1 p2 in
+    let i = if p1 < p2 then index else (t.n_sets - index) mod t.n_sets in
+    d.(i) <- d.(i) +. w
+  end
+
+let charge_block t ~p1 ~p2 f =
+  if t.frozen then invalid_arg "Incr.charge_block: engine is frozen";
+  if p1 <> p2 then begin
+    register t p1;
+    register t p2;
+    let d = pair_array t p1 p2 in
+    let c = t.n_sets in
+    let flip = p1 > p2 in
+    f (fun index w ->
+        if w <> 0. then begin
+          if not (Float.is_integer w) then t.exact <- false;
+          let i = if flip then (c - index) mod c else index in
+          d.(i) <- d.(i) +. w
+        end)
+  end
+
+let freeze t = t.frozen <- true
+
+let cost t ~fixed ~moving =
+  Metrics.incr m_queries;
+  let rf = find t fixed and rm = find t moving in
+  if rf = rm then invalid_arg "Incr.cost: fixed and moving share a group";
+  match Hashtbl.find_opt t.pairs (key rf rm) with
+  | None -> Array.make t.n_sets 0.
+  | Some d -> if rf < rm then Array.copy d else reversed t.n_sets d
+
+let apply_merge t ~fixed ~moving ~shift =
+  let c = t.n_sets in
+  let rf = find t fixed and rm = find t moving in
+  if rf = rm then invalid_arg "Incr.apply_merge: groups already merged";
+  let s = ((shift mod c) + c) mod c in
+  let neighbours =
+    match Hashtbl.find_opt t.adj rm with
+    | None -> []
+    | Some h -> Hashtbl.fold (fun w () acc -> w :: acc) h []
+  in
+  List.iter
+    (fun w ->
+      if w <> rf then begin
+        (* D_{rm,w}, removed from the table and oriented rm-to-w. *)
+        let d_mw =
+          match Hashtbl.find_opt t.pairs (key rm w) with
+          | None -> assert false
+          | Some d ->
+            Hashtbl.remove t.pairs (key rm w);
+            if rm < w then d else reversed c d
+        in
+        let target =
+          match Hashtbl.find_opt t.pairs (key rf w) with
+          | Some d -> d
+          | None ->
+            let d = Array.make c 0. in
+            Hashtbl.replace t.pairs (key rf w) d;
+            Hashtbl.replace (adj_of t rf) w ();
+            Hashtbl.replace (adj_of t w) rf ();
+            d
+        in
+        (* Composition: D_{Z,w}(i) += D_{rm,w}((i - s) mod C), written in
+           the target's stored orientation. *)
+        if rf < w then
+          for i = 0 to c - 1 do
+            target.(i) <- target.(i) +. d_mw.((i - s + c) mod c)
+          done
+        else
+          (* target is D_{w,rf}: entry j corresponds to i = (-j) mod C. *)
+          for j = 0 to c - 1 do
+            target.(j) <- target.(j) +. d_mw.(((2 * c) - j - s) mod c)
+          done;
+        Hashtbl.remove (adj_of t w) rm;
+        Metrics.incr m_deltas;
+        Metrics.add m_sets_recosted c
+      end)
+    neighbours;
+  Hashtbl.remove t.pairs (key rf rm);
+  Hashtbl.remove (adj_of t rf) rm;
+  Hashtbl.remove t.adj rm;
+  Hashtbl.replace t.parent rm rf;
+  Metrics.incr m_merges

@@ -1,0 +1,68 @@
+(** Incremental conflict-cost engine for the placement search.
+
+    Maintains, for every pair of placement groups, the Section 4.2 cost
+    array [D(i)] (the conflict weight of holding one group fixed and
+    shifting the other by [i] cache sets) so that the greedy merge loop
+    can query a cost array in O(C) and fold a merge into the state in
+    O(degree × C), instead of re-walking profile edges on every step.
+
+    Groups are identified by integer ids (procedure ids, in practice)
+    under an internal union-find; after [apply_merge ~fixed ~moving] any
+    member id of the merged group resolves to the same group.
+
+    {b Exactness.}  Charges are summed as floats in a different order
+    than a from-scratch recomputation would use; the results are still
+    {e bit-identical} when every charged weight is an integral float
+    (profile weights are event counts), because integral-float sums are
+    exact.  A non-integral charge clears {!exact}; callers must then
+    fall back to the full evaluator ({!Trg_place.Cost.offsets_cost}) —
+    see [trgplace --cost-engine].
+
+    Feeds the [cost/incr/*] telemetry counters: [seeded_pairs],
+    [queries], [merges], [deltas_applied] and [sets_recosted]. *)
+
+type t
+
+val create : n_sets:int -> t
+(** An empty engine over a cache of [n_sets] sets.  Raises
+    [Invalid_argument] when [n_sets <= 0]. *)
+
+val charge : t -> p1:int -> p2:int -> index:int -> float -> unit
+(** [charge t ~p1 ~p2 ~index w] adds [w] at offset [index] of the pair
+    array oriented p1-to-p2 — [index] is [(l1 - l2) mod n_sets] for a
+    profile edge between a line [l1] of [p1] and a line [l2] of [p2],
+    both at their seed position (offset 0), matching
+    {!Trg_place.Cost.offsets_cost}'s convention.  Charges with [p1 = p2]
+    or [w = 0.] are ignored.  Only valid before {!freeze}. *)
+
+val charge_block : t -> p1:int -> p2:int -> ((int -> float -> unit) -> unit) -> unit
+(** [charge_block t ~p1 ~p2 f] is the bulk form of {!charge}: the pair
+    array is resolved once, then [f add] may call [add index w] any
+    number of times at per-array-write cost.  Semantically identical to
+    calling {!charge} for each [(index, w)]; seeding loops that charge
+    every line pair of one profile edge should use this.  A block with
+    [p1 = p2] is ignored ([f] is not called). *)
+
+val freeze : t -> unit
+(** Ends the seeding phase; further {!charge}s raise. *)
+
+val exact : t -> bool
+(** Whether every charge so far was an integral float — the
+    bit-identity guarantee holds only when this is [true]. *)
+
+val n_sets : t -> int
+
+val find : t -> int -> int
+(** Current group root of an id (ids never seen are singletons). *)
+
+val cost : t -> fixed:int -> moving:int -> float array
+(** [cost t ~fixed ~moving] is the length-[n_sets] cost array of
+    shifting [moving]'s group relative to [fixed]'s group — equal, entry
+    for entry, to [Cost.offsets_cost] over the same two nodes.  The two
+    ids must belong to different groups.  The returned array is fresh. *)
+
+val apply_merge : t -> fixed:int -> moving:int -> shift:int -> unit
+(** Folds the merge of [moving]'s group into [fixed]'s group at relative
+    offset [shift] (the one chosen from {!cost}'s array, i.e. the same
+    [shift] passed to [Node.union ~shift]) into the engine state.  The
+    two ids must belong to different groups. *)

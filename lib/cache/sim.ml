@@ -116,6 +116,80 @@ let simulate program layout config trace =
     (if config.Config.assoc = 1 then simulate_direct addr config trace
      else simulate_assoc addr config trace)
 
+(* Flat-trace twins of the two probe loops above: identical cache logic,
+   but streaming packed words out of the Bigarray with the [Event.packed_*]
+   accessors, so the hot loop allocates nothing per event. *)
+let simulate_direct_flat addr (config : Config.t) flat =
+  let n_lines = Config.n_lines config in
+  let line_size = config.line_size in
+  let tags = Array.make n_lines (-1) in
+  let accesses = ref 0 and misses = ref 0 and evictions = ref 0 in
+  let n = Trace.Flat.length flat in
+  for i = 0 to n - 1 do
+    let w = Trace.Flat.get_packed flat i in
+    let base = addr.(Event.packed_proc w) + Event.packed_offset w in
+    let first = base / line_size
+    and last = (base + Event.packed_len w - 1) / line_size in
+    for la = first to last do
+      incr accesses;
+      let idx = la mod n_lines in
+      if tags.(idx) <> la then begin
+        incr misses;
+        if tags.(idx) >= 0 then incr evictions;
+        tags.(idx) <- la
+      end
+    done
+  done;
+  { accesses = !accesses; misses = !misses; evictions = !evictions; events = n }
+
+let simulate_assoc_flat addr (config : Config.t) flat =
+  let n_sets = Config.n_sets config in
+  let assoc = config.assoc in
+  let line_size = config.line_size in
+  let tags = Array.make (n_sets * assoc) (-1) in
+  let accesses = ref 0 and misses = ref 0 and evictions = ref 0 in
+  let n = Trace.Flat.length flat in
+  for i = 0 to n - 1 do
+    let word = Trace.Flat.get_packed flat i in
+    let base = addr.(Event.packed_proc word) + Event.packed_offset word in
+    let first = base / line_size
+    and last = (base + Event.packed_len word - 1) / line_size in
+    for la = first to last do
+      incr accesses;
+      let set = la mod n_sets in
+      let start = set * assoc in
+      let way = ref (-1) in
+      (try
+         for w = 0 to assoc - 1 do
+           if tags.(start + w) = la then begin
+             way := w;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let hit_way =
+        if !way >= 0 then !way
+        else begin
+          incr misses;
+          if tags.(start + assoc - 1) >= 0 then incr evictions;
+          assoc - 1
+        end
+      in
+      for w = hit_way downto 1 do
+        tags.(start + w) <- tags.(start + w - 1)
+      done;
+      tags.(start) <- la
+    done
+  done;
+  { accesses = !accesses; misses = !misses; evictions = !evictions; events = n }
+
+let simulate_flat program layout config flat =
+  let n = Program.n_procs program in
+  let addr = Array.init n (Layout.address layout) in
+  record
+    (if config.Config.assoc = 1 then simulate_direct_flat addr config flat
+     else simulate_assoc_flat addr config flat)
+
 (* Tree-PLRU: per set, [assoc - 1] direction bits arranged as an implicit
    binary tree.  On access, flip the path bits to point away from the
    touched way; on miss, follow the bits to the victim. *)

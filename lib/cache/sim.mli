@@ -35,6 +35,17 @@ val simulate :
     tag-array path; associative configurations use true-LRU replacement per
     set. *)
 
+val simulate_flat :
+  Trg_program.Program.t ->
+  Trg_program.Layout.t ->
+  Config.t ->
+  Trg_trace.Trace.Flat.t ->
+  result
+(** Exactly {!simulate} — same probe logic, same [sim/*] telemetry, same
+    counts for equal event sequences — streaming a flat trace with zero
+    per-event allocation.  The repeated-simulation hot path (evaluation
+    runner, benchmarks) should prefer this entry point. *)
+
 val simulate_plru :
   Trg_program.Program.t ->
   Trg_program.Layout.t ->

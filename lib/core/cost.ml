@@ -262,6 +262,161 @@ let rec offsets_cost model program ~line_size ~n_sets ~n1 ~n2 =
       parts);
   cost
 
+(* --- cost engines ----------------------------------------------------- *)
+
+type engine_kind = Full | Incr
+
+(* Process-global selection, set once at CLI parse time (before the
+   evaluation pool forks, so workers inherit it).  Incr is the default:
+   it falls back to Full by itself whenever a model is out of scope. *)
+let engine_ref = ref Incr
+
+let set_engine k = engine_ref := k
+
+let engine () = !engine_ref
+
+let engine_name = function Full -> "full" | Incr -> "incr"
+
+let engine_of_name = function
+  | "full" -> Full
+  | "incr" -> Incr
+  | s -> invalid_arg (Printf.sprintf "Cost.engine_of_name: %S" s)
+
+let m_fallbacks = Trg_obs.Metrics.counter "cost/incr/fallbacks"
+
+(* Seeding charges every inter-procedure profile edge at the
+   all-singletons starting position (every node at offset 0, exactly
+   [Merge_driver]'s initial state).  One edge between a block of [l1]
+   lines starting at set [s1] and a block of [l2] lines at [s2]
+   contributes, over the offsets, the circular cross-correlation of the
+   two line intervals — a trapezoid whose {e second difference} is just
+   four spikes.  Accumulating spikes per procedure pair and integrating
+   twice makes seeding O(1) per edge plus O(n_sets) per pair, instead of
+   O(l1 x l2) per edge.  Exactness is preserved: every integrated value
+   is the integral per-cell total the full evaluator would sum to. *)
+(* Per-pair spike accumulator.  Spikes live at base + {0, l1, l2,
+   l1+l2} with base < n_sets and l1, l2 <= n_sets, so a 3C+1 linear
+   buffer holds them; the double prefix sum reconstructs the trapezoid,
+   folded mod C as it streams.  [lo]/[hi] track the spike support so
+   sparse pairs (few edges, narrow trapezoids) pay O(support), not
+   O(3C), to integrate. *)
+type spikes = {
+  p1 : int;
+  p2 : int;
+  dd : float array;
+  mutable lo : int;
+  mutable hi : int;
+}
+
+let integrate_spikes t ~n_sets sp =
+  Trg_cache.Incr.charge_block t ~p1:sp.p1 ~p2:sp.p2 (fun add ->
+      let run1 = ref 0. and run2 = ref 0. in
+      for i = sp.lo to sp.hi do
+        run1 := !run1 +. sp.dd.(i);
+        run2 := !run2 +. !run1;
+        if !run2 <> 0. then add (i mod n_sets) !run2
+      done)
+
+(* Seed an incremental engine for a model, or [None] when the model is
+   out of scope.  Only the two group-decomposable models qualify: the
+   set-associative databases charge triples/tuples (not pairwise-linear
+   in the group split) and Blend renormalises sub-costs per query
+   (nonlinear), so those fall back to the full evaluator — as does any
+   non-integral profile weight (perturbed graphs), which would void the
+   bit-identity guarantee. *)
+let seed_incr model program ~line_size ~n_sets =
+  let fallback () =
+    Trg_obs.Metrics.incr m_fallbacks;
+    None
+  in
+  let line_count bytes = min ((bytes + line_size - 1) / line_size) n_sets in
+  (* Pairs are keyed by a packed int (not a tuple) and the four spikes
+     of each edge land directly in the pair's buffer: the per-edge cost
+     is one int-keyed lookup and four array writes, with no allocation.
+     A one-entry memo skips even the lookup on runs of edges between the
+     same two procedures, the common case when walking adjacency. *)
+  let by_pair : (int, spikes) Hashtbl.t = Hashtbl.create 1024 in
+  let integral = ref true in
+  let last_key = ref min_int in
+  let last_spikes = ref None in
+  let add_edge p1 s1 l1 p2 s2 l2 w =
+    if p1 <> p2 then begin
+      if not (Float.is_integer w) then integral := false;
+      let a, sa, la, sb, lb =
+        if p1 <= p2 then (p1, s1, l1, s2, l2) else (p2, s2, l2, s1, l1)
+      in
+      let key = (a lsl 31) lor (p1 lxor p2 lxor a) in
+      let sp =
+        match !last_spikes with
+        | Some sp when !last_key = key -> sp
+        | _ ->
+          let sp =
+            match Hashtbl.find_opt by_pair key with
+            | Some sp -> sp
+            | None ->
+              let sp =
+                {
+                  p1 = a;
+                  p2 = p1 lxor p2 lxor a;
+                  dd = Array.make ((3 * n_sets) + 1) 0.;
+                  lo = max_int;
+                  hi = 0;
+                }
+              in
+              Hashtbl.replace by_pair key sp;
+              sp
+          in
+          last_key := key;
+          last_spikes := Some sp;
+          sp
+      in
+      let base = (sa - sb - (lb - 1) + (2 * n_sets)) mod n_sets in
+      let dd = sp.dd in
+      dd.(base) <- dd.(base) +. w;
+      dd.(base + la) <- dd.(base + la) -. w;
+      dd.(base + lb) <- dd.(base + lb) -. w;
+      dd.(base + la + lb) <- dd.(base + la + lb) +. w;
+      if base < sp.lo then sp.lo <- base;
+      if base + la + lb > sp.hi then sp.hi <- base + la + lb
+    end
+  in
+  let finish () =
+    if not !integral then fallback ()
+    else begin
+      let t = Trg_cache.Incr.create ~n_sets in
+      Hashtbl.iter (fun _ sp -> integrate_spikes t ~n_sets sp) by_pair;
+      Trg_cache.Incr.freeze t;
+      if Trg_cache.Incr.exact t then Some t else fallback ()
+    end
+  in
+  match model with
+  | Trg_chunks { chunks; trg } ->
+    Graph.iter_edges_unordered
+      (fun c1 c2 w ->
+        (* Same-owner chunk edges are intra-node from the first merge to
+           the last; the full evaluator never charges them either. *)
+        let p1 = Chunk.owner chunks c1 and p2 = Chunk.owner chunks c2 in
+        add_edge p1
+          (chunk_start_set chunks ~line_size ~n_sets ~owner_set:0 c1)
+          (line_count (Chunk.size_of chunks c1))
+          p2
+          (chunk_start_set chunks ~line_size ~n_sets ~owner_set:0 c2)
+          (line_count (Chunk.size_of chunks c2))
+          w)
+      trg;
+    finish ()
+  | Wcg_procs { wcg } ->
+    Graph.iter_edges_unordered
+      (fun p1 p2 w ->
+        add_edge p1 0
+          (line_count (Program.size program p1))
+          p2 0
+          (line_count (Program.size program p2))
+          w)
+      wcg;
+    finish ()
+  | Sa_pairs _ | Sa_tuples _ | Blend _ -> fallback ()
+
 let best_offset cost =
   let best = ref 0 in
   for i = 1 to Array.length cost - 1 do

@@ -45,6 +45,46 @@ val offsets_cost :
     to node [n1].  Only inter-node conflicts are counted; intra-node
     conflicts do not change with the offset (Section 4.2, note 2). *)
 
+(** {2 Cost engines}
+
+    Two interchangeable evaluators compute the same arrays: [Full]
+    recomputes {!offsets_cost} from scratch for every candidate merge;
+    [Incr] maintains pairwise arrays incrementally
+    ({!Trg_cache.Incr}) and answers each query in O(n_sets).  For the
+    group-decomposable models with integral profile weights the two are
+    bit-identical — same arrays, same argmin, same layout; whenever that
+    guarantee cannot be established ({!Sa_pairs}, {!Sa_tuples},
+    {!Blend}, or non-integral weights from profile perturbation),
+    {!seed_incr} returns [None], bumps [cost/incr/fallbacks], and the
+    caller uses the full evaluator. *)
+
+type engine_kind = Full | Incr
+
+val set_engine : engine_kind -> unit
+(** Sets the process-global engine selection (the [--cost-engine] CLI
+    flag).  Call before the evaluation pool forks; workers inherit. *)
+
+val engine : unit -> engine_kind
+(** Current selection; defaults to [Incr]. *)
+
+val engine_name : engine_kind -> string
+(** ["full"] / ["incr"]. *)
+
+val engine_of_name : string -> engine_kind
+(** Inverse of {!engine_name}; raises [Invalid_argument] otherwise. *)
+
+val seed_incr :
+  model ->
+  Trg_program.Program.t ->
+  line_size:int ->
+  n_sets:int ->
+  Trg_cache.Incr.t option
+(** [seed_incr model program ~line_size ~n_sets] builds an incremental
+    engine charged with every inter-procedure profile edge at the
+    all-singletons starting position, or [None] (counted in
+    [cost/incr/fallbacks]) when the model or its weights rule out the
+    exactness guarantee. *)
+
 val best_offset : float array -> int
 (** Index of the minimum cost; the {e first} such index, per the paper's
     tie rule (Section 4.2, note 3). *)

@@ -84,10 +84,27 @@ let place_nodes config program ~select ~model =
   in
   let packed_ties = sparse_model model in
   let cost_calls = ref 0 and offset_candidates = ref 0 in
+  (* Incremental engine, when selected and the model supports it.  Group
+     identity: a node's head member's procedure id.  [Merge_driver] keeps
+     the bigger group as [n1] and [Node.union] keeps [n1]'s members
+     first, so the head is stable across merges and the engine's
+     union-find tracks node groups exactly. *)
+  let engine =
+    match Cost.engine () with
+    | Cost.Incr -> Cost.seed_incr model program ~line_size ~n_sets
+    | Cost.Full -> None
+  in
+  let repr n = fst (List.hd (Node.members n)) in
   let merge n1 n2 =
-    let cost = Cost.offsets_cost model program ~line_size ~n_sets ~n1 ~n2 in
-    incr cost_calls;
-    offset_candidates := !offset_candidates + Array.length cost;
+    let cost =
+      match engine with
+      | Some eng -> Trg_cache.Incr.cost eng ~fixed:(repr n1) ~moving:(repr n2)
+      | None ->
+        let cost = Cost.offsets_cost model program ~line_size ~n_sets ~n1 ~n2 in
+        incr cost_calls;
+        offset_candidates := !offset_candidates + Array.length cost;
+        cost
+    in
     let shift =
       if packed_ties then
         Cost.best_offset_packed cost
@@ -95,6 +112,9 @@ let place_nodes config program ~select ~model =
           ~n2:(Cost.node_occupancy program ~line_size ~n_sets n2)
       else Cost.best_offset cost
     in
+    (match engine with
+    | Some eng -> Trg_cache.Incr.apply_merge eng ~fixed:(repr n1) ~moving:(repr n2) ~shift
+    | None -> ());
     Node.union ~shift ~modulo:n_sets n1 n2
   in
   let merges = ref 0 in

@@ -13,6 +13,8 @@ type t = {
   workload : Gen.workload;
   train : Trace.t;
   test : Trace.t;
+  train_flat : Trace.Flat.t;
+  test_flat : Trace.Flat.t;
   config : Gbsc.config;
   prof : Gbsc.profile;
   wcg : Trg_profile.Graph.t;
@@ -43,16 +45,23 @@ let prepare ?config ?(force_fail = []) shape =
         stage shape "profile" (fun () -> Gbsc.profile config workload.Gen.program train)
       in
       let wcg = stage shape "wcg" (fun () -> Wcg.build train) in
-      { shape; workload; train; test; config; prof; wcg })
+      let train_flat = Trace.Flat.of_trace train in
+      let test_flat = Trace.Flat.of_trace test in
+      { shape; workload; train; test; train_flat; test_flat; config; prof; wcg })
 
 let program t = t.workload.Gen.program
 
 let miss_rate_on t cache layout trace =
   Sim.miss_rate (Sim.simulate (program t) layout cache trace)
 
-let test_miss_rate t layout = miss_rate_on t t.config.Gbsc.cache layout t.test
+(* The repeated-simulation surface: every experiment scores layouts on
+   the same traces, so these stream the precomputed flat forms.  Counts
+   are identical to [Sim.simulate] on the event-array traces. *)
+let test_miss_rate t layout =
+  Sim.miss_rate (Sim.simulate_flat (program t) layout t.config.Gbsc.cache t.test_flat)
 
-let train_miss_rate t layout = miss_rate_on t t.config.Gbsc.cache layout t.train
+let train_miss_rate t layout =
+  Sim.miss_rate (Sim.simulate_flat (program t) layout t.config.Gbsc.cache t.train_flat)
 
 let default_layout t = Layout.default (program t)
 

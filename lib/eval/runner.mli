@@ -10,6 +10,9 @@ type t = {
   workload : Trg_synth.Gen.workload;
   train : Trg_trace.Trace.t;
   test : Trg_trace.Trace.t;
+  train_flat : Trg_trace.Trace.Flat.t;
+      (** [train] in flat form, precomputed for the simulation hot path *)
+  test_flat : Trg_trace.Trace.Flat.t;
   config : Trg_place.Gbsc.config;
   prof : Trg_place.Gbsc.profile;  (** built from the training trace *)
   wcg : Trg_profile.Graph.t;  (** built from the training trace *)

@@ -79,6 +79,11 @@ let total_weight t = Hashtbl.fold (fun _ w acc -> acc +. w) t.weights 0.
 
 let iter_edges f t = Array.iter (fun (u, v, w) -> f u v w) (edges t)
 
+(* Straight off the weight table: no sort, no per-edge tuple.  Only for
+   order-insensitive folds. *)
+let iter_edges_unordered f t =
+  Hashtbl.iter (fun k w -> f (k lsr 24) (k land 0xFFFFFF) w) t.weights
+
 let copy t =
   {
     weights = Hashtbl.copy t.weights;

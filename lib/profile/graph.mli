@@ -51,6 +51,12 @@ val total_weight : t -> float
 val iter_edges : (int -> int -> float -> unit) -> t -> unit
 (** Iterates in the same canonical order as {!edges}. *)
 
+val iter_edges_unordered : (int -> int -> float -> unit) -> t -> unit
+(** Like {!iter_edges} but in unspecified (hash-table) order, without
+    the sort or the per-edge allocation {!edges} pays for canonical
+    ordering.  Still yields [u < v].  Only for folds whose result does
+    not depend on visit order — e.g. exact (integral-float) sums. *)
+
 val copy : t -> t
 
 val map_weights : (int -> int -> float -> float) -> t -> t

@@ -46,5 +46,13 @@ let unpack w =
     kind = kind_of_int ((w lsr 61) land 3);
   }
 
+(* Field extraction without materialising a record — the flat-trace
+   simulation loops stay allocation-free. *)
+let packed_len w = w land 0x7FFFFF
+
+let packed_offset w = (w lsr 23) land 0xFFFFFF
+
+let packed_proc w = (w lsr 47) land 0x3FFF
+
 let pp ppf t =
   Format.fprintf ppf "%c p%d+%d:%d" (kind_to_char t.kind) t.proc t.offset t.len

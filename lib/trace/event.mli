@@ -36,4 +36,12 @@ val pack : t -> int
 
 val unpack : int -> t
 
+val packed_proc : int -> int
+(** [packed_proc (pack e) = e.proc] without allocating a record — for
+    hot loops over packed representations ({!Trace.Flat}). *)
+
+val packed_offset : int -> int
+
+val packed_len : int -> int
+
 val pp : Format.formatter -> t -> unit

@@ -7,6 +7,8 @@ let binary_magic = "trgplace-traceb"
 
 let version = 2
 
+let version_flat = 3
+
 (* Hostile headers can claim absurd counts; builders grow on demand, so
    cap the upfront allocation instead of trusting the header. *)
 let initial_capacity n = max 1 (min n 65536)
@@ -37,6 +39,34 @@ let binary_string trace =
       Bytes.set_int64_le word 0 (Int64.of_int (Event.pack e));
       Buffer.add_bytes buf word)
     trace;
+  let crc = Checksum.string (Buffer.contents buf) in
+  Buffer.add_int32_le buf (Int32.of_int crc);
+  Buffer.contents buf
+
+(* v3 header: the same [<magic> <version> <n>] fields, right-padded with
+   spaces so the header line (newline included) is 32 bytes — or the
+   next multiple of 8 for astronomically large counts.  Space padding is
+   transparent to [Fault.parse_header]'s tokeniser, and the fixed-width,
+   8-aligned header means the payload words of an on-disk v3 file start
+   at an aligned offset: the file can be dropped (mmap-style) straight
+   into a {!Trace.Flat} buffer. *)
+let flat_header n =
+  let base = Printf.sprintf "%s %d %d" binary_magic version_flat n in
+  let target =
+    let l = max (String.length base) 31 in
+    (((l + 1 + 7) / 8) * 8) - 1
+  in
+  base ^ String.make (target - String.length base) ' ' ^ "\n"
+
+let flat_string flat =
+  let n = Trace.Flat.length flat in
+  let buf = Buffer.create ((8 * n) + 64) in
+  Buffer.add_string buf (flat_header n);
+  let word = Bytes.create 8 in
+  for i = 0 to n - 1 do
+    Bytes.set_int64_le word 0 (Int64.of_int (Trace.Flat.get_packed flat i));
+    Buffer.add_bytes buf word
+  done;
   let crc = Checksum.string (Buffer.contents buf) in
   Buffer.add_int32_le buf (Int32.of_int crc);
   Buffer.contents buf
@@ -83,16 +113,55 @@ let read_binary_body r ~version ~n =
   if version >= 2 then Fault.check_binary_trailer r;
   Trace.Builder.build builder
 
-(* Dispatch on the header's magic word; both formats, both versions. *)
+(* v3 body: byte-identical to v2's (n little-endian 64-bit words plus
+   the binary CRC trailer) read straight into a Flat buffer.  Records
+   are validated as they stream — a bad word surfaces as [Bad_record]
+   before the trailer check, matching the v2 reader's ordering. *)
+let read_flat_body r ~n =
+  let flat = Trace.Flat.create n in
+  let buf = Bytes.create 8 in
+  for i = 0 to n - 1 do
+    Fault.Reader.block r buf ~len:8 ~what:"flat trace events";
+    let packed = Int64.to_int (Bytes.get_int64_le buf 0) in
+    (try ignore (Event.unpack packed : Event.t)
+     with Invalid_argument msg ->
+       Fault.fail (Fault.Bad_record ("bad flat event: " ^ msg)));
+    Trace.Flat.set_packed flat i packed
+  done;
+  Fault.check_binary_trailer r;
+  flat
+
+(* Dispatch on the header's magic word; both formats, every version
+   (the binary magic covers v1/v2 event-array bodies and the v3 flat
+   body alike). *)
 let read_reader r =
   let header = Fault.Reader.line r ~what:"trace header" in
   match Fault.magic_of_line header with
   | m when m = binary_magic ->
-    let version, n = Fault.parse_header ~magic:binary_magic ~max_version:version header in
-    read_binary_body r ~version ~n
+    let version, n =
+      Fault.parse_header ~magic:binary_magic ~max_version:version_flat header
+    in
+    if version = version_flat then Trace.Flat.to_trace (read_flat_body r ~n)
+    else read_binary_body r ~version ~n
   | m when m = magic ->
     let version, n = Fault.parse_header ~magic ~max_version:version header in
     read_text_body r ~version ~n
+  | got -> Fault.fail (Fault.Bad_magic { expected = magic; got })
+
+(* Same dispatch, landing in a Flat buffer: v3 is read in place, older
+   formats convert after the normal (validated, checksummed) load. *)
+let read_reader_flat r =
+  let header = Fault.Reader.line r ~what:"trace header" in
+  match Fault.magic_of_line header with
+  | m when m = binary_magic ->
+    let version, n =
+      Fault.parse_header ~magic:binary_magic ~max_version:version_flat header
+    in
+    if version = version_flat then read_flat_body r ~n
+    else Trace.Flat.of_trace (read_binary_body r ~version ~n)
+  | m when m = magic ->
+    let version, n = Fault.parse_header ~magic ~max_version:version header in
+    Trace.Flat.of_trace (read_text_body r ~version ~n)
   | got -> Fault.fail (Fault.Bad_magic { expected = magic; got })
 
 let read_channel ic = Fault.or_fail (fun () -> read_reader (Fault.Reader.of_channel ic))
@@ -113,6 +182,15 @@ let save_result path trace =
 let save_binary_result path trace =
   Fault.result (fun () -> Fault.atomic_write path (binary_string trace))
 
+let load_flat_result path =
+  Fault.result (fun () ->
+      Fault.io_point ~op:("read " ^ path);
+      In_channel.with_open_bin path (fun ic ->
+          read_reader_flat (Fault.Reader.of_channel ic)))
+
+let save_flat_result path flat =
+  Fault.result (fun () -> Fault.atomic_write path (flat_string flat))
+
 let unwrap = function Ok v -> v | Error e -> failwith (Fault.to_string e)
 
 let load path = unwrap (load_result path)
@@ -120,3 +198,7 @@ let load path = unwrap (load_result path)
 let save path trace = unwrap (save_result path trace)
 
 let save_binary path trace = unwrap (save_binary_result path trace)
+
+let load_flat path = unwrap (load_flat_result path)
+
+let save_flat path flat = unwrap (save_flat_result path flat)

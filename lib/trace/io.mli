@@ -55,3 +55,32 @@ val read_channel_binary : in_channel -> Trace.t
 val save_binary : string -> Trace.t -> unit
 
 val save_binary_result : string -> Trace.t -> (unit, Trg_util.Fault.error) result
+
+(** {2 Flat binary format (v3)}
+
+    Format v3 shares the binary magic and body with v2 — one
+    little-endian 64-bit word per event followed by the 4-byte CRC-32
+    trailer — but pads its header line with spaces so the line (newline
+    included) is exactly 32 bytes (or the next multiple of 8 for
+    astronomically large counts).  The payload therefore starts at an
+    8-aligned file offset and maps verbatim onto a {!Trace.Flat} buffer.
+    {!load} and {!load_result} read v3 files too (converting to the
+    event-array representation); conversely {!load_flat} reads v1/v2
+    binary and text files by converting after the normal validated,
+    checksummed load. *)
+
+val version_flat : int
+(** The flat format version written by {!save_flat} (3). *)
+
+val save_flat : string -> Trace.Flat.t -> unit
+(** [save_flat path flat] atomically writes the v3 flat binary format. *)
+
+val save_flat_result : string -> Trace.Flat.t -> (unit, Trg_util.Fault.error) result
+
+val load_flat : string -> Trace.Flat.t
+(** Loads any format (text v1/v2, binary v1/v2/v3) into a flat buffer.
+    Raises [Failure]. *)
+
+val load_flat_result : string -> (Trace.Flat.t, Trg_util.Fault.error) result
+(** Typed-error flavour of {!load_flat}; same failure surface as
+    {!load_result}. *)

@@ -29,6 +29,50 @@ let procs_of t =
     t;
   List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) seen [])
 
+(* Flat traces: the same packed events in an unboxed int32 Bigarray —
+   two little-endian-ordered words per event (low half first) — so the
+   costing and simulation hot loops stream a dense, cache-friendly
+   buffer and the on-disk v3 format can be dropped into memory verbatim.
+   The 63-bit packed word is split losslessly: the low 32 bits wrap into
+   the first int32 (recovered with [land 0xFFFFFFFF]) and the high 31
+   bits — non-negative, since [lsr] is a logical shift — fit the
+   second. *)
+module Flat = struct
+  type trace = t
+
+  type t = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  let create n = Bigarray.Array1.create Bigarray.Int32 Bigarray.C_layout (2 * n)
+
+  let length t = Bigarray.Array1.dim t / 2
+
+  let get_packed t i =
+    let lo = Int32.to_int (Bigarray.Array1.get t (2 * i)) land 0xFFFFFFFF in
+    let hi = Int32.to_int (Bigarray.Array1.get t ((2 * i) + 1)) land 0xFFFFFFFF in
+    lo lor (hi lsl 32)
+
+  let set_packed t i w =
+    Bigarray.Array1.set t (2 * i) (Int32.of_int (w land 0xFFFFFFFF));
+    Bigarray.Array1.set t ((2 * i) + 1) (Int32.of_int (w lsr 32))
+
+  let get t i = Event.unpack (get_packed t i)
+
+  let of_trace (tr : trace) =
+    let n = Array.length tr in
+    let f = create n in
+    for i = 0 to n - 1 do
+      set_packed f i tr.(i)
+    done;
+    f
+
+  let to_trace f : trace = Array.init (length f) (get_packed f)
+
+  let iter fn f =
+    for i = 0 to length f - 1 do
+      fn (get f i)
+    done
+end
+
 module Builder = struct
   type trace = t
 

@@ -29,6 +29,37 @@ val sub : t -> pos:int -> len:int -> t
 val procs_of : t -> int list
 (** Distinct procedure ids referenced, ascending. *)
 
+(** Flat traces: the same packed events in an unboxed int32 Bigarray (two
+    words per event), the representation the simulation and costing hot
+    loops stream and the one {!Io}'s v3 format stores verbatim.
+    Conversion is lossless in both directions. *)
+module Flat : sig
+  type trace = t
+
+  type t
+
+  val create : int -> t
+  (** Uninitialised storage for [n] events; fill with {!set_packed}. *)
+
+  val length : t -> int
+
+  val of_trace : trace -> t
+
+  val to_trace : t -> trace
+  (** Inverse of {!of_trace}: [to_trace (of_trace t)] equals [t]. *)
+
+  val get : t -> int -> Event.t
+
+  val get_packed : t -> int -> int
+  (** The packed word ({!Event.pack}) at index [i] — pair with
+      [Event.packed_proc]/[packed_offset]/[packed_len] for
+      allocation-free loops. *)
+
+  val set_packed : t -> int -> int -> unit
+
+  val iter : (Event.t -> unit) -> t -> unit
+end
+
 (** Incremental construction. *)
 module Builder : sig
   type trace = t

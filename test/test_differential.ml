@@ -14,6 +14,27 @@ module Graph = Trg_profile.Graph
 module Qset = Trg_profile.Qset
 module Merge_driver = Trg_place.Merge_driver
 module Prng = Trg_util.Prng
+module Cost = Trg_place.Cost
+module Node = Trg_place.Node
+module Gbsc = Trg_place.Gbsc
+module Hkc = Trg_place.Hkc
+module Gbsc_sa = Trg_place.Gbsc_sa
+module Wcg = Trg_profile.Wcg
+module Trg = Trg_profile.Trg
+module Incr = Trg_cache.Incr
+module Metrics = Trg_obs.Metrics
+
+(* Soak profile hook: [dune runtest --profile soak] multiplies QCheck
+   iteration counts via TRGPLACE_QCHECK_FACTOR (see the root dune file). *)
+let scaled n =
+  match Sys.getenv_opt "TRGPLACE_QCHECK_FACTOR" with
+  | Some f -> ( try n * int_of_string (String.trim f) with Failure _ -> n)
+  | None -> n
+
+let with_engine k f =
+  let prev = Cost.engine () in
+  Cost.set_engine k;
+  Fun.protect ~finally:(fun () -> Cost.set_engine prev) f
 
 let ev proc = Event.make ~kind:Event.Enter ~proc ~offset:0 ~len:32
 
@@ -266,6 +287,185 @@ let prop_attrib_matches_sim =
          + at.Trg_cache.Attrib.conflict
          = sim.Sim.misses)
 
+(* --- incremental cost engine vs from-scratch recomputation --------------- *)
+
+(* A workload with enough structure for the merge loop to take many
+   steps: line-friendly procedure sizes and a locality-biased walk. *)
+let gen_place_workload =
+  QCheck.Gen.(
+    pair (int_range 3 14) (pair (int_range 30 400) int)
+    |> map (fun (n_procs, (len, seed)) ->
+           let rng = Prng.create seed in
+           let sizes = Array.init n_procs (fun _ -> 16 + (16 * Prng.int rng 8)) in
+           let program = Program.of_sizes sizes in
+           let cur = ref (Prng.int rng n_procs) in
+           let events =
+             List.init len (fun _ ->
+                 (if Prng.int rng 4 = 0 then cur := Prng.int rng n_procs
+                  else cur := (!cur + 1 + Prng.int rng 2) mod n_procs);
+                 Event.make ~kind:Event.Enter ~proc:!cur ~offset:0 ~len:16)
+           in
+           (program, Trace.of_list events)))
+
+let arb_place_workload =
+  QCheck.make gen_place_workload ~print:(fun (program, trace) ->
+      Printf.sprintf "%d procs, %d events" (Program.n_procs program)
+        (Trace.length trace))
+
+let small_cache = Trg_cache.Config.make ~size:256 ~line_size:32 ~assoc:1
+
+let place_config = Gbsc.default_config ~cache:small_cache ()
+
+(* The heart of the equivalence claim: at {e every} step of the greedy
+   merge loop — including states reached through deliberately random
+   (non-argmin) shifts — the incremental engine's cost array must equal,
+   bit for bit, a from-scratch [Cost.offsets_cost] recomputation over the
+   same two nodes.  Exercised for both group-decomposable models. *)
+let check_incr_matches_full ~model ~select program ~shift_seed =
+  let n_sets = Trg_cache.Config.n_sets small_cache in
+  let line_size = small_cache.Trg_cache.Config.line_size in
+  match Cost.seed_incr model program ~line_size ~n_sets with
+  | None -> QCheck.Test.fail_reportf "seed_incr refused an integral model"
+  | Some eng ->
+    let rng = Prng.create shift_seed in
+    let steps = ref 0 in
+    let repr n = fst (List.hd (Node.members n)) in
+    let merge n1 n2 =
+      let from_incr = Incr.cost eng ~fixed:(repr n1) ~moving:(repr n2) in
+      let from_full = Cost.offsets_cost model program ~line_size ~n_sets ~n1 ~n2 in
+      if from_incr <> from_full then
+        QCheck.Test.fail_reportf
+          "cost arrays diverge at merge %d (|%d| vs |%d|, first diff at %d)"
+          !steps (Array.length from_incr) (Array.length from_full)
+          (let i = ref 0 in
+           while
+             !i < Array.length from_full && from_incr.(!i) = from_full.(!i)
+           do
+             incr i
+           done;
+           !i);
+      incr steps;
+      (* Half the time take a random shift instead of the argmin, so the
+         equality is checked across placement states the production
+         search would never visit. *)
+      let shift =
+        if Prng.bool rng then Prng.int rng n_sets else Cost.best_offset from_full
+      in
+      Incr.apply_merge eng ~fixed:(repr n1) ~moving:(repr n2) ~shift;
+      Node.union ~shift ~modulo:n_sets n1 n2
+    in
+    ignore (Merge_driver.run ~graph:select ~init:Node.singleton ~merge);
+    true
+
+let prop_incr_matches_full_chunk_model =
+  QCheck.Test.make
+    ~name:"incr cost equals full recompute at every merge (chunk TRG model)"
+    ~count:(scaled 40)
+    QCheck.(pair arb_place_workload small_int)
+    (fun ((program, trace), shift_seed) ->
+      let prof = Gbsc.profile place_config program trace in
+      let model =
+        Cost.Trg_chunks
+          { chunks = prof.Gbsc.chunks; trg = prof.Gbsc.place.Trg.graph }
+      in
+      check_incr_matches_full ~model ~select:prof.Gbsc.select.Trg.graph program
+        ~shift_seed)
+
+let prop_incr_matches_full_wcg_model =
+  QCheck.Test.make
+    ~name:"incr cost equals full recompute at every merge (WCG model)"
+    ~count:(scaled 40)
+    QCheck.(pair arb_place_workload small_int)
+    (fun ((program, trace), shift_seed) ->
+      let wcg = Wcg.build trace in
+      check_incr_matches_full ~model:(Cost.Wcg_procs { wcg }) ~select:wcg
+        program ~shift_seed)
+
+(* End-to-end: whole placements — layouts and therefore simulated miss
+   counts — are bit-identical whichever engine runs the search.  Covers
+   the seeded paths (GBSC, HKC) and the declared-fallback one (the
+   set-associative pair model). *)
+let sa_cache = Trg_cache.Config.make ~size:512 ~line_size:32 ~assoc:2
+
+let sa_config = Gbsc.default_config ~cache:sa_cache ()
+
+let prop_engines_agree_on_placements =
+  QCheck.Test.make
+    ~name:"full and incr engines produce bit-identical placements"
+    ~count:(scaled 25) arb_place_workload
+    (fun (program, trace) ->
+      let prof = Gbsc.profile place_config program trace in
+      let wcg = Wcg.build trace in
+      let popularity = prof.Gbsc.popularity in
+      let layouts () =
+        [
+          ("gbsc", Gbsc.place program prof);
+          ("hkc", Hkc.place place_config program ~wcg ~popularity);
+          ("gbsc-sa", Gbsc_sa.run sa_config program trace);
+        ]
+      in
+      let full = with_engine Cost.Full layouts in
+      let incremental = with_engine Cost.Incr layouts in
+      List.for_all2
+        (fun (name, lf) (_, li) ->
+          let misses l cache =
+            (Sim.simulate program l cache trace).Sim.misses
+          in
+          if Layout.addresses lf <> Layout.addresses li then
+            QCheck.Test.fail_reportf "%s layouts differ between engines" name
+          else if
+            misses lf small_cache <> misses li small_cache
+            || misses lf sa_cache <> misses li sa_cache
+          then QCheck.Test.fail_reportf "%s miss counts differ between engines" name
+          else true)
+        full incremental)
+
+(* Golden work-counter regression on the fixed "small" benchmark: the
+   incremental engine must eliminate (>= 10x) the full evaluator's
+   offset-candidate work while reproducing its layout and miss rate
+   exactly.  Guards the speedup claim the CI gate publishes. *)
+let test_incr_work_reduction () =
+  let r = Trg_eval.Runner.prepare (Trg_synth.Bench.find "small") in
+  let program = Trg_eval.Runner.program r in
+  let prof = r.Trg_eval.Runner.prof in
+  let work = Metrics.counter "gbsc/offset_candidates" in
+  let calls = Metrics.counter "gbsc/cost_calls" in
+  let incr_merges = Metrics.counter "cost/incr/merges" in
+  let measure k =
+    with_engine k (fun () ->
+        let w0 = Metrics.value work
+        and c0 = Metrics.value calls
+        and m0 = Metrics.value incr_merges in
+        let layout = Gbsc.place program prof in
+        ( layout,
+          Metrics.value work - w0,
+          Metrics.value calls - c0,
+          Metrics.value incr_merges - m0 ))
+  in
+  let lf, full_work, full_calls, _ = measure Cost.Full in
+  let li, incr_work, incr_calls, incr_m = measure Cost.Incr in
+  Alcotest.(check (array int))
+    "identical layouts" (Layout.addresses lf) (Layout.addresses li);
+  Alcotest.(check (float 0.))
+    "identical test miss rate"
+    (Trg_eval.Runner.test_miss_rate r lf)
+    (Trg_eval.Runner.test_miss_rate r li);
+  Alcotest.(check bool)
+    (Printf.sprintf "full did real work (%d calls, %d candidates)" full_calls
+       full_work)
+    true
+    (full_calls > 0 && full_work > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "10x work reduction (full %d vs incr %d)" full_work
+       incr_work)
+    true
+    (full_work >= 10 * max 1 incr_work);
+  Alcotest.(check bool)
+    (Printf.sprintf "incr path actually ran (%d merges, %d full calls)" incr_m
+       incr_calls)
+    true
+    (incr_m > 0 && incr_calls = 0)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_qset_matches_reference;
@@ -274,4 +474,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_reuse_matches_reference;
     QCheck_alcotest.to_alcotest prop_paging_matches_reference;
     QCheck_alcotest.to_alcotest prop_attrib_matches_sim;
+    QCheck_alcotest.to_alcotest prop_incr_matches_full_chunk_model;
+    QCheck_alcotest.to_alcotest prop_incr_matches_full_wcg_model;
+    QCheck_alcotest.to_alcotest prop_engines_agree_on_placements;
+    Alcotest.test_case "incr engine 10x work reduction on small" `Quick
+      test_incr_work_reduction;
   ]

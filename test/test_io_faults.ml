@@ -1,7 +1,8 @@
 (* Robustness tests for the artifact pipeline: CRC-32, round-trips of the
-   v2 formats, v1 compatibility, a corruption matrix asserting every fault
-   yields a typed [Fault.error], the deterministic fault injector, the
-   retry combinator, and the failure-isolating batch runner. *)
+   v2 and v3 (flat binary) formats, v1 compatibility, a corruption matrix
+   asserting every fault yields a typed [Fault.error], the deterministic
+   fault injector, the retry combinator, and the failure-isolating batch
+   runner. *)
 
 module Checksum = Trg_util.Checksum
 module Fault = Trg_util.Fault
@@ -177,15 +178,23 @@ let kinds : (string * (string -> unit) * (string -> (unit, Fault.error) result))
     ( "layout",
       (fun p -> Serial.save_layout p sample_layout),
       fun p -> Result.map ignore (Serial.load_layout_result sample_program p) );
+    ( "flat-trace",
+      (fun p -> Io.save_flat p (Trace.Flat.of_trace sample_trace)),
+      fun p -> Result.map ignore (Io.load_flat_result p) );
   ]
 
-let replace_first ~sub ~by s =
+let replace_first_opt ~sub ~by s =
   let n = String.length s and m = String.length sub in
   let rec find i =
     if i + m > n then None else if String.sub s i m = sub then Some i else find (i + 1)
   in
-  match find 0 with
-  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+  Option.map
+    (fun i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m))
+    (find 0)
+
+let replace_first ~sub ~by s =
+  match replace_first_opt ~sub ~by s with
+  | Some s -> s
   | None -> Alcotest.failf "corruption pattern %S not found" sub
 
 let lines_of s = String.split_on_char '\n' s
@@ -217,7 +226,11 @@ let drop_trailer content = String.sub content 0 (String.length content - 6)
 
 let bad_magic_mode content = replace_first ~sub:"trgplace-" ~by:"xxxxxxxx-" content
 
-let bad_version_mode content = replace_first ~sub:" 2 " ~by:" 9 " content
+(* v2 artifacts carry " 2 " in the header, v3 (flat) carries " 3 ". *)
+let bad_version_mode content =
+  match replace_first_opt ~sub:" 2 " ~by:" 9 " content with
+  | Some c -> c
+  | None -> replace_first ~sub:" 3 " ~by:" 9 " content
 
 let oversized_count_mode content =
   match lines_of content with
@@ -322,6 +335,34 @@ let test_binary_bad_record () =
       Io.save_binary path sample_trace;
       check_corruption ~kind:"binary-trace" ~mode:"zeroed record"
         (fun p -> Result.map ignore (Io.load_result p))
+        path binary_zero_record
+        [ "Bad_record"; "Checksum_mismatch" ])
+
+(* v3 (flat binary) specifics: the header line is fixed-width (32 bytes,
+   8-aligned, for mmap-friendly payload alignment), the format loads
+   through both the cross-format reader and the flat loader, and a zeroed
+   payload word (len = 0) is a typed [Bad_record] before the trailer is
+   even reached. *)
+let test_v3_header_fixed_width () =
+  with_temp (fun path ->
+      Io.save_flat path (Trace.Flat.of_trace sample_trace);
+      let content = read_file path in
+      Alcotest.(check int) "32-byte header line" 32 (String.index content '\n' + 1);
+      (match Io.load_result path with
+      | Ok t ->
+        Alcotest.(check bool) "v3 via Io.load" true (Trace.to_list t = sample_events)
+      | Error e -> Alcotest.failf "v3 rejected by Io.load: %s" (Fault.to_string e));
+      match Io.load_flat_result path with
+      | Ok f ->
+        Alcotest.(check bool) "v3 via Io.load_flat" true
+          (Trace.to_list (Trace.Flat.to_trace f) = sample_events)
+      | Error e -> Alcotest.failf "v3 rejected by Io.load_flat: %s" (Fault.to_string e))
+
+let test_flat_bad_record () =
+  with_temp (fun path ->
+      Io.save_flat path (Trace.Flat.of_trace sample_trace);
+      check_corruption ~kind:"flat-trace" ~mode:"zeroed record"
+        (fun p -> Result.map ignore (Io.load_flat_result p))
         path binary_zero_record
         [ "Bad_record"; "Checksum_mismatch" ])
 
@@ -502,6 +543,8 @@ let suite =
     Alcotest.test_case "corruption matrix" `Quick test_corruption_matrix;
     Alcotest.test_case "bit flips detected" `Quick test_bit_flips_detected;
     Alcotest.test_case "binary bad record" `Quick test_binary_bad_record;
+    Alcotest.test_case "v3 header fixed width" `Quick test_v3_header_fixed_width;
+    Alcotest.test_case "v3 flat bad record" `Quick test_flat_bad_record;
     Alcotest.test_case "layout id out of range" `Quick test_layout_id_out_of_range;
     Alcotest.test_case "layout duplicate id" `Quick test_layout_duplicate_id;
     Alcotest.test_case "verify layout structural" `Quick test_verify_layout_structural;

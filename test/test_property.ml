@@ -146,6 +146,96 @@ let prop_simulation_invariant_under_io =
       in
       reference = via_text && reference = via_binary)
 
+(* --- flat (Bigarray) trace representation ------------------------------ *)
+
+(* Soak profile hook: [dune runtest --profile soak] multiplies QCheck
+   iteration counts via TRGPLACE_QCHECK_FACTOR (see the root dune file). *)
+let scaled n =
+  match Sys.getenv_opt "TRGPLACE_QCHECK_FACTOR" with
+  | Some f -> ( try n * int_of_string (String.trim f) with Failure _ -> n)
+  | None -> n
+
+(* Arbitrary events across the full packed ranges, including the field
+   extremes ([proc < 2^14], [offset < 2^24], [0 < len <= 2^22]) whose
+   packed forms stress the int32 lo/hi split of [Trace.Flat]. *)
+let gen_event =
+  QCheck.Gen.(
+    let boundary_or_uniform hi =
+      oneof [ int_range 0 hi; oneofl [ 0; 1; hi - 1; hi ] ]
+    in
+    map
+      (fun (k, (proc, (offset, len))) ->
+        let kind =
+          match k with 0 -> Event.Enter | 1 -> Event.Resume | _ -> Event.Run
+        in
+        Event.make ~kind ~proc ~offset ~len)
+      (pair (int_range 0 2)
+         (pair
+            (boundary_or_uniform ((1 lsl 14) - 1))
+            (pair
+               (boundary_or_uniform ((1 lsl 24) - 1))
+               (map (fun l -> 1 + l) (boundary_or_uniform ((1 lsl 22) - 1)))))))
+
+let arb_events =
+  QCheck.make
+    QCheck.Gen.(list_size (int_range 0 300) gen_event)
+    ~print:(fun evs -> Printf.sprintf "%d events" (List.length evs))
+
+let prop_flat_roundtrip =
+  QCheck.Test.make ~name:"Flat.of_trace round-trips every event exactly"
+    ~count:(scaled 200) arb_events
+    (fun evs ->
+      let trace = Trace.of_list evs in
+      let flat = Trace.Flat.of_trace trace in
+      Trace.Flat.length flat = Trace.length trace
+      && Trace.to_list (Trace.Flat.to_trace flat) = evs
+      && List.for_all
+           (fun i ->
+             Trace.Flat.get flat i = Trace.get trace i
+             && Trace.Flat.get_packed flat i = Event.pack (Trace.get trace i))
+           (List.init (Trace.length trace) Fun.id))
+
+(* The flat-backed simulator must be a drop-in for the event-array one:
+   same misses, same accesses, on direct-mapped and set-associative
+   configurations alike. *)
+let prop_sim_flat_invariant =
+  QCheck.Test.make
+    ~name:"miss counts invariant under flat-backed simulation"
+    ~count:(scaled 60)
+    QCheck.(pair arb_workload (int_range 1 2))
+    (fun ((program, trace), assoc) ->
+      let cache = Config.make ~size:(256 * assoc) ~line_size:32 ~assoc in
+      let layout = Layout.default program in
+      let reference = Sim.simulate program layout cache trace in
+      let flat = Sim.simulate_flat program layout cache (Trace.Flat.of_trace trace) in
+      reference.Sim.misses = flat.Sim.misses
+      && reference.Sim.accesses = flat.Sim.accesses)
+
+(* Io format v3: a trace saved flat must load identically through both
+   [Io.load] (the cross-format reader) and [Io.load_flat], and v1/v2
+   files must load into flat form unchanged — simulated miss counts are
+   the observable. *)
+let prop_v3_io_roundtrip =
+  QCheck.Test.make
+    ~name:"miss counts invariant under Io v3 save/load round-trips"
+    ~count:(scaled 40) arb_workload
+    (fun (program, trace) ->
+      let layout = Layout.default program in
+      let misses t = (Sim.simulate program layout small_cache t).Sim.misses in
+      let reference = misses trace in
+      let via_v3 =
+        with_temp ".ftrace" (fun path ->
+            Io.save_flat path (Trace.Flat.of_trace trace);
+            ( misses (Io.load path),
+              misses (Trace.Flat.to_trace (Io.load_flat path)) ))
+      in
+      let v2_as_flat =
+        with_temp ".btrace" (fun path ->
+            Io.save_binary path trace;
+            misses (Trace.Flat.to_trace (Io.load_flat path)))
+      in
+      via_v3 = (reference, reference) && v2_as_flat = reference)
+
 (* --- deterministic simulation of the evaluation pool ------------------- *)
 
 module Pool = Trg_eval.Pool
@@ -214,6 +304,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_placements_are_permutations;
     QCheck_alcotest.to_alcotest prop_line_align_preserves_sets;
     QCheck_alcotest.to_alcotest prop_simulation_invariant_under_io;
+    QCheck_alcotest.to_alcotest prop_flat_roundtrip;
+    QCheck_alcotest.to_alcotest prop_sim_flat_invariant;
+    QCheck_alcotest.to_alcotest prop_v3_io_roundtrip;
     QCheck_alcotest.to_alcotest prop_sim_deterministic;
     QCheck_alcotest.to_alcotest prop_sim_empty_schedule_matches_real;
   ]
