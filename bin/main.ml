@@ -21,12 +21,28 @@ let shapes_of_names names =
         exit 2)
     names
 
-let setup_logs verbose =
-  Log.set_level (if verbose then Log.Info else Log.Warn)
+(* Only an explicit [--verbose] touches the level: without it the
+   process keeps [Log]'s default, which honours $(b,TRGPLACE_LOG). *)
+let setup_logs verbose = if verbose then Log.set_level Log.Info
 
 let verbose_term =
-  let doc = "Log placement progress (info level) to stderr." in
+  let doc =
+    "Log placement progress (info level) to stderr.  Without this flag \
+     the level comes from the TRGPLACE_LOG environment variable (quiet, \
+     error, warn, info or debug; default warn)."
+  in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let profile_term =
+  let doc =
+    "Hot-path profiling: record prof/* wall-time histograms (per-merge \
+     cost in the placement search, incremental-engine seed/charge/apply \
+     phases, pool queue-wait vs run time).  Off by default: the \
+     instrumented sites then cost one branch, register nothing, and \
+     manifests stay byte-comparable.  Inspect with $(b,trgplace stats) \
+     on a $(b,--metrics-out) manifest."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
 
 let cost_engine_term =
   let doc =
@@ -111,9 +127,10 @@ let options_term =
     in
     Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
   in
-  let make verbose runs points benches quick full_output keep_going strict
-      force_fail jobs timeout retries cost_engine =
+  let make verbose profile runs points benches quick full_output keep_going
+      strict force_fail jobs timeout retries cost_engine =
     setup_logs verbose;
+    Trg_obs.Prof.set_enabled profile;
     Trg_place.Cost.set_engine cost_engine;
     let keep_going = keep_going && not strict in
     if jobs < 0 then begin
@@ -158,9 +175,9 @@ let options_term =
       }
   in
   Term.(
-    const make $ verbose_term $ runs $ points $ benches $ quick $ full_output
-    $ keep_going $ strict $ force_fail $ jobs $ timeout $ retries
-    $ cost_engine_term)
+    const make $ verbose_term $ profile_term $ runs $ points $ benches $ quick
+    $ full_output $ keep_going $ strict $ force_fail $ jobs $ timeout
+    $ retries $ cost_engine_term)
 
 (* --- telemetry manifest plumbing ------------------------------------- *)
 
@@ -1147,6 +1164,375 @@ let simtest_cmd =
     Term.(
       const run $ seed $ schedules $ units $ jobs $ retries $ timeout $ metrics_term)
 
+(* --- perf: the continuous performance ledger -------------------------- *)
+
+module Perf = Trg_obs.Perf
+module Perfrun = Trg_eval.Perfrun
+
+(* The revision a measurement belongs to: an explicit override (CI sets
+   it so shallow checkouts don't matter), else git, else "unknown" —
+   never a hard failure, a ledger outside a checkout is still useful. *)
+let git_rev () =
+  match Sys.getenv_opt "TRGPLACE_GIT_REV" with
+  | Some r when String.trim r <> "" -> String.trim r
+  | Some _ | None -> (
+    match
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      (Unix.close_process_in ic, line)
+    with
+    | Unix.WEXITED 0, line when line <> "" -> line
+    | _ -> "unknown"
+    | exception (Unix.Unix_error _ | Sys_error _) -> "unknown")
+
+let ledger_term =
+  let doc =
+    "Perf ledger file: append-only JSONL, one CRC-guarded record per \
+     line.  Damaged lines are skipped with a warning, never fatal."
+  in
+  Arg.(
+    value
+    & opt string "BENCH_history.jsonl"
+    & info [ "ledger" ] ~docv:"FILE" ~doc)
+
+let perf_reps_term =
+  let doc = "Repetitions per unit behind each median/MAD." in
+  Arg.(value & opt int 5 & info [ "reps" ] ~docv:"N" ~doc)
+
+let perf_bench_term =
+  let doc =
+    "Benchmarks to measure (repeatable).  Default: the small workload."
+  in
+  Arg.(value & opt_all string [] & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
+
+let perf_jobs_term =
+  let doc =
+    "Workers for the pool round-trip unit.  Fixed at 2 by default (not \
+     CPU-detected) so recorded counters and timings are comparable \
+     across machines."
+  in
+  Arg.(value & opt int 2 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let load_ledger path =
+  match Perf.load_result path with
+  | Error e ->
+    Log.err (fun m -> m "%s: %s" path (Trg_util.Fault.to_string e));
+    exit 2
+  | Ok (records, skipped) ->
+    List.iter
+      (fun { Perf.line; fault } ->
+        Log.warn (fun m ->
+            m "%s:%d: skipping damaged ledger line (%s)" path line
+              (Trg_util.Fault.to_string fault)))
+      skipped;
+    records
+
+let perf_measure ~reps ~jobs ~benches =
+  let benches = match benches with [] -> Perfrun.default_benches | l -> l in
+  if reps < 1 || jobs < 1 then begin
+    Log.err (fun m -> m "perf: --reps and --jobs must be positive");
+    exit 2
+  end;
+  List.iter (fun n -> ignore (shapes_of_names [ n ])) benches;
+  Perfrun.measure ~reps ~jobs ~benches ~rev:(git_rev ())
+    ~time_s:(Trg_util.Clock.wall ()) ()
+
+let print_record_table (r : Perf.record) =
+  let module Table = Trg_util.Table in
+  Table.print
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "unit"; "wall median"; "wall MAD"; "alloc median" ]
+    (List.map
+       (fun (b : Perf.bench) ->
+         [
+           b.Perf.b_name;
+           Printf.sprintf "%.3f ms" (1e3 *. b.Perf.wall_s.Perf.median);
+           Printf.sprintf "%.3f ms" (1e3 *. b.Perf.wall_s.Perf.mad);
+           Table.fmt_int (int_of_float b.Perf.alloc_w.Perf.median);
+         ])
+       r.Perf.benches)
+
+let perf_record_cmd =
+  let doc =
+    "Measure the perf suite on this tree and append one record (median + \
+     MAD over N repetitions of wall/alloc per unit, plus the \
+     deterministic work counters) to the ledger."
+  in
+  let run verbose ledger reps benches jobs =
+    setup_logs verbose;
+    let r = perf_measure ~reps ~jobs ~benches in
+    (match Trg_util.Fault.result (fun () -> Perf.append ledger r) with
+    | Ok () -> ()
+    | Error e ->
+      Log.err (fun m -> m "%s: %s" ledger (Trg_util.Fault.to_string e));
+      exit 1);
+    Trg_util.Table.section
+      (Printf.sprintf "PERF RECORD — rev %s, %d reps" r.Perf.rev r.Perf.reps);
+    print_record_table r;
+    Printf.printf "\nappended to %s (%d units, %d counters)\n" ledger
+      (List.length r.Perf.benches)
+      (List.length r.Perf.counters)
+  in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(
+      const run $ verbose_term $ ledger_term $ perf_reps_term
+      $ perf_bench_term $ perf_jobs_term)
+
+(* Sparklines want bucket-count-shaped ints; medians are scaled into
+   [1, 1000] against the series maximum so relative level survives. *)
+let spark_of_series values =
+  let max_v = List.fold_left Float.max 0. values in
+  let scaled =
+    List.map
+      (fun v ->
+        if max_v <= 0. then 0 else max 1 (int_of_float (1000. *. v /. max_v)))
+      values
+  in
+  Trg_eval.Explain.sparkline (Array.of_list scaled)
+
+let perf_report_cmd =
+  let doc =
+    "Render the ledger's performance trajectory: per unit, the latest \
+     median wall time and a sparkline of its history (or the whole \
+     ledger as JSON with $(b,--json))."
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the ledger as one JSON document instead of tables.")
+  in
+  let run verbose ledger json_flag =
+    setup_logs verbose;
+    let records = load_ledger ledger in
+    if json_flag then
+      print_endline
+        (J.to_string ~indent:2
+           (J.Obj
+              [
+                ("schema", J.String (Perf.schema ^ "-report"));
+                ("ledger", J.String ledger);
+                ("records", J.List (List.map Perf.record_json records));
+              ]))
+    else begin
+      match records with
+      | [] -> Printf.printf "ledger %s is empty\n" ledger
+      | _ ->
+        let module Table = Trg_util.Table in
+        let last = List.nth records (List.length records - 1) in
+        Table.section
+          (Printf.sprintf "PERF LEDGER — %s (%d records, latest rev %s)"
+             ledger (List.length records) last.Perf.rev);
+        let names =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun (r : Perf.record) ->
+                 List.map (fun (b : Perf.bench) -> b.Perf.b_name)
+                   r.Perf.benches)
+               records)
+        in
+        Table.print
+          ~align:
+            [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Left ]
+          ~header:[ "unit"; "runs"; "wall median"; "wall MAD"; "trend" ]
+          (List.map
+             (fun name ->
+               let series =
+                 List.filter_map
+                   (fun (r : Perf.record) ->
+                     List.find_opt
+                       (fun (b : Perf.bench) -> b.Perf.b_name = name)
+                       r.Perf.benches)
+                   records
+               in
+               let latest = List.nth series (List.length series - 1) in
+               [
+                 name;
+                 string_of_int (List.length series);
+                 Printf.sprintf "%.3f ms"
+                   (1e3 *. latest.Perf.wall_s.Perf.median);
+                 Printf.sprintf "%.3f ms" (1e3 *. latest.Perf.wall_s.Perf.mad);
+                 spark_of_series
+                   (List.map
+                      (fun (b : Perf.bench) -> b.Perf.wall_s.Perf.median)
+                      series);
+               ])
+             names)
+    end
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ verbose_term $ ledger_term $ json_flag)
+
+let perf_diff_cmd =
+  let doc =
+    "Compare the ledger's last two records: per-unit wall-median change \
+     and every deterministic counter that moved."
+  in
+  let run verbose ledger =
+    setup_logs verbose;
+    let records = load_ledger ledger in
+    match List.rev records with
+    | current :: previous :: _ ->
+      let module Table = Trg_util.Table in
+      Table.section
+        (Printf.sprintf "PERF DIFF — %s (rev %s) vs %s (rev %s)"
+           (Printf.sprintf "#%d" (List.length records))
+           current.Perf.rev
+           (Printf.sprintf "#%d" (List.length records - 1))
+           previous.Perf.rev);
+      Table.print
+        ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+        ~header:[ "unit"; "previous"; "current"; "change" ]
+        (List.filter_map
+           (fun (b : Perf.bench) ->
+             Option.map
+               (fun (p : Perf.bench) ->
+                 let prev = p.Perf.wall_s.Perf.median
+                 and cur = b.Perf.wall_s.Perf.median in
+                 [
+                   b.Perf.b_name;
+                   Printf.sprintf "%.3f ms" (1e3 *. prev);
+                   Printf.sprintf "%.3f ms" (1e3 *. cur);
+                   (if prev > 0. then
+                      Printf.sprintf "%+.1f%%" (100. *. ((cur /. prev) -. 1.))
+                    else "-");
+                 ])
+               (List.find_opt
+                  (fun (p : Perf.bench) -> p.Perf.b_name = b.Perf.b_name)
+                  previous.Perf.benches))
+           current.Perf.benches);
+      let moved =
+        List.filter_map
+          (fun (name, v) ->
+            match List.assoc_opt name previous.Perf.counters with
+            | Some p when p <> v -> Some [ name; string_of_int p; string_of_int v ]
+            | Some _ -> None
+            | None -> Some [ name; "(absent)"; string_of_int v ])
+          current.Perf.counters
+      in
+      if moved <> [] then begin
+        print_newline ();
+        Table.print
+          ~align:[ Table.Left; Table.Right; Table.Right ]
+          ~header:[ "counter"; "previous"; "current" ]
+          moved
+      end
+    | _ ->
+      Log.err (fun m ->
+          m "perf diff: ledger %s needs at least two records" ledger);
+      exit 2
+  in
+  Cmd.v (Cmd.info "diff" ~doc) Term.(const run $ verbose_term $ ledger_term)
+
+let perf_gate_cmd =
+  let doc =
+    "Measure this tree and compare it against the ledger's recent window \
+     with noise-aware tolerance bands (baseline + x MAD for wall/alloc \
+     medians, exact-by-default comparison for deterministic counters).  \
+     Exits 1 naming the regressed unit and metric."
+  in
+  let window_term =
+    Arg.(
+      value & opt int 5
+      & info [ "window" ] ~docv:"K"
+          ~doc:"Ledger records forming the baseline window.")
+  in
+  let mad_factor_term =
+    Arg.(
+      value & opt float 6.
+      & info [ "mad-factor" ] ~docv:"X"
+          ~doc:"Band width in window MADs above the baseline median.")
+  in
+  let min_band_term =
+    Arg.(
+      value & opt float 0.25
+      & info [ "min-band" ] ~docv:"REL"
+          ~doc:
+            "Relative band floor — keeps a near-zero-noise window from \
+             flagging ordinary scheduler jitter.")
+  in
+  let counter_tol_term =
+    Arg.(
+      value & opt float 0.
+      & info [ "counter-tolerance" ] ~docv:"REL"
+          ~doc:"Allowed relative drift for deterministic counters.")
+  in
+  let run verbose ledger reps benches jobs window mad_factor min_band
+      counter_tolerance =
+    setup_logs verbose;
+    if window < 1 then begin
+      Log.err (fun m -> m "perf gate: --window must be positive");
+      exit 2
+    end;
+    let history = load_ledger ledger in
+    if history = [] then begin
+      Log.err (fun m ->
+          m "perf gate: ledger %s has no records to gate against" ledger);
+      exit 2
+    end;
+    let current = perf_measure ~reps ~jobs ~benches in
+    let verdicts =
+      Perf.gate ~window ~mad_factor ~min_band ~counter_tolerance ~history
+        current
+    in
+    let module Table = Trg_util.Table in
+    Table.section
+      (Printf.sprintf "PERF GATE — rev %s vs last %d of %s" current.Perf.rev
+         (min window (List.length history))
+         ledger);
+    Table.print
+      ~align:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Left ]
+      ~header:[ "unit"; "metric"; "current"; "baseline"; "limit"; "ok" ]
+      (List.map
+         (fun (v : Perf.verdict) ->
+           let fmt x =
+             if v.Perf.v_metric = "wall_s" then
+               Printf.sprintf "%.3f ms" (1e3 *. x)
+             else Table.fmt_float x
+           in
+           [
+             v.Perf.v_bench;
+             v.Perf.v_metric;
+             fmt v.Perf.v_current;
+             fmt v.Perf.v_baseline;
+             (if v.Perf.v_metric = "counter" then
+                Printf.sprintf "±%.4f" v.Perf.v_limit
+              else fmt v.Perf.v_limit);
+             (if v.Perf.v_ok then "yes" else "NO");
+           ])
+         verdicts);
+    match Perf.regressions verdicts with
+    | [] ->
+      Printf.printf "\nperf gate: %d checks, no regressions\n"
+        (List.length verdicts)
+    | bad ->
+      List.iter
+        (fun (v : Perf.verdict) ->
+          Log.err (fun m ->
+              m "perf gate: REGRESSION %s %s: current %g exceeds %s %g"
+                v.Perf.v_bench v.Perf.v_metric v.Perf.v_current
+                (if v.Perf.v_metric = "counter" then "baseline" else "limit")
+                (if v.Perf.v_metric = "counter" then v.Perf.v_baseline
+                 else v.Perf.v_limit)))
+        bad;
+      exit 1
+  in
+  Cmd.v (Cmd.info "gate" ~doc)
+    Term.(
+      const run $ verbose_term $ ledger_term $ perf_reps_term
+      $ perf_bench_term $ perf_jobs_term $ window_term $ mad_factor_term
+      $ min_band_term $ counter_tol_term)
+
+let perf_cmd =
+  let doc =
+    "Continuous performance ledger: record benchmark sessions, render \
+     their trajectory, and gate changes with noise-aware bands."
+  in
+  Cmd.group (Cmd.info "perf" ~doc)
+    [ perf_record_cmd; perf_report_cmd; perf_diff_cmd; perf_gate_cmd ]
+
 let cmds =
   [
     gen_cmd;
@@ -1159,6 +1545,7 @@ let cmds =
     compare_cmd;
     stats_cmd;
     simtest_cmd;
+    perf_cmd;
     experiment "table1" "Reproduce Table 1 (benchmark characteristics)."
       Trg_eval.Report.table1;
     experiment "characterize" "Reuse-distance workload characterisation."

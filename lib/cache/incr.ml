@@ -42,6 +42,16 @@ let m_merges = Metrics.counter "cost/incr/merges"
 let m_deltas = Metrics.counter "cost/incr/deltas_applied"
 let m_sets_recosted = Metrics.counter "cost/incr/sets_recosted"
 
+(* Hot-path profile histograms, lazy so [prof/*] stays out of the
+   registry (and out of manifests) unless [--profile] observed
+   something. *)
+let h_charge_us =
+  lazy
+    (Metrics.histogram ~limits:Trg_obs.Prof.us_limits "prof/incr/charge_us")
+
+let h_apply_us =
+  lazy (Metrics.histogram ~limits:Trg_obs.Prof.us_limits "prof/incr/apply_us")
+
 type t = {
   n_sets : int;
   parent : (int, int) Hashtbl.t;  (* union-find over group ids *)
@@ -125,6 +135,9 @@ let charge t ~p1 ~p2 ~index w =
 let charge_block t ~p1 ~p2 f =
   if t.frozen then invalid_arg "Incr.charge_block: engine is frozen";
   if p1 <> p2 then begin
+    let t0 =
+      if Trg_obs.Prof.enabled () then Trg_util.Clock.monotonic () else 0.
+    in
     register t p1;
     register t p2;
     let d = pair_array t p1 p2 in
@@ -135,7 +148,10 @@ let charge_block t ~p1 ~p2 f =
           if not (Float.is_integer w) then t.exact <- false;
           let i = if flip then (c - index) mod c else index in
           d.(i) <- d.(i) +. w
-        end)
+        end);
+    if Trg_obs.Prof.enabled () then
+      Metrics.observe (Lazy.force h_charge_us)
+        (1e6 *. (Trg_util.Clock.monotonic () -. t0))
   end
 
 let freeze t = t.frozen <- true
@@ -149,6 +165,9 @@ let cost t ~fixed ~moving =
   | Some d -> if rf < rm then Array.copy d else reversed t.n_sets d
 
 let apply_merge t ~fixed ~moving ~shift =
+  let t0 =
+    if Trg_obs.Prof.enabled () then Trg_util.Clock.monotonic () else 0.
+  in
   let c = t.n_sets in
   let rf = find t fixed and rm = find t moving in
   if rf = rm then invalid_arg "Incr.apply_merge: groups already merged";
@@ -199,4 +218,7 @@ let apply_merge t ~fixed ~moving ~shift =
   Hashtbl.remove (adj_of t rf) rm;
   Hashtbl.remove t.adj rm;
   Hashtbl.replace t.parent rm rf;
-  Metrics.incr m_merges
+  Metrics.incr m_merges;
+  if Trg_obs.Prof.enabled () then
+    Metrics.observe (Lazy.force h_apply_us)
+      (1e6 *. (Trg_util.Clock.monotonic () -. t0))

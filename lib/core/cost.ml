@@ -284,6 +284,13 @@ let engine_of_name = function
 
 let m_fallbacks = Trg_obs.Metrics.counter "cost/incr/fallbacks"
 
+(* Hot-path profile: whole-seed wall time, lazily registered so [prof/*]
+   stays out of the registry unless [--profile] observed something. *)
+let h_seed_us =
+  lazy
+    (Trg_obs.Metrics.histogram ~limits:Trg_obs.Prof.us_limits
+       "prof/incr/seed_us")
+
 (* Seeding charges every inter-procedure profile edge at the
    all-singletons starting position (every node at offset 0, exactly
    [Merge_driver]'s initial state).  One edge between a block of [l1]
@@ -324,7 +331,7 @@ let integrate_spikes t ~n_sets sp =
    (nonlinear), so those fall back to the full evaluator — as does any
    non-integral profile weight (perturbed graphs), which would void the
    bit-identity guarantee. *)
-let seed_incr model program ~line_size ~n_sets =
+let seed_incr_untimed model program ~line_size ~n_sets =
   let fallback () =
     Trg_obs.Metrics.incr m_fallbacks;
     None
@@ -416,6 +423,17 @@ let seed_incr model program ~line_size ~n_sets =
       wcg;
     finish ()
   | Sa_pairs _ | Sa_tuples _ | Blend _ -> fallback ()
+
+let seed_incr model program ~line_size ~n_sets =
+  if not (Trg_obs.Prof.enabled ()) then
+    seed_incr_untimed model program ~line_size ~n_sets
+  else begin
+    let t0 = Trg_util.Clock.monotonic () in
+    let r = seed_incr_untimed model program ~line_size ~n_sets in
+    Trg_obs.Metrics.observe (Lazy.force h_seed_us)
+      (1e6 *. (Trg_util.Clock.monotonic () -. t0));
+    r
+  end
 
 let best_offset cost =
   let best = ref 0 in

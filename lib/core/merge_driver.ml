@@ -14,6 +14,14 @@ let m_pops = Trg_obs.Metrics.counter "merge/heap_pops"
 let m_stale = Trg_obs.Metrics.counter "merge/stale_pops"
 let m_merges = Trg_obs.Metrics.counter "merge/merges"
 
+(* Hot-path profile: per-merge wall time.  Lazy so the [prof/*] histogram
+   only exists in the registry (and hence in manifests) when [--profile]
+   actually observed something. *)
+let h_merge_us =
+  lazy
+    (Trg_obs.Metrics.histogram ~limits:Trg_obs.Prof.us_limits
+       "prof/merge/merge_us")
+
 let run ~graph ~init ~merge =
   let pops = ref 0 and stale_pops = ref 0 and merges = ref 0 in
   let groups : (int, 'a group) Hashtbl.t = Hashtbl.create 64 in
@@ -58,6 +66,9 @@ let run ~graph ~init ~merge =
       if stale then incr stale_pops
       else begin
         incr merges;
+        let t0 =
+          if Trg_obs.Prof.enabled () then Trg_util.Clock.monotonic () else 0.
+        in
         let gu = Hashtbl.find groups ru and gv = Hashtbl.find groups rv in
         (* Keep the larger group fixed; it becomes n1. *)
         let big, small =
@@ -89,7 +100,10 @@ let run ~graph ~init ~merge =
               Hashtbl.remove gn.adj small.repr;
               Heap.push heap combined (big.repr, rn)
             end)
-          small.adj
+          small.adj;
+        if Trg_obs.Prof.enabled () then
+          Trg_obs.Metrics.observe (Lazy.force h_merge_us)
+            (1e6 *. (Trg_util.Clock.monotonic () -. t0))
       end;
       loop ()
   in

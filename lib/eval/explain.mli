@@ -64,6 +64,11 @@ val make :
 (** Low-level constructor over explicit (label, layout) pairs — the
     file-triple path of [trgplace explain]. *)
 
+val sparkline : int array -> string
+(** One character per bucket, density-scaled to the maximum count (a
+    space for zero).  Used for the miss timeline here and by
+    [trgplace perf report] for ledger trajectories. *)
+
 val print : ?top:int -> t -> unit
 (** ASCII report: classification table, then per layout the top-[top]
     (default 10) conflict pairs with TRG weights, hottest procedures,

@@ -1,0 +1,182 @@
+(* The measurement suite behind [trgplace perf].
+
+   One deliberately small, deterministic set of units covers the
+   pipeline's cost centres: benchmark preparation, the three placement
+   algorithms (GBSC under both cost engines — the ledger is how the
+   incremental engine's payoff, and any regression of it, stays
+   visible), the trace simulator, and one pool round-trip.  Each unit is
+   run [reps] times; wall time and allocated words per repetition feed
+   {!Trg_obs.Perf.robust}, and the deterministic [cost/*], [merge/*],
+   [pool/*] and [sim/*] counters of the first repetition are captured
+   into the record — they are machine-independent, so the CI gate can
+   hold them exactly while wall time gets a noise band. *)
+
+module Metrics = Trg_obs.Metrics
+module Perf = Trg_obs.Perf
+module Clock = Trg_util.Clock
+
+(* The work-profile counters worth remembering per session.  [prof/*] is
+   deliberately absent: profile histograms are wall-clock-shaped. *)
+let counter_prefixes = [ "cost/"; "merge/"; "pool/"; "sim/" ]
+
+let default_benches = [ "small" ]
+
+(* --- the artificial-regression hook ------------------------------------ *)
+
+(* [TRGPLACE_PERF_SLOW="<seconds>"] slows every unit;
+   ["<substring>:<seconds>"] slows only units whose name contains the
+   substring.  This exists so the regression gate's failure path is
+   testable end to end — CI proves the gate trips by slowing a hot path
+   on purpose — without shipping a slow flag in the CLI surface. *)
+let slow_env = "TRGPLACE_PERF_SLOW"
+
+let parse_slow spec =
+  match String.index_opt spec ':' with
+  | None -> Option.map (fun s -> ("", s)) (float_of_string_opt spec)
+  | Some i ->
+    let name = String.sub spec 0 i in
+    let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+    Option.map (fun s -> (name, s)) (float_of_string_opt rest)
+
+let slow_spec () = Option.bind (Sys.getenv_opt slow_env) parse_slow
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  n = 0
+  ||
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+(* --- the unit set ------------------------------------------------------ *)
+
+type unit_ = { u_name : string; u_work : unit -> unit }
+
+let with_engine kind f =
+  let saved = Trg_place.Cost.engine () in
+  Trg_place.Cost.set_engine kind;
+  Fun.protect ~finally:(fun () -> Trg_place.Cost.set_engine saved) f
+
+let bench_units name =
+  let shape = Trg_synth.Bench.find name in
+  let r = Runner.prepare shape in
+  let program = Runner.program r in
+  let layout = Runner.default_layout r in
+  let u n f = { u_name = Printf.sprintf "%s/%s" name n; u_work = f } in
+  [
+    u "prepare" (fun () -> ignore (Runner.prepare shape));
+    u "gbsc-incr" (fun () ->
+        with_engine Trg_place.Cost.Incr (fun () ->
+            ignore (Trg_place.Gbsc.place program r.Runner.prof)));
+    u "gbsc-full" (fun () ->
+        with_engine Trg_place.Cost.Full (fun () ->
+            ignore (Trg_place.Gbsc.place program r.Runner.prof)));
+    u "ph" (fun () -> ignore (Trg_place.Ph.place ~wcg:r.Runner.wcg program));
+    u "hkc" (fun () ->
+        ignore
+          (Trg_place.Hkc.place r.Runner.config program ~wcg:r.Runner.wcg
+             ~popularity:r.Runner.prof.Trg_place.Gbsc.popularity));
+    u "sim-test" (fun () -> ignore (Runner.test_miss_rate r layout));
+  ]
+
+(* One pool round-trip: forks [jobs] workers, ships eight trivial units
+   through the checksummed frames and absorbs the replies.  Its wall
+   time tracks fork + IPC overhead; its [pool/*] counters are
+   jobs-invariant by the pool's design, which the perf tests pin. *)
+let pool_unit ~jobs =
+  {
+    u_name = "pool/roundtrip";
+    u_work =
+      (fun () ->
+        let tasks =
+          List.init 8 (fun i ->
+              {
+                Pool.key = Printf.sprintf "unit-%d" i;
+                Pool.work =
+                  (fun () -> Trg_util.Checksum.string (String.make 4096 'p'));
+              })
+        in
+        let outcomes = Pool.run ~jobs tasks in
+        List.iter
+          (fun o ->
+            match o.Pool.value with
+            | Ok _ -> ()
+            | Error f -> failwith (Pool.failure_to_string f))
+          outcomes);
+  }
+
+let units ?(jobs = 2) ?(benches = default_benches) () =
+  List.concat_map bench_units benches @ [ pool_unit ~jobs ]
+
+let unit_names ?jobs ?benches () =
+  List.map (fun u -> u.u_name) (units ?jobs ?benches ())
+
+(* --- measurement ------------------------------------------------------- *)
+
+(* Same allocation meter as [Span]: words ever allocated, so deltas are
+   monotone and collections cannot produce negative samples. *)
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words
+
+let config_crc ~benches ~reps ~jobs =
+  let canon =
+    Printf.sprintf "benches=%s;reps=%d;jobs=%d"
+      (String.concat "," (List.sort compare benches))
+      reps jobs
+  in
+  Trg_util.Checksum.to_hex (Trg_util.Checksum.string canon)
+
+let measure ?(reps = 5) ?(jobs = 2) ?(benches = default_benches) ~rev ~time_s
+    () =
+  if reps < 1 then invalid_arg "Perfrun.measure: reps < 1";
+  let slow = slow_spec () in
+  let us = units ~jobs ~benches () in
+  let n = List.length us in
+  let wall = Array.make_matrix n reps 0. in
+  let alloc = Array.make_matrix n reps 0. in
+  (* Counters restart from zero so the record captures exactly one
+     repetition's work profile, whatever ran in this process before. *)
+  Metrics.clear ();
+  let counters = ref [] in
+  for rep = 0 to reps - 1 do
+    List.iteri
+      (fun i u ->
+        let a0 = allocated_words () in
+        let t0 = Clock.monotonic () in
+        u.u_work ();
+        (match slow with
+        | Some (sub, seconds) when contains ~sub u.u_name ->
+          Clock.sleep seconds
+        | Some _ | None -> ());
+        wall.(i).(rep) <- Float.max 0. (Clock.monotonic () -. t0);
+        alloc.(i).(rep) <- Float.max 0. (allocated_words () -. a0))
+      us;
+    if rep = 0 then
+      counters :=
+        List.filter
+          (fun (name, _) ->
+            List.exists
+              (fun p -> String.length name >= String.length p
+                        && String.sub name 0 (String.length p) = p)
+              counter_prefixes)
+          (Metrics.counters ())
+  done;
+  let benches_stats =
+    List.mapi
+      (fun i u ->
+        {
+          Perf.b_name = u.u_name;
+          wall_s = Perf.robust wall.(i);
+          alloc_w = Perf.robust alloc.(i);
+        })
+      us
+    |> List.sort (fun a b -> compare a.Perf.b_name b.Perf.b_name)
+  in
+  {
+    Perf.rev;
+    time_s;
+    config_crc = config_crc ~benches ~reps ~jobs;
+    reps;
+    benches = benches_stats;
+    counters = !counters;
+  }

@@ -52,6 +52,20 @@ let c_respawns = Metrics.counter "pool/respawns"
 
 let c_retries = Metrics.counter "pool/retries"
 
+(* Hot-path profile: how long a unit sat ready before a worker took it,
+   and how long the worker held it.  Lazy so [prof/*] stays out of the
+   registry (and out of manifests) unless [--profile] observed
+   something.  These are wall-clock-shaped, unlike the [pool/*] counters
+   above, which is exactly why they live under [prof/] — the manifest
+   tolerance gate never reads that prefix. *)
+let h_queue_wait_us =
+  lazy
+    (Metrics.histogram ~limits:Trg_obs.Prof.us_limits
+       "prof/pool/queue_wait_us")
+
+let h_run_us =
+  lazy (Metrics.histogram ~limits:Trg_obs.Prof.us_limits "prof/pool/run_us")
+
 (* --- wire format ------------------------------------------------------ *)
 
 (* Byte-level frame codec parameterized by the transport, so the exact
@@ -177,14 +191,18 @@ let execute task =
 module Make (Os : Pool_os.S) = struct
   type worker = {
     pid : Os.pid;
+    lane : int;  (* 1-based spawn ordinal; respawns get fresh lanes *)
     task_w : Os.fd;
     reply_r : Os.fd;
     mutable current : int option;  (* task index in flight *)
+    mutable dispatched : float;  (* Os.now at last assign, for prof *)
     mutable deadline : float;  (* [infinity] = no timeout pending *)
     mutable closing : bool;  (* shutdown sent, EOF expected *)
   }
 
-  type 'a slot = Pending | Replied of 'a reply | Broken of failure
+  (* A reply remembers which lane produced it, so absorbed spans can be
+     tagged for the per-worker trace timelines. *)
+  type 'a slot = Pending | Replied of 'a reply * int | Broken of failure
 
   let write_frame os fd payload =
     Wire.write ~write_fn:(fun s pos len -> Os.write os fd s pos len) payload
@@ -219,6 +237,9 @@ module Make (Os : Pool_os.S) = struct
       (* Dispatch count per unit; a unit is retried while its count is
          still <= [retries]. *)
       let attempts = Array.make n 0 in
+      (* When each unit (re-)entered the ready queue, for the queue-wait
+         profile; every unit is ready from the moment the run starts. *)
+      let ready_since = Array.make n (Os.now os) in
       (* The failure that queued a unit for retry — reported if the
          batch is cut before the retry runs. *)
       let last_failure : failure option array = Array.make n None in
@@ -239,7 +260,9 @@ module Make (Os : Pool_os.S) = struct
              attempt, but waits on the pool's (monotonic or virtual)
              clock instead of blocking the event loop. *)
           let backoff = retry_delay *. (2. ** float_of_int (attempts.(idx) - 1)) in
-          retry_q := List.merge compare !retry_q [ (Os.now os +. backoff, idx) ]
+          let ready = Os.now os +. backoff in
+          ready_since.(idx) <- ready;
+          retry_q := List.merge compare !retry_q [ (ready, idx) ]
         end
         else settle idx f
       in
@@ -274,8 +297,14 @@ module Make (Os : Pool_os.S) = struct
           | Some idx ->
             attempts.(idx) <- attempts.(idx) + 1;
             w.current <- Some idx;
+            let now = Os.now os in
+            if Trg_obs.Prof.enabled () then
+              Metrics.observe
+                (Lazy.force h_queue_wait_us)
+                (1e6 *. Float.max 0. (now -. ready_since.(idx)));
+            w.dispatched <- now;
             w.deadline <-
-              (match timeout with Some t -> Os.now os +. t | None -> infinity);
+              (match timeout with Some t -> now +. t | None -> infinity);
             (* A write failure means the worker already died; the EOF
                path attributes the unit to the crash. *)
             (try write_frame os w.task_w (Marshal.to_string idx []) with
@@ -286,6 +315,10 @@ module Make (Os : Pool_os.S) = struct
         if not w.closing then Os.close os w.task_w;
         workers := List.filter (fun x -> x.pid <> w.pid) !workers
       in
+      (* Lanes count worker spawns (1-based; 0 is the main process), so a
+         respawned worker shows up as a fresh timeline in traces instead
+         of silently continuing its predecessor's. *)
+      let lane_counter = ref 0 in
       let spawn_worker () =
         let close_in_child =
           List.concat_map (fun w -> [ w.task_w; w.reply_r ]) !workers
@@ -294,7 +327,17 @@ module Make (Os : Pool_os.S) = struct
           Os.spawn os ~close_in_child (fun ~task_r ~reply_w ->
               worker_body os task_arr ~task_r ~reply_w)
         in
-        { pid; task_w; reply_r; current = None; deadline = infinity; closing = false }
+        incr lane_counter;
+        {
+          pid;
+          lane = !lane_counter;
+          task_w;
+          reply_r;
+          current = None;
+          dispatched = 0.;
+          deadline = infinity;
+          closing = false;
+        }
       in
       (* The supervisor: a dead worker is replaced whenever work remains,
          so one crashy unit cannot silently halve the pool's capacity. *)
@@ -333,7 +376,10 @@ module Make (Os : Pool_os.S) = struct
         | reply -> (
           match w.current with
           | Some idx ->
-            slots.(idx) <- Replied reply;
+            slots.(idx) <- Replied (reply, w.lane);
+            if Trg_obs.Prof.enabled () then
+              Metrics.observe (Lazy.force h_run_us)
+                (1e6 *. Float.max 0. (Os.now os -. w.dispatched));
             (match reply.r_value with
             | Error _ -> have_failure := true
             | Ok _ -> ());
@@ -432,9 +478,9 @@ module Make (Os : Pool_os.S) = struct
            (fun idx slot ->
              let task = task_arr.(idx) in
              match slot with
-             | Replied reply ->
+             | Replied (reply, lane) ->
                Metrics.absorb reply.r_metrics;
-               Span.inject reply.r_spans;
+               Span.inject ~lane reply.r_spans;
                let value =
                  match reply.r_value with
                  | Ok v ->

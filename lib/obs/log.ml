@@ -9,7 +9,26 @@ let label = function
   | Info -> "info"
   | Debug -> "debug"
 
-let current = ref Warn
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "quiet" -> Some Quiet
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let env_var = "TRGPLACE_LOG"
+
+let default_level () =
+  match Option.bind (Sys.getenv_opt env_var) of_string with
+  | Some l -> l
+  | None -> Warn
+
+(* The environment sets the starting level so a hung pool run can be
+   diagnosed from stderr without editing the invocation; an explicit CLI
+   verbosity flag still overrides it via [set_level]. *)
+let current = ref (default_level ())
 
 let set_level l = current := l
 
@@ -17,8 +36,19 @@ let level () = !current
 
 let log lvl msgf =
   if rank lvl <= rank !current then
-    msgf (fun fmt ->
-        Printf.eprintf ("trgplace: [%s] " ^^ fmt ^^ "\n%!") (label lvl))
+    match lvl with
+    | Debug ->
+      (* Debug lines are where pool/worker interleavings get diagnosed;
+         a monotonic timestamp makes relative ordering and gaps readable
+         straight off stderr. *)
+      msgf (fun fmt ->
+          Printf.eprintf
+            ("trgplace: [%s %.6f] " ^^ fmt ^^ "\n%!")
+            (label lvl)
+            (Trg_util.Clock.monotonic ()))
+    | _ ->
+      msgf (fun fmt ->
+          Printf.eprintf ("trgplace: [%s] " ^^ fmt ^^ "\n%!") (label lvl))
 
 let err msgf = log Error msgf
 

@@ -9,12 +9,24 @@
 
     {[ Log.info (fun m -> m "merged %d nodes" n) ]}
 
-    Output goes to stderr as ["trgplace: [LEVEL] message\n"]. *)
+    Output goes to stderr as ["trgplace: [LEVEL] message\n"].  [Debug]
+    lines carry a monotonic timestamp — ["trgplace: [debug 12.345678]"]
+    — so worker interleavings are diagnosable from stderr alone. *)
 
 type level = Quiet | Error | Warn | Info | Debug
 
+val of_string : string -> level option
+(** Case-insensitive level name ("quiet", "error", "warn"/"warning",
+    "info", "debug"); [None] for anything else. *)
+
+val env_var : string
+(** ["TRGPLACE_LOG"].  When set to a level name, it becomes the process's
+    starting log level — useful for debugging a run whose command line
+    cannot be edited (CI, the forked pool).  An explicit CLI verbosity
+    flag still wins: the CLI calls {!set_level} after parsing. *)
+
 val set_level : level -> unit
-(** Default: [Warn]. *)
+(** Default: the {!env_var} level, or [Warn] when unset/unparsable. *)
 
 val level : unit -> level
 

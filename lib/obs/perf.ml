@@ -1,0 +1,334 @@
+(* The continuous-performance ledger.
+
+   One JSONL file accumulates the project's performance memory: each
+   line is a self-validating record of one measurement session — robust
+   per-benchmark statistics (median + MAD over N repetitions) plus the
+   deterministic work counters that explain them — keyed by git revision
+   and a config checksum.  Appends are a single O_APPEND write, so
+   concurrent recorders interleave whole lines; loads skip corrupt or
+   truncated lines with typed faults and keep everything after them, so
+   one torn write never loses the history. *)
+
+module Fault = Trg_util.Fault
+module Checksum = Trg_util.Checksum
+
+let schema = "trgplace-perf/1"
+
+type stat = { median : float; mad : float }
+
+let robust samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Perf.robust: empty sample";
+  let median = Trg_util.Stats.median samples in
+  let deviations = Array.map (fun x -> Float.abs (x -. median)) samples in
+  { median; mad = Trg_util.Stats.median deviations }
+
+type bench = { b_name : string; wall_s : stat; alloc_w : stat }
+
+type record = {
+  rev : string;
+  time_s : float;
+  config_crc : string;
+  reps : int;
+  benches : bench list;  (* sorted by name *)
+  counters : (string * int) list;  (* sorted by name *)
+}
+
+(* --- JSON codec ------------------------------------------------------- *)
+
+let stat_json s = Json.Obj [ ("median", Json.Float s.median); ("mad", Json.Float s.mad) ]
+
+let record_json r =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("rev", Json.String r.rev);
+      ("time_s", Json.Float r.time_s);
+      ("config_crc", Json.String r.config_crc);
+      ("reps", Json.Int r.reps);
+      ( "benches",
+        Json.Obj
+          (List.map
+             (fun b ->
+               ( b.b_name,
+                 Json.Obj
+                   [ ("wall_s", stat_json b.wall_s); ("alloc_w", stat_json b.alloc_w) ]
+               ))
+             r.benches) );
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters));
+    ]
+
+let bad msg = Fault.fail (Fault.Bad_record msg)
+
+let stat_of_json what j =
+  let num k =
+    match Option.bind (Json.member k j) Json.to_float with
+    | Some x -> x
+    | None -> bad (Printf.sprintf "perf record: %s missing %S" what k)
+  in
+  { median = num "median"; mad = num "mad" }
+
+let record_of_json j =
+  (match Json.member "schema" j with
+  | Some (Json.String s) when s = schema -> ()
+  | Some (Json.String s) ->
+    bad (Printf.sprintf "perf record: unsupported schema %S (want %S)" s schema)
+  | Some _ | None -> bad "perf record: missing schema marker");
+  let str k =
+    match Option.bind (Json.member k j) Json.to_string_opt with
+    | Some s -> s
+    | None -> bad (Printf.sprintf "perf record: missing %S" k)
+  in
+  let benches =
+    match Json.member "benches" j with
+    | Some (Json.Obj fields) ->
+      List.map
+        (fun (name, v) ->
+          {
+            b_name = name;
+            wall_s =
+              (match Json.member "wall_s" v with
+              | Some s -> stat_of_json (name ^ ".wall_s") s
+              | None -> bad (Printf.sprintf "perf record: %s missing wall_s" name));
+            alloc_w =
+              (match Json.member "alloc_w" v with
+              | Some s -> stat_of_json (name ^ ".alloc_w") s
+              | None -> bad (Printf.sprintf "perf record: %s missing alloc_w" name));
+          })
+        fields
+    | _ -> bad "perf record: missing benches object"
+  in
+  let counters =
+    match Json.member "counters" j with
+    | Some (Json.Obj fields) ->
+      List.map
+        (fun (name, v) ->
+          match Json.to_int v with
+          | Some n -> (name, n)
+          | None -> bad (Printf.sprintf "perf record: counter %S not an int" name))
+        fields
+    | _ -> bad "perf record: missing counters object"
+  in
+  let sorted_by name l = List.sort (fun a b -> compare (name a) (name b)) l in
+  {
+    rev = str "rev";
+    time_s =
+      (match Option.bind (Json.member "time_s" j) Json.to_float with
+      | Some t -> t
+      | None -> bad "perf record: missing time_s");
+    config_crc = str "config_crc";
+    reps =
+      (match Option.bind (Json.member "reps" j) Json.to_int with
+      | Some n -> n
+      | None -> bad "perf record: missing reps");
+    benches = sorted_by (fun b -> b.b_name) benches;
+    counters = sorted_by fst counters;
+  }
+
+(* --- the ledger file --------------------------------------------------- *)
+
+(* Each line wraps the record behind a CRC-32 of its compact rendering:
+   [{"crc":"<hex8>","record":{...}}].  The wrapper is itself strict JSON,
+   so generic JSONL tooling (jq -c, etc.) reads the file too. *)
+let line_of_record r =
+  let body = Json.to_string (record_json r) in
+  Printf.sprintf "{\"crc\":%S,\"record\":%s}"
+    (Checksum.to_hex (Checksum.string body))
+    body
+
+let record_of_line line =
+  match Json.of_string line with
+  | Error msg -> bad (Printf.sprintf "perf ledger line is not JSON: %s" msg)
+  | Ok j -> (
+    let stored =
+      match Option.bind (Json.member "crc" j) Json.to_string_opt with
+      | Some hex -> (
+        match Checksum.of_hex hex with
+        | Some crc -> crc
+        | None -> bad (Printf.sprintf "perf ledger line: malformed crc %S" hex))
+      | None -> bad "perf ledger line: missing crc"
+    in
+    match Json.member "record" j with
+    | None -> bad "perf ledger line: missing record"
+    | Some rj ->
+      let computed = Checksum.string (Json.to_string rj) in
+      if stored <> computed then
+        Fault.fail (Fault.Checksum_mismatch { stored; computed });
+      record_of_json rj)
+
+(* A crash mid-append can leave the file without a final newline.  A
+   later append must not glue its record onto that torn tail — probe the
+   last byte and start a fresh line if needed, so the damage stays
+   confined to the one truncated line [load] already knows to skip. *)
+let ends_with_newline path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> true
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let len = Unix.lseek fd 0 Unix.SEEK_END in
+        if len = 0 then true
+        else begin
+          ignore (Unix.lseek fd (len - 1) Unix.SEEK_SET);
+          let b = Bytes.create 1 in
+          Unix.read fd b 0 1 = 1 && Bytes.get b 0 = '\n'
+        end)
+
+let append path r =
+  Fault.io_point ~op:(Printf.sprintf "append perf ledger %s" path);
+  let line = line_of_record r ^ "\n" in
+  let line = if ends_with_newline path then line else "\n" ^ line in
+  match
+    let fd =
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        (* One write call for the whole line: O_APPEND makes concurrent
+           recorders interleave at line granularity, never mid-record. *)
+        let n = Unix.write_substring fd line 0 (String.length line) in
+        if n <> String.length line then
+          Fault.fail
+            (Fault.Io_error (Printf.sprintf "short append to perf ledger %s" path)))
+  with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Fault.fail
+      (Fault.Io_error
+         (Printf.sprintf "append perf ledger %s: %s" path (Unix.error_message e)))
+
+type skipped = { line : int; fault : Fault.error }
+
+let load path =
+  if not (Sys.file_exists path) then ([], [])
+  else
+  let contents = Fault.read_file path in
+  let lines = String.split_on_char '\n' contents in
+  let total = List.length lines in
+  let records = ref [] and faults = ref [] in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then
+        match Fault.result (fun () -> record_of_line line) with
+        | Ok r -> records := r :: !records
+        | Error e ->
+          (* A cut-off final line is the signature of a torn append (or a
+             crash mid-write): report it as a truncation, not a generic
+             bad record, so callers can tell tail damage from interior
+             corruption. *)
+          let e =
+            match e with
+            | Fault.Bad_record _ when i = total - 1 || (i = total - 2 && List.nth lines (total - 1) = "") ->
+              Fault.Truncated (Printf.sprintf "perf ledger %s tail" path)
+            | e -> e
+          in
+          faults := { line = i + 1; fault = e } :: !faults)
+    lines;
+  (List.rev !records, List.rev !faults)
+
+let load_result path = Fault.result (fun () -> load path)
+
+(* --- the regression gate ---------------------------------------------- *)
+
+type verdict = {
+  v_bench : string;
+  v_metric : string;
+  v_current : float;
+  v_baseline : float;
+  v_limit : float;
+  v_ok : bool;
+}
+
+let last n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let find_bench name r = List.find_opt (fun b -> b.b_name = name) r.benches
+
+(* Noise-aware band for one latency metric: the baseline is the median
+   of the window's medians; the noise scale is the larger of the MAD of
+   those medians (between-session noise) and the median of the recorded
+   MADs (within-session noise).  The current median must stay under
+   baseline * (1 + min_band) + mad_factor * noise. *)
+let banded ~mad_factor ~min_band ~bench ~metric ~current ~stats =
+  match stats with
+  | [] -> None
+  | _ ->
+    let medians = Array.of_list (List.map (fun s -> s.median) stats) in
+    let baseline = Trg_util.Stats.median medians in
+    let between = (robust medians).mad in
+    let within =
+      Trg_util.Stats.median (Array.of_list (List.map (fun s -> s.mad) stats))
+    in
+    let noise = Float.max between within in
+    let limit = (baseline *. (1. +. min_band)) +. (mad_factor *. noise) in
+    Some
+      {
+        v_bench = bench;
+        v_metric = metric;
+        v_current = current;
+        v_baseline = baseline;
+        v_limit = limit;
+        v_ok = current <= limit;
+      }
+
+let gate ?(window = 5) ?(mad_factor = 6.) ?(min_band = 0.25)
+    ?(counter_tolerance = 0.) ~history current =
+  let window_records = last window history in
+  let latency =
+    List.concat_map
+      (fun b ->
+        let stats_of f =
+          List.filter_map
+            (fun r -> Option.map f (find_bench b.b_name r))
+            window_records
+        in
+        List.filter_map Fun.id
+          [
+            banded ~mad_factor ~min_band ~bench:b.b_name ~metric:"wall_s"
+              ~current:b.wall_s.median
+              ~stats:(stats_of (fun x -> x.wall_s));
+            banded ~mad_factor ~min_band ~bench:b.b_name ~metric:"alloc_w"
+              ~current:b.alloc_w.median
+              ~stats:(stats_of (fun x -> x.alloc_w));
+          ])
+      current.benches
+  in
+  (* Deterministic counters are machine-independent: compare against the
+     most recent record that carries each one, with a plain relative
+     tolerance (default exact).  Drift in either direction fails — a
+     counter that moved means the work profile changed, and the ledger
+     should be re-recorded deliberately, not silently. *)
+  let counter_baseline name =
+    List.fold_left
+      (fun acc r ->
+        match List.assoc_opt name r.counters with Some v -> Some v | None -> acc)
+      None window_records
+  in
+  let counters =
+    List.filter_map
+      (fun (name, v) ->
+        match counter_baseline name with
+        | None -> None
+        | Some base ->
+          let basef = float_of_int base and curf = float_of_int v in
+          let rel =
+            if basef = curf then 0.
+            else Float.abs (curf -. basef) /. Float.max 1. (Float.abs basef)
+          in
+          Some
+            {
+              v_bench = name;
+              v_metric = "counter";
+              v_current = curf;
+              v_baseline = basef;
+              v_limit = counter_tolerance;
+              v_ok = rel <= counter_tolerance;
+            })
+      current.counters
+  in
+  latency @ counters
+
+let regressions verdicts = List.filter (fun v -> not v.v_ok) verdicts

@@ -1,0 +1,133 @@
+(** The continuous-performance ledger.
+
+    An append-only JSONL file is the project's performance memory: each
+    line holds one measurement session — per-benchmark robust statistics
+    (median + MAD over N repetitions of wall time and allocation) plus
+    the deterministic work counters ([cost/incr/*], [pool/*], [sim/*])
+    that explain them — keyed by git revision, config checksum and a
+    caller-supplied timestamp.
+
+    Every line is guarded by a CRC-32 of the record's compact rendering
+    ([{"crc":"<hex8>","record":{...}}]), and appends are a single
+    [O_APPEND] write, so concurrent recorders interleave at line
+    granularity and a torn write damages at most the final line.  {!load}
+    skips damaged lines with typed {!Trg_util.Fault.error}s and keeps
+    every intact record — history survives tail truncation and interior
+    corruption alike.
+
+    {!gate} turns the ledger into a noise-aware regression check: wall
+    and allocation medians must stay inside a band derived from the
+    recent window's own dispersion (x·MAD above the window median), while
+    deterministic counters — machine-independent by construction — are
+    compared at a plain relative tolerance (exact by default). *)
+
+val schema : string
+(** ["trgplace-perf/1"], embedded in every record. *)
+
+(** {2 Robust statistics} *)
+
+type stat = { median : float; mad : float }
+
+val robust : float array -> stat
+(** Median and median-absolute-deviation of a non-empty sample.  Raises
+    [Invalid_argument] on an empty array. *)
+
+(** {2 Records} *)
+
+type bench = {
+  b_name : string;
+  wall_s : stat;  (** wall-clock seconds per repetition *)
+  alloc_w : stat;  (** words allocated per repetition *)
+}
+
+type record = {
+  rev : string;  (** git revision the measurements belong to *)
+  time_s : float;  (** caller-supplied wall-clock timestamp *)
+  config_crc : string;  (** checksum of the recording configuration *)
+  reps : int;  (** repetitions behind each [stat] *)
+  benches : bench list;  (** sorted by [b_name] *)
+  counters : (string * int) list;
+      (** deterministic counters captured during one repetition; sorted *)
+}
+
+val record_json : record -> Json.t
+val record_of_json : Json.t -> record
+(** Raises {!Trg_util.Fault.Error} ([Bad_record]) on shape or schema
+    mismatch. *)
+
+(** {2 The ledger file} *)
+
+val line_of_record : record -> string
+(** One CRC-guarded JSONL line (no trailing newline). *)
+
+val record_of_line : string -> record
+(** Inverse of {!line_of_record}.  Raises {!Trg_util.Fault.Error}:
+    [Bad_record] for malformed JSON or shape, [Checksum_mismatch] when
+    the guard disagrees with the body. *)
+
+val append : string -> record -> unit
+(** [append path r] appends one line to the ledger at [path] (creating
+    it if missing) with a single [O_APPEND] write.  If the existing file
+    ends mid-line (a torn earlier append), a newline is inserted first
+    so the new record starts fresh and the damage stays confined to the
+    one truncated line.  Raises {!Trg_util.Fault.Error} ([Io_error]) and
+    consults the ambient fault injector. *)
+
+type skipped = { line : int; fault : Trg_util.Fault.error }
+(** A damaged ledger line: 1-based line number and why it was skipped.
+    An unparsable {e final} line is reported as [Truncated] (the
+    signature of a torn append); interior damage stays [Bad_record] or
+    [Checksum_mismatch]. *)
+
+val load : string -> record list * skipped list
+(** All intact records in file order, plus the damaged lines that were
+    skipped.  A missing file is an empty ledger.  Raises
+    {!Trg_util.Fault.Error} only if the file exists but cannot be
+    read. *)
+
+val load_result :
+  string -> (record list * skipped list, Trg_util.Fault.error) result
+
+(** {2 The regression gate} *)
+
+type verdict = {
+  v_bench : string;  (** benchmark name, or counter name *)
+  v_metric : string;  (** ["wall_s"], ["alloc_w"] or ["counter"] *)
+  v_current : float;
+  v_baseline : float;  (** window median (latency) or last value (counter) *)
+  v_limit : float;  (** band upper edge, or the counter tolerance *)
+  v_ok : bool;
+}
+
+val gate :
+  ?window:int ->
+  ?mad_factor:float ->
+  ?min_band:float ->
+  ?counter_tolerance:float ->
+  history:record list ->
+  record ->
+  verdict list
+(** [gate ~history current] compares [current] against the last [window]
+    (default 5) ledger records.
+
+    For each benchmark metric (wall, alloc): the baseline is the median
+    of the window's recorded medians; the noise scale is the larger of
+    the MAD of those medians (between-session) and the median of the
+    recorded MADs (within-session); the verdict passes iff
+
+    {[ current.median <= baseline * (1 + min_band) + mad_factor * noise ]}
+
+    with [mad_factor] defaulting to [6.] and [min_band] (a relative
+    floor that keeps near-zero-noise windows from over-triggering) to
+    [0.25].
+
+    Deterministic counters are compared against the most recent window
+    record carrying them at relative tolerance [counter_tolerance]
+    (default [0.] — exact); drift in {e either} direction fails, since a
+    moved counter means the work profile changed and the ledger should
+    be re-recorded deliberately.
+
+    Benchmarks or counters with no history are skipped (no verdict). *)
+
+val regressions : verdict list -> verdict list
+(** The failing subset. *)

@@ -8,6 +8,7 @@ type record = {
   wall_s : float;
   alloc_words : float;
   outcome : outcome;
+  lane : int option;
 }
 
 (* Process epoch for span start times: fixed once at module load, so every
@@ -59,6 +60,7 @@ let leave outcome =
         wall_s;
         alloc_words;
         outcome;
+        lane = None;
       }
       :: !completed
 
@@ -77,7 +79,16 @@ let with_ name f =
 
 let records () = List.rev !completed
 
-let inject rs = completed := List.rev_append rs !completed
+let inject ?lane rs =
+  let rs =
+    match lane with
+    | None -> rs
+    | Some _ ->
+      (* Worker lanes beat any lane recorded inside the worker: the
+         absorbing pool knows which lane actually ran the span. *)
+      List.map (fun r -> { r with lane }) rs
+  in
+  completed := List.rev_append rs !completed
 
 let reset () = completed := []
 
@@ -86,23 +97,32 @@ let to_json () =
     (List.map
        (fun r ->
          Json.Obj
-           [
-             ("name", Json.String r.name);
-             ("path", Json.String r.path);
-             ("depth", Json.Int r.depth);
-             ("start_s", Json.Float r.start_s);
-             ("wall_s", Json.Float r.wall_s);
-             ("alloc_words", Json.Float r.alloc_words);
-             ( "outcome",
-               Json.String (match r.outcome with Finished -> "ok" | Failed -> "failed") );
-           ])
+           ([
+              ("name", Json.String r.name);
+              ("path", Json.String r.path);
+              ("depth", Json.Int r.depth);
+              ("start_s", Json.Float r.start_s);
+              ("wall_s", Json.Float r.wall_s);
+              ("alloc_words", Json.Float r.alloc_words);
+              ( "outcome",
+                Json.String
+                  (match r.outcome with Finished -> "ok" | Failed -> "failed") );
+            ]
+           @ match r.lane with None -> [] | Some l -> [ ("lane", Json.Int l) ]))
        (records ()))
 
 (* Chrome trace-event format: one complete ("ph": "X") event per span,
    timestamps and durations in microseconds.  chrome://tracing and
-   Perfetto both load the {"traceEvents": [...]} envelope. *)
-let chrome_of_spans spans =
+   Perfetto both load the {"traceEvents": [...]} envelope.
+
+   The pid is the exporting process's real pid; the tid is the span's
+   worker lane (0 = the main process, n >= 1 = pool worker n), so a
+   sharded run renders as parallel rows instead of one stacked lane.
+   Metadata events name each lane. *)
+let chrome_of_spans ?pid spans =
+  let pid = match pid with Some p -> p | None -> Unix.getpid () in
   let fallback_clock = ref 0. in
+  let lanes = ref [] in
   let events =
     List.map
       (fun s ->
@@ -127,6 +147,12 @@ let chrome_of_spans spans =
             fallback_clock := t +. dur;
             t
         in
+        let tid =
+          match Option.bind (Json.member "lane" s) Json.to_int with
+          | Some l -> l
+          | None -> 0
+        in
+        if not (List.mem tid !lanes) then lanes := tid :: !lanes;
         Json.Obj
           [
             ("name", Json.String (str "name" "?"));
@@ -134,8 +160,8 @@ let chrome_of_spans spans =
             ("ph", Json.String "X");
             ("ts", Json.Float (1e6 *. ts));
             ("dur", Json.Float (1e6 *. dur));
-            ("pid", Json.Int 1);
-            ("tid", Json.Int 1);
+            ("pid", Json.Int pid);
+            ("tid", Json.Int tid);
             ( "args",
               Json.Obj
                 [
@@ -146,8 +172,31 @@ let chrome_of_spans spans =
           ])
       spans
   in
+  let lane_names =
+    List.map
+      (fun tid ->
+        Json.Obj
+          [
+            ("name", Json.String "thread_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int pid);
+            ("tid", Json.Int tid);
+            ( "args",
+              Json.Obj
+                [
+                  ( "name",
+                    Json.String
+                      (if tid = 0 then "main"
+                       else Printf.sprintf "worker %d" tid) );
+                ] );
+          ])
+      (List.sort compare !lanes)
+  in
   Json.Obj
-    [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ms") ]
+    [
+      ("traceEvents", Json.List (lane_names @ events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
 
 let to_chrome () =
   match to_json () with

@@ -22,6 +22,11 @@ type record = {
       (** words allocated during the span (minor + major - promoted),
           clamped to [>= 0.] *)
   outcome : outcome;  (** [Failed] when the body raised *)
+  lane : int option;
+      (** Worker lane that ran the span: [None] (rendered as lane 0) for
+          spans recorded in the main process, [Some n] for spans absorbed
+          from pool worker [n] (see {!inject}).  Lane numbers count
+          worker spawns, so a respawned worker gets a fresh lane. *)
 }
 
 val set_enabled : bool -> unit
@@ -37,22 +42,28 @@ val records : unit -> record list
 val reset : unit -> unit
 (** Forgets all completed spans (open spans are unaffected). *)
 
-val inject : record list -> unit
+val inject : ?lane:int -> record list -> unit
 (** Appends already-completed records (in the given order) after the
     current ones.  The evaluation worker pool uses this to graft spans
     recorded in forked workers into the parent's record list; [start_s]
     values remain comparable because forked children inherit the parent's
-    span epoch. *)
+    span epoch.  [?lane] stamps every injected record with the worker
+    lane that produced it (overriding any lane recorded inside the
+    worker — the absorbing pool is authoritative). *)
 
 val to_json : unit -> Json.t
 (** [List] of span objects in completion order: [name], [path], [depth],
-    [start_s], [wall_s], [alloc_words], [outcome] ("ok" / "failed"). *)
+    [start_s], [wall_s], [alloc_words], [outcome] ("ok" / "failed"), and
+    [lane] when the span came from a pool worker. *)
 
-val chrome_of_spans : Json.t list -> Json.t
+val chrome_of_spans : ?pid:int -> Json.t list -> Json.t
 (** Converts a manifest's span list (the objects of {!to_json}) to the
     Chrome trace-event format — an [{"traceEvents": [...]}] envelope of
     complete ("ph":"X") events with microsecond timestamps — loadable in
-    chrome://tracing and Perfetto.  Spans without [start_s] (manifests
+    chrome://tracing and Perfetto.  The [pid] defaults to the exporting
+    process's real pid; each span's [tid] is its worker lane (0 = main
+    process), with metadata events naming the lanes, so sharded runs
+    render as parallel timelines.  Spans without [start_s] (manifests
     older than schema 2) are laid end to end as an approximation. *)
 
 val to_chrome : unit -> Json.t

@@ -6,8 +6,11 @@ module Json = Trg_obs.Json
 module Metrics = Trg_obs.Metrics
 module Span = Trg_obs.Span
 module Manifest = Trg_obs.Manifest
+module Perf = Trg_obs.Perf
+module Fault = Trg_util.Fault
 module Report = Trg_eval.Report
 module Runner = Trg_eval.Runner
+module Perfrun = Trg_eval.Perfrun
 
 (* --- JSON ------------------------------------------------------------ *)
 
@@ -369,17 +372,22 @@ let test_chrome_trace_export () =
             (r.Span.name ^ " has a start offset") true (r.Span.start_s >= 0.))
         records;
       let trace = Span.to_chrome () in
-      let events =
+      let all_events =
         match Json.member "traceEvents" trace with
         | Some (Json.List l) -> l
         | _ -> Alcotest.fail "no traceEvents member"
       in
-      Alcotest.(check int) "one event per span" (List.length records)
+      (* Besides the complete events, the trace carries "M" metadata
+         events naming each lane (here just the main process). *)
+      let events =
+        List.filter
+          (fun e -> Json.member "ph" e = Some (Json.String "X"))
+          all_events
+      in
+      Alcotest.(check int) "one complete event per span" (List.length records)
         (List.length events);
       List.iter
         (fun e ->
-          Alcotest.(check (option string)) "complete event" (Some "X")
-            (Option.bind (Json.member "ph" e) Json.to_string_opt);
           let non_negative k =
             match Option.bind (Json.member k e) Json.to_float with
             | Some x -> x >= 0.
@@ -406,6 +414,193 @@ let test_chrome_trace_export () =
       let t0_outer, t1_outer = bounds (find "outer") in
       Alcotest.(check bool) "nesting preserved" true
         (t0_outer <= t0_inner && t1_inner <= t1_outer))
+
+(* A trace with spans injected under worker lanes must render each lane
+   as its own Chrome thread: distinct tids, the real pid, and metadata
+   events naming every lane. *)
+let test_chrome_distinct_lanes () =
+  with_spans (fun () ->
+      ignore (Span.with_ "main-work" (fun () -> ()));
+      let base = Span.records () in
+      Span.inject ~lane:1 base;
+      Span.inject ~lane:2 base;
+      let events =
+        match Json.member "traceEvents" (Span.to_chrome ()) with
+        | Some (Json.List l) -> l
+        | _ -> Alcotest.fail "no traceEvents member"
+      in
+      let phase p e = Json.member "ph" e = Some (Json.String p) in
+      let int_of k e =
+        match Option.bind (Json.member k e) Json.to_int with
+        | Some v -> v
+        | None -> Alcotest.failf "event without %s" k
+      in
+      let complete = List.filter (phase "X") events in
+      Alcotest.(check (list int)) "one tid per lane, 0 for main" [ 0; 1; 2 ]
+        (List.sort_uniq compare (List.map (int_of "tid") complete));
+      List.iter
+        (fun e ->
+          Alcotest.(check int) "real pid" (Unix.getpid ()) (int_of "pid" e))
+        complete;
+      let lane_names =
+        List.filter (phase "M") events
+        |> List.filter_map (fun e ->
+               Option.bind (Json.member "args" e) (Json.member "name"))
+        |> List.filter_map Json.to_string_opt
+        |> List.sort compare
+      in
+      Alcotest.(check (list string)) "metadata names every lane"
+        [ "main"; "worker 1"; "worker 2" ] lane_names)
+
+(* --- the performance ledger ------------------------------------------ *)
+
+let stat median mad = { Perf.median; mad }
+
+let perf_record ?(rev = "deadbee") ?(counters = []) benches =
+  {
+    Perf.rev;
+    time_s = 0.;
+    config_crc = "00000000";
+    reps = 3;
+    benches =
+      List.sort
+        (fun a b -> compare a.Perf.b_name b.Perf.b_name)
+        (List.map
+           (fun (name, wall) ->
+             { Perf.b_name = name; wall_s = wall; alloc_w = stat 1000. 0. })
+           benches);
+    counters = List.sort compare counters;
+  }
+
+let with_temp_ledger f =
+  let path = Filename.temp_file "trgplace_ledger" ".jsonl" in
+  (* [Perf] treats a missing file as an empty ledger; start from that. *)
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_perf_ledger_roundtrip () =
+  with_temp_ledger (fun path ->
+      Alcotest.(check bool) "missing file is an empty ledger" true
+        (Perf.load path = ([], []));
+      let r1 =
+        perf_record ~rev:"aaa1111"
+          ~counters:[ ("pool/units_ok", 8); ("sim/accesses", 435643) ]
+          [ ("small/gbsc-incr", stat 0.5 0.01); ("small/sim-test", stat 0.25 0.) ]
+      in
+      let r2 = perf_record ~rev:"bbb2222" [ ("small/gbsc-incr", stat 0.5 0.02) ] in
+      Perf.append path r1;
+      Perf.append path r2;
+      let records, skipped = Perf.load path in
+      Alcotest.(check int) "no damage" 0 (List.length skipped);
+      Alcotest.(check bool) "records roundtrip in file order" true
+        (records = [ r1; r2 ]))
+
+let test_perf_ledger_recovery () =
+  with_temp_ledger (fun path ->
+      let r rev m = perf_record ~rev [ ("u", stat m 0.) ] in
+      let r1 = r "aaa0001" 1. and r2 = r "bbb0002" 2. in
+      let r3 = r "ccc0003" 3. and r4 = r "ddd0004" 4. in
+      (* The line wrapper is [{"crc":"<hex8>",...], so index 8 is the
+         first crc hex digit: flipping it keeps the line valid JSON with
+         a well-formed but wrong checksum. *)
+      let flip_crc line =
+        let b = Bytes.of_string line in
+        Bytes.set b 8 (if Bytes.get b 8 = '0' then '1' else '0');
+        Bytes.to_string b
+      in
+      let l4 = Perf.line_of_record r4 in
+      let oc = open_out path in
+      output_string oc (Perf.line_of_record r1 ^ "\n");
+      output_string oc (flip_crc (Perf.line_of_record r2) ^ "\n");
+      output_string oc (Perf.line_of_record r3 ^ "\n");
+      (* A torn final append: half a line, no newline. *)
+      output_string oc (String.sub l4 0 (String.length l4 / 2));
+      close_out oc;
+      let records, skipped = Perf.load path in
+      Alcotest.(check bool) "intact records survive around damage" true
+        (records = [ r1; r3 ]);
+      (match skipped with
+      | [
+       { Perf.line = 2; fault = Fault.Checksum_mismatch _ };
+       { Perf.line = 4; fault = Fault.Truncated _ };
+      ] ->
+        ()
+      | other ->
+        Alcotest.failf "unexpected skip list (%d entries)" (List.length other));
+      (* Appending after the torn tail must start a fresh line, not glue
+         onto the damage. *)
+      Perf.append path r4;
+      let records, skipped = Perf.load path in
+      Alcotest.(check bool) "append after damage recovers" true
+        (records = [ r1; r3; r4 ]);
+      Alcotest.(check int) "old damage still reported" 2 (List.length skipped))
+
+(* Band arithmetic at the exact edge, with binary-exact constants:
+   history wall median 1.0 / MAD 0.25, mad_factor 2, min_band 0.25
+   => limit = 1.0 * 1.25 + 2 * 0.25 = 1.75 with no rounding anywhere. *)
+let test_perf_gate_band_edge () =
+  let history =
+    List.map
+      (fun rev ->
+        perf_record ~rev ~counters:[ ("sim/misses", 100) ]
+          [ ("u", stat 1. 0.25) ])
+      [ "r1"; "r2"; "r3"; "r4"; "r5" ]
+  in
+  let gate ?counter_tolerance current =
+    Perf.gate ~window:5 ~mad_factor:2. ~min_band:0.25 ?counter_tolerance
+      ~history current
+  in
+  let at m = perf_record ~counters:[ ("sim/misses", 100) ] [ ("u", stat m 0.) ] in
+  let wall verdicts =
+    List.find
+      (fun v -> v.Perf.v_bench = "u" && v.Perf.v_metric = "wall_s")
+      verdicts
+  in
+  let v = gate (at 1.75) in
+  let w = wall v in
+  Alcotest.(check (float 0.)) "baseline is the window median" 1. w.Perf.v_baseline;
+  Alcotest.(check (float 0.)) "limit" 1.75 w.Perf.v_limit;
+  Alcotest.(check bool) "at the edge passes" true w.Perf.v_ok;
+  Alcotest.(check int) "nothing regressed" 0 (List.length (Perf.regressions v));
+  let v = gate (at 1.8125) in
+  Alcotest.(check bool) "over the edge fails" false (wall v).Perf.v_ok;
+  (match Perf.regressions v with
+  | [ reg ] ->
+    Alcotest.(check string) "regression names the bench" "u" reg.Perf.v_bench;
+    Alcotest.(check string) "and the metric" "wall_s" reg.Perf.v_metric
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l));
+  (* Counters gate exactly by default; a tolerance admits small drift. *)
+  let drifted =
+    perf_record ~counters:[ ("sim/misses", 101) ] [ ("u", stat 1. 0.) ]
+  in
+  let counter verdicts =
+    List.find (fun v -> v.Perf.v_metric = "counter") verdicts
+  in
+  Alcotest.(check bool) "counter drift fails at default tolerance" false
+    (counter (gate drifted)).Perf.v_ok;
+  Alcotest.(check bool) "tolerance admits small counter drift" true
+    (counter (gate ~counter_tolerance:0.02 drifted)).Perf.v_ok;
+  (* No history, no verdict: a brand-new bench cannot regress. *)
+  Alcotest.(check int) "unknown bench is skipped" 0
+    (List.length (Perf.gate ~history (perf_record [ ("brand-new", stat 9. 0.) ])))
+
+(* The deterministic counters in a ledger record must not depend on the
+   pool's job count — that is what lets the CI gate hold them exactly
+   across runner machines. *)
+let test_perf_counters_jobs_invariant () =
+  let j1 = Perfrun.measure ~reps:1 ~jobs:1 ~rev:"test" ~time_s:0. () in
+  let j2 = Perfrun.measure ~reps:1 ~jobs:2 ~rev:"test" ~time_s:0. () in
+  Alcotest.(check bool) "counters were captured" true
+    (List.length j1.Perf.counters > 0);
+  Alcotest.(check bool) "sim work recorded" true
+    (List.mem_assoc "sim/accesses" j1.Perf.counters);
+  Alcotest.(check bool) "counters are jobs-invariant" true
+    (j1.Perf.counters = j2.Perf.counters);
+  Alcotest.(check (list string)) "one stat row per unit"
+    (List.sort compare (Perfrun.unit_names ()))
+    (List.map (fun b -> b.Perf.b_name) j1.Perf.benches)
 
 (* --- integration with the batch runner ------------------------------- *)
 
@@ -499,6 +694,11 @@ let suite =
     Alcotest.test_case "manifest schema versions" `Quick test_manifest_schema_versions;
     Alcotest.test_case "manifest diff" `Quick test_manifest_diff;
     Alcotest.test_case "chrome trace export" `Quick test_chrome_trace_export;
+    Alcotest.test_case "chrome distinct lanes" `Quick test_chrome_distinct_lanes;
+    Alcotest.test_case "perf ledger roundtrip" `Quick test_perf_ledger_roundtrip;
+    Alcotest.test_case "perf ledger recovery" `Quick test_perf_ledger_recovery;
+    Alcotest.test_case "perf gate band edge" `Quick test_perf_gate_band_edge;
+    Alcotest.test_case "perf counters jobs-invariant" `Quick test_perf_counters_jobs_invariant;
     Alcotest.test_case "failed benchmark in manifest" `Quick test_failed_benchmark_in_manifest;
     Alcotest.test_case "run populates counters" `Quick test_counters_populated_by_run;
   ]

@@ -5,6 +5,7 @@
 module Pool = Trg_eval.Pool
 module Fault = Trg_util.Fault
 module Metrics = Trg_obs.Metrics
+module Span = Trg_obs.Span
 module Report = Trg_eval.Report
 
 (* --- wire format ------------------------------------------------------ *)
@@ -468,6 +469,47 @@ let test_sim_metrics_absorbed_once_with_retry () =
     (List.length (List.filter (fun o -> Result.is_ok o.Pool.value) outcomes));
   Alcotest.(check int) "one increment per unit, not per attempt" 4 work
 
+(* Spans absorbed from pool workers carry the worker's lane, and the two
+   initial workers get distinct lanes.  Deterministic without sleeps:
+   the pool assigns the first [jobs] units to the freshly spawned
+   workers before pumping any replies, so units 0 and 1 necessarily run
+   on different workers. *)
+let test_worker_lane_tagging () =
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_enabled false;
+      Span.reset ())
+    (fun () ->
+      Span.set_enabled true;
+      Span.reset ();
+      let tasks =
+        List.init 4 (fun i ->
+            task
+              (Printf.sprintf "lane-%d" i)
+              (fun () -> Span.with_ "unit-work" (fun () -> i)))
+      in
+      let outcomes = Pool.run ~jobs:2 tasks in
+      Alcotest.(check (list (result int string)))
+        "all units succeeded"
+        (List.init 4 (fun i -> Ok i))
+        (values outcomes);
+      let lanes =
+        List.map
+          (fun r ->
+            match r.Span.lane with
+            | Some l -> l
+            | None -> Alcotest.failf "absorbed span %s has no lane" r.Span.path)
+          (Span.records ())
+      in
+      Alcotest.(check int) "one absorbed span per unit" 4 (List.length lanes);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "lanes are 1-based (0 is the main process)"
+            true (l >= 1))
+        lanes;
+      Alcotest.(check bool) "the two workers carry distinct lanes" true
+        (List.length (List.sort_uniq compare lanes) >= 2))
+
 (* The retry path on the real forked backend: a worker that dies on the
    unit's first dispatch succeeds on the second, because the retry runs
    in a fresh process that can observe the first attempt's side effect. *)
@@ -526,5 +568,7 @@ let suite =
       test_sim_fail_fast_reports_original_fault;
     Alcotest.test_case "sim metrics absorbed once with retry" `Quick
       test_sim_metrics_absorbed_once_with_retry;
+    Alcotest.test_case "worker lanes tagged on absorbed spans" `Quick
+      test_worker_lane_tagging;
     Alcotest.test_case "real retry cures crash" `Quick test_real_retry_cures_crash;
   ]
