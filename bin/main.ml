@@ -7,6 +7,7 @@
 open Cmdliner
 module J = Trg_obs.Json
 module Log = Trg_obs.Log
+module Journal = Trg_obs.Journal
 
 let bench_names = Trg_synth.Bench.names @ [ "small" ]
 
@@ -190,6 +191,49 @@ let metrics_term =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+(* --- decision-journal plumbing ---------------------------------------- *)
+
+let journal_out_term =
+  let doc =
+    "Record a merge-decision journal — one record per merge decision: the \
+     chosen pair, winning weight, runner-up candidate and margin, group \
+     sizes, and GBSC's offset with its conflict cost — and write it to \
+     $(docv) (CRC-guarded, atomic).  The journalled placement runs \
+     in-process on the first selected benchmark (pool workers cannot feed \
+     the journal).  Verify with $(b,trgplace replay); interrogate with \
+     $(b,trgplace why)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal-out" ] ~docv:"FILE" ~doc)
+
+let journal_algo_term =
+  let doc = "Algorithm whose decisions to journal." in
+  Arg.(
+    value
+    & opt (enum [ ("gbsc", "gbsc"); ("ph", "ph"); ("hkc", "hkc"); ("gbsc-sa", "gbsc-sa") ]) "gbsc"
+    & info [ "journal-algo" ] ~docv:"ALGO" ~doc)
+
+(* The manifest's "journal" member: enough to find the file and check it
+   is the one the run wrote (schema, step count, layout CRC). *)
+let journal_manifest_json ~path (j : Journal.t) =
+  J.Obj
+    [
+      ("schema", J.String Journal.schema);
+      ("path", J.String path);
+      ("algo", J.String j.Journal.meta.Journal.algo);
+      ("source", J.String j.Journal.meta.Journal.source);
+      ("engine", J.String j.Journal.meta.Journal.engine);
+      ("steps", J.Int (Array.length j.Journal.decisions));
+      ( "layout_crc",
+        J.String (Printf.sprintf "%08x" j.Journal.claims.Journal.layout_crc) );
+    ]
+
+let save_journal path j =
+  Journal.save path j;
+  Log.info (fun m ->
+      m "wrote decision journal %s (%d steps)" path
+        (Array.length j.Journal.decisions));
+  journal_manifest_json ~path j
+
 let config_json (o : Trg_eval.Report.options) =
   [
     ("runs", J.Int o.Trg_eval.Report.runs);
@@ -212,24 +256,47 @@ let config_json (o : Trg_eval.Report.options) =
 (* Manifest writing wraps every command outcome, so a failed run still
    leaves a machine-readable record of how far it got.  [explain] embeds
    a miss-attribution summary when the command produced one. *)
-let finish_run ~command ~config ?explain metrics_out status code =
+let finish_run ~command ~config ?explain ?journal metrics_out status code =
   (match metrics_out with
   | None -> ()
   | Some path ->
     let manifest =
       Trg_obs.Manifest.build ~command ~argv:(Array.to_list Sys.argv) ~config
-        ?explain ~status ~exit_code:code ()
+        ?explain ?journal ~status ~exit_code:code ()
     in
     Trg_obs.Manifest.write path manifest;
     Log.info (fun m -> m "wrote run manifest %s" path));
   if code <> 0 then exit code
 
 let experiment name doc f =
-  let run options metrics_out =
+  let run options metrics_out journal_out journal_algo =
     if metrics_out <> None then Trg_obs.Span.set_enabled true;
-    let finish = finish_run ~command:name ~config:(config_json options) metrics_out in
+    let finish ?journal status code =
+      finish_run ~command:name ~config:(config_json options) ?journal
+        metrics_out status code
+    in
+    (* One extra in-process placement on the first selected benchmark:
+       the experiment's own placements may run inside forked pool
+       workers, which cannot feed the process-global journal. *)
+    let record_journal () =
+      match journal_out with
+      | None -> None
+      | Some path ->
+        let shape = List.hd options.Trg_eval.Report.benches in
+        let runner = Trg_eval.Runner.prepare shape in
+        let j, _layout = Trg_eval.Replay.record ~algo:journal_algo runner in
+        let member = save_journal path j in
+        Printf.printf "wrote decision journal %s (%d steps)\n" path
+          (Array.length j.Journal.decisions);
+        Some member
+    in
     match Trg_obs.Span.with_ name (fun () -> f options) with
-    | [] -> finish Trg_obs.Manifest.Ok 0
+    | [] -> (
+      match record_journal () with
+      | journal -> finish ?journal Trg_obs.Manifest.Ok 0
+      | exception Failure msg ->
+        Log.err (fun m -> m "journal: %s" msg);
+        finish Trg_obs.Manifest.Failed 1)
     | failures ->
       Trg_eval.Report.print_summary failures;
       (* Partial failure: results above are valid, but not complete. *)
@@ -238,7 +305,11 @@ let experiment name doc f =
       Log.err (fun m -> m "%s" msg);
       finish Trg_obs.Manifest.Failed 1
   in
-  let term = Term.(const run $ options_term $ metrics_term) in
+  let term =
+    Term.(
+      const run $ options_term $ metrics_term $ journal_out_term
+      $ journal_algo_term)
+  in
   Cmd.v (Cmd.info name ~doc) term
 
 let demo_cmd =
@@ -561,7 +632,7 @@ let explain_cmd =
       & info [ "trace"; "t" ] ~docv:"FILE" ~doc:"Trace file (file-triple mode).")
   in
   let run verbose bench quick algos train raw top intervals json_out program_f
-      layout_f trace_f cache cost_engine metrics_out =
+      layout_f trace_f cache cost_engine metrics_out journal_out journal_algo =
     setup_logs verbose;
     Trg_place.Cost.set_engine cost_engine;
     if intervals <= 0 then begin
@@ -584,6 +655,13 @@ let explain_cmd =
     let body () =
       match (program_f, layout_f, trace_f) with
       | Some pf, Some lf, Some tf ->
+        if journal_out <> None then begin
+          Log.err (fun m ->
+              m
+                "explain: --journal-out needs a prepared benchmark; it does \
+                 not work in file-triple mode");
+          exit 2
+        end;
         let program = retrying (fun () -> Trg_program.Serial.load_program pf) in
         let layout = retrying (fun () -> Trg_program.Serial.load_layout program lf) in
         let trace = retrying (fun () -> Trg_trace.Io.load tf) in
@@ -594,12 +672,13 @@ let explain_cmd =
           Trg_profile.Trg.build_select
             ~capacity_bytes:(2 * cache.Trg_cache.Config.size) program trace
         in
-        Trg_eval.Explain.make ~intervals
-          ~source:(Printf.sprintf "%s + %s" (Filename.basename pf) (Filename.basename lf))
-          ~trace_label:(Filename.basename tf) ~cache
-          ~trg_weight:(Trg_profile.Graph.weight built.Trg_profile.Trg.graph)
-          ~program ~trace ~raw
-          [ (Filename.basename lf, layout) ]
+        ( Trg_eval.Explain.make ~intervals
+            ~source:(Printf.sprintf "%s + %s" (Filename.basename pf) (Filename.basename lf))
+            ~trace_label:(Filename.basename tf) ~cache
+            ~trg_weight:(Trg_profile.Graph.weight built.Trg_profile.Trg.graph)
+            ~program ~trace ~raw
+            [ (Filename.basename lf, layout) ],
+          None )
       | None, None, None ->
         let name =
           match (bench, quick) with
@@ -613,7 +692,23 @@ let explain_cmd =
         let algos =
           match algos with [] -> Trg_eval.Explain.default_algos | l -> l
         in
-        Trg_eval.Explain.of_runner ~intervals ~use_train:train ~raw ~algos r
+        (* Arm before the diagnosis so the journalled algorithm's own
+           placement (if diagnosed) is the one captured; otherwise run
+           it once more, explicitly, after the report is built. *)
+        if journal_out <> None then Journal.arm ~algo:journal_algo ~source:name;
+        let e = Trg_eval.Explain.of_runner ~intervals ~use_train:train ~raw ~algos r in
+        let journal =
+          match journal_out with
+          | None -> None
+          | Some path ->
+            let j =
+              match Journal.take () with
+              | Some j -> j
+              | None -> fst (Trg_eval.Replay.record ~algo:journal_algo r)
+            in
+            Some (path, j, save_journal path j)
+        in
+        (e, journal)
       | _ ->
         Log.err (fun m ->
             m "explain: give all of --program/--layout/--trace, or none");
@@ -627,16 +722,22 @@ let explain_cmd =
       finish_run ~command:"explain" ~config metrics_out Trg_obs.Manifest.Failed 1
     in
     match Trg_obs.Span.with_ "explain" body with
-    | e ->
+    | e, jopt ->
       Trg_eval.Explain.print ~top e;
       (match json_out with
       | None -> ()
       | Some path ->
         Trg_obs.Manifest.write path (Trg_eval.Explain.to_json ~top e);
         Printf.printf "\nwrote JSON report %s\n" path);
+      (match jopt with
+      | None -> ()
+      | Some (path, j, _) ->
+        Printf.printf "\nwrote decision journal %s (%d steps)\n" path
+          (Array.length j.Journal.decisions));
       finish_run ~command:"explain" ~config
-        ~explain:(Trg_eval.Explain.summary_json e) metrics_out
-        Trg_obs.Manifest.Ok 0
+        ~explain:(Trg_eval.Explain.summary_json e)
+        ?journal:(Option.map (fun (_, _, member) -> member) jopt)
+        metrics_out Trg_obs.Manifest.Ok 0
     | exception Failure msg -> failed msg
     | exception Invalid_argument msg -> failed msg
     | exception Sys_error msg -> failed msg
@@ -646,7 +747,7 @@ let explain_cmd =
     Term.(
       const run $ verbose_term $ bench $ quick $ algos $ train $ raw $ top
       $ intervals $ json_out $ program_f $ layout_f $ trace_f $ cache_term
-      $ cost_engine_term $ metrics_term)
+      $ cost_engine_term $ metrics_term $ journal_out_term $ journal_algo_term)
 
 let compare_cmd =
   let doc =
@@ -776,7 +877,28 @@ let stats_cmd =
             "Export the manifest's spans as Chrome trace-event JSON to \
              $(docv) (loadable in chrome://tracing or Perfetto).")
   in
-  let run render_tables file json_flag chrome_out =
+  let only =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~docv:"PREFIX"
+          ~doc:
+            "Show only metrics under $(docv) (repeatable).  A prefix \
+             matches the full metric name (e.g. counters/sim/) or the name \
+             after its kind segment (e.g. sim/) — the same semantics as \
+             $(b,trgplace compare --only).  Applies to counters, gauges \
+             and histograms, in both table and $(b,--json) output.")
+  in
+  let run render_tables file json_flag chrome_out only =
+    (* Same prefix semantics as [compare --only]: the full "kind/name"
+       or just the name after the kind segment. *)
+    let metric_selected kind name =
+      only = []
+      || List.exists
+           (fun p ->
+             String.starts_with ~prefix:p (kind ^ "/" ^ name)
+             || String.starts_with ~prefix:p name)
+           only
+    in
     let fail msg =
       Log.err (fun m -> m "%s: %s" file msg);
       exit 1
@@ -801,9 +923,15 @@ let stats_cmd =
           (List.length spans));
     if json_flag then (
       let member_or k d = match J.member k json with Some v -> v | None -> d in
-      let histogram_totals =
-        match J.member "histograms" json with
+      let filtered kind k =
+        match J.member k json with
         | Some (J.Obj fields) ->
+          J.Obj (List.filter (fun (name, _) -> metric_selected kind name) fields)
+        | _ -> J.Obj []
+      in
+      let histogram_totals =
+        match filtered "histograms" "histograms" with
+        | J.Obj fields ->
           J.Obj
             (List.map
                (fun (k, v) ->
@@ -826,8 +954,8 @@ let stats_cmd =
              ("command", member_or "command" J.Null);
              ("status", member_or "status" J.Null);
              ("exit_code", member_or "exit_code" J.Null);
-             ("counters", member_or "counters" (J.Obj []));
-             ("gauges", member_or "gauges" (J.Obj []));
+             ("counters", filtered "counters" "counters");
+             ("gauges", filtered "gauges" "gauges");
              ("histogram_totals", histogram_totals);
              ("span_count", J.Int span_count);
            ]
@@ -837,15 +965,18 @@ let stats_cmd =
           | None -> [])
       in
       print_endline (J.to_string ~indent:2 summary))
-    else render_tables json
+    else render_tables metric_selected json
   in
-  let render_tables json =
+  let render_tables metric_selected json =
     let module Table = Trg_util.Table in
     let str k =
       match J.member k json with Some (J.String s) -> s | _ -> "?"
     in
     let obj_fields k =
       match J.member k json with Some (J.Obj fields) -> fields | _ -> []
+    in
+    let metric_fields k =
+      List.filter (fun (name, _) -> metric_selected k name) (obj_fields k)
     in
     let left2 = [ Table.Left; Table.Left ] in
     Table.section (Printf.sprintf "RUN MANIFEST — %s (%s)" (str "command") (str "status"));
@@ -886,7 +1017,7 @@ let stats_cmd =
              in
              [ k; rendered ])
            fields));
-    (match obj_fields "counters" with
+    (match metric_fields "counters" with
     | [] -> ()
     | fields ->
       print_newline ();
@@ -895,7 +1026,7 @@ let stats_cmd =
            (fun (k, v) ->
              [ k; (match J.to_int v with Some n -> Table.fmt_int n | None -> "?") ])
            fields));
-    (match obj_fields "gauges" with
+    (match metric_fields "gauges" with
     | [] -> ()
     | fields ->
       print_newline ();
@@ -904,7 +1035,7 @@ let stats_cmd =
            (fun (k, v) ->
              [ k; (match J.to_float v with Some x -> Table.fmt_float x | None -> "?") ])
            fields));
-    (match obj_fields "histograms" with
+    (match metric_fields "histograms" with
     | [] -> ()
     | fields ->
       print_newline ();
@@ -965,7 +1096,203 @@ let stats_cmd =
            spans))
   in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const (run render_tables) $ file $ json_flag $ chrome_out)
+    Term.(const (run render_tables) $ file $ json_flag $ chrome_out $ only)
+
+let replay_cmd =
+  let doc =
+    "Re-drive a recorded merge-decision journal (from $(b,--journal-out)) \
+     through the placement search in forced-choice mode and verify every \
+     claim bit-exactly: each step's pair, weight, runner-up and margin, \
+     GBSC's offsets and conflict costs, the summed decision weight and \
+     the final layout's CRC-32.  Offsets and costs are recomputed with \
+     the $(b,--cost-engine) in force, so replaying one journal under \
+     $(b,full) and $(b,incr) is also a differential witness that the two \
+     engines agree decision-by-decision.  Exit 0 when every claim \
+     verifies, 1 on any mismatch, 2 when the journal cannot be loaded."
+  in
+  let journal_f =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL" ~doc:"Journal file to verify.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the verification report as one JSON object.")
+  in
+  let run verbose journal_f json_flag cost_engine =
+    setup_logs verbose;
+    Trg_place.Cost.set_engine cost_engine;
+    let j =
+      match Journal.load_result journal_f with
+      | Ok j -> j
+      | Error e ->
+        Log.err (fun m -> m "%s: %s" journal_f (Trg_util.Fault.to_string e));
+        exit 2
+    in
+    let report =
+      match Trg_eval.Replay.verify j with
+      | r -> r
+      | exception Failure msg ->
+        (* Not a mismatch: the journal refers to something this build
+           cannot reconstruct (unknown benchmark or algorithm). *)
+        Log.err (fun m -> m "replay: %s" msg);
+        exit 2
+    in
+    if json_flag then
+      print_endline (J.to_string ~indent:2 (Trg_eval.Replay.report_json report))
+    else begin
+      Printf.printf "replay %s: %s on %s, %d steps, engine %s (recorded %s)\n"
+        journal_f j.Journal.meta.Journal.algo j.Journal.meta.Journal.source
+        (Array.length j.Journal.decisions)
+        report.Trg_eval.Replay.r_engine j.Journal.meta.Journal.engine;
+      match report.Trg_eval.Replay.r_mismatches with
+      | [] ->
+        Printf.printf
+          "verified bit-identical: layout CRC %08x, total decision weight %g\n"
+          j.Journal.claims.Journal.layout_crc
+          j.Journal.claims.Journal.total_weight
+      | ms -> List.iter (fun msg -> Log.err (fun m -> m "replay: %s" msg)) ms
+    end;
+    if not (Trg_eval.Replay.ok report) then exit 1
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ verbose_term $ journal_f $ json_flag $ cost_engine_term)
+
+let why_cmd =
+  let doc =
+    "Answer \"why is this procedure placed next to that one?\" from a \
+     merge-decision journal: the step at which the two procedures' groups \
+     were joined, the winning edge weight, the runner-up candidate it \
+     beat and by what margin, the chosen cache-set offset — joined \
+     against the TRG edge weight and the conflict matrix of the final \
+     layout (what the decision cost in conflict misses).  With one \
+     procedure, shows its group's full merge history."
+  in
+  let bench =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark the placement runs on.")
+  in
+  let proc1 =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"PROC" ~doc:"Procedure name or id.")
+  in
+  let proc2 =
+    Arg.(
+      value
+      & pos 2 (some string) None
+      & info [] ~docv:"PROC2"
+          ~doc:"Second procedure: ask when and why it joined $(i,PROC)'s group.")
+  in
+  let algo =
+    let doc = "Placement algorithm to interrogate." in
+    Arg.(
+      value
+      & opt (enum [ ("gbsc", "gbsc"); ("ph", "ph"); ("hkc", "hkc"); ("gbsc-sa", "gbsc-sa") ]) "gbsc"
+      & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let journal_f =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Use a previously recorded journal instead of recording one \
+             now.  Its source benchmark must be $(i,BENCH); its algorithm \
+             overrides $(b,--algo).")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the answer as one JSON object.")
+  in
+  let top =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"Conflict rows to show.")
+  in
+  let run verbose bench proc1 proc2 algo journal_f json_flag top cache
+      cost_engine =
+    setup_logs verbose;
+    Trg_place.Cost.set_engine cost_engine;
+    let shape = shapes_of_names [ bench ] |> List.hd in
+    let body () =
+      let j, runner, layout =
+        match journal_f with
+        | Some file ->
+          let j =
+            match Journal.load_result file with
+            | Ok j -> j
+            | Error e -> failwith (file ^ ": " ^ Trg_util.Fault.to_string e)
+          in
+          if j.Journal.meta.Journal.source <> bench then
+            failwith
+              (Printf.sprintf
+                 "why: journal %s was recorded on %S, not %S" file
+                 j.Journal.meta.Journal.source bench);
+          let runner = Trg_eval.Replay.prepare_for j.Journal.meta in
+          (* Forced-choice replay: cheap, and fails loudly if the journal
+             does not match this build's profile. *)
+          let layout =
+            Trg_eval.Replay.layout_for ~decisions:j.Journal.decisions
+              ~algo:j.Journal.meta.Journal.algo runner
+          in
+          (j, runner, layout)
+        | None ->
+          let gconfig = Trg_place.Gbsc.default_config ~cache () in
+          let runner = Trg_eval.Runner.prepare ~config:gconfig shape in
+          let j, layout = Trg_eval.Replay.record ~algo runner in
+          (j, runner, layout)
+      in
+      let program = Trg_eval.Runner.program runner in
+      let resolve s =
+        match Trg_program.Program.find_by_name program s with
+        | Some p -> p
+        | None -> (
+          match int_of_string_opt s with
+          | Some p when p >= 0 && p < Trg_program.Program.n_procs program -> p
+          | Some p ->
+            failwith
+              (Printf.sprintf "why: procedure id %d out of range (0..%d)" p
+                 (Trg_program.Program.n_procs program - 1))
+          | None -> failwith (Printf.sprintf "why: unknown procedure %S" s))
+      in
+      let p = resolve proc1 and q = Option.map resolve proc2 in
+      (* The conflict matrix comes from the layout the journal actually
+         produced, normalised the same way [explain] normalises. *)
+      let cache = runner.Trg_eval.Runner.config.Trg_place.Gbsc.cache in
+      let aligned =
+        Trg_program.Layout.line_align
+          ~line_size:cache.Trg_cache.Config.line_size
+          ~n_sets:(Trg_cache.Config.n_sets cache) program layout
+      in
+      let attrib =
+        Trg_cache.Attrib.simulate program aligned cache
+          runner.Trg_eval.Runner.test
+      in
+      let trg_weight =
+        Trg_profile.Graph.weight
+          runner.Trg_eval.Runner.prof.Trg_place.Gbsc.select.Trg_profile.Trg
+            .graph
+      in
+      Trg_eval.Why.analyze ~journal:j ~trg_weight ~attrib
+        ~proc_name:(Trg_program.Program.name program) ~p ?q ()
+    in
+    match Trg_obs.Span.with_ "why" body with
+    | w ->
+      if json_flag then
+        print_endline (J.to_string ~indent:2 (Trg_eval.Why.to_json ~top w))
+      else Trg_eval.Why.print ~top w
+    | exception Failure msg ->
+      Log.err (fun m -> m "%s" msg);
+      exit 1
+  in
+  Cmd.v (Cmd.info "why" ~doc)
+    Term.(
+      const run $ verbose_term $ bench $ proc1 $ proc2 $ algo $ journal_f
+      $ json_flag $ top $ cache_term $ cost_engine_term)
 
 let show_layout_cmd =
   let doc = "Show a layout's cache mapping (per-set occupants)." in
@@ -1542,6 +1869,8 @@ let cmds =
     show_layout_cmd;
     verify_cmd;
     explain_cmd;
+    replay_cmd;
+    why_cmd;
     compare_cmd;
     stats_cmd;
     simtest_cmd;

@@ -66,7 +66,7 @@ let profile config program trace =
   let place = Trg.build_place ~keep ~capacity_bytes:config.q_capacity chunks trace in
   { config; tstats; popularity; chunks; select; place }
 
-let place_nodes config program ~select ~model =
+let place_nodes ?decisions config program ~select ~model =
   validate config;
   let n_sets = Config.n_sets config.cache in
   let line_size = config.cache.Config.line_size in
@@ -115,6 +115,8 @@ let place_nodes config program ~select ~model =
     (match engine with
     | Some eng -> Trg_cache.Incr.apply_merge eng ~fixed:(repr n1) ~moving:(repr n2) ~shift
     | None -> ());
+    if Trg_obs.Journal.recording () then
+      Trg_obs.Journal.annotate ~shift ~cost:cost.(shift);
     Node.union ~shift ~modulo:n_sets n1 n2
   in
   let merges = ref 0 in
@@ -125,7 +127,12 @@ let place_nodes config program ~select ~model =
         m "merge %d: %d + %d procedures" !merges (Node.size n1) (Node.size n2));
     merged
   in
-  let nodes = Merge_driver.run ~graph:select ~init:Node.singleton ~merge in
+  let nodes =
+    match decisions with
+    | None -> Merge_driver.run ~graph:select ~init:Node.singleton ~merge
+    | Some decisions ->
+      Merge_driver.replay ~graph:select ~init:Node.singleton ~merge ~decisions
+  in
   Metrics.add m_merge_steps !merges;
   Metrics.add m_cost_calls !cost_calls;
   Metrics.add m_offset_candidates !offset_candidates;
@@ -135,24 +142,44 @@ let place_nodes config program ~select ~model =
         (List.length nodes) !merges);
   nodes
 
-let place_with ?affinity config program ~select ~model =
+let place_with ?affinity ?(algo = "gbsc") ?decisions config program ~select ~model =
   Metrics.incr m_placements;
-  let nodes = place_nodes config program ~select ~model in
-  let placed = List.concat_map Node.members nodes in
-  let in_nodes = Hashtbl.create 64 in
-  List.iter (fun (p, _) -> Hashtbl.replace in_nodes p ()) placed;
-  let filler = ref [] in
-  for p = Program.n_procs program - 1 downto 0 do
-    if not (Hashtbl.mem in_nodes p) then filler := p :: !filler
-  done;
-  Linearize.layout ?affinity program
-    ~line_size:config.cache.Config.line_size
-    ~n_sets:(Config.n_sets config.cache)
-    ~placed
-    ~filler:(Array.of_list !filler)
+  (* Decision provenance: the first placement matching the armed journal
+     owns the capture; [Merge_driver] records each decision and the merge
+     callback annotates the offset choice.  Unarmed runs pay one branch. *)
+  let journaling =
+    Trg_obs.Journal.begin_run ~algo
+      ~engine:(Cost.engine_name (Cost.engine ()))
+      ~cache:
+        ( config.cache.Config.size,
+          config.cache.Config.line_size,
+          config.cache.Config.assoc )
+  in
+  match
+    let nodes = place_nodes ?decisions config program ~select ~model in
+    let placed = List.concat_map Node.members nodes in
+    let in_nodes = Hashtbl.create 64 in
+    List.iter (fun (p, _) -> Hashtbl.replace in_nodes p ()) placed;
+    let filler = ref [] in
+    for p = Program.n_procs program - 1 downto 0 do
+      if not (Hashtbl.mem in_nodes p) then filler := p :: !filler
+    done;
+    Linearize.layout ?affinity program
+      ~line_size:config.cache.Config.line_size
+      ~n_sets:(Config.n_sets config.cache)
+      ~placed
+      ~filler:(Array.of_list !filler)
+  with
+  | layout ->
+    if journaling then
+      Trg_obs.Journal.finish ~layout_crc:(Layout.digest layout);
+    layout
+  | exception e ->
+    if journaling then Trg_obs.Journal.abort ();
+    raise e
 
-let place program (p : profile) =
-  place_with p.config program ~select:p.select.Trg.graph
+let place ?decisions program (p : profile) =
+  place_with ?decisions p.config program ~select:p.select.Trg.graph
     ~model:(Cost.Trg_chunks { chunks = p.chunks; trg = p.place.Trg.graph })
 
 let place_paged program (p : profile) =

@@ -46,16 +46,21 @@ type profile = {
 val profile : config -> Trg_program.Program.t -> Trg_trace.Trace.t -> profile
 
 val place_nodes :
+  ?decisions:Trg_obs.Journal.decision array ->
   config ->
   Trg_program.Program.t ->
   select:Trg_profile.Graph.t ->
   model:Cost.model ->
   Node.t list
 (** The merging phase alone: returns the final nodes with their
-    cache-relative alignments.  Exposed for tests and ablations. *)
+    cache-relative alignments.  Exposed for tests and ablations.
+    [decisions] switches the merge driver into forced-choice replay
+    ({!Merge_driver.replay}) instead of the greedy search. *)
 
 val place_with :
   ?affinity:(int -> int -> float) ->
+  ?algo:string ->
+  ?decisions:Trg_obs.Journal.decision array ->
   config ->
   Trg_program.Program.t ->
   select:Trg_profile.Graph.t ->
@@ -63,9 +68,19 @@ val place_with :
   Trg_program.Layout.t
 (** Merging plus linearisation, with explicit graphs — the entry point used
     when the caller perturbs the profile graphs.  Procedures absent from
-    [select] (unpopular, or popular but edge-less) become gap filler. *)
+    [select] (unpopular, or popular but edge-less) become gap filler.
 
-val place : Trg_program.Program.t -> profile -> Trg_program.Layout.t
+    [algo] (default ["gbsc"]) is the label offered to the decision
+    journal's {!Trg_obs.Journal.begin_run} handshake — {!Hkc.place} and
+    {!Gbsc_sa.place} pass their own so an armed journal captures exactly
+    the requested algorithm.  [decisions] replays a recorded sequence in
+    forced-choice mode. *)
+
+val place :
+  ?decisions:Trg_obs.Journal.decision array ->
+  Trg_program.Program.t ->
+  profile ->
+  Trg_program.Layout.t
 (** [place program p] runs {!place_with} on the unperturbed profile. *)
 
 val place_paged : Trg_program.Program.t -> profile -> Trg_program.Layout.t

@@ -30,8 +30,9 @@ let profile ?max_between (config : Gbsc.config) program trace =
   in
   { config; popularity; chunks; select; pairs }
 
-let place program (p : profile) =
-  Gbsc.place_with p.config program ~select:p.select.Trg.graph
+let place ?decisions program (p : profile) =
+  Gbsc.place_with ~algo:"gbsc-sa" ?decisions p.config program
+    ~select:p.select.Trg.graph
     ~model:(Cost.Sa_pairs { chunks = p.chunks; db = p.pairs.Pair_db.db })
 
 let run ?max_between config program trace =
@@ -81,7 +82,7 @@ let profile_tuples ?max_between ?arity (config : Gbsc.config) program trace =
    regularise it with a small share of the dense direct-mapped TRG cost so
    uninformed offsets still avoid gratuitous overlap. *)
 let place_tuples ?(trg_share = 0.25) program (p : tuple_profile) =
-  Gbsc.place_with p.tconfig program ~select:p.tselect.Trg.graph
+  Gbsc.place_with ~algo:"gbsc-sa" p.tconfig program ~select:p.tselect.Trg.graph
     ~model:
       (Cost.Blend
          [

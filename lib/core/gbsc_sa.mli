@@ -27,7 +27,13 @@ val profile :
     better choice.  [max_between] bounds the pair enumeration (see
     {!Trg_profile.Pair_db.build_stream}). *)
 
-val place : Trg_program.Program.t -> profile -> Trg_program.Layout.t
+val place :
+  ?decisions:Trg_obs.Journal.decision array ->
+  Trg_program.Program.t ->
+  profile ->
+  Trg_program.Layout.t
+(** Offers itself to an armed decision journal as ["gbsc-sa"];
+    [decisions] replays a recorded sequence in forced-choice mode. *)
 
 val run :
   ?max_between:int ->

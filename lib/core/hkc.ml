@@ -3,10 +3,10 @@ module Popularity = Trg_profile.Popularity
 
 let m_placements = Trg_obs.Metrics.counter "hkc/placements"
 
-let place config program ~wcg ~popularity =
+let place ?decisions config program ~wcg ~popularity =
   Trg_obs.Metrics.incr m_placements;
   let popular_wcg = Graph.filter_nodes (Popularity.keep popularity) wcg in
   Trg_obs.Log.info (fun m ->
       m "HKC: coloring %d popular procedures" (List.length (Graph.nodes popular_wcg)));
-  Gbsc.place_with config program ~select:popular_wcg
+  Gbsc.place_with ~algo:"hkc" ?decisions config program ~select:popular_wcg
     ~model:(Cost.Wcg_procs { wcg = popular_wcg })

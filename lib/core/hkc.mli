@@ -15,6 +15,7 @@
     are exactly the conflict-free colourings) in a uniform framework. *)
 
 val place :
+  ?decisions:Trg_obs.Journal.decision array ->
   Gbsc.config ->
   Trg_program.Program.t ->
   wcg:Trg_profile.Graph.t ->
@@ -22,4 +23,5 @@ val place :
   Trg_program.Layout.t
 (** [place config program ~wcg ~popularity] restricts [wcg] to popular
     procedures, merges with WCG-weighted colouring costs, and linearises.
-    [config.chunk_size] is unused. *)
+    [config.chunk_size] is unused.  Offers itself to an armed decision
+    journal as ["hkc"]; [decisions] replays a recorded sequence. *)

@@ -1,5 +1,6 @@
 module Graph = Trg_profile.Graph
 module Heap = Trg_util.Heap
+module Journal = Trg_obs.Journal
 
 type 'node group = {
   repr : int; (* original node id acting as group identity *)
@@ -14,6 +15,11 @@ let m_pops = Trg_obs.Metrics.counter "merge/heap_pops"
 let m_stale = Trg_obs.Metrics.counter "merge/stale_pops"
 let m_merges = Trg_obs.Metrics.counter "merge/merges"
 
+(* Lazy, like the prof/* histograms: replays only happen on journal
+   verification paths, and an unjournalled run's manifest must not grow a
+   zero-valued merge/replays counter. *)
+let m_replays = lazy (Trg_obs.Metrics.counter "merge/replays")
+
 (* Hot-path profile: per-merge wall time.  Lazy so the [prof/*] histogram
    only exists in the registry (and hence in manifests) when [--profile]
    actually observed something. *)
@@ -22,43 +28,133 @@ let h_merge_us =
     (Trg_obs.Metrics.histogram ~limits:Trg_obs.Prof.us_limits
        "prof/merge/merge_us")
 
-let run ~graph ~init ~merge =
-  let pops = ref 0 and stale_pops = ref 0 and merges = ref 0 in
-  let groups : (int, 'a group) Hashtbl.t = Hashtbl.create 64 in
-  let parent : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let rec find id =
-    let p = Hashtbl.find parent id in
-    if p = id then id
-    else begin
-      let root = find p in
-      Hashtbl.replace parent id root;
-      root
-    end
-  in
+(* The working state shared by the greedy run and the forced-choice
+   replay: live groups keyed by representative, plus the union-find that
+   maps original node ids to their current representative. *)
+type 'node state = {
+  groups : (int, 'node group) Hashtbl.t;
+  parent : (int, int) Hashtbl.t;
+}
+
+let rec find st id =
+  let p = Hashtbl.find st.parent id in
+  if p = id then id
+  else begin
+    let root = find st p in
+    Hashtbl.replace st.parent id root;
+    root
+  end
+
+let init_state ~graph ~init ~on_edge =
+  let st = { groups = Hashtbl.create 64; parent = Hashtbl.create 64 } in
   List.iter
     (fun id ->
-      Hashtbl.replace parent id id;
-      Hashtbl.replace groups id
+      Hashtbl.replace st.parent id id;
+      Hashtbl.replace st.groups id
         { repr = id; payload = init id; count = 1; adj = Hashtbl.create 8 })
     (Graph.nodes graph);
-  let heap = Heap.create () in
   Graph.iter_edges
     (fun u v w ->
-      let gu = Hashtbl.find groups u and gv = Hashtbl.find groups v in
+      let gu = Hashtbl.find st.groups u and gv = Hashtbl.find st.groups v in
       Hashtbl.replace gu.adj v w;
       Hashtbl.replace gv.adj u w;
-      Heap.push heap w (u, v))
+      on_edge u v w)
     graph;
+  st
+
+(* Absorb [gv] into [gu] (or vice versa: the larger group stays fixed and
+   becomes the merge callback's n1).  [on_combined] sees each re-pointed
+   edge with its combined weight — the greedy run pushes it back on the
+   heap, the replay has no heap to maintain. *)
+let apply_merge st ~merge ~on_combined gu gv =
+  let big, small =
+    if gu.count > gv.count || (gu.count = gv.count && gu.repr < gv.repr) then
+      (gu, gv)
+    else (gv, gu)
+  in
+  big.payload <- merge big.payload small.payload;
+  big.count <- big.count + small.count;
+  Hashtbl.replace st.parent small.repr big.repr;
+  Hashtbl.remove st.groups small.repr;
+  Hashtbl.remove big.adj small.repr;
+  Hashtbl.remove small.adj big.repr;
+  (* Re-point the absorbed group's edges at the survivor. *)
+  Hashtbl.iter
+    (fun n wn ->
+      let rn = find st n in
+      if rn <> big.repr then begin
+        let gn = Hashtbl.find st.groups rn in
+        let combined =
+          match Hashtbl.find_opt big.adj rn with
+          | Some existing -> existing +. wn
+          | None -> wn
+        in
+        Hashtbl.replace big.adj rn combined;
+        Hashtbl.replace gn.adj big.repr combined;
+        Hashtbl.remove gn.adj small.repr;
+        on_combined big.repr rn combined
+      end)
+    small.adj;
+  big
+
+(* Groups in output order: decreasing size, ties by ascending repr. *)
+let finalize st =
+  let remaining = Hashtbl.fold (fun _ g acc -> g :: acc) st.groups [] in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare b.count a.count with 0 -> compare a.repr b.repr | c -> c)
+      remaining
+  in
+  List.map (fun g -> g.payload) sorted
+
+(* Journal hook: one record per decision, taken BEFORE the merge mutates
+   the state so sizes and adjacency are the ones the decision saw (and so
+   the algorithm's merge callback can annotate this record with its offset
+   choice).  The runner-up is the entry the heap would surface next if the
+   winner did not exist: the heaviest non-stale entry over a different
+   group pair, ties broken by insertion ordinal exactly like [pop_max].
+   The scan is non-destructive ([Heap.iter_entries]) — pop/re-push would
+   renumber entries and perturb later tie-breaking. *)
+let record_decision st heap ~ru ~rv ~w ~gu ~gv =
+  let best = ref None in
+  Heap.iter_entries heap (fun prio seq (u, v) ->
+      let u' = find st u and v' = find st v in
+      if
+        u' <> v'
+        && (not ((u' = ru && v' = rv) || (u' = rv && v' = ru)))
+        &&
+        match Hashtbl.find_opt (Hashtbl.find st.groups u').adj v' with
+        | Some current -> current = prio
+        | None -> false
+      then
+        match !best with
+        | Some (bp, bs, _, _) when bp > prio || (bp = prio && bs < seq) -> ()
+        | _ -> best := Some (prio, seq, u', v'));
+  let runner_up =
+    Option.map
+      (fun (prio, _, u', v') ->
+        { Journal.r_u = min u' v'; r_v = max u' v'; r_weight = prio })
+      !best
+  in
+  let size_u, size_v = if ru < rv then (gu.count, gv.count) else (gv.count, gu.count) in
+  Journal.record ~u:(min ru rv) ~v:(max ru rv) ~weight:w ~size_u ~size_v
+    ?runner_up ()
+
+let run ~graph ~init ~merge =
+  let pops = ref 0 and stale_pops = ref 0 and merges = ref 0 in
+  let heap = Heap.create () in
+  let st = init_state ~graph ~init ~on_edge:(fun u v w -> Heap.push heap w (u, v)) in
   let rec loop () =
     match Heap.pop_max heap with
     | None -> ()
     | Some (w, (u, v)) ->
       incr pops;
-      let ru = find u and rv = find v in
+      let ru = find st u and rv = find st v in
       let stale =
         ru = rv
         ||
-        let gu = Hashtbl.find groups ru in
+        let gu = Hashtbl.find st.groups ru in
         match Hashtbl.find_opt gu.adj rv with
         | Some current -> current <> w
         | None -> true
@@ -66,41 +162,15 @@ let run ~graph ~init ~merge =
       if stale then incr stale_pops
       else begin
         incr merges;
+        let gu = Hashtbl.find st.groups ru and gv = Hashtbl.find st.groups rv in
+        if Journal.recording () then record_decision st heap ~ru ~rv ~w ~gu ~gv;
         let t0 =
           if Trg_obs.Prof.enabled () then Trg_util.Clock.monotonic () else 0.
         in
-        let gu = Hashtbl.find groups ru and gv = Hashtbl.find groups rv in
-        (* Keep the larger group fixed; it becomes n1. *)
-        let big, small =
-          if
-            gu.count > gv.count
-            || (gu.count = gv.count && gu.repr < gv.repr)
-          then (gu, gv)
-          else (gv, gu)
-        in
-        big.payload <- merge big.payload small.payload;
-        big.count <- big.count + small.count;
-        Hashtbl.replace parent small.repr big.repr;
-        Hashtbl.remove groups small.repr;
-        Hashtbl.remove big.adj small.repr;
-        Hashtbl.remove small.adj big.repr;
-        (* Re-point the absorbed group's edges at the survivor. *)
-        Hashtbl.iter
-          (fun n wn ->
-            let rn = find n in
-            if rn <> big.repr then begin
-              let gn = Hashtbl.find groups rn in
-              let combined =
-                match Hashtbl.find_opt big.adj rn with
-                | Some existing -> existing +. wn
-                | None -> wn
-              in
-              Hashtbl.replace big.adj rn combined;
-              Hashtbl.replace gn.adj big.repr combined;
-              Hashtbl.remove gn.adj small.repr;
-              Heap.push heap combined (big.repr, rn)
-            end)
-          small.adj;
+        ignore
+          (apply_merge st ~merge
+             ~on_combined:(fun a b combined -> Heap.push heap combined (a, b))
+             gu gv);
         if Trg_obs.Prof.enabled () then
           Trg_obs.Metrics.observe (Lazy.force h_merge_us)
             (1e6 *. (Trg_util.Clock.monotonic () -. t0))
@@ -112,11 +182,72 @@ let run ~graph ~init ~merge =
   Trg_obs.Metrics.add m_pops !pops;
   Trg_obs.Metrics.add m_stale !stale_pops;
   Trg_obs.Metrics.add m_merges !merges;
-  let remaining = Hashtbl.fold (fun _ g acc -> g :: acc) groups [] in
-  let sorted =
-    List.sort
-      (fun a b ->
-        match compare b.count a.count with 0 -> compare a.repr b.repr | c -> c)
-      remaining
+  finalize st
+
+let replay ~graph ~init ~merge ~decisions =
+  Trg_obs.Metrics.incr (Lazy.force m_replays);
+  let st = init_state ~graph ~init ~on_edge:(fun _ _ _ -> ()) in
+  let fail step fmt =
+    Printf.ksprintf
+      (fun msg -> failwith (Printf.sprintf "replay: step %d: %s" step msg))
+      fmt
   in
-  List.map (fun g -> g.payload) sorted
+  Array.iter
+    (fun (d : Journal.decision) ->
+      let step = d.Journal.step in
+      let group_of what id =
+        match Hashtbl.find_opt st.groups id with
+        | Some g -> g
+        | None -> fail step "%s %d is not a live group" what id
+      in
+      let gu = group_of "group" d.Journal.d_u
+      and gv = group_of "group" d.Journal.d_v in
+      (match Hashtbl.find_opt gu.adj d.Journal.d_v with
+      | Some w when w = d.Journal.weight -> ()
+      | Some w ->
+        fail step "edge (%d,%d) weighs %h, journal claims %h" d.Journal.d_u
+          d.Journal.d_v w d.Journal.weight
+      | None ->
+        fail step "no edge between groups %d and %d" d.Journal.d_u
+          d.Journal.d_v);
+      if gu.count <> d.Journal.size_u || gv.count <> d.Journal.size_v then
+        fail step "group sizes (%d,%d) do not match journal (%d,%d)" gu.count
+          gv.count d.Journal.size_u d.Journal.size_v;
+      (match d.Journal.runner_up with
+      | None -> ()
+      | Some r ->
+        let ga = group_of "runner-up group" r.Journal.r_u in
+        ignore (group_of "runner-up group" r.Journal.r_v);
+        (match Hashtbl.find_opt ga.adj r.Journal.r_v with
+        | Some w when w = r.Journal.r_weight -> ()
+        | Some w ->
+          fail step "runner-up edge (%d,%d) weighs %h, journal claims %h"
+            r.Journal.r_u r.Journal.r_v w r.Journal.r_weight
+        | None ->
+          fail step "no runner-up edge between groups %d and %d" r.Journal.r_u
+            r.Journal.r_v);
+        if d.Journal.weight < r.Journal.r_weight then
+          fail step "journal margin is negative (%h < %h)" d.Journal.weight
+            r.Journal.r_weight);
+      (* Re-record the verified decision so a verification pass rebuilds a
+         journal in parallel: the merge callback annotates it with the
+         engine-derived offset, which the verifier then compares
+         bit-exactly against the original claim. *)
+      if Journal.recording () then
+        Journal.record ~u:d.Journal.d_u ~v:d.Journal.d_v
+          ~weight:d.Journal.weight ~size_u:d.Journal.size_u
+          ~size_v:d.Journal.size_v ?runner_up:d.Journal.runner_up ();
+      ignore (apply_merge st ~merge ~on_combined:(fun _ _ _ -> ()) gu gv))
+    decisions;
+  (* A complete greedy run drains every mergeable edge, so a journal that
+     leaves adjacency behind was cut short (or belongs to another graph). *)
+  Hashtbl.iter
+    (fun repr g ->
+      if Hashtbl.length g.adj <> 0 then
+        failwith
+          (Printf.sprintf
+             "replay: journal ended after %d steps but group %d still has %d \
+              mergeable edge(s)"
+             (Array.length decisions) repr (Hashtbl.length g.adj)))
+    st.groups;
+  finalize st

@@ -22,4 +22,32 @@ val run :
 
     [merge n1 n2] must return the merged payload; the driver passes the
     {e larger} group as [n1] (ties: the group whose representative id is
-    smaller), so alignment-style merges keep the bigger layout fixed. *)
+    smaller), so alignment-style merges keep the bigger layout fixed.
+
+    When {!Trg_obs.Journal.recording} is armed, every merge decision is
+    appended to the journal before the merge applies: the chosen group
+    pair and winning weight, both group sizes, and the runner-up — the
+    heaviest other non-stale heap entry, found by a non-destructive scan
+    so heap insertion ordinals (the tie-breakers) are untouched.  The
+    default path pays exactly one branch per merge. *)
+
+val replay :
+  graph:Trg_profile.Graph.t ->
+  init:(int -> 'node) ->
+  merge:('node -> 'node -> 'node) ->
+  decisions:Trg_obs.Journal.decision array ->
+  'node list
+(** Forced-choice mode: re-drive a recorded merge sequence over the same
+    working graph, with no heap and no greedy search.  Each journal
+    decision is verified against the live state before it applies — both
+    representatives must name live groups, the chosen edge and the
+    runner-up edge must carry bit-identical weights, group sizes must
+    match, and the margin must be non-negative — and after the last
+    decision no mergeable edge may remain.  Group bookkeeping (union
+    order, combined weights, output ordering) is shared with {!run}, so
+    on a faithful journal the returned groups are bit-identical to the
+    recorded run's.  While {!Trg_obs.Journal.recording}, each verified
+    decision is re-recorded (the merge callback re-annotates it), which
+    is how the replay gate cross-checks engine-derived offsets and costs.
+
+    @raise Failure naming the failing step on any mismatch. *)

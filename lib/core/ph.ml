@@ -75,16 +75,19 @@ let merge_chains program wcg chain_of a b =
 let m_placements = Trg_obs.Metrics.counter "ph/placements"
 let m_chain_merges = Trg_obs.Metrics.counter "ph/chain_merges"
 
-let order ~wcg program =
+let order ?decisions ~wcg program =
   let chain_of = Hashtbl.create 64 in
   List.iter (fun p -> Hashtbl.replace chain_of p p) (Graph.nodes wcg);
   let chain_merges = ref 0 in
+  let init p = { cid = p; procs = [ p ] } in
+  let merge a b =
+    incr chain_merges;
+    merge_chains program wcg chain_of a b
+  in
   let chains =
-    Merge_driver.run ~graph:wcg
-      ~init:(fun p -> { cid = p; procs = [ p ] })
-      ~merge:(fun a b ->
-        incr chain_merges;
-        merge_chains program wcg chain_of a b)
+    match decisions with
+    | None -> Merge_driver.run ~graph:wcg ~init ~merge
+    | Some decisions -> Merge_driver.replay ~graph:wcg ~init ~merge ~decisions
   in
   Trg_obs.Metrics.add m_chain_merges !chain_merges;
   Trg_obs.Log.info (fun m ->
@@ -105,6 +108,20 @@ let order ~wcg program =
   done;
   Array.of_list (placed @ !rest)
 
-let place ?(align = 4) ~wcg program =
+let place ?(align = 4) ?decisions ~wcg program =
   Trg_obs.Metrics.incr m_placements;
-  Layout.contiguous ~align program (order ~wcg program)
+  (* PH is cache-independent, so its journal meta records no operating
+     point (all-zero cache fields). *)
+  let journaling =
+    Trg_obs.Journal.begin_run ~algo:"ph"
+      ~engine:(Cost.engine_name (Cost.engine ()))
+      ~cache:(0, 0, 0)
+  in
+  match Layout.contiguous ~align program (order ?decisions ~wcg program) with
+  | layout ->
+    if journaling then
+      Trg_obs.Journal.finish ~layout_crc:(Layout.digest layout);
+    layout
+  | exception e ->
+    if journaling then Trg_obs.Journal.abort ();
+    raise e

@@ -10,14 +10,22 @@
     beyond these distances — which is exactly the weakness the paper's
     algorithm addresses. *)
 
-val order : wcg:Trg_profile.Graph.t -> Trg_program.Program.t -> int array
+val order :
+  ?decisions:Trg_obs.Journal.decision array ->
+  wcg:Trg_profile.Graph.t ->
+  Trg_program.Program.t ->
+  int array
 (** Final procedure order: the merged chains in decreasing size, followed
     by the procedures that never appeared in the working graph, in source
-    order. *)
+    order.  [decisions] replays a recorded chain-merge sequence in
+    forced-choice mode ({!Merge_driver.replay}). *)
 
 val place :
   ?align:int ->
+  ?decisions:Trg_obs.Journal.decision array ->
   wcg:Trg_profile.Graph.t ->
   Trg_program.Program.t ->
   Trg_program.Layout.t
-(** Contiguous layout of {!order} ([align] defaults to 4 bytes). *)
+(** Contiguous layout of {!order} ([align] defaults to 4 bytes).  Offers
+    itself to an armed decision journal under the algorithm label
+    ["ph"]. *)

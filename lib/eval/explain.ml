@@ -77,9 +77,15 @@ let of_runner ?intervals ?(use_train = false) ?raw ~algos runner =
 let sparkline counts =
   let levels = " .:-=+*#%@" in
   let max_c = Array.fold_left max 1 counts in
+  (* A series with no variation carries no shape: scaling to its own
+     maximum would draw every bucket at full height, which reads as a
+     sustained peak.  Flat (and single-point) series render at the mid
+     glyph instead; zeros stay blank. *)
+  let flat = Array.for_all (fun c -> c = 0 || c = max_c) counts in
   String.init (Array.length counts) (fun i ->
       let c = counts.(i) in
       if c = 0 then ' '
+      else if flat then levels.[5]
       else
         let idx = 1 + (c * (String.length levels - 2) / max_c) in
         levels.[idx])

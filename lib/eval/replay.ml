@@ -1,0 +1,172 @@
+module Journal = Trg_obs.Journal
+module Json = Trg_obs.Json
+module Layout = Trg_program.Layout
+module Gbsc = Trg_place.Gbsc
+module Gbsc_sa = Trg_place.Gbsc_sa
+module Cost = Trg_place.Cost
+module Config = Trg_cache.Config
+module Bench = Trg_synth.Bench
+module Shape = Trg_synth.Shape
+
+let algos = [ "gbsc"; "ph"; "hkc"; "gbsc-sa" ]
+
+let layout_for ?decisions ~algo runner =
+  match algo with
+  | "gbsc" -> Runner.gbsc_layout ?decisions runner
+  | "ph" -> Runner.ph_layout ?decisions runner
+  | "hkc" -> Runner.hkc_layout ?decisions runner
+  | "gbsc-sa" ->
+    let program = Runner.program runner in
+    Gbsc_sa.place ?decisions program
+      (Gbsc_sa.profile runner.Runner.config program runner.Runner.train)
+  | other ->
+    failwith
+      (Printf.sprintf "replay: unknown algorithm %S (choose from: %s)" other
+         (String.concat ", " algos))
+
+let prepare_for (meta : Journal.meta) =
+  let shape =
+    try Bench.find meta.Journal.source
+    with Not_found ->
+      failwith
+        (Printf.sprintf "replay: journal source %S is not a known benchmark"
+           meta.Journal.source)
+  in
+  let cache =
+    if meta.Journal.cache_size > 0 then
+      Config.make ~size:meta.Journal.cache_size
+        ~line_size:meta.Journal.cache_line ~assoc:meta.Journal.cache_assoc
+    else Config.default
+  in
+  Runner.prepare ~config:(Gbsc.default_config ~cache ()) shape
+
+let record ~algo runner =
+  Journal.arm ~algo ~source:runner.Runner.shape.Shape.name;
+  let layout = layout_for ~algo runner in
+  match Journal.take () with
+  | Some j -> (j, layout)
+  | None ->
+    failwith
+      (Printf.sprintf
+         "journal: placement %S never offered itself for recording" algo)
+
+type report = {
+  r_journal : Journal.t;
+  r_engine : string;
+  r_steps : int;
+  r_layout_crc : int option;
+  r_total_weight : float option;
+  r_mismatches : string list;
+}
+
+let ok r = r.r_mismatches = []
+
+let fl = Printf.sprintf "%h"
+
+(* Claim-by-claim comparison of the recorded journal against the journal
+   re-captured during the forced-choice replay.  The driver already
+   verified pairs, weights and runner-ups bit-exactly while re-driving,
+   so the work left here is what only the algorithm layer knows: the
+   engine-derived offsets and their costs, plus the sealed claims. *)
+let compare_captures (j : Journal.t) (r : Journal.t) =
+  let ms = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> ms := s :: !ms) fmt in
+  let nj = Array.length j.Journal.decisions
+  and nr = Array.length r.Journal.decisions in
+  if nj <> nr then add "step count: journal %d, replay re-recorded %d" nj nr;
+  for i = 0 to min nj nr - 1 do
+    let d = j.Journal.decisions.(i) and e = r.Journal.decisions.(i) in
+    if d.Journal.d_u <> e.Journal.d_u || d.Journal.d_v <> e.Journal.d_v then
+      add "step %d: pair (%d,%d) replayed as (%d,%d)" i d.Journal.d_u
+        d.Journal.d_v e.Journal.d_u e.Journal.d_v;
+    (match (d.Journal.shift, e.Journal.shift) with
+    | None, None -> ()
+    | Some a, Some b when a = b -> ()
+    | a, b ->
+      let s = function None -> "-" | Some x -> string_of_int x in
+      add "step %d: shift %s replayed as %s" i (s a) (s b));
+    match (d.Journal.shift_cost, e.Journal.shift_cost) with
+    | None, None -> ()
+    | Some a, Some b when a = b -> ()
+    | a, b ->
+      let s = function None -> "-" | Some x -> fl x in
+      add "step %d: shift cost %s replayed as %s" i (s a) (s b)
+  done;
+  if j.Journal.claims.Journal.layout_crc <> r.Journal.claims.Journal.layout_crc
+  then
+    add "layout CRC: journal %08x, replay %08x"
+      j.Journal.claims.Journal.layout_crc r.Journal.claims.Journal.layout_crc;
+  if
+    j.Journal.claims.Journal.total_weight
+    <> r.Journal.claims.Journal.total_weight
+  then
+    add "total weight: journal %s, replay %s"
+      (fl j.Journal.claims.Journal.total_weight)
+      (fl r.Journal.claims.Journal.total_weight);
+  List.rev !ms
+
+let verify (j : Journal.t) =
+  let engine = Cost.engine_name (Cost.engine ()) in
+  let runner = prepare_for j.Journal.meta in
+  Journal.start_recording ~meta:{ j.Journal.meta with Journal.engine = engine };
+  match
+    layout_for ~decisions:j.Journal.decisions ~algo:j.Journal.meta.Journal.algo
+      runner
+  with
+  | exception e ->
+    Journal.abort ();
+    let msg = match e with Failure m -> m | e -> Printexc.to_string e in
+    {
+      r_journal = j;
+      r_engine = engine;
+      r_steps = 0;
+      r_layout_crc = None;
+      r_total_weight = None;
+      r_mismatches = [ msg ];
+    }
+  | layout -> (
+    Journal.finish ~layout_crc:(Layout.digest layout);
+    match Journal.take () with
+    | None ->
+      (* finish is a no-op only if recording never started — unreachable
+         after a successful start_recording. *)
+      failwith "replay: re-recorded journal vanished"
+    | Some r ->
+      {
+        r_journal = j;
+        r_engine = engine;
+        r_steps = Array.length r.Journal.decisions;
+        r_layout_crc = Some r.Journal.claims.Journal.layout_crc;
+        r_total_weight = Some r.Journal.claims.Journal.total_weight;
+        r_mismatches = compare_captures j r;
+      })
+
+let report_json r =
+  let j = r.r_journal in
+  Json.Obj
+    [
+      ("schema", Json.String "trgplace-replay/1");
+      ("journal_schema", Json.String Journal.schema);
+      ("algo", Json.String j.Journal.meta.Journal.algo);
+      ("source", Json.String j.Journal.meta.Journal.source);
+      ("engine_recorded", Json.String j.Journal.meta.Journal.engine);
+      ("engine_replayed", Json.String r.r_engine);
+      ("steps", Json.Int (Array.length j.Journal.decisions));
+      ("steps_replayed", Json.Int r.r_steps);
+      ("ok", Json.Bool (ok r));
+      ( "layout_crc",
+        Json.String (Printf.sprintf "%08x" j.Journal.claims.Journal.layout_crc)
+      );
+      ( "layout_crc_replayed",
+        match r.r_layout_crc with
+        | None -> Json.Null
+        | Some c -> Json.String (Printf.sprintf "%08x" c) );
+      ( "total_weight",
+        Json.Float j.Journal.claims.Journal.total_weight );
+      ( "total_weight_replayed",
+        match r.r_total_weight with
+        | None -> Json.Null
+        | Some w -> Json.Float w );
+      ( "mismatches",
+        Json.List (List.map (fun m -> Json.String m) r.r_mismatches) );
+    ]

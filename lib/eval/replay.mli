@@ -1,0 +1,58 @@
+(** Bit-exact replay verification of merge-decision journals.
+
+    A journal ({!Trg_obs.Journal}) claims a complete provenance for one
+    placement: the ordered merge decisions with their weights and margins,
+    GBSC's chosen offsets with their conflict costs, and the final
+    layout's digest.  This module closes the loop: {!record} captures a
+    journal from a live placement, and {!verify} re-drives a loaded
+    journal through the merge driver in forced-choice mode
+    ({!Trg_place.Merge_driver.replay}) and checks every claim
+    bit-identically — pairs, weights, runner-ups, offsets, offset costs,
+    the summed decision weight and the layout CRC.
+
+    Verification recomputes offsets and costs with the {e currently
+    active} cost engine ({!Trg_place.Cost.engine}), not the recorded one,
+    so replaying the same journal under [--cost-engine full] and
+    [--cost-engine incr] is also a differential witness that the two
+    engines agree decision-by-decision on real merge sequences. *)
+
+val layout_for :
+  ?decisions:Trg_obs.Journal.decision array ->
+  algo:string ->
+  Runner.t ->
+  Trg_program.Layout.t
+(** Run (or, with [decisions], replay) the named algorithm — ["gbsc"],
+    ["ph"], ["hkc"] or ["gbsc-sa"] — on a prepared benchmark.
+    @raise Failure on an unknown algorithm or a replay mismatch. *)
+
+val prepare_for : Trg_obs.Journal.meta -> Runner.t
+(** Prepare the benchmark a journal was recorded on, at its recorded
+    cache operating point (the default cache when the journal is
+    cache-independent, i.e. PH's all-zero triple).
+    @raise Failure when the source benchmark is unknown. *)
+
+val record : algo:string -> Runner.t -> Trg_obs.Journal.t * Trg_program.Layout.t
+(** Arm the journal, run the live placement, and take the capture.
+    Process-global journal state: never call inside pool workers.
+    @raise Failure if the placement did not offer itself for recording. *)
+
+type report = {
+  r_journal : Trg_obs.Journal.t;  (** the journal under verification *)
+  r_engine : string;  (** cost engine the replay actually used *)
+  r_steps : int;  (** decisions re-driven before success or mismatch *)
+  r_layout_crc : int option;  (** replayed layout digest; [None] on abort *)
+  r_total_weight : float option;
+  r_mismatches : string list;  (** empty iff every claim verified *)
+}
+
+val ok : report -> bool
+
+val verify : Trg_obs.Journal.t -> report
+(** Re-drive the journal's decision sequence and compare every recorded
+    claim bit-exactly.  Never raises on a mismatch — structural
+    divergence (wrong pair, weight, runner-up, premature exhaustion) is
+    reported in [r_mismatches], as are offset, cost, step-count,
+    total-weight and layout-CRC disagreements. *)
+
+val report_json : report -> Trg_obs.Json.t
+(** Schema ["trgplace-replay/1"]. *)

@@ -65,12 +65,13 @@ let train_miss_rate t layout =
 
 let default_layout t = Layout.default (program t)
 
-let gbsc_layout t = Gbsc.place (program t) t.prof
+let gbsc_layout ?decisions t = Gbsc.place ?decisions (program t) t.prof
 
-let ph_layout t = Ph.place ~wcg:t.wcg (program t)
+let ph_layout ?decisions t = Ph.place ?decisions ~wcg:t.wcg (program t)
 
-let hkc_layout t =
-  Hkc.place t.config (program t) ~wcg:t.wcg ~popularity:t.prof.Gbsc.popularity
+let hkc_layout ?decisions t =
+  Hkc.place ?decisions t.config (program t) ~wcg:t.wcg
+    ~popularity:t.prof.Gbsc.popularity
 
 let torrellas_layout t =
   Trg_place.Torrellas.place t.config (program t)

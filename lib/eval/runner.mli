@@ -44,11 +44,17 @@ val train_miss_rate : t -> Trg_program.Layout.t -> float
 
 val default_layout : t -> Trg_program.Layout.t
 
-val gbsc_layout : t -> Trg_program.Layout.t
+val gbsc_layout :
+  ?decisions:Trg_obs.Journal.decision array -> t -> Trg_program.Layout.t
+(** The three journal-aware layouts accept a recorded decision sequence
+    and replay it in forced-choice mode (see {!Trg_place.Merge_driver.replay});
+    without [decisions] they run the live greedy search. *)
 
-val ph_layout : t -> Trg_program.Layout.t
+val ph_layout :
+  ?decisions:Trg_obs.Journal.decision array -> t -> Trg_program.Layout.t
 
-val hkc_layout : t -> Trg_program.Layout.t
+val hkc_layout :
+  ?decisions:Trg_obs.Journal.decision array -> t -> Trg_program.Layout.t
 
 val torrellas_layout : t -> Trg_program.Layout.t
 (** The logical-cache baseline (paper Section 7 related work). *)

@@ -1,0 +1,229 @@
+module Journal = Trg_obs.Journal
+module Json = Trg_obs.Json
+module Attrib = Trg_cache.Attrib
+module Table = Trg_util.Table
+
+type join = {
+  j_step : int;
+  j_u : int;
+  j_v : int;
+  j_weight : float;
+  j_margin : float option;
+  j_runner_up : Journal.runner_up option;
+  j_size_u : int;
+  j_size_v : int;
+  j_shift : int option;
+  j_shift_cost : float option;
+}
+
+type t = {
+  w_meta : Journal.meta;
+  w_p : int;
+  w_q : int option;
+  w_proc_name : int -> string;
+  w_joined : join option;
+  w_history : join list;
+  w_trg_weight : float option;
+  w_conflicts : (int * int * int) list;
+}
+
+let join_of (d : Journal.decision) =
+  {
+    j_step = d.Journal.step;
+    j_u = d.Journal.d_u;
+    j_v = d.Journal.d_v;
+    j_weight = d.Journal.weight;
+    j_margin =
+      Option.map
+        (fun r -> d.Journal.weight -. r.Journal.r_weight)
+        d.Journal.runner_up;
+    j_runner_up = d.Journal.runner_up;
+    j_size_u = d.Journal.size_u;
+    j_size_v = d.Journal.size_v;
+    j_shift = d.Journal.shift;
+    j_shift_cost = d.Journal.shift_cost;
+  }
+
+(* Mirror of the merge driver's group evolution.  Decisions record the
+   two representatives at decision time; the surviving representative
+   follows the driver's big/small rule — larger group wins, ties go to
+   the smaller id (and [d_u < d_v] by construction). *)
+let analyze ~journal ~trg_weight ~attrib ~proc_name ~p ?q () =
+  let parent = Hashtbl.create 64 in
+  let rec find i =
+    match Hashtbl.find_opt parent i with
+    | None -> i
+    | Some j ->
+      let r = find j in
+      if r <> j then Hashtbl.replace parent i r;
+      r
+  in
+  let joined = ref None in
+  let history = ref [] in
+  Array.iter
+    (fun (d : Journal.decision) ->
+      let rp = find p in
+      if !joined = None then begin
+        let involves_p = d.Journal.d_u = rp || d.Journal.d_v = rp in
+        let joins_q =
+          match q with
+          | None -> false
+          | Some q ->
+            let rq = find q in
+            rq <> rp
+            && ((d.Journal.d_u = rp && d.Journal.d_v = rq)
+               || (d.Journal.d_u = rq && d.Journal.d_v = rp))
+        in
+        if involves_p then history := join_of d :: !history;
+        if joins_q then joined := Some (join_of d)
+      end;
+      let winner =
+        if d.Journal.size_u >= d.Journal.size_v then d.Journal.d_u
+        else d.Journal.d_v
+      in
+      let loser = if winner = d.Journal.d_u then d.Journal.d_v else d.Journal.d_u in
+      Hashtbl.replace parent loser winner)
+    journal.Journal.decisions;
+  let involves x (e, v, _) = e = x || v = x in
+  let conflicts =
+    Array.to_list attrib.Attrib.conflict_pairs
+    |> List.filter (fun row ->
+           involves p row || match q with Some q -> involves q row | None -> false)
+  in
+  {
+    w_meta = journal.Journal.meta;
+    w_p = p;
+    w_q = q;
+    w_proc_name = proc_name;
+    w_joined = !joined;
+    w_history = List.rev !history;
+    w_trg_weight = Option.map (fun q -> trg_weight p q) q;
+    w_conflicts = conflicts;
+  }
+
+(* --- text rendering --------------------------------------------------- *)
+
+let pair_label t j =
+  Printf.sprintf "(%s, %s)" (t.w_proc_name j.j_u) (t.w_proc_name j.j_v)
+
+let shift_label j =
+  match (j.j_shift, j.j_shift_cost) with
+  | Some s, Some c -> Printf.sprintf "; offset %d (conflict cost %g)" s c
+  | Some s, None -> Printf.sprintf "; offset %d" s
+  | None, _ -> ""
+
+let runner_up_label t j =
+  match j.j_runner_up with
+  | None -> "unopposed (last mergeable edge)"
+  | Some r ->
+    Printf.sprintf "beat (%s, %s) at %g%s" (t.w_proc_name r.Journal.r_u)
+      (t.w_proc_name r.Journal.r_v) r.Journal.r_weight
+      (match j.j_margin with
+      | Some m -> Printf.sprintf " — margin %g" m
+      | None -> "")
+
+let print_join t j =
+  Printf.printf "step %3d: merged %s over weight %g — %s%s\n" j.j_step
+    (pair_label t j) j.j_weight (runner_up_label t j) (shift_label j);
+  Printf.printf "          group sizes %d + %d\n" j.j_size_u j.j_size_v
+
+let print ?(top = 5) t =
+  let name = t.w_proc_name in
+  Table.section
+    (Printf.sprintf "WHY — %s on %s (%s engine)" t.w_meta.Journal.algo
+       t.w_meta.Journal.source t.w_meta.Journal.engine);
+  (match t.w_q with
+  | Some q -> (
+    Printf.printf "subject: %s and %s" (name t.w_p) (name q);
+    (match t.w_trg_weight with
+    | Some w -> Printf.printf " — TRG edge weight %g" w
+    | None -> ());
+    print_newline ();
+    print_newline ();
+    match t.w_joined with
+    | Some j -> print_join t j
+    | None ->
+      Printf.printf
+        "never merged into one group: the layout's relative placement of \
+         %s and %s is incidental, not a journal decision\n"
+        (name t.w_p) (name q))
+  | None ->
+    Printf.printf "subject: %s\n" (name t.w_p));
+  (match t.w_history with
+  | [] ->
+    print_newline ();
+    Printf.printf "%s's group appears in no merge decision\n" (name t.w_p)
+  | hist ->
+    print_newline ();
+    Printf.printf "merge history of %s's group (%d decisions)\n" (name t.w_p)
+      (List.length hist);
+    List.iter (print_join t) hist);
+  print_newline ();
+  match t.w_conflicts with
+  | [] -> print_endline "no conflict misses involve the subject"
+  | rows ->
+    Printf.printf "conflict-matrix rows involving the subject (top %d of %d)\n"
+      (min top (List.length rows))
+      (List.length rows);
+    Table.print
+      ~align:[ Table.Left; Table.Left; Table.Right ]
+      ~header:[ "evictor"; "victim"; "conflicts" ]
+      (List.filteri (fun i _ -> i < top) rows
+      |> List.map (fun (e, v, c) -> [ name e; name v; Table.fmt_int c ]))
+
+(* --- JSON rendering --------------------------------------------------- *)
+
+let join_json t j =
+  Json.Obj
+    [
+      ("step", Json.Int j.j_step);
+      ("u", Json.String (t.w_proc_name j.j_u));
+      ("v", Json.String (t.w_proc_name j.j_v));
+      ("weight", Json.Float j.j_weight);
+      ( "margin",
+        match j.j_margin with None -> Json.Null | Some m -> Json.Float m );
+      ( "runner_up",
+        match j.j_runner_up with
+        | None -> Json.Null
+        | Some r ->
+          Json.Obj
+            [
+              ("u", Json.String (t.w_proc_name r.Journal.r_u));
+              ("v", Json.String (t.w_proc_name r.Journal.r_v));
+              ("weight", Json.Float r.Journal.r_weight);
+            ] );
+      ("size_u", Json.Int j.j_size_u);
+      ("size_v", Json.Int j.j_size_v);
+      ("shift", match j.j_shift with None -> Json.Null | Some s -> Json.Int s);
+      ( "shift_cost",
+        match j.j_shift_cost with None -> Json.Null | Some c -> Json.Float c );
+    ]
+
+let to_json ?(top = 5) t =
+  Json.Obj
+    [
+      ("schema", Json.String "trgplace-why/1");
+      ("algo", Json.String t.w_meta.Journal.algo);
+      ("source", Json.String t.w_meta.Journal.source);
+      ("engine", Json.String t.w_meta.Journal.engine);
+      ("p", Json.String (t.w_proc_name t.w_p));
+      ( "q",
+        match t.w_q with
+        | None -> Json.Null
+        | Some q -> Json.String (t.w_proc_name q) );
+      ( "trg_weight",
+        match t.w_trg_weight with None -> Json.Null | Some w -> Json.Float w );
+      ( "joined",
+        match t.w_joined with None -> Json.Null | Some j -> join_json t j );
+      ("history", Json.List (List.map (join_json t) t.w_history));
+      ( "conflicts",
+        Json.List
+          (List.filteri (fun i _ -> i < top) t.w_conflicts
+          |> List.map (fun (e, v, c) ->
+                 Json.Obj
+                   [
+                     ("evictor", Json.String (t.w_proc_name e));
+                     ("victim", Json.String (t.w_proc_name v));
+                     ("count", Json.Int c);
+                   ])) );
+    ]

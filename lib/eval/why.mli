@@ -1,0 +1,67 @@
+(** [trgplace why]: join the decision journal against the TRG and the
+    conflict matrix to answer "why did the layout put these here?".
+
+    The journal records {e what} the greedy search chose; this module
+    reconstructs {e when and against what}.  Replaying the journal's
+    union-find evolution, it finds the step at which two procedures'
+    groups were joined — the winning edge weight, the runner-up candidate
+    that lost, the decision margin, the group sizes and (for GBSC) the
+    chosen cache-set offset with its conflict cost — plus the full merge
+    history of a procedure's group.  Joined against the TRG edge weight
+    and {!Trg_cache.Attrib}'s conflict matrix, the answer reads: "merged
+    at step 12 over weight 3.4e2, beating (f,g) by a margin of 1.1e1 —
+    and the pair suffers 0 conflict misses in the final layout". *)
+
+type join = {
+  j_step : int;  (** 0-based ordinal in the merge sequence *)
+  j_u : int;  (** the merged group representatives, [j_u < j_v] *)
+  j_v : int;
+  j_weight : float;
+  j_margin : float option;  (** [weight - runner-up weight]; [None] when
+                                the decision had no runner-up *)
+  j_runner_up : Trg_obs.Journal.runner_up option;
+  j_size_u : int;
+  j_size_v : int;
+  j_shift : int option;
+  j_shift_cost : float option;
+}
+
+type t = {
+  w_meta : Trg_obs.Journal.meta;
+  w_p : int;
+  w_q : int option;
+  w_proc_name : int -> string;
+  w_joined : join option;
+      (** pair mode: the decision that first put [p] and [q] in one
+          group; [None] when they were never merged together (or in
+          single mode) *)
+  w_history : join list;
+      (** decisions in which [p]'s group was one side, in step order;
+          in pair mode, up to and including the joining step *)
+  w_trg_weight : float option;  (** TRG_select edge weight of (p, q) *)
+  w_conflicts : (int * int * int) list;
+      (** conflict-matrix rows [(evictor, victim, count)] involving [p]
+          (or [q]), heaviest first *)
+}
+
+val analyze :
+  journal:Trg_obs.Journal.t ->
+  trg_weight:(int -> int -> float) ->
+  attrib:Trg_cache.Attrib.t ->
+  proc_name:(int -> string) ->
+  p:int ->
+  ?q:int ->
+  unit ->
+  t
+(** Walk the journal's decisions through a union-find mirror of the
+    merge driver's group evolution (the winner of each merge follows the
+    driver's big/small rule), collecting [p]'s merge history and, with
+    [q], the joining decision.  [trg_weight] and [attrib] supply the
+    cross-references; both sides of the conflict matrix are scanned. *)
+
+val print : ?top:int -> t -> unit
+(** Text rendering: the joining decision (or its absence), the group's
+    merge history, and the top-[top] (default 5) conflict rows. *)
+
+val to_json : ?top:int -> t -> Trg_obs.Json.t
+(** Schema ["trgplace-why/1"]. *)

@@ -1,0 +1,260 @@
+(* The merge-decision journal.  See journal.mli for the protocol; the
+   implementation keeps the {!Prof} discipline: [recording] is one ref
+   read, and the [journal/decisions] counter is lazy so its name never
+   enters the metric registry unless a capture actually happened. *)
+
+module Fault = Trg_util.Fault
+module Checksum = Trg_util.Checksum
+
+type runner_up = { r_u : int; r_v : int; r_weight : float }
+
+type decision = {
+  step : int;
+  d_u : int;
+  d_v : int;
+  weight : float;
+  size_u : int;
+  size_v : int;
+  runner_up : runner_up option;
+  mutable shift : int option;
+  mutable shift_cost : float option;
+}
+
+type meta = {
+  algo : string;
+  source : string;
+  engine : string;
+  cache_size : int;
+  cache_line : int;
+  cache_assoc : int;
+}
+
+type claims = { layout_crc : int; total_weight : float }
+
+type t = { meta : meta; decisions : decision array; claims : claims }
+
+let magic = "trgplace-journal"
+let version = 1
+let schema = Printf.sprintf "%s/%d" magic version
+
+(* --- recording state --------------------------------------------------- *)
+
+type capture = {
+  c_meta : meta;
+  mutable c_decisions : decision list;  (* reversed *)
+  mutable c_count : int;
+}
+
+let on = ref false
+let armed_for : (string * string) option ref = ref None
+let current : capture option ref = ref None
+let captured : t option ref = ref None
+
+let m_decisions = lazy (Metrics.counter "journal/decisions")
+
+let recording () = !on
+
+let arm ~algo ~source =
+  armed_for := Some (algo, source);
+  captured := None
+
+let start_recording ~meta =
+  if !on then invalid_arg "Journal.start_recording: already recording";
+  current := Some { c_meta = meta; c_decisions = []; c_count = 0 };
+  on := true
+
+let begin_run ~algo ~engine ~cache =
+  match !armed_for with
+  | Some (a, source) when a = algo && (not !on) && Option.is_none !captured ->
+    let cache_size, cache_line, cache_assoc = cache in
+    start_recording
+      ~meta:{ algo; source; engine; cache_size; cache_line; cache_assoc };
+    true
+  | _ -> false
+
+let record ~u ~v ~weight ~size_u ~size_v ?runner_up () =
+  match !current with
+  | None -> ()
+  | Some c ->
+    Metrics.incr (Lazy.force m_decisions);
+    c.c_decisions <-
+      {
+        step = c.c_count;
+        d_u = u;
+        d_v = v;
+        weight;
+        size_u;
+        size_v;
+        runner_up;
+        shift = None;
+        shift_cost = None;
+      }
+      :: c.c_decisions;
+    c.c_count <- c.c_count + 1
+
+let annotate ~shift ~cost =
+  match !current with
+  | None | Some { c_decisions = []; _ } -> ()
+  | Some { c_decisions = d :: _; _ } ->
+    d.shift <- Some shift;
+    d.shift_cost <- Some cost
+
+let total_weight decisions =
+  Array.fold_left (fun acc d -> acc +. d.weight) 0. decisions
+
+let finish ~layout_crc =
+  match !current with
+  | None -> ()
+  | Some c ->
+    let decisions = Array.of_list (List.rev c.c_decisions) in
+    captured :=
+      Some
+        {
+          meta = c.c_meta;
+          decisions;
+          claims = { layout_crc; total_weight = total_weight decisions };
+        };
+    current := None;
+    on := false;
+    armed_for := None
+
+let abort () =
+  current := None;
+  on := false
+
+let take () =
+  let t = !captured in
+  captured := None;
+  t
+
+let reset () =
+  armed_for := None;
+  current := None;
+  captured := None;
+  on := false
+
+(* --- persistence -------------------------------------------------------- *)
+
+(* Hex float literals round-trip every finite double bit-exactly, which
+   is the whole point of a replayable journal: a margin of 0.1 must come
+   back as the same 0.1 the heap compared. *)
+let fl x = Printf.sprintf "%h" x
+
+let bad fmt = Printf.ksprintf (fun msg -> Fault.fail (Fault.Bad_record msg)) fmt
+
+let parse_float ~what s =
+  match float_of_string_opt s with
+  | Some x -> x
+  | None -> bad "journal %s: malformed float %S" what s
+
+let parse_int ~what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> bad "journal %s: malformed integer %S" what s
+
+let decision_line d =
+  let ru, rv, rw =
+    match d.runner_up with
+    | Some r -> (string_of_int r.r_u, string_of_int r.r_v, fl r.r_weight)
+    | None -> ("-", "-", "-")
+  in
+  let sh = match d.shift with Some s -> string_of_int s | None -> "-" in
+  let sc = match d.shift_cost with Some c -> fl c | None -> "-" in
+  Printf.sprintf "d %d %d %s %d %d %s %s %s %s %s" d.d_u d.d_v (fl d.weight)
+    d.size_u d.size_v ru rv rw sh sc
+
+let decision_of_line step line =
+  match String.split_on_char ' ' line with
+  | [ "d"; u; v; w; su; sv; ru; rv; rw; sh; sc ] ->
+    let what = Printf.sprintf "decision %d" step in
+    let opt tok parse = if tok = "-" then None else Some (parse ~what tok) in
+    let runner_up =
+      match (opt ru parse_int, opt rv parse_int, opt rw parse_float) with
+      | Some r_u, Some r_v, Some r_weight -> Some { r_u; r_v; r_weight }
+      | None, None, None -> None
+      | _ -> bad "journal %s: partial runner-up fields" what
+    in
+    {
+      step;
+      d_u = parse_int ~what u;
+      d_v = parse_int ~what v;
+      weight = parse_float ~what w;
+      size_u = parse_int ~what su;
+      size_v = parse_int ~what sv;
+      runner_up;
+      shift = opt sh parse_int;
+      shift_cost = opt sc parse_float;
+    }
+  | _ -> bad "journal decision %d: expected 11 fields, got %S" step line
+
+let serialize t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "%s %d %d\n" magic version (Array.length t.decisions));
+  Buffer.add_string b
+    (Printf.sprintf "meta %s %s %s %d %d %d\n" t.meta.algo t.meta.source
+       t.meta.engine t.meta.cache_size t.meta.cache_line t.meta.cache_assoc);
+  Array.iter
+    (fun d ->
+      Buffer.add_string b (decision_line d);
+      Buffer.add_char b '\n')
+    t.decisions;
+  Buffer.add_string b
+    (Printf.sprintf "claims %d %s\n" t.claims.layout_crc (fl t.claims.total_weight));
+  let crc = Checksum.string (Buffer.contents b) in
+  Buffer.add_string b (Fault.crc_trailer crc);
+  Buffer.contents b
+
+let save path t = Fault.atomic_write path (serialize t)
+
+let load path =
+  Fault.io_point ~op:(Printf.sprintf "load journal %s" path);
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> Fault.fail (Fault.Io_error msg)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let r = Fault.Reader.of_channel ic in
+      let _v, n =
+        Fault.parse_header ~magic ~max_version:version
+          (Fault.Reader.line r ~what:"journal header")
+      in
+      let meta =
+        match
+          String.split_on_char ' ' (Fault.Reader.line r ~what:"journal meta")
+        with
+        | [ "meta"; algo; source; engine; size; line; assoc ] ->
+          {
+            algo;
+            source;
+            engine;
+            cache_size = parse_int ~what:"meta" size;
+            cache_line = parse_int ~what:"meta" line;
+            cache_assoc = parse_int ~what:"meta" assoc;
+          }
+        | _ -> bad "journal meta: expected 7 fields"
+      in
+      let decisions = ref [] in
+      for step = 0 to n - 1 do
+        let line =
+          Fault.Reader.line r ~what:(Printf.sprintf "journal decision %d" step)
+        in
+        decisions := decision_of_line step line :: !decisions
+      done;
+      let claims =
+        match
+          String.split_on_char ' ' (Fault.Reader.line r ~what:"journal claims")
+        with
+        | [ "claims"; crc; tw ] ->
+          {
+            layout_crc = parse_int ~what:"claims" crc;
+            total_weight = parse_float ~what:"claims" tw;
+          }
+        | _ -> bad "journal claims: expected 3 fields"
+      in
+      Fault.check_text_trailer r;
+      { meta; decisions = Array.of_list (List.rev !decisions); claims })
+
+let load_result path = Fault.result (fun () -> load path)

@@ -1,0 +1,140 @@
+(** Placement decision provenance: the merge-decision journal.
+
+    The placement algorithms are greedy sequences of merge decisions, and
+    that sequence — not just its final layout — is the paper's argument.
+    This module records it: one compact record per merge decision (step
+    ordinal, chosen group pair, winning weight, the runner-up candidate
+    and its weight — the decision margin — group sizes, and for GBSC the
+    chosen relative offset with its conflict cost), captured from the
+    merge hot path behind a single flag check, with the same discipline
+    as {!Prof}: a run that never arms the journal performs no extra work,
+    registers no [journal/*] metric, and its manifests stay
+    byte-comparable.
+
+    Journals persist with the house artifact rules — a
+    [trgplace-journal 1 <n>] header, text records, a CRC-32 trailer,
+    atomic writes, typed {!Trg_util.Fault} load errors.  Floats are
+    serialized as hexadecimal literals ([%h]), so every weight and cost
+    round-trips bit-exactly; a loaded journal can be re-driven through
+    the merge driver in forced-choice mode and checked bit-identical
+    ([trgplace replay]).
+
+    {2 Recording protocol}
+
+    The CLI {!arm}s the journal with the algorithm and benchmark it wants
+    captured.  Each placement entry point calls {!begin_run} with its
+    algorithm label; the first matching placement starts recording and
+    owns the capture.  The merge driver appends one record per decision
+    ({!record}), the algorithm's merge callback adds the engine-derived
+    offset ({!annotate}), and the placement wrapper seals the capture
+    with the final layout's digest ({!finish}).  The CLI then {!take}s
+    the finished journal.  The state is process-global, like
+    {!Prof} — it is never armed inside pool workers. *)
+
+type runner_up = {
+  r_u : int;  (** runner-up group representatives, [r_u < r_v] *)
+  r_v : int;
+  r_weight : float;  (** its edge weight; the margin is [weight -. r_weight] *)
+}
+
+type decision = {
+  step : int;  (** 0-based ordinal in the merge sequence *)
+  d_u : int;  (** merged group representatives, [d_u < d_v] *)
+  d_v : int;
+  weight : float;  (** the winning edge weight *)
+  size_u : int;  (** group sizes before the merge, aligned with [d_u]/[d_v] *)
+  size_v : int;
+  runner_up : runner_up option;
+      (** heaviest other live edge at decision time; [None] on the last
+          mergeable edge *)
+  mutable shift : int option;
+      (** GBSC: chosen relative cache-set offset (absent for PH chains) *)
+  mutable shift_cost : float option;
+      (** GBSC: the cost array's value at [shift] — the engine-derived
+          claim the replay gate re-checks bit-exactly *)
+}
+
+type meta = {
+  algo : string;  (** ["gbsc"], ["ph"], ["hkc"] or ["gbsc-sa"] *)
+  source : string;  (** benchmark name the decisions were recorded on *)
+  engine : string;  (** active cost engine ({!Trg_place.Cost.engine_name}) *)
+  cache_size : int;  (** cache operating point; all 0 for cache-independent PH *)
+  cache_line : int;
+  cache_assoc : int;
+}
+
+type claims = {
+  layout_crc : int;  (** CRC-32 digest of the final layout's addresses *)
+  total_weight : float;  (** ordered float sum of all decision weights *)
+}
+
+type t = { meta : meta; decisions : decision array; claims : claims }
+
+val schema : string
+(** ["trgplace-journal/1"] — referenced from manifest schema v3. *)
+
+(** {2 Recording} *)
+
+val arm : algo:string -> source:string -> unit
+(** Request capture of the next placement whose {!begin_run} matches
+    [algo].  Clears any previously captured journal. *)
+
+val begin_run : algo:string -> engine:string -> cache:int * int * int -> bool
+(** Called by every placement entry point.  Starts recording and returns
+    [true] iff the journal is armed for [algo] and neither recording nor
+    already captured; the caller that received [true] must end the
+    capture with {!finish} or {!abort}. *)
+
+val start_recording : meta:meta -> unit
+(** Direct entry for replay verification: start recording with an
+    explicit [meta], bypassing the arm/match handshake.
+    @raise Invalid_argument if already recording. *)
+
+val recording : unit -> bool
+(** The single hot-path flag; when false the instrumented merge loop
+    pays one branch and nothing else. *)
+
+val record :
+  u:int ->
+  v:int ->
+  weight:float ->
+  size_u:int ->
+  size_v:int ->
+  ?runner_up:runner_up ->
+  unit ->
+  unit
+(** Append one decision ([u < v] expected).  No-op when not recording.
+    Registers and bumps the [journal/decisions] counter lazily, so the
+    name never enters the registry on unjournalled runs. *)
+
+val annotate : shift:int -> cost:float -> unit
+(** Attach the engine-derived offset choice to the most recent decision
+    (called from GBSC's merge callback).  No-op when not recording. *)
+
+val finish : layout_crc:int -> unit
+(** Seal the capture: computes [total_weight], stores the journal for
+    {!take}, disarms.  No-op when not recording. *)
+
+val abort : unit -> unit
+(** Discard an in-flight capture (placement failed). *)
+
+val take : unit -> t option
+(** The captured journal, if any; clears it. *)
+
+val reset : unit -> unit
+(** Clear all journal state (armed, in-flight, captured).  For tests. *)
+
+val total_weight : decision array -> float
+(** Ordered left-to-right float sum of the decisions' winning weights. *)
+
+(** {2 Persistence} *)
+
+val save : string -> t -> unit
+(** Atomic write with the CRC-32 text trailer.
+    Raises {!Trg_util.Fault.Error} on I/O failure. *)
+
+val load : string -> t
+(** Raises {!Trg_util.Fault.Error}: [Bad_magic], [Unsupported_version],
+    [Checksum_mismatch], [Truncated], [Bad_record] or [Io_error]. *)
+
+val load_result : string -> (t, Trg_util.Fault.error) result

@@ -1,4 +1,6 @@
-let schema = "trgplace-manifest/2"
+let schema = "trgplace-manifest/3"
+
+let v2_schema = "trgplace-manifest/2"
 
 let v1_schema = "trgplace-manifest/1"
 
@@ -23,7 +25,7 @@ let gc_json () =
       ("compactions", Json.Int s.Gc.compactions);
     ]
 
-let build ~command ?(argv = []) ?(config = []) ?explain ~status ~exit_code () =
+let build ~command ?(argv = []) ?(config = []) ?explain ?journal ~status ~exit_code () =
   let metrics = Metrics.to_json () in
   let field k =
     match Json.member k metrics with Some v -> v | None -> Json.Obj []
@@ -42,7 +44,8 @@ let build ~command ?(argv = []) ?(config = []) ?explain ~status ~exit_code () =
        ("histograms", field "histograms");
        ("spans", Span.to_json ());
      ]
-    @ match explain with None -> [] | Some e -> [ ("explain", e) ])
+    @ (match explain with None -> [] | Some e -> [ ("explain", e) ])
+    @ match journal with None -> [] | Some j -> [ ("journal", j) ])
 
 let write path json =
   let tmp = path ^ ".tmp" in
@@ -78,11 +81,12 @@ let validate json =
   let ( let* ) = Result.bind in
   let* () =
     match Json.member "schema" json with
-    | Some (Json.String s) when s = schema || s = v1_schema -> Result.Ok ()
+    | Some (Json.String s) when s = schema || s = v2_schema || s = v1_schema ->
+      Result.Ok ()
     | Some (Json.String s) ->
       Error
-        (Printf.sprintf "manifest: unsupported schema %S (want %S or %S)" s
-           schema v1_schema)
+        (Printf.sprintf "manifest: unsupported schema %S (want %S, %S or %S)" s
+           schema v2_schema v1_schema)
     | Some _ | None -> Error "manifest: missing schema marker"
   in
   let* () = require "command" is_string in
@@ -95,11 +99,18 @@ let validate json =
   let* () = require "gauges" is_obj in
   let* () = require "histograms" is_obj in
   let* () = require "spans" is_list in
-  match Json.member "explain" json with
+  let* () =
+    match Json.member "explain" json with
+    | None -> Result.Ok ()
+    | Some v ->
+      if is_obj v then Result.Ok ()
+      else Error "manifest: member \"explain\" has the wrong type"
+  in
+  match Json.member "journal" json with
   | None -> Result.Ok ()
   | Some v ->
     if is_obj v then Result.Ok ()
-    else Error "manifest: member \"explain\" has the wrong type"
+    else Error "manifest: member \"journal\" has the wrong type"
 
 (* --- regression diffing ---------------------------------------------- *)
 

@@ -8,9 +8,14 @@
     {!diff}. *)
 
 val schema : string
-(** ["trgplace-manifest/2"]; bumped on incompatible layout changes.
-    Version 2 adds span [start_s] fields and the optional ["explain"]
-    member. *)
+(** ["trgplace-manifest/3"]; bumped on incompatible layout changes.
+    Version 2 added span [start_s] fields and the optional ["explain"]
+    member; version 3 adds the optional ["journal"] member referencing a
+    saved merge-decision journal ({!Journal.schema}). *)
+
+val v2_schema : string
+(** ["trgplace-manifest/2"] — still accepted by {!validate} and
+    {!diff}. *)
 
 val v1_schema : string
 (** ["trgplace-manifest/1"] — still accepted by {!validate} and
@@ -26,6 +31,7 @@ val build :
   ?argv:string list ->
   ?config:(string * Json.t) list ->
   ?explain:Json.t ->
+  ?journal:Json.t ->
   status:status ->
   exit_code:int ->
   unit ->
@@ -33,7 +39,10 @@ val build :
 (** Snapshots the metrics registry, completed spans and [Gc.quick_stat]
     (including [top_heap_words], the peak major-heap size) at call time.
     [explain], when given, embeds a miss-attribution classification
-    summary (see {!Trg_eval.Explain}) as the ["explain"] member. *)
+    summary (see {!Trg_eval.Explain}) as the ["explain"] member;
+    [journal] embeds a pointer to a saved merge-decision journal
+    (path, algorithm, source, engine, step count, layout CRC) as the
+    ["journal"] member. *)
 
 val write : string -> Json.t -> unit
 (** Pretty-printed JSON, written atomically (temp file + rename) so a
@@ -43,8 +52,10 @@ val write : string -> Json.t -> unit
 val load : string -> (Json.t, string) result
 
 val validate : Json.t -> (unit, string) result
-(** Structural check used by [trgplace stats]: schema marker (v1 or v2)
-    plus the presence and types of the required top-level members. *)
+(** Structural check used by [trgplace stats]: schema marker (v1, v2 or
+    v3) plus the presence and types of the required top-level members;
+    the optional ["explain"] and ["journal"] members must be objects
+    when present. *)
 
 (** {2 Regression diffing} — the engine behind [trgplace compare]. *)
 

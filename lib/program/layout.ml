@@ -108,6 +108,20 @@ let line_align ~line_size ~n_sets program t =
     (order t);
   of_addresses program addr
 
+(* Digest of the placement itself (proc -> address), independent of the
+   rendering: the claim a decision journal makes about the layout its
+   merge sequence produced, and what [trgplace replay] re-checks. *)
+let digest t =
+  let b = Buffer.create 256 in
+  Array.iteri
+    (fun p a ->
+      Buffer.add_string b (string_of_int p);
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int a);
+      Buffer.add_char b '\n')
+    t.addr;
+  Trg_util.Checksum.string (Buffer.contents b)
+
 let pp program ppf t =
   Array.iter
     (fun p ->

@@ -64,5 +64,11 @@ val line_align : line_size:int -> n_sets:int -> Program.t -> t -> t
     comparable across layouts of the same program.  Used by the
     miss-attribution reports. *)
 
+val digest : t -> int
+(** CRC-32 of the placement's canonical [proc:address] rendering — two
+    layouts share a digest iff they assign identical addresses.  Recorded
+    as a decision journal's layout claim and re-checked bit-identical by
+    [trgplace replay]. *)
+
 val pp : Program.t -> Format.formatter -> t -> unit
 (** One line per procedure in address order, for debugging/examples. *)

@@ -46,6 +46,12 @@ let push h prio payload =
     i := parent
   done
 
+let iter_entries h f =
+  for i = 0 to h.size - 1 do
+    let e = h.data.(i) in
+    f e.prio e.seq e.payload
+  done
+
 let peek_max h =
   if h.size = 0 then None else Some (h.data.(0).prio, h.data.(0).payload)
 

@@ -23,3 +23,14 @@ val pop_max : 'a t -> (float * 'a) option
     which keeps greedy placement deterministic. *)
 
 val peek_max : 'a t -> (float * 'a) option
+
+val iter_entries : 'a t -> (float -> int -> 'a -> unit) -> unit
+(** [iter_entries h f] calls [f prio seq payload] for every stored entry —
+    including stale ones — in unspecified order, without disturbing the
+    heap.  [seq] is the entry's insertion ordinal, the same tie-breaker
+    {!pop_max} uses, so a caller can reconstruct exactly which entry the
+    next pop would surface (largest [prio], then smallest [seq]) after
+    filtering stale entries with its own validity check.  Used by the
+    merge driver's decision journal to find the runner-up candidate
+    non-destructively: popping and re-pushing would renumber entries and
+    change tie-breaking. *)

@@ -8,6 +8,13 @@ module Ablation = Trg_eval.Ablation
 module Bench = Trg_synth.Bench
 module Layout = Trg_program.Layout
 module Program = Trg_program.Program
+module Explain = Trg_eval.Explain
+module Replay = Trg_eval.Replay
+module Why = Trg_eval.Why
+module Journal = Trg_obs.Journal
+module Json = Trg_obs.Json
+module Cost = Trg_place.Cost
+module Gbsc = Trg_place.Gbsc
 
 (* One shared prepared runner: preparation is the expensive step. *)
 let runner = lazy (Runner.prepare (Bench.find "small"))
@@ -146,6 +153,149 @@ let test_ablation_rows () =
   let full = get "GBSC (full)" in
   Alcotest.(check bool) "full GBSC beats default" true (full < get "default layout")
 
+(* --- explain's sparkline ----------------------------------------------- *)
+
+let test_sparkline () =
+  (* Varied series scale to their own maximum. *)
+  Alcotest.(check string) "varied series keeps its shape" " .+@"
+    (Explain.sparkline [| 0; 1; 5; 10 |]);
+  Alcotest.(check string) "zeros are blank" "   "
+    (Explain.sparkline [| 0; 0; 0 |]);
+  (* A flat series has no shape: drawing it at full height would read as
+     a sustained peak, so it renders at the mid glyph. *)
+  Alcotest.(check string) "flat series renders mid, not peak" "+++"
+    (Explain.sparkline [| 5; 5; 5 |]);
+  Alcotest.(check string) "single point is flat, not a spike" "+"
+    (Explain.sparkline [| 1000 |]);
+  Alcotest.(check string) "flat with gaps keeps the gaps" "+ +"
+    (Explain.sparkline [| 7; 0; 7 |]);
+  Alcotest.(check string) "empty series" "" (Explain.sparkline [||])
+
+(* --- journal record / replay / why ------------------------------------- *)
+
+(* Record a live GBSC placement and verify its journal bit-identically
+   under BOTH cost engines: the second pass is the differential witness
+   that full and incremental evaluators agree decision-by-decision. *)
+let test_replay_verifies_bit_identically () =
+  Fun.protect ~finally:Journal.reset (fun () ->
+      let r = Lazy.force runner in
+      let j, layout = Replay.record ~algo:"gbsc" r in
+      Alcotest.(check bool) "journal captured decisions" true
+        (Array.length j.Journal.decisions > 0);
+      Alcotest.(check int) "journal claims the live layout"
+        (Layout.digest layout) j.Journal.claims.Journal.layout_crc;
+      Alcotest.(check bool) "GBSC decisions carry offsets" true
+        (Array.for_all (fun d -> d.Journal.shift <> None) j.Journal.decisions);
+      let saved = Cost.engine () in
+      Fun.protect
+        ~finally:(fun () -> Cost.set_engine saved)
+        (fun () ->
+          List.iter
+            (fun eng ->
+              Cost.set_engine eng;
+              let rep = Replay.verify j in
+              if not (Replay.ok rep) then
+                Alcotest.failf "replay under %s engine:\n  %s"
+                  (Cost.engine_name eng)
+                  (String.concat "\n  " rep.Replay.r_mismatches);
+              Alcotest.(check int) "every step re-driven"
+                (Array.length j.Journal.decisions)
+                rep.Replay.r_steps;
+              Alcotest.(check (option int)) "layout digest reproduced"
+                (Some j.Journal.claims.Journal.layout_crc)
+                rep.Replay.r_layout_crc)
+            [ Cost.Full; Cost.Incr ]))
+
+let test_replay_rejects_tampering () =
+  Fun.protect ~finally:Journal.reset (fun () ->
+      let r = Lazy.force runner in
+      let j, _ = Replay.record ~algo:"gbsc" r in
+      (* One flipped weight — the kind of damage a CRC would miss if the
+         file were edited and re-saved. *)
+      let decisions = Array.map (fun d -> { d with Journal.step = d.Journal.step }) j.Journal.decisions in
+      decisions.(0) <-
+        { decisions.(0) with Journal.weight = decisions.(0).Journal.weight +. 1. };
+      let rep = Replay.verify { j with Journal.decisions } in
+      Alcotest.(check bool) "tampered weight detected" false (Replay.ok rep);
+      Alcotest.(check bool) "mismatch names the step" true
+        (rep.Replay.r_mismatches <> []))
+
+(* PH journals are cache-independent (all-zero cache triple) and have no
+   offsets; the round-trip exercises prepare_for's default-cache path. *)
+let test_replay_ph_roundtrip () =
+  Fun.protect ~finally:Journal.reset (fun () ->
+      let r = Lazy.force runner in
+      let j, _ = Replay.record ~algo:"ph" r in
+      Alcotest.(check string) "meta algo" "ph" j.Journal.meta.Journal.algo;
+      Alcotest.(check int) "cache-independent journal" 0
+        j.Journal.meta.Journal.cache_size;
+      Alcotest.(check bool) "no offsets on PH chains" true
+        (Array.for_all (fun d -> d.Journal.shift = None) j.Journal.decisions);
+      let rep = Replay.verify j in
+      if not (Replay.ok rep) then
+        Alcotest.failf "ph replay:\n  %s"
+          (String.concat "\n  " rep.Replay.r_mismatches))
+
+let test_why_analysis () =
+  Fun.protect ~finally:Journal.reset (fun () ->
+      let r = Lazy.force runner in
+      let j, layout = Replay.record ~algo:"gbsc" r in
+      let program = Runner.program r in
+      let cache = r.Runner.config.Gbsc.cache in
+      let aligned =
+        Layout.line_align ~line_size:cache.Trg_cache.Config.line_size
+          ~n_sets:(Trg_cache.Config.n_sets cache) program layout
+      in
+      let attrib =
+        Trg_cache.Attrib.simulate program aligned cache r.Runner.test
+      in
+      let trg_weight =
+        Trg_profile.Graph.weight r.Runner.prof.Gbsc.select.Trg_profile.Trg.graph
+      in
+      let proc name =
+        match Program.find_by_name program name with
+        | Some p -> p
+        | None -> Alcotest.failf "benchmark has no procedure %s" name
+      in
+      let analyze ?q p =
+        Why.analyze ~journal:j ~trg_weight ~attrib
+          ~proc_name:(Program.name program) ~p:(proc p)
+          ?q:(Option.map proc q) ()
+      in
+      (* Pair mode: leaf1 and leaf2 share a TRG edge, so the greedy search
+         joins their groups at some step — and every claim in the join
+         must match the journal's decision at that step. *)
+      let pair = analyze ~q:"leaf2" "leaf1" in
+      (match pair.Why.w_joined with
+      | None -> Alcotest.fail "leaf1 and leaf2 were never joined"
+      | Some join ->
+        let d = j.Journal.decisions.(join.Why.j_step) in
+        Alcotest.(check bool) "join mirrors the journal decision" true
+          (d.Journal.weight = join.Why.j_weight
+          && d.Journal.runner_up = join.Why.j_runner_up
+          && d.Journal.shift = join.Why.j_shift);
+        (match join.Why.j_margin with
+        | Some m -> Alcotest.(check bool) "margin non-negative" true (m >= 0.)
+        | None -> ());
+        (match pair.Why.w_history with
+        | [] -> Alcotest.fail "pair history is empty"
+        | history ->
+          let last = List.nth history (List.length history - 1) in
+          Alcotest.(check int) "history ends at the joining step"
+            join.Why.j_step last.Why.j_step));
+      Alcotest.(check bool) "TRG cross-reference found" true
+        (match pair.Why.w_trg_weight with Some w -> w > 0. | None -> false);
+      (* Single mode: full merge history of one procedure's group. *)
+      let single = analyze "leaf1" in
+      Alcotest.(check bool) "single mode has no join" true
+        (single.Why.w_joined = None && single.Why.w_q = None);
+      Alcotest.(check bool) "single-mode history in step order" true
+        (let steps = List.map (fun x -> x.Why.j_step) single.Why.w_history in
+         steps = List.sort compare steps && steps <> []);
+      match Json.member "schema" (Why.to_json pair) with
+      | Some (Json.String "trgplace-why/1") -> ()
+      | _ -> Alcotest.fail "why JSON schema marker missing")
+
 let suite =
   [
     Alcotest.test_case "prepare consistency" `Quick test_prepare_consistency;
@@ -162,4 +312,11 @@ let suite =
     Alcotest.test_case "padding zero identity" `Quick test_padding_zero_is_identity;
     Alcotest.test_case "setassoc rows" `Quick test_setassoc_rows;
     Alcotest.test_case "ablation rows" `Quick test_ablation_rows;
+    Alcotest.test_case "sparkline" `Quick test_sparkline;
+    Alcotest.test_case "replay verifies bit-identically" `Quick
+      test_replay_verifies_bit_identically;
+    Alcotest.test_case "replay rejects tampering" `Quick
+      test_replay_rejects_tampering;
+    Alcotest.test_case "replay ph roundtrip" `Quick test_replay_ph_roundtrip;
+    Alcotest.test_case "why analysis" `Quick test_why_analysis;
   ]

@@ -52,9 +52,28 @@ let test_random_against_sort () =
   Array.sort compare sorted;
   Alcotest.(check bool) "pops in descending order" true (ws = sorted)
 
+let test_iter_entries () =
+  let h = Heap.create () in
+  List.iter (fun (w, x) -> Heap.push h w x) [ (1., "a"); (5., "b"); (3., "c") ];
+  (* Non-destructive: sees every live entry with its pop tie-breaker. *)
+  let seen = ref [] in
+  Heap.iter_entries h (fun prio seq x -> seen := (prio, seq, x) :: !seen);
+  let sorted = List.sort compare !seen in
+  Alcotest.(check int) "all entries visited" 3 (List.length sorted);
+  Alcotest.(check bool)
+    "prio/payload pairs intact" true
+    (List.map (fun (p, _, x) -> (p, x)) sorted = [ (1., "a"); (3., "c"); (5., "b") ]);
+  (* seq reflects insertion order: among equal priorities the smaller seq
+     pops first, so seqs must be pairwise distinct. *)
+  let seqs = List.sort compare (List.map (fun (_, s, _) -> s) sorted) in
+  Alcotest.(check bool) "distinct seqs" true (List.length (List.sort_uniq compare seqs) = 3);
+  Alcotest.(check int) "heap untouched" 3 (Heap.length h);
+  Alcotest.(check bool) "max still there" true (Heap.peek_max h = Some (5., "b"))
+
 let suite =
   [
     Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "iter_entries is non-destructive" `Quick test_iter_entries;
     Alcotest.test_case "max order" `Quick test_max_order;
     Alcotest.test_case "tie break by insertion" `Quick test_tie_break_insertion_order;
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved_push_pop;

@@ -11,6 +11,7 @@ module Fault = Trg_util.Fault
 module Report = Trg_eval.Report
 module Runner = Trg_eval.Runner
 module Perfrun = Trg_eval.Perfrun
+module Journal = Trg_obs.Journal
 
 (* --- JSON ------------------------------------------------------------ *)
 
@@ -673,6 +674,246 @@ let test_counters_populated_by_run () =
   Alcotest.(check bool) "GBSC merge steps counted" true
     (Metrics.value merge_steps > before_merges)
 
+(* --- the merge-decision journal --------------------------------------- *)
+
+(* Recording is a process-global state machine (like Prof): arm names the
+   capture, the first matching begin_run owns it, finish seals and
+   disarms, take hands the journal over exactly once. *)
+let test_journal_state_machine () =
+  Fun.protect ~finally:Journal.reset (fun () ->
+      Journal.reset ();
+      Alcotest.(check bool) "idle by default" false (Journal.recording ());
+      Alcotest.(check bool) "unarmed begin_run refuses" false
+        (Journal.begin_run ~algo:"gbsc" ~engine:"incr" ~cache:(8192, 32, 1));
+      Journal.arm ~algo:"gbsc" ~source:"small";
+      Alcotest.(check bool) "non-matching algo refuses" false
+        (Journal.begin_run ~algo:"ph" ~engine:"incr" ~cache:(0, 0, 0));
+      Alcotest.(check bool) "matching algo starts the capture" true
+        (Journal.begin_run ~algo:"gbsc" ~engine:"incr" ~cache:(8192, 32, 1));
+      Alcotest.(check bool) "recording" true (Journal.recording ());
+      (* HKC drives GBSC's machinery: an inner begin_run while a capture is
+         open must not steal or restart it. *)
+      Alcotest.(check bool) "no nested capture" false
+        (Journal.begin_run ~algo:"gbsc" ~engine:"incr" ~cache:(8192, 32, 1));
+      Journal.record ~u:0 ~v:2 ~weight:10. ~size_u:1 ~size_v:1
+        ~runner_up:{ Journal.r_u = 1; r_v = 2; r_weight = 4. }
+        ();
+      Journal.annotate ~shift:3 ~cost:0.5;
+      Journal.record ~u:0 ~v:1 ~weight:4. ~size_u:2 ~size_v:1 ();
+      Journal.finish ~layout_crc:0xDEAD;
+      Alcotest.(check bool) "finish stops recording" false (Journal.recording ());
+      (* A straggler record after the seal must not corrupt the capture. *)
+      Journal.record ~u:7 ~v:9 ~weight:1. ~size_u:1 ~size_v:1 ();
+      let j =
+        match Journal.take () with
+        | Some j -> j
+        | None -> Alcotest.fail "no journal captured"
+      in
+      Alcotest.(check bool) "take clears" true (Journal.take () = None);
+      Alcotest.(check int) "two decisions" 2 (Array.length j.Journal.decisions);
+      let d0 = j.Journal.decisions.(0) and d1 = j.Journal.decisions.(1) in
+      Alcotest.(check int) "steps are 0-based ordinals" 0 d0.Journal.step;
+      Alcotest.(check bool) "annotate lands on the open decision" true
+        (d0.Journal.shift = Some 3 && d0.Journal.shift_cost = Some 0.5);
+      Alcotest.(check bool) "later decision untouched by annotate" true
+        (d1.Journal.shift = None && d1.Journal.runner_up = None);
+      Alcotest.(check int) "layout crc claimed" 0xDEAD
+        j.Journal.claims.Journal.layout_crc;
+      Alcotest.(check (float 0.)) "total weight is the ordered sum" 14.
+        j.Journal.claims.Journal.total_weight;
+      Alcotest.(check string) "meta records the matched algo" "gbsc"
+        j.Journal.meta.Journal.algo;
+      Alcotest.(check string) "meta records the armed source" "small"
+        j.Journal.meta.Journal.source;
+      (* finish disarmed the journal: the next placement is not captured. *)
+      Alcotest.(check bool) "finish disarms" false
+        (Journal.begin_run ~algo:"gbsc" ~engine:"incr" ~cache:(8192, 32, 1)))
+
+let test_journal_abort () =
+  Fun.protect ~finally:Journal.reset (fun () ->
+      Journal.reset ();
+      Journal.arm ~algo:"ph" ~source:"small";
+      Alcotest.(check bool) "capture starts" true
+        (Journal.begin_run ~algo:"ph" ~engine:"incr" ~cache:(0, 0, 0));
+      Journal.record ~u:0 ~v:1 ~weight:1. ~size_u:1 ~size_v:1 ();
+      Journal.abort ();
+      Alcotest.(check bool) "abort stops recording" false (Journal.recording ());
+      Alcotest.(check bool) "abort captures nothing" true (Journal.take () = None))
+
+let with_temp_journal f =
+  let path = Filename.temp_file "trgplace_journal" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* A fixture with floats that decimal rendering would mangle: 0.1, 1/3 and
+   1/7 have no finite decimal representation, so they only survive the
+   file format if weights really are serialized as hex literals. *)
+let journal_fixture () =
+  let d step d_u d_v weight size_u size_v runner_up shift shift_cost =
+    { Journal.step; d_u; d_v; weight; size_u; size_v; runner_up; shift;
+      shift_cost }
+  in
+  let decisions =
+    [|
+      d 0 0 3 0.1 1 1
+        (Some { Journal.r_u = 1; r_v = 2; r_weight = 1. /. 3. })
+        (Some 5)
+        (Some (1. /. 7.));
+      d 1 0 1 (1. /. 3.) 2 1 None None None;
+    |]
+  in
+  {
+    Journal.meta =
+      { Journal.algo = "gbsc"; source = "small"; engine = "incr";
+        cache_size = 8192; cache_line = 32; cache_assoc = 1 };
+    decisions;
+    claims =
+      { Journal.layout_crc = 0x1234ABCD;
+        total_weight = Journal.total_weight decisions };
+  }
+
+let test_journal_roundtrip () =
+  with_temp_journal (fun path ->
+      let j = journal_fixture () in
+      Journal.save path j;
+      let j' = Journal.load path in
+      Alcotest.(check bool) "journal roundtrips structurally" true (j' = j);
+      Alcotest.(check bool) "awkward floats come back bit-exact" true
+        (j'.Journal.decisions.(0).Journal.weight = 0.1
+        && j'.Journal.decisions.(1).Journal.weight = 1. /. 3.
+        && j'.Journal.decisions.(0).Journal.shift_cost = Some (1. /. 7.)))
+
+(* Every fault class the loader promises, produced by corrupting a real
+   save the way each failure would happen in the field. *)
+let test_journal_fault_matrix () =
+  with_temp_journal (fun path ->
+      let j = journal_fixture () in
+      Journal.save path j;
+      let original =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let write s =
+        let oc = open_out_bin path in
+        output_string oc s;
+        close_out oc
+      in
+      let check_fault label content pred =
+        write content;
+        match Journal.load_result path with
+        | Ok _ -> Alcotest.failf "%s: corrupted journal loaded" label
+        | Error e ->
+          if not (pred e) then
+            Alcotest.failf "%s: unexpected fault %s" label (Fault.to_string e)
+      in
+      (* Wrong artifact kind: another tool's magic word. *)
+      check_fault "bad magic"
+        ("trgplace-ledger" ^ String.sub original 16 (String.length original - 16))
+        (function Fault.Bad_magic _ -> true | _ -> false);
+      (* A future format version this build does not know. *)
+      check_fault "unsupported version"
+        (let nl = String.index original '\n' in
+         "trgplace-journal 9 2" ^ String.sub original nl (String.length original - nl))
+        (function Fault.Unsupported_version _ -> true | _ -> false);
+      (* One flipped digit in the claims line: still parseable, so only the
+         CRC trailer can catch it. *)
+      check_fault "checksum mismatch"
+        (let rec find k =
+           if String.sub original k 7 = "claims " then k + 7 else find (k + 1)
+         in
+         let i = find 0 in
+         let b = Bytes.of_string original in
+         Bytes.set b i (if Bytes.get b i = '9' then '8' else '9');
+         Bytes.to_string b)
+        (function Fault.Checksum_mismatch _ -> true | _ -> false);
+      (* A torn write: the trailer line never made it to disk. *)
+      check_fault "truncated"
+        (let no_nl = String.sub original 0 (String.length original - 1) in
+         String.sub original 0 (String.rindex no_nl '\n' + 1))
+        (function Fault.Truncated _ -> true | _ -> false);
+      (* Structural damage to a record line. *)
+      check_fault "bad record"
+        (let rec find k =
+           if String.sub original k 2 = "d " then k else find (k + 1)
+         in
+         let i = find 0 in
+         let b = Bytes.of_string original in
+         Bytes.set b i 'x';
+         Bytes.to_string b)
+        (function Fault.Bad_record _ -> true | _ -> false);
+      (* And the untouched original still loads. *)
+      write original;
+      match Journal.load_result path with
+      | Ok j' -> Alcotest.(check bool) "pristine journal loads" true (j' = j)
+      | Error e -> Alcotest.failf "pristine journal rejected: %s" (Fault.to_string e))
+
+(* Manifest schema v3: the optional journal member must be an object when
+   present, and v2 manifests (which cannot carry one) must keep
+   validating. *)
+let test_manifest_journal_member () =
+  let rewrite key v = function
+    | Json.Obj fields ->
+      Json.Obj (List.map (function k, _ when k = key -> (k, v) | kv -> kv) fields)
+    | _ -> Alcotest.fail "manifest is not an object"
+  in
+  let with_journal =
+    Manifest.build ~command:"explain"
+      ~journal:
+        (Json.Obj
+           [
+             ("schema", Json.String Journal.schema);
+             ("path", Json.String "gbsc.journal");
+             ("steps", Json.Int 25);
+           ])
+      ~status:Manifest.Ok ~exit_code:0 ()
+  in
+  (match Manifest.validate with_journal with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "journal member rejected: %s" msg);
+  (match Manifest.validate (rewrite "journal" (Json.Int 3) with_journal) with
+  | Ok () -> Alcotest.fail "non-object journal member validated"
+  | Error _ -> ());
+  let plain = Manifest.build ~command:"x" ~status:Manifest.Ok ~exit_code:0 () in
+  match
+    Manifest.validate (rewrite "schema" (Json.String Manifest.v2_schema) plain)
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "v2 manifest rejected: %s" msg
+
+(* The observability bargain: a run that enables neither --profile nor a
+   journal pays one branch on the hot path and leaves NO trace in the
+   metric registry — so its manifests stay byte-comparable with builds
+   that predate the instrumentation.  Two placements from a cleared
+   registry must produce identical metric snapshots with no prof/* name,
+   and no drift on the manifest's deterministic surface. *)
+let test_prof_off_path_is_silent () =
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "profiling is off by default" false
+    (Trg_obs.Prof.enabled ());
+  Alcotest.(check bool) "journal is off by default" false (Journal.recording ());
+  let place () =
+    Metrics.clear ();
+    let prepared = Runner.prepare (Trg_synth.Bench.find "small") in
+    ignore (Trg_place.Gbsc.place (Runner.program prepared) prepared.Runner.prof);
+    ( Json.to_string (Metrics.to_json ()),
+      Manifest.build ~command:"explain" ~status:Manifest.Ok ~exit_code:0 () )
+  in
+  let snap_a, manifest_a = place () in
+  let snap_b, manifest_b = place () in
+  Alcotest.(check string) "unprofiled placements are metric-identical" snap_a
+    snap_b;
+  Alcotest.(check bool) "no prof/* metric registered" true
+    (not (contains snap_a "prof/"));
+  Alcotest.(check int) "no drift on the manifest's deterministic surface" 0
+    (List.length (Manifest.diff manifest_a manifest_b))
+
 let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
@@ -701,4 +942,10 @@ let suite =
     Alcotest.test_case "perf counters jobs-invariant" `Quick test_perf_counters_jobs_invariant;
     Alcotest.test_case "failed benchmark in manifest" `Quick test_failed_benchmark_in_manifest;
     Alcotest.test_case "run populates counters" `Quick test_counters_populated_by_run;
+    Alcotest.test_case "prof off-path is silent" `Quick test_prof_off_path_is_silent;
+    Alcotest.test_case "journal state machine" `Quick test_journal_state_machine;
+    Alcotest.test_case "journal abort" `Quick test_journal_abort;
+    Alcotest.test_case "journal roundtrip" `Quick test_journal_roundtrip;
+    Alcotest.test_case "journal fault matrix" `Quick test_journal_fault_matrix;
+    Alcotest.test_case "manifest journal member" `Quick test_manifest_journal_member;
   ]
