@@ -145,6 +145,29 @@ let benchmark_tests () =
           ~l1:(Trg_cache.Config.make ~size:8192 ~line_size:32 ~assoc:1)
           ~l2:(Trg_cache.Config.make ~size:65536 ~line_size:64 ~assoc:4)
           small.Runner.test);
+    t "hierarchy/skylake(small)" (fun () ->
+        let cpu =
+          match Trg_cache.Cpu.find "skylake" with
+          | Ok c -> c
+          | Error e -> failwith e
+        in
+        Trg_cache.Hierarchy.simulate (program small)
+          (Runner.default_layout small) cpu.Trg_cache.Cpu.hier
+          small.Runner.test);
+    (* Policy engines: the generic set-associative loop under non-LRU
+       replacement (the differential wall proves these exact; this times
+       them against the specialised LRU loop above). *)
+    t "policy/plru-4way(small)" (fun () ->
+        Trg_cache.Sim.simulate ~policy:Trg_cache.Policy.Plru (program small)
+          (Runner.default_layout small)
+          (Trg_cache.Config.make ~size:8192 ~line_size:32 ~assoc:4)
+          small.Runner.test);
+    t "policy/qlru-h11-4way(small)" (fun () ->
+        Trg_cache.Sim.simulate ~policy:Trg_cache.Policy.Qlru_h11
+          (program small)
+          (Runner.default_layout small)
+          (Trg_cache.Config.make ~size:8192 ~line_size:32 ~assoc:4)
+          small.Runner.test);
     (* The placement algorithms themselves (paper Section 4.4). *)
     t "place/ph(go)" (fun () -> Ph.place ~wcg:go.Runner.wcg (program go));
     t "place/hkc(go)" (fun () ->

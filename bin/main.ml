@@ -61,6 +61,51 @@ let cost_engine_term =
         Trg_place.Cost.Incr
     & info [ "cost-engine" ] ~docv:"ENGINE" ~doc)
 
+let policy_conv =
+  let parse s =
+    match Trg_cache.Policy.of_string s with
+    | Ok k -> Ok k
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf k = Format.pp_print_string ppf (Trg_cache.Policy.to_string k) in
+  Arg.conv (parse, print)
+
+let policy_term =
+  let doc =
+    Printf.sprintf
+      "Replacement policy for every single-level cache simulation: %s.  \
+       All policies coincide at assoc 1 (the paper's direct-mapped \
+       operating point), so the default, lru, reproduces the historical \
+       numbers bit-for-bit."
+      (String.concat ", " Trg_cache.Policy.names)
+  in
+  Arg.(value & opt policy_conv Trg_cache.Policy.Lru & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let cpus_term =
+  let doc =
+    Printf.sprintf
+      "CPU preset the hierarchy experiment simulates (repeatable): %s.  \
+       Default: %s."
+      (String.concat ", " Trg_cache.Cpu.names)
+      (String.concat " " Trg_cache.Cpu.default_selection)
+  in
+  Arg.(value & opt_all string [] & info [ "cpu" ] ~docv:"NAME" ~doc)
+
+(* Resolve --cpu names at option-parse time so a typo exits 2 with the
+   valid list instead of failing mid-experiment. *)
+let resolve_cpus = function
+  | [] -> Trg_cache.Cpu.default_selection
+  | names ->
+    List.iter
+      (fun n ->
+        match Trg_cache.Cpu.find n with
+        | Ok _ -> ()
+        | Error msg ->
+          Log.err (fun m -> m "%s" msg);
+          exit 2)
+      names;
+    names
+
 let options_term =
   let runs =
     let doc = "Number of perturbed placements per algorithm (Figure 5)." in
@@ -129,10 +174,11 @@ let options_term =
     Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
   in
   let make verbose profile runs points benches quick full_output keep_going
-      strict force_fail jobs timeout retries cost_engine =
+      strict force_fail jobs timeout retries cost_engine policy cpus =
     setup_logs verbose;
     Trg_obs.Prof.set_enabled profile;
     Trg_place.Cost.set_engine cost_engine;
+    let cpus = resolve_cpus cpus in
     let keep_going = keep_going && not strict in
     if jobs < 0 then begin
       Log.err (fun m -> m "--jobs must be non-negative (got %d)" jobs);
@@ -157,6 +203,8 @@ let options_term =
         jobs;
         timeout;
         retries;
+        policy;
+        cpus;
       }
     else
       let selected =
@@ -173,12 +221,14 @@ let options_term =
         jobs;
         timeout;
         retries;
+        policy;
+        cpus;
       }
   in
   Term.(
     const make $ verbose_term $ profile_term $ runs $ points $ benches $ quick
     $ full_output $ keep_going $ strict $ force_fail $ jobs $ timeout
-    $ retries $ cost_engine_term)
+    $ retries $ cost_engine_term $ policy_term $ cpus_term)
 
 (* --- telemetry manifest plumbing ------------------------------------- *)
 
@@ -247,6 +297,8 @@ let config_json (o : Trg_eval.Report.options) =
     ("jobs", J.Int o.jobs);
     ("timeout", match o.timeout with Some t -> J.Float t | None -> J.Null);
     ("retries", J.Int o.retries);
+    ("policy", J.String (Trg_cache.Policy.to_string o.policy));
+    ("cpus", J.List (List.map (fun n -> J.String n) o.cpus));
     (* Read back from the process-global set at option-parse time, so the
        manifest records the engine the run actually used. *)
     ( "cost_engine",
@@ -452,19 +504,21 @@ let simulate_cmd =
   let trace_f =
     Arg.(required & opt (some string) None & info [ "trace"; "t" ] ~docv:"FILE" ~doc:"Trace file.")
   in
-  let run program_f layout_f trace_f cache =
+  let run program_f layout_f trace_f cache policy =
     let program = retrying (fun () -> Trg_program.Serial.load_program program_f) in
     let layout =
       retrying (fun () -> Trg_program.Serial.load_layout program layout_f)
     in
     let trace = retrying (fun () -> Trg_trace.Io.load trace_f) in
-    let result = Trg_cache.Sim.simulate program layout cache trace in
-    Printf.printf "cache %s: %d accesses, %d misses, miss rate %.4f%%\n"
+    let result = Trg_cache.Sim.simulate ~policy program layout cache trace in
+    Printf.printf "cache %s (%s): %d accesses, %d misses, miss rate %.4f%%\n"
       (Format.asprintf "%a" Trg_cache.Config.pp cache)
+      (Trg_cache.Policy.to_string policy)
       result.Trg_cache.Sim.accesses result.Trg_cache.Sim.misses
       (100. *. Trg_cache.Sim.miss_rate result)
   in
-  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ program_f $ layout_f $ trace_f $ cache_term)
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ program_f $ layout_f $ trace_f $ cache_term $ policy_term)
 
 let export_dot_cmd =
   let doc = "Export a benchmark's WCG or TRG as Graphviz dot." in
@@ -632,7 +686,8 @@ let explain_cmd =
       & info [ "trace"; "t" ] ~docv:"FILE" ~doc:"Trace file (file-triple mode).")
   in
   let run verbose bench quick algos train raw top intervals json_out program_f
-      layout_f trace_f cache cost_engine metrics_out journal_out journal_algo =
+      layout_f trace_f cache policy cost_engine metrics_out journal_out
+      journal_algo =
     setup_logs verbose;
     Trg_place.Cost.set_engine cost_engine;
     if intervals <= 0 then begin
@@ -649,6 +704,7 @@ let explain_cmd =
         ("raw", J.Bool raw);
         ("top", J.Int top);
         ("intervals", J.Int intervals);
+        ("policy", J.String (Trg_cache.Policy.to_string policy));
         ("cost_engine", J.String (Trg_place.Cost.engine_name cost_engine));
       ]
     in
@@ -672,7 +728,7 @@ let explain_cmd =
           Trg_profile.Trg.build_select
             ~capacity_bytes:(2 * cache.Trg_cache.Config.size) program trace
         in
-        ( Trg_eval.Explain.make ~intervals
+        ( Trg_eval.Explain.make ~intervals ~policy
             ~source:(Printf.sprintf "%s + %s" (Filename.basename pf) (Filename.basename lf))
             ~trace_label:(Filename.basename tf) ~cache
             ~trg_weight:(Trg_profile.Graph.weight built.Trg_profile.Trg.graph)
@@ -688,7 +744,7 @@ let explain_cmd =
         in
         let shape = shapes_of_names [ name ] |> List.hd in
         let gconfig = Trg_place.Gbsc.default_config ~cache () in
-        let r = Trg_eval.Runner.prepare ~config:gconfig shape in
+        let r = Trg_eval.Runner.prepare ~config:gconfig ~policy shape in
         let algos =
           match algos with [] -> Trg_eval.Explain.default_algos | l -> l
         in
@@ -747,7 +803,8 @@ let explain_cmd =
     Term.(
       const run $ verbose_term $ bench $ quick $ algos $ train $ raw $ top
       $ intervals $ json_out $ program_f $ layout_f $ trace_f $ cache_term
-      $ cost_engine_term $ metrics_term $ journal_out_term $ journal_algo_term)
+      $ policy_term $ cost_engine_term $ metrics_term $ journal_out_term
+      $ journal_algo_term)
 
 let compare_cmd =
   let doc =
@@ -1554,14 +1611,14 @@ let load_ledger path =
       skipped;
     records
 
-let perf_measure ~reps ~jobs ~benches =
+let perf_measure ~reps ~jobs ~benches ~policy =
   let benches = match benches with [] -> Perfrun.default_benches | l -> l in
   if reps < 1 || jobs < 1 then begin
     Log.err (fun m -> m "perf: --reps and --jobs must be positive");
     exit 2
   end;
   List.iter (fun n -> ignore (shapes_of_names [ n ])) benches;
-  Perfrun.measure ~reps ~jobs ~benches ~rev:(git_rev ())
+  Perfrun.measure ~reps ~jobs ~benches ~policy ~rev:(git_rev ())
     ~time_s:(Trg_util.Clock.wall ()) ()
 
 let print_record_table (r : Perf.record) =
@@ -1585,16 +1642,18 @@ let perf_record_cmd =
      MAD over N repetitions of wall/alloc per unit, plus the \
      deterministic work counters) to the ledger."
   in
-  let run verbose ledger reps benches jobs =
+  let run verbose ledger reps benches jobs policy =
     setup_logs verbose;
-    let r = perf_measure ~reps ~jobs ~benches in
+    let r = perf_measure ~reps ~jobs ~benches ~policy in
     (match Trg_util.Fault.result (fun () -> Perf.append ledger r) with
     | Ok () -> ()
     | Error e ->
       Log.err (fun m -> m "%s: %s" ledger (Trg_util.Fault.to_string e));
       exit 1);
     Trg_util.Table.section
-      (Printf.sprintf "PERF RECORD — rev %s, %d reps" r.Perf.rev r.Perf.reps);
+      (Printf.sprintf "PERF RECORD — rev %s, %d reps, policy %s" r.Perf.rev
+         r.Perf.reps
+         (Trg_cache.Policy.to_string policy));
     print_record_table r;
     Printf.printf "\nappended to %s (%d units, %d counters)\n" ledger
       (List.length r.Perf.benches)
@@ -1603,7 +1662,7 @@ let perf_record_cmd =
   Cmd.v (Cmd.info "record" ~doc)
     Term.(
       const run $ verbose_term $ ledger_term $ perf_reps_term
-      $ perf_bench_term $ perf_jobs_term)
+      $ perf_bench_term $ perf_jobs_term $ policy_term)
 
 (* Sparklines want bucket-count-shaped ints; medians are scaled into
    [1, 1000] against the series maximum so relative level survives. *)
@@ -1629,7 +1688,7 @@ let perf_report_cmd =
       & info [ "json" ]
           ~doc:"Print the ledger as one JSON document instead of tables.")
   in
-  let run verbose ledger json_flag =
+  let run verbose ledger json_flag policy =
     setup_logs verbose;
     let records = load_ledger ledger in
     if json_flag then
@@ -1647,9 +1706,13 @@ let perf_report_cmd =
       | _ ->
         let module Table = Trg_util.Table in
         let last = List.nth records (List.length records - 1) in
+        (* The active policy names the session configuration these
+           records are comparable against (it feeds config_crc). *)
         Table.section
-          (Printf.sprintf "PERF LEDGER — %s (%d records, latest rev %s)"
-             ledger (List.length records) last.Perf.rev);
+          (Printf.sprintf
+             "PERF LEDGER — %s (%d records, latest rev %s, policy %s)"
+             ledger (List.length records) last.Perf.rev
+             (Trg_cache.Policy.to_string policy));
         let names =
           List.sort_uniq compare
             (List.concat_map
@@ -1688,7 +1751,7 @@ let perf_report_cmd =
     end
   in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(const run $ verbose_term $ ledger_term $ json_flag)
+    Term.(const run $ verbose_term $ ledger_term $ json_flag $ policy_term)
 
 let perf_diff_cmd =
   let doc =
@@ -1784,7 +1847,7 @@ let perf_gate_cmd =
       & info [ "counter-tolerance" ] ~docv:"REL"
           ~doc:"Allowed relative drift for deterministic counters.")
   in
-  let run verbose ledger reps benches jobs window mad_factor min_band
+  let run verbose ledger reps benches jobs policy window mad_factor min_band
       counter_tolerance =
     setup_logs verbose;
     if window < 1 then begin
@@ -1797,7 +1860,7 @@ let perf_gate_cmd =
           m "perf gate: ledger %s has no records to gate against" ledger);
       exit 2
     end;
-    let current = perf_measure ~reps ~jobs ~benches in
+    let current = perf_measure ~reps ~jobs ~benches ~policy in
     let verdicts =
       Perf.gate ~window ~mad_factor ~min_band ~counter_tolerance ~history
         current
@@ -1849,8 +1912,8 @@ let perf_gate_cmd =
   Cmd.v (Cmd.info "gate" ~doc)
     Term.(
       const run $ verbose_term $ ledger_term $ perf_reps_term
-      $ perf_bench_term $ perf_jobs_term $ window_term $ mad_factor_term
-      $ min_band_term $ counter_tol_term)
+      $ perf_bench_term $ perf_jobs_term $ policy_term $ window_term
+      $ mad_factor_term $ min_band_term $ counter_tol_term)
 
 let perf_cmd =
   let doc =
@@ -1900,7 +1963,9 @@ let cmds =
       Trg_eval.Report.online;
     experiment "headroom" "Greedy GBSC vs direct metric search (annealing)."
       Trg_eval.Report.headroom;
-    experiment "hierarchy" "Two-level cache hierarchy (conclusion's outlook)."
+    experiment "hierarchy"
+      "Multi-level cache hierarchies (L1/L2/L3, PLRU/QLRU) across named \
+       CPU presets — the conclusion's outlook, head to head."
       Trg_eval.Report.hierarchy;
     experiment "sweep" "Cache-size sweep (Section 5.2 robustness note)."
       Trg_eval.Report.sweep;

@@ -119,8 +119,10 @@ let validate_trace program trace =
              size))
     trace
 
-let simulate ?(intervals = 60) program layout (config : Config.t) trace =
+let simulate ?(intervals = 60) ?(policy = Policy.Lru) program layout
+    (config : Config.t) trace =
   if intervals <= 0 then invalid_arg "Attrib.simulate: intervals must be positive";
+  Policy.validate policy ~assoc:config.Config.assoc;
   validate_trace program trace;
   let n_procs = Program.n_procs program in
   let addr = Array.init n_procs (Layout.address layout) in
@@ -132,7 +134,38 @@ let simulate ?(intervals = 60) program layout (config : Config.t) trace =
      guarantees events stay inside their procedure, so the layout span
      bounds the largest address. *)
   let n_line_ids = (Layout.span layout / line_size) + 2 in
-  let tags = Array.make (n_sets * assoc) (-1) in
+  (* The real-cache step, shared return coding with {!Policy.Probe.access}:
+     [-2] = hit, otherwise the previous tag of the filled way.  True LRU
+     keeps the historical move-to-front tag slices (the default path is
+     operation-for-operation the pre-policy implementation); every other
+     policy runs the generic engine. *)
+  let access_line =
+    match policy with
+    | Policy.Lru ->
+      let tags = Array.make (n_sets * assoc) (-1) in
+      fun la ->
+        let set = la mod n_sets in
+        let start = set * assoc in
+        let way = ref (-1) in
+        (try
+           for w = 0 to assoc - 1 do
+             if tags.(start + w) = la then begin
+               way := w;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        let code, hit_way =
+          if !way >= 0 then (-2, !way)
+          else (tags.(start + assoc - 1), assoc - 1)
+        in
+        for w = hit_way downto 1 do
+          tags.(start + w) <- tags.(start + w - 1)
+        done;
+        tags.(start) <- la;
+        code
+    | p -> Policy.Probe.access (Policy.Probe.create p ~n_sets ~assoc)
+  in
   let shadow = Shadow.create ~capacity ~n_lines:n_line_ids in
   let seen = Bytes.make n_line_ids '\000' in
   (* last_evictor.(la): the procedure whose fill most recently displaced
@@ -165,49 +198,32 @@ let simulate ?(intervals = 60) program layout (config : Config.t) trace =
            tracks the full reference stream, not just real-cache misses. *)
         let shadow_hit = Shadow.access shadow la in
         let set = la mod n_sets in
-        let start = set * assoc in
-        let way = ref (-1) in
-        (try
-           for w = 0 to assoc - 1 do
-             if tags.(start + w) = la then begin
-               way := w;
-               raise Exit
+        let code = access_line la in
+        if code <> -2 then begin
+          incr misses;
+          pm.(p) <- pm.(p) + 1;
+          set_misses.(set) <- set_misses.(set) + 1;
+          timeline.(ei / interval_events) <- timeline.(ei / interval_events) + 1;
+          (if fresh then incr compulsory
+           else if not shadow_hit then incr capacity_m
+           else begin
+             incr conflict;
+             pc.(p) <- pc.(p) + 1;
+             let evictor = last_evictor.(la) in
+             if evictor >= 0 then begin
+               let key = (evictor * n_procs) + p in
+               match Hashtbl.find_opt matrix key with
+               | Some r -> incr r
+               | None -> Hashtbl.add matrix key (ref 1)
              end
-           done
-         with Exit -> ());
-        let hit_way =
-          if !way >= 0 then !way
-          else begin
-            incr misses;
-            pm.(p) <- pm.(p) + 1;
-            set_misses.(set) <- set_misses.(set) + 1;
-            timeline.(ei / interval_events) <- timeline.(ei / interval_events) + 1;
-            (if fresh then incr compulsory
-             else if not shadow_hit then incr capacity_m
-             else begin
-               incr conflict;
-               pc.(p) <- pc.(p) + 1;
-               let evictor = last_evictor.(la) in
-               if evictor >= 0 then begin
-                 let key = (evictor * n_procs) + p in
-                 match Hashtbl.find_opt matrix key with
-                 | Some r -> incr r
-                 | None -> Hashtbl.add matrix key (ref 1)
-               end
-             end);
-            let victim_la = tags.(start + assoc - 1) in
-            if victim_la >= 0 then begin
-              incr evictions;
-              pe.(p) <- pe.(p) + 1;
-              last_evictor.(victim_la) <- p
-            end;
-            assoc - 1
+           end);
+          let victim_la = code in
+          if victim_la >= 0 then begin
+            incr evictions;
+            pe.(p) <- pe.(p) + 1;
+            last_evictor.(victim_la) <- p
           end
-        in
-        for w = hit_way downto 1 do
-          tags.(start + w) <- tags.(start + w - 1)
-        done;
-        tags.(start) <- la
+        end
       done)
     trace;
   let distinct = ref 0 in

@@ -53,16 +53,20 @@ type t = {
 
 val simulate :
   ?intervals:int ->
+  ?policy:Policy.kind ->
   Trg_program.Program.t ->
   Trg_program.Layout.t ->
   Config.t ->
   Trg_trace.Trace.t ->
   t
-(** Attribution-mode simulation with a cold cache and true-LRU
-    replacement (direct-mapped when [assoc = 1], like {!Sim.simulate}).
-    [intervals] (default 60) sets the timeline resolution; the trace is
-    split into that many equal event intervals (at least one event
-    each).
+(** Attribution-mode simulation with a cold cache (direct-mapped when
+    [assoc = 1], like {!Sim.simulate}).  [policy] (default {!Policy.Lru})
+    selects the real cache's replacement policy; the 3C divider is
+    policy-independent (the shadow cache stays fully-associative LRU), and
+    [compulsory + capacity + conflict = result.misses] holds under every
+    policy.  [intervals] (default 60) sets the timeline resolution; the
+    trace is split into that many equal event intervals (at least one
+    event each).
 
     The trace is validated against the program up front: every event must
     reference an existing procedure and stay within its byte range.
@@ -72,3 +76,18 @@ val simulate :
 val conflict_row_sums : t -> int array
 (** Per-victim-procedure totals of {!t.conflict_pairs} — by construction
     equal to [per_proc.(p).p_conflicts] for every [p]. *)
+
+(** The fully-associative LRU shadow cache behind the capacity/conflict
+    divider: a doubly-linked recency list over line ids.  Exported for
+    {!Hierarchy}, which runs one shadow per level to classify that
+    level's misses. *)
+module Shadow : sig
+  type s
+
+  val create : capacity:int -> n_lines:int -> s
+  (** [capacity] lines of shadow residency over line ids [0..n_lines). *)
+
+  val access : s -> int -> bool
+  (** Probe-and-touch: whether the line was resident; it becomes the most
+      recent line either way, evicting the least recent when full. *)
+end

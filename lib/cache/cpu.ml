@@ -1,0 +1,101 @@
+type t = { name : string; descr : string; hier : Hierarchy.t }
+
+let level ~size ~line_size ~assoc ~policy ~hit_cycles =
+  {
+    Hierarchy.config = Config.make ~size ~line_size ~assoc;
+    policy;
+    hit_cycles;
+  }
+
+let kb n = n * 1024
+let mb n = n * 1024 * 1024
+
+(* The paper's machine: 8 KB direct-mapped on-chip I-cache backed by a
+   large off-chip direct-mapped Bcache.  L1 geometry matches Config.default
+   so the preset's L1 miss counts line up with every other experiment. *)
+let alpha_21064 =
+  {
+    name = "alpha-21064";
+    descr = "the paper's machine: 8KB DM I-cache + 512KB DM board cache";
+    hier =
+      Hierarchy.make
+        ~levels:
+          [
+            level ~size:(kb 8) ~line_size:32 ~assoc:1 ~policy:Policy.Lru
+              ~hit_cycles:1;
+            level ~size:(kb 512) ~line_size:32 ~assoc:1 ~policy:Policy.Lru
+              ~hit_cycles:10;
+          ]
+        ~memory_cycles:100;
+  }
+
+(* Its successor: same tiny DM L1, but a 3-way on-chip S-cache and a
+   direct-mapped board cache behind it. *)
+let alpha_21164 =
+  {
+    name = "alpha-21164";
+    descr = "8KB DM L1 + 96KB 3-way S-cache + 2MB DM board cache";
+    hier =
+      Hierarchy.make
+        ~levels:
+          [
+            level ~size:(kb 8) ~line_size:32 ~assoc:1 ~policy:Policy.Lru
+              ~hit_cycles:1;
+            level ~size:(kb 96) ~line_size:64 ~assoc:3 ~policy:Policy.Lru
+              ~hit_cycles:6;
+            level ~size:(mb 2) ~line_size:64 ~assoc:1 ~policy:Policy.Lru
+              ~hit_cycles:20;
+          ]
+        ~memory_cycles:100;
+  }
+
+(* Modern x86 presets, with the replacement policies those designs are
+   reported to use: Tree-PLRU close to the core, quad-age LRU variants in
+   the larger outer levels. *)
+let nehalem =
+  {
+    name = "nehalem";
+    descr = "32KB 4-way PLRU L1 + 256KB 8-way QLRU L2 + 8MB 16-way QLRU L3";
+    hier =
+      Hierarchy.make
+        ~levels:
+          [
+            level ~size:(kb 32) ~line_size:64 ~assoc:4 ~policy:Policy.Plru
+              ~hit_cycles:4;
+            level ~size:(kb 256) ~line_size:64 ~assoc:8 ~policy:Policy.Qlru_h00
+              ~hit_cycles:10;
+            level ~size:(mb 8) ~line_size:64 ~assoc:16 ~policy:Policy.Qlru_h11
+              ~hit_cycles:38;
+          ]
+        ~memory_cycles:200;
+  }
+
+let skylake =
+  {
+    name = "skylake";
+    descr = "32KB 8-way PLRU L1 + 256KB 4-way QLRU L2 + 8MB 16-way QLRU L3";
+    hier =
+      Hierarchy.make
+        ~levels:
+          [
+            level ~size:(kb 32) ~line_size:64 ~assoc:8 ~policy:Policy.Plru
+              ~hit_cycles:4;
+            level ~size:(kb 256) ~line_size:64 ~assoc:4 ~policy:Policy.Qlru_h11
+              ~hit_cycles:12;
+            level ~size:(mb 8) ~line_size:64 ~assoc:16 ~policy:Policy.Qlru_h11
+              ~hit_cycles:42;
+          ]
+        ~memory_cycles:200;
+  }
+
+let all = [ alpha_21064; alpha_21164; nehalem; skylake ]
+let names = List.map (fun c -> c.name) all
+let default_selection = [ "alpha-21064"; "nehalem"; "skylake" ]
+
+let find name =
+  match List.find_opt (fun c -> c.name = name) all with
+  | Some c -> Ok c
+  | None ->
+      Error
+        (Printf.sprintf "unknown CPU model %S (expected one of: %s)" name
+           (String.concat ", " names))

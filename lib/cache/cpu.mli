@@ -1,0 +1,29 @@
+(** Named CPU cache-model presets.
+
+    Each preset bundles a full {!Hierarchy.t} — per-level geometry,
+    replacement policy and latency — under a stable name selectable from
+    the command line ([--cpu]).  [alpha-21064] is the paper's machine;
+    the others sanity-check the paper's layouts against later
+    microarchitectures whose replacement policies (Tree-PLRU, QLRU) the
+    policy engine models.  Latencies are round numbers for a load-to-use
+    cost model, not datasheet promises; what matters for the experiments
+    is that every preset is fixed, documented, and deterministic. *)
+
+type t = {
+  name : string;
+  descr : string;  (** one line for tables and [--help] *)
+  hier : Hierarchy.t;
+}
+
+val all : t list
+(** Every shipped preset, in documentation order. *)
+
+val names : string list
+(** Preset names, for error messages and completion. *)
+
+val find : string -> (t, string) result
+(** Case-sensitive lookup; [Error] lists the valid names. *)
+
+val default_selection : string list
+(** The presets an experiment runs when [--cpu] is not given:
+    ["alpha-21064"; "nehalem"; "skylake"]. *)

@@ -1,0 +1,67 @@
+(** Multi-level cache hierarchy simulation with per-level replacement
+    policies and a per-access cycle-cost model.
+
+    A hierarchy is an ordered list of levels (L1 first, up to L3 in the
+    shipped CPU presets), each with its own geometry ({!Config.t}),
+    replacement policy ({!Policy.kind}) and hit latency, backed by a
+    memory latency.  Every L1 line reference probes L1; each level's
+    misses probe the next level at that level's line granularity; a miss
+    in the last level pays the memory latency.
+
+    Each level also classifies its own misses with the 3C model (the
+    same fully-associative LRU shadow divider as {!Attrib}, run over the
+    reference stream that level actually sees), so
+    [compulsory + capacity + conflict = misses] holds {e per level}.
+
+    Results report estimated cycles alongside miss counts:
+    [cycles = sum_i accesses_i * hit_cycles_i + last_misses * memory_cycles]
+    and [amat = cycles / L1 accesses].
+
+    Telemetry: [hier/simulations], [hier/cycles] and per-level
+    [hier/l<i>/accesses] / [hier/l<i>/misses] counters, accumulated per
+    run after the hot loop (jobs-invariant under the evaluation pool). *)
+
+type level = {
+  config : Config.t;
+  policy : Policy.kind;
+  hit_cycles : int;  (** latency charged per access to this level *)
+}
+
+type t = {
+  levels : level list;  (** L1 first; at least one level *)
+  memory_cycles : int;  (** latency charged per last-level miss *)
+}
+
+val make : levels:level list -> memory_cycles:int -> t
+(** Validates the composition: at least one level, positive latencies,
+    every policy expressible at its associativity, and each deeper
+    level's line size a positive multiple of the previous level's.
+    @raise Invalid_argument otherwise. *)
+
+val level_label : level -> string
+(** ["8KB/32B-line/1-way lru, 1 cyc"] — for table headers and docs. *)
+
+type level_result = {
+  level : level;
+  accesses : int;  (** references reaching this level *)
+  misses : int;
+  evictions : int;  (** misses that displaced a resident line *)
+  compulsory : int;
+  capacity : int;
+  conflict : int;  (** [compulsory + capacity + conflict = misses] *)
+}
+
+type result = {
+  levels : level_result array;  (** one per configured level, L1 first *)
+  cycles : int;  (** estimated total cycles for the trace *)
+  amat : float;  (** [cycles / L1 accesses]; 0 for an empty trace *)
+  events : int;  (** trace events processed *)
+}
+
+val simulate :
+  Trg_program.Program.t -> Trg_program.Layout.t -> t -> Trg_trace.Trace.t -> result
+(** Cold caches at every level.  Deterministic: equal inputs give equal
+    results, bit for bit, whatever the process or job count. *)
+
+val local_miss_rate : level_result -> float
+(** [misses / accesses] of one level; 0 when the level saw no traffic. *)

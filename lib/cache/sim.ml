@@ -109,12 +109,46 @@ let simulate_assoc addr (config : Config.t) trace =
     events = Trace.length trace;
   }
 
-let simulate program layout config trace =
+(* Generic policy engine over event-array traces: any {!Policy.kind}
+   through {!Policy.Probe}.  The direct-mapped and true-LRU
+   configurations never come here — they keep the specialised loops
+   above, bit-identical to the pre-policy simulator. *)
+let simulate_policy policy (config : Config.t) addr trace =
+  let probe =
+    Policy.Probe.create policy ~n_sets:(Config.n_sets config) ~assoc:config.assoc
+  in
+  let line_size = config.line_size in
+  let accesses = ref 0 and misses = ref 0 and evictions = ref 0 in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let base = addr.(e.proc) + e.offset in
+      let first = base / line_size and last = (base + e.len - 1) / line_size in
+      for la = first to last do
+        incr accesses;
+        let code = Policy.Probe.access probe la in
+        if not (Policy.Probe.hit code) then begin
+          incr misses;
+          if code >= 0 then incr evictions
+        end
+      done)
+    trace;
+  {
+    accesses = !accesses;
+    misses = !misses;
+    evictions = !evictions;
+    events = Trace.length trace;
+  }
+
+let simulate ?(policy = Policy.Lru) program layout config trace =
+  Policy.validate policy ~assoc:config.Config.assoc;
   let n = Program.n_procs program in
   let addr = Array.init n (Layout.address layout) in
   record
     (if config.Config.assoc = 1 then simulate_direct addr config trace
-     else simulate_assoc addr config trace)
+     else
+       match policy with
+       | Policy.Lru -> simulate_assoc addr config trace
+       | p -> simulate_policy p config addr trace)
 
 (* Flat-trace twins of the two probe loops above: identical cache logic,
    but streaming packed words out of the Bigarray with the [Event.packed_*]
@@ -183,91 +217,47 @@ let simulate_assoc_flat addr (config : Config.t) flat =
   done;
   { accesses = !accesses; misses = !misses; evictions = !evictions; events = n }
 
-let simulate_flat program layout config flat =
+(* Flat-trace twin of [simulate_policy]. *)
+let simulate_policy_flat policy (config : Config.t) addr flat =
+  let probe =
+    Policy.Probe.create policy ~n_sets:(Config.n_sets config) ~assoc:config.assoc
+  in
+  let line_size = config.line_size in
+  let accesses = ref 0 and misses = ref 0 and evictions = ref 0 in
+  let n = Trace.Flat.length flat in
+  for i = 0 to n - 1 do
+    let w = Trace.Flat.get_packed flat i in
+    let base = addr.(Event.packed_proc w) + Event.packed_offset w in
+    let first = base / line_size
+    and last = (base + Event.packed_len w - 1) / line_size in
+    for la = first to last do
+      incr accesses;
+      let code = Policy.Probe.access probe la in
+      if not (Policy.Probe.hit code) then begin
+        incr misses;
+        if code >= 0 then incr evictions
+      end
+    done
+  done;
+  { accesses = !accesses; misses = !misses; evictions = !evictions; events = n }
+
+let simulate_flat ?(policy = Policy.Lru) program layout config flat =
+  Policy.validate policy ~assoc:config.Config.assoc;
   let n = Program.n_procs program in
   let addr = Array.init n (Layout.address layout) in
   record
     (if config.Config.assoc = 1 then simulate_direct_flat addr config flat
-     else simulate_assoc_flat addr config flat)
+     else
+       match policy with
+       | Policy.Lru -> simulate_assoc_flat addr config flat
+       | p -> simulate_policy_flat p config addr flat)
 
-(* Tree-PLRU: per set, [assoc - 1] direction bits arranged as an implicit
-   binary tree.  On access, flip the path bits to point away from the
-   touched way; on miss, follow the bits to the victim. *)
+(* Tree-PLRU, now one instance of the policy engine (same direction-bit
+   tree it always simulated, shared with {!Policy.Probe}). *)
 let simulate_plru program layout (config : Config.t) trace =
-  let assoc = config.Config.assoc in
-  if assoc land (assoc - 1) <> 0 then
+  if config.Config.assoc land (config.Config.assoc - 1) <> 0 then
     invalid_arg "Sim.simulate_plru: associativity must be a power of two";
-  let n = Program.n_procs program in
-  let addr = Array.init n (Layout.address layout) in
-  if assoc = 1 then record (simulate_direct addr config trace)
-  else begin
-    let n_sets = Config.n_sets config in
-    let line_size = config.Config.line_size in
-    let tags = Array.make (n_sets * assoc) (-1) in
-    let bits = Array.make (n_sets * assoc) false in
-    (* bits slots 1 .. assoc-1 used as heap-indexed tree nodes. *)
-    let levels =
-      let rec log2 acc = function 1 -> acc | k -> log2 (acc + 1) (k / 2) in
-      log2 0 assoc
-    in
-    let touch set way =
-      (* Walk from the root; at each level record the direction that leads
-         to [way] and set the bit to the opposite direction. *)
-      let base = set * assoc in
-      let node = ref 1 in
-      for level = levels - 1 downto 0 do
-        let dir = (way lsr level) land 1 in
-        bits.(base + !node) <- dir = 0;
-        node := (2 * !node) + dir
-      done
-    in
-    let victim set =
-      let base = set * assoc in
-      let node = ref 1 in
-      let way = ref 0 in
-      for _ = 1 to levels do
-        let dir = if bits.(base + !node) then 1 else 0 in
-        way := (2 * !way) + dir;
-        node := (2 * !node) + dir
-      done;
-      !way
-    in
-    let accesses = ref 0 and misses = ref 0 and evictions = ref 0 in
-    Trace.iter
-      (fun (e : Event.t) ->
-        let base_addr = addr.(e.proc) + e.offset in
-        let first = base_addr / line_size
-        and last = (base_addr + e.len - 1) / line_size in
-        for la = first to last do
-          incr accesses;
-          let set = la mod n_sets in
-          let start = set * assoc in
-          let way = ref (-1) in
-          (try
-             for w = 0 to assoc - 1 do
-               if tags.(start + w) = la then begin
-                 way := w;
-                 raise Exit
-               end
-             done
-           with Exit -> ());
-          if !way < 0 then begin
-            incr misses;
-            way := victim set;
-            if tags.(start + !way) >= 0 then incr evictions;
-            tags.(start + !way) <- la
-          end;
-          touch set !way
-        done)
-      trace;
-    record
-      {
-        accesses = !accesses;
-        misses = !misses;
-        evictions = !evictions;
-        events = Trace.length trace;
-      }
-  end
+  simulate ~policy:Policy.Plru program layout config trace
 
 type hierarchy_result = { l1 : result; l2 : result; amat : float }
 

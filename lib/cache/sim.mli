@@ -26,16 +26,23 @@ val miss_rate : result -> float
 (** [misses / accesses]; 0 for an empty trace. *)
 
 val simulate :
+  ?policy:Policy.kind ->
   Trg_program.Program.t ->
   Trg_program.Layout.t ->
   Config.t ->
   Trg_trace.Trace.t ->
   result
 (** Simulates with a cold cache.  Direct-mapped configurations use a fast
-    tag-array path; associative configurations use true-LRU replacement per
-    set. *)
+    tag-array path (every policy coincides at one way); associative
+    configurations default to true-LRU replacement on the historical
+    specialised loop, and any other [policy] runs the generic
+    {!Policy.Probe} engine — proven bit-identical to the naive reference
+    models by the policy differential wall.
+    @raise Invalid_argument for policy/associativity combinations the
+    policy cannot express (Tree-PLRU needs power-of-two ways). *)
 
 val simulate_flat :
+  ?policy:Policy.kind ->
   Trg_program.Program.t ->
   Trg_program.Layout.t ->
   Config.t ->
@@ -52,9 +59,10 @@ val simulate_plru :
   Config.t ->
   Trg_trace.Trace.t ->
   result
-(** Tree-based pseudo-LRU replacement, the policy most real set-associative
-    I-caches implement instead of true LRU.  Requires power-of-two
-    associativity.  With [assoc = 1] it coincides with {!simulate}. *)
+(** [simulate ~policy:Policy.Plru]: tree-based pseudo-LRU replacement, the
+    policy most real set-associative I-caches implement instead of true
+    LRU.  Requires power-of-two associativity.  With [assoc = 1] it
+    coincides with {!simulate}. *)
 
 val distinct_lines :
   Trg_program.Program.t ->

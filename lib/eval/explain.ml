@@ -18,6 +18,7 @@ type t = {
   source : string;
   trace_label : string;
   cache : Config.t;
+  policy : Trg_cache.Policy.kind;
   aligned : bool;
   layouts : layout_report list;
   trg_weight : int -> int -> float;
@@ -40,8 +41,8 @@ let layout_of runner = function
       (Printf.sprintf "explain: unknown layout %S (choose from: %s)" other
          (String.concat ", " algo_labels))
 
-let make ?intervals ~source ~trace_label ~cache ~trg_weight ~program ~trace
-    ?(raw = false) labeled =
+let make ?intervals ?(policy = Trg_cache.Policy.Lru) ~source ~trace_label
+    ~cache ~trg_weight ~program ~trace ?(raw = false) labeled =
   let n_sets = Config.n_sets cache in
   let normalize layout =
     if raw then layout
@@ -54,20 +55,21 @@ let make ?intervals ~source ~trace_label ~cache ~trg_weight ~program ~trace
         Trg_obs.Log.info (fun m -> m "attributing misses under %s" label);
         let attrib =
           Trg_obs.Span.with_ ("attrib:" ^ label) (fun () ->
-              Attrib.simulate ?intervals program layout cache trace)
+              Attrib.simulate ?intervals ~policy program layout cache trace)
         in
         { label; attrib })
       labeled
   in
-  { source; trace_label; cache; aligned = not raw; layouts; trg_weight;
-    proc_name = Program.name program }
+  { source; trace_label; cache; policy; aligned = not raw; layouts;
+    trg_weight; proc_name = Program.name program }
 
 let of_runner ?intervals ?(use_train = false) ?raw ~algos runner =
   let program = Runner.program runner in
   let cache = runner.Runner.config.Gbsc.cache in
   let trace = if use_train then runner.Runner.train else runner.Runner.test in
   let trg_weight = Graph.weight runner.Runner.prof.Gbsc.select.Trg.graph in
-  make ?intervals ~source:runner.Runner.shape.Trg_synth.Shape.name
+  make ?intervals ~policy:runner.Runner.policy
+    ~source:runner.Runner.shape.Trg_synth.Shape.name
     ~trace_label:(if use_train then "train" else "test")
     ~cache ~trg_weight ~program ~trace ?raw
     (List.map (fun label -> (label, layout_of runner label)) algos)
@@ -112,8 +114,9 @@ let top_pairs ~top attrib =
 
 let print ?(top = 10) t =
   Table.section
-    (Printf.sprintf "EXPLAIN — %s (%s trace, %s)" t.source t.trace_label
-       (Format.asprintf "%a" Config.pp t.cache));
+    (Printf.sprintf "EXPLAIN — %s (%s trace, %s, %s)" t.source t.trace_label
+       (Format.asprintf "%a" Config.pp t.cache)
+       (Trg_cache.Policy.to_string t.policy));
   if t.aligned then
     print_endline
       "layouts normalised: set-preserving line alignment (compulsory counts \
@@ -212,12 +215,13 @@ let print ?(top = 10) t =
 
 let json_schema = "trgplace-explain/1"
 
-let cache_json (c : Config.t) =
+let cache_json ~policy (c : Config.t) =
   Json.Obj
     [
       ("size", Json.Int c.Config.size);
       ("line_size", Json.Int c.Config.line_size);
       ("assoc", Json.Int c.Config.assoc);
+      ("policy", Json.String (Trg_cache.Policy.to_string policy));
     ]
 
 let layout_json ?(top = 10) t { label; attrib } =
@@ -263,7 +267,7 @@ let to_json ?top t =
       ("schema", Json.String json_schema);
       ("source", Json.String t.source);
       ("trace", Json.String t.trace_label);
-      ("cache", cache_json t.cache);
+      ("cache", cache_json ~policy:t.policy t.cache);
       ("aligned", Json.Bool t.aligned);
       ("layouts", Json.List (List.map (layout_json ?top t) t.layouts));
     ]
@@ -273,6 +277,7 @@ let summary_json t =
     [
       ("source", Json.String t.source);
       ("trace", Json.String t.trace_label);
+      ("policy", Json.String (Trg_cache.Policy.to_string t.policy));
       ("aligned", Json.Bool t.aligned);
       ( "layouts",
         Json.List

@@ -25,6 +25,9 @@ type t = {
   source : string;  (** benchmark name or file description *)
   trace_label : string;  (** ["test"], ["train"], or a file name *)
   cache : Trg_cache.Config.t;
+  policy : Trg_cache.Policy.kind;
+      (** replacement policy the real-cache simulations used (the 3C
+          shadow divider is policy-independent) *)
   aligned : bool;  (** layouts were line-aligned before simulation *)
   layouts : layout_report list;
   trg_weight : int -> int -> float;  (** TRG_select edge weight lookup *)
@@ -47,11 +50,13 @@ val of_runner :
   t
 (** Diagnose a prepared benchmark under the named layouts, on the test
     trace (or the training trace with [use_train]).  TRG weights come
-    from the prepared profile's TRG_select.
+    from the prepared profile's TRG_select; the replacement policy is the
+    runner's ({!Runner.prepare}'s [policy]).
     @raise Failure on an unknown algo label. *)
 
 val make :
   ?intervals:int ->
+  ?policy:Trg_cache.Policy.kind ->
   source:string ->
   trace_label:string ->
   cache:Trg_cache.Config.t ->

@@ -1,58 +1,95 @@
 module Table = Trg_util.Table
-module Config = Trg_cache.Config
-module Sim = Trg_cache.Sim
-module Gbsc = Trg_place.Gbsc
+module Hier = Trg_cache.Hierarchy
+module Cpu = Trg_cache.Cpu
 
-type row = { label : string; l1_mr : float; l2_mr : float; amat : float }
+type row = {
+  label : string;
+  levels : (int * float) list;
+  cycles : int;
+  amat : float;
+}
 
-type result = { bench : string; rows : row list }
+type cpu_result = { cpu : Cpu.t; level_labels : string list; rows : row list }
 
-let l1_config = Config.make ~size:8192 ~line_size:32 ~assoc:1
+type result = { bench : string; cpus : cpu_result list }
 
-let l2_config = Config.make ~size:65536 ~line_size:64 ~assoc:4
+let layouts r =
+  [
+    ("default layout", Runner.default_layout r);
+    ("PH", Runner.ph_layout r);
+    ("HKC", Runner.hkc_layout r);
+    ("GBSC", Runner.gbsc_layout r);
+  ]
 
-let run (r : Runner.t) =
+let run ?(cpus = Cpu.default_selection) (r : Runner.t) =
   let program = Runner.program r in
-  let row label layout =
-    let h =
-      Sim.simulate_hierarchy program layout ~l1:l1_config ~l2:l2_config r.Runner.test
-    in
-    {
-      label;
-      l1_mr = Sim.miss_rate h.Sim.l1;
-      l2_mr = Sim.miss_rate h.Sim.l2;
-      amat = h.Sim.amat;
-    }
+  let presets =
+    List.map
+      (fun name ->
+        match Cpu.find name with Ok c -> c | Error e -> failwith ("hierarchy: " ^ e))
+      cpus
   in
-  (* GBSC re-targeted at the L2 geometry. *)
-  let config_l2 = Gbsc.default_config ~cache:l2_config () in
-  let gbsc_l2 =
-    Gbsc.place program (Gbsc.profile config_l2 program r.Runner.train)
-  in
+  let layouts = layouts r in
   {
     bench = r.Runner.shape.Trg_synth.Shape.name;
-    rows =
-      [
-        row "default layout" (Runner.default_layout r);
-        row "GBSC targeting L1 (8K DM)" (Runner.gbsc_layout r);
-        row "GBSC targeting L2 (64K 4-way)" gbsc_l2;
-      ];
+    cpus =
+      List.map
+        (fun cpu ->
+          {
+            cpu;
+            level_labels =
+              List.map Hier.level_label cpu.Cpu.hier.Hier.levels;
+            rows =
+              List.map
+                (fun (label, layout) ->
+                  let h = Hier.simulate program layout cpu.Cpu.hier r.Runner.test in
+                  {
+                    label;
+                    levels =
+                      Array.to_list
+                        (Array.map
+                           (fun (lr : Hier.level_result) ->
+                             (lr.Hier.misses, Hier.local_miss_rate lr))
+                           h.Hier.levels);
+                    cycles = h.Hier.cycles;
+                    amat = h.Hier.amat;
+                  })
+                layouts;
+          })
+        presets;
   }
 
 let print res =
-  Table.section
-    (Printf.sprintf
-       "MEMORY HIERARCHY — 8K-DM L1 + 64K/4-way L2 (%s; conclusion's outlook)"
-       res.bench);
-  Table.print
-    ~header:[ "layout"; "L1 MR"; "L2 local MR"; "AMAT (cycles)" ]
-    (List.map
-       (fun r ->
-         [
-           r.label;
-           Table.fmt_pct r.l1_mr;
-           Table.fmt_pct r.l2_mr;
-           Table.fmt_float ~decimals:3 r.amat;
-         ])
-       res.rows);
-  print_newline ()
+  List.iter
+    (fun c ->
+      Table.section
+        (Printf.sprintf "MEMORY HIERARCHY — %s on %s (%s)" res.bench
+           c.cpu.Cpu.name c.cpu.Cpu.descr);
+      List.iteri
+        (fun i label -> Printf.printf "  L%d: %s\n" (i + 1) label)
+        c.level_labels;
+      Printf.printf "  memory: %d cyc\n" c.cpu.Cpu.hier.Hier.memory_cycles;
+      let header =
+        "layout"
+        :: List.concat
+             (List.mapi
+                (fun i _ ->
+                  [
+                    Printf.sprintf "L%d misses" (i + 1);
+                    Printf.sprintf "L%d MR" (i + 1);
+                  ])
+                c.level_labels)
+        @ [ "cycles"; "AMAT" ]
+      in
+      Table.print ~header
+        (List.map
+           (fun row ->
+             row.label
+             :: List.concat_map
+                  (fun (misses, mr) ->
+                    [ string_of_int misses; Table.fmt_pct mr ])
+                  row.levels
+             @ [ string_of_int row.cycles; Table.fmt_float ~decimals:3 row.amat ])
+           c.rows);
+      print_newline ())
+    res.cpus

@@ -1,23 +1,39 @@
-(** Layout effects through a two-level cache hierarchy (the conclusion's
-    "other layers of the memory hierarchy").
+(** Layout effects through full cache hierarchies (the conclusion's
+    "other layers of the memory hierarchy"), head to head across named
+    CPU models.
 
-    An 8 KB direct-mapped L1 backed by a 64 KB 4-way L2 with 64-byte
-    lines.  Compares the default layout, GBSC targeting the L1, and GBSC
-    targeting the L2 geometry, reporting L1/L2 miss rates and the average
-    access time (1 / 10 / 100 cycle latencies).  Expected: L1-targeted
-    placement also removes L2 conflict misses (spatially compacted hot
-    code), and targeting the L2 instead sacrifices L1 behaviour for
-    little L2 gain. *)
+    For each selected {!Trg_cache.Cpu} preset — the paper's Alpha 21064,
+    its 21164 successor, and Nehalem/Skylake-style machines whose caches
+    replace by Tree-PLRU and QLRU rather than true LRU — the experiment
+    simulates the default layout, PH, HKC and GBSC through the preset's
+    L1/L2(/L3) hierarchy and reports per-level miss counts and local miss
+    rates plus the cycle model's estimated cycles and AMAT.  The question
+    it answers: does GBSC's advantage over PH/HKC survive modern
+    replacement policies and deep hierarchies, or was it an artifact of
+    the 1997 direct-mapped machine?
+
+    Deterministic and jobs-invariant: every row is computed inside one
+    pool work unit whose captured output is replayed in declaration
+    order. *)
 
 type row = {
-  label : string;
-  l1_mr : float;
-  l2_mr : float;  (** local miss rate of the L2 *)
+  label : string;  (** layout name *)
+  levels : (int * float) list;  (** per level: misses, local miss rate *)
+  cycles : int;
   amat : float;
 }
 
-type result = { bench : string; rows : row list }
+type cpu_result = {
+  cpu : Trg_cache.Cpu.t;
+  level_labels : string list;
+  rows : row list;
+}
 
-val run : Runner.t -> result
+type result = { bench : string; cpus : cpu_result list }
+
+val run : ?cpus:string list -> Runner.t -> result
+(** [cpus] (default {!Trg_cache.Cpu.default_selection}) names the presets
+    to simulate, in report order.
+    @raise Failure on an unknown preset name. *)
 
 val print : result -> unit

@@ -56,14 +56,14 @@ let with_engine kind f =
   Trg_place.Cost.set_engine kind;
   Fun.protect ~finally:(fun () -> Trg_place.Cost.set_engine saved) f
 
-let bench_units name =
+let bench_units ?policy name =
   let shape = Trg_synth.Bench.find name in
-  let r = Runner.prepare shape in
+  let r = Runner.prepare ?policy shape in
   let program = Runner.program r in
   let layout = Runner.default_layout r in
   let u n f = { u_name = Printf.sprintf "%s/%s" name n; u_work = f } in
   [
-    u "prepare" (fun () -> ignore (Runner.prepare shape));
+    u "prepare" (fun () -> ignore (Runner.prepare ?policy shape));
     u "gbsc-incr" (fun () ->
         with_engine Trg_place.Cost.Incr (fun () ->
             ignore (Trg_place.Gbsc.place program r.Runner.prof)));
@@ -104,11 +104,11 @@ let pool_unit ~jobs =
           outcomes);
   }
 
-let units ?(jobs = 2) ?(benches = default_benches) () =
-  List.concat_map bench_units benches @ [ pool_unit ~jobs ]
+let units ?(jobs = 2) ?(benches = default_benches) ?policy () =
+  List.concat_map (bench_units ?policy) benches @ [ pool_unit ~jobs ]
 
-let unit_names ?jobs ?benches () =
-  List.map (fun u -> u.u_name) (units ?jobs ?benches ())
+let unit_names ?jobs ?benches ?policy () =
+  List.map (fun u -> u.u_name) (units ?jobs ?benches ?policy ())
 
 (* --- measurement ------------------------------------------------------- *)
 
@@ -118,19 +118,26 @@ let allocated_words () =
   let s = Gc.quick_stat () in
   Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words
 
-let config_crc ~benches ~reps ~jobs =
+(* The canonical string keeps its historical shape for LRU (the policy
+   member is appended only when non-default), so every committed ledger's
+   config_crc stays comparable to new records. *)
+let config_crc ~benches ~reps ~jobs ~policy =
   let canon =
     Printf.sprintf "benches=%s;reps=%d;jobs=%d"
       (String.concat "," (List.sort compare benches))
       reps jobs
   in
+  let canon =
+    if policy = Trg_cache.Policy.Lru then canon
+    else canon ^ ";policy=" ^ Trg_cache.Policy.to_string policy
+  in
   Trg_util.Checksum.to_hex (Trg_util.Checksum.string canon)
 
-let measure ?(reps = 5) ?(jobs = 2) ?(benches = default_benches) ~rev ~time_s
-    () =
+let measure ?(reps = 5) ?(jobs = 2) ?(benches = default_benches)
+    ?(policy = Trg_cache.Policy.Lru) ~rev ~time_s () =
   if reps < 1 then invalid_arg "Perfrun.measure: reps < 1";
   let slow = slow_spec () in
-  let us = units ~jobs ~benches () in
+  let us = units ~jobs ~benches ~policy () in
   let n = List.length us in
   let wall = Array.make_matrix n reps 0. in
   let alloc = Array.make_matrix n reps 0. in
@@ -175,7 +182,7 @@ let measure ?(reps = 5) ?(jobs = 2) ?(benches = default_benches) ~rev ~time_s
   {
     Perf.rev;
     time_s;
-    config_crc = config_crc ~benches ~reps ~jobs;
+    config_crc = config_crc ~benches ~reps ~jobs ~policy;
     reps;
     benches = benches_stats;
     counters = !counters;

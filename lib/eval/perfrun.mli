@@ -27,7 +27,12 @@ val slow_env : string
     regression gate's failure path is testable end to end (CI slows a
     hot path on purpose and expects exit 1). *)
 
-val unit_names : ?jobs:int -> ?benches:string list -> unit -> string list
+val unit_names :
+  ?jobs:int ->
+  ?benches:string list ->
+  ?policy:Trg_cache.Policy.kind ->
+  unit ->
+  string list
 (** The unit names {!measure} would produce, e.g. ["small/gbsc-incr"],
     ["pool/roundtrip"]. *)
 
@@ -35,11 +40,16 @@ val measure :
   ?reps:int ->
   ?jobs:int ->
   ?benches:string list ->
+  ?policy:Trg_cache.Policy.kind ->
   rev:string ->
   time_s:float ->
   unit ->
   Trg_obs.Perf.record
 (** Run every unit [reps] (default 5) times and reduce to a ledger
     record.  [jobs] (default 2) sizes the pool round-trip unit only —
-    the recorded counters are jobs-invariant.  [rev] and [time_s] are
-    stored verbatim.  @raise Invalid_argument if [reps < 1]. *)
+    the recorded counters are jobs-invariant.  [policy] (default
+    {!Trg_cache.Policy.Lru}) is the replacement policy the preparation
+    and simulation units run under; a non-default policy changes the
+    record's [config_crc], so differently-configured sessions never gate
+    against each other.  [rev] and [time_s] are stored verbatim.
+    @raise Invalid_argument if [reps < 1]. *)

@@ -13,6 +13,8 @@ type options = {
   jobs : int;
   timeout : float option;
   retries : int;
+  policy : Trg_cache.Policy.kind;
+  cpus : string list;
 }
 
 type failure = { experiment : string; bench : string option; message : string }
@@ -29,6 +31,8 @@ let default_options =
     jobs = 0;
     timeout = None;
     retries = 0;
+    policy = Trg_cache.Policy.Lru;
+    cpus = Trg_cache.Cpu.default_selection;
   }
 
 let quick_options =
@@ -43,6 +47,8 @@ let quick_options =
     jobs = 0;
     timeout = None;
     retries = 0;
+    policy = Trg_cache.Policy.Lru;
+    cpus = Trg_cache.Cpu.default_selection;
   }
 
 let message_of = function Failure m -> m | e -> Printexc.to_string e
@@ -284,11 +290,12 @@ let spec_setassoc =
         let shape = Bench.find "small" in
         let b = shape.Shape.name in
         let force_fail = ctx.options.force_fail in
+        let policy = ctx.options.policy in
         let section assoc tag =
           unit_ ~bench:b ~weight:40 ~tag (fun () ->
               P_section
-                (Setassoc.run_section ~force_fail ~max_between:sa_max_between
-                   ~assoc shape))
+                (Setassoc.run_section ~force_fail ~policy
+                   ~max_between:sa_max_between ~assoc shape))
         in
         let rec perturbs lo =
           if lo >= sa_runs then []
@@ -297,7 +304,7 @@ let spec_setassoc =
             unit_ ~bench:b ~weight:30 ~tag:(Printf.sprintf "perturb %d-%d" lo (hi - 1))
               (fun () ->
                 P_range
-                  (Setassoc.run_perturbation ~force_fail
+                  (Setassoc.run_perturbation ~force_fail ~policy
                      ~max_between:sa_max_between ~lo ~hi shape))
             :: perturbs hi
           end
@@ -351,7 +358,11 @@ let spec_headroom =
       Headroom.print (Headroom.run r))
 
 let spec_hierarchy =
-  print_spec ~name:"hierarchy" (fun r -> Hierarchy.print (Hierarchy.run r))
+  per_bench_spec ~name:"hierarchy" ~weight:4 ~tag:"hierarchy"
+    ~work:(fun ctx r ->
+      Hierarchy.print (Hierarchy.run ~cpus:ctx.options.cpus r);
+      P_unit)
+    (fun _ _ -> ())
 
 let spec_sweep =
   {
@@ -363,10 +374,12 @@ let spec_sweep =
         let shape = pick o "go" in
         let b = shape.Shape.name in
         let force_fail = o.force_fail in
+        let policy = o.policy in
         List.map
           (fun size ->
             unit_ ~bench:b ~weight:5 ~tag:(Printf.sprintf "cache %dB" size)
-              (fun () -> P_sweep (Sweep.run_size ~force_fail shape size)))
+              (fun () ->
+                P_sweep (Sweep.run_size ~force_fail ~policy shape size)))
           Sweep.default_sizes);
     sp_render =
       (fun ctx s ->
@@ -414,6 +427,7 @@ let run_specs options specs =
            end)
   in
   let force_fail = options.force_fail in
+  let policy = options.policy in
   let prep_tasks =
     List.map
       (fun shape ->
@@ -421,7 +435,9 @@ let run_specs options specs =
         {
           Pool.key = "prepare " ^ name;
           work =
-            (fun () -> Span.with_ name (fun () -> Runner.prepare ~force_fail shape));
+            (fun () ->
+              Span.with_ name (fun () ->
+                  Runner.prepare ~policy ~force_fail shape));
         })
       needed
   in

@@ -38,6 +38,13 @@ type options = {
       (** extra dispatches for units lost to infrastructure faults
           (worker crash, timeout, corrupt reply stream) — see
           {!Pool.run}; [0] (the default) fails such units immediately *)
+  policy : Trg_cache.Policy.kind;
+      (** replacement policy for every single-level cache simulation
+          (default LRU, which is exact at the paper's direct-mapped
+          operating point); threaded to every {!Runner.prepare} *)
+  cpus : string list;
+      (** CPU presets the hierarchy experiment simulates, by
+          {!Trg_cache.Cpu} name (default {!Trg_cache.Cpu.default_selection}) *)
 }
 
 type failure = {
@@ -93,7 +100,8 @@ val headroom : options -> failure list
 (** Greedy-vs-annealed comparison on the first selected benchmark. *)
 
 val hierarchy : options -> failure list
-(** Two-level hierarchy study on every selected benchmark. *)
+(** Multi-level hierarchy head-to-head (default vs PH vs HKC vs GBSC)
+    across the selected CPU presets, on every selected benchmark. *)
 
 val sweep : options -> failure list
 (** Cache-size sweep on [go] when selected, else the first benchmark. *)

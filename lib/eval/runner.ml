@@ -16,6 +16,7 @@ type t = {
   train_flat : Trace.Flat.t;
   test_flat : Trace.Flat.t;
   config : Gbsc.config;
+  policy : Trg_cache.Policy.kind;
   prof : Gbsc.profile;
   wcg : Trg_profile.Graph.t;
 }
@@ -30,7 +31,7 @@ let stage shape name f =
     let msg = match e with Failure m -> m | e -> Printexc.to_string e in
     failwith (Printf.sprintf "%s: %s stage failed: %s" shape.Shape.name name msg)
 
-let prepare ?config ?(force_fail = []) shape =
+let prepare ?config ?(policy = Trg_cache.Policy.Lru) ?(force_fail = []) shape =
   Trg_obs.Span.with_ ("prepare:" ^ shape.Shape.name) (fun () ->
       Trg_obs.Log.info (fun m -> m "preparing benchmark %s" shape.Shape.name);
       if List.mem shape.Shape.name force_fail then
@@ -47,21 +48,37 @@ let prepare ?config ?(force_fail = []) shape =
       let wcg = stage shape "wcg" (fun () -> Wcg.build train) in
       let train_flat = Trace.Flat.of_trace train in
       let test_flat = Trace.Flat.of_trace test in
-      { shape; workload; train; test; train_flat; test_flat; config; prof; wcg })
+      Trg_cache.Policy.validate policy ~assoc:config.Gbsc.cache.Trg_cache.Config.assoc;
+      {
+        shape;
+        workload;
+        train;
+        test;
+        train_flat;
+        test_flat;
+        config;
+        policy;
+        prof;
+        wcg;
+      })
 
 let program t = t.workload.Gen.program
 
 let miss_rate_on t cache layout trace =
-  Sim.miss_rate (Sim.simulate (program t) layout cache trace)
+  Sim.miss_rate (Sim.simulate ~policy:t.policy (program t) layout cache trace)
 
 (* The repeated-simulation surface: every experiment scores layouts on
    the same traces, so these stream the precomputed flat forms.  Counts
    are identical to [Sim.simulate] on the event-array traces. *)
 let test_miss_rate t layout =
-  Sim.miss_rate (Sim.simulate_flat (program t) layout t.config.Gbsc.cache t.test_flat)
+  Sim.miss_rate
+    (Sim.simulate_flat ~policy:t.policy (program t) layout t.config.Gbsc.cache
+       t.test_flat)
 
 let train_miss_rate t layout =
-  Sim.miss_rate (Sim.simulate_flat (program t) layout t.config.Gbsc.cache t.train_flat)
+  Sim.miss_rate
+    (Sim.simulate_flat ~policy:t.policy (program t) layout t.config.Gbsc.cache
+       t.train_flat)
 
 let default_layout t = Layout.default (program t)
 

@@ -14,16 +14,21 @@ type t = {
       (** [train] in flat form, precomputed for the simulation hot path *)
   test_flat : Trg_trace.Trace.Flat.t;
   config : Trg_place.Gbsc.config;
+  policy : Trg_cache.Policy.kind;
+      (** replacement policy every miss-rate scoring uses *)
   prof : Trg_place.Gbsc.profile;  (** built from the training trace *)
   wcg : Trg_profile.Graph.t;  (** built from the training trace *)
 }
 
 val prepare :
   ?config:Trg_place.Gbsc.config ->
+  ?policy:Trg_cache.Policy.kind ->
   ?force_fail:string list ->
   Trg_synth.Shape.t ->
   t
-(** Default config: the paper's 8 KB direct-mapped operating point.
+(** Default config: the paper's 8 KB direct-mapped operating point, with
+    true LRU replacement ([policy] defaults to {!Trg_cache.Policy.Lru},
+    which coincides with every policy at [assoc = 1]).
     Failures in any preparation stage are re-raised as [Failure] tagged
     with the benchmark name and stage.
 

@@ -20,10 +20,10 @@ type result = {
           (Figure 5's methodology applied to the Section 6 algorithm) *)
 }
 
-let section_for ?force_fail ~max_between ~assoc shape =
+let section_for ?force_fail ?policy ~max_between ~assoc shape =
   let cache = Config.make ~size:8192 ~line_size:32 ~assoc in
   let config = Gbsc.default_config ~cache () in
-  let r = Runner.prepare ~config ?force_fail shape in
+  let r = Runner.prepare ~config ?policy ?force_fail shape in
   let program = Runner.program r in
   (* The direct-mapped-targeted baseline: GBSC as if the cache were DM. *)
   let config_dm =
@@ -61,10 +61,10 @@ let run_section = section_for
 (* Each perturbation run draws from an index-derived PRNG, and min/max
    combine associatively, so any [lo, hi) slice is an independent work
    unit for the evaluation pool. *)
-let run_perturbation ?force_fail ?(max_between = 32) ~lo ~hi shape =
+let run_perturbation ?force_fail ?policy ?(max_between = 32) ~lo ~hi shape =
   let cache = Config.make ~size:8192 ~line_size:32 ~assoc:2 in
   let config = Gbsc.default_config ~cache () in
-  let r = Runner.prepare ~config ?force_fail shape in
+  let r = Runner.prepare ~config ?policy ?force_fail shape in
   let program = Runner.program r in
   let prof = Gbsc_sa.profile ~max_between config program r.Runner.train in
   let rates =
@@ -87,11 +87,12 @@ let run_perturbation ?force_fail ?(max_between = 32) ~lo ~hi shape =
 let of_parts shape ~two_way ~four_way ~sa_perturbed =
   { bench = shape.Trg_synth.Shape.name; two_way; four_way; sa_perturbed }
 
-let run ?force_fail ?(max_between = 32) ?(runs = 8) shape =
+let run ?force_fail ?policy ?(max_between = 32) ?(runs = 8) shape =
   of_parts shape
-    ~two_way:(section_for ?force_fail ~max_between ~assoc:2 shape)
-    ~four_way:(section_for ?force_fail ~max_between ~assoc:4 shape)
-    ~sa_perturbed:(run_perturbation ?force_fail ~max_between ~lo:0 ~hi:runs shape)
+    ~two_way:(section_for ?force_fail ?policy ~max_between ~assoc:2 shape)
+    ~four_way:(section_for ?force_fail ?policy ~max_between ~assoc:4 shape)
+    ~sa_perturbed:
+      (run_perturbation ?force_fail ?policy ~max_between ~lo:0 ~hi:runs shape)
 
 let print_section bench (s : section) =
   Table.section

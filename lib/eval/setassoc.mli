@@ -22,16 +22,20 @@ type result = {
 
 val run :
   ?force_fail:string list ->
+  ?policy:Trg_cache.Policy.kind ->
   ?max_between:int ->
   ?runs:int ->
   Trg_synth.Shape.t ->
   result
 (** Prepares the benchmark itself (it needs a 2-way configuration), so it
     takes a shape rather than a prepared runner.  [max_between] bounds the
-    pair enumeration (default 32; see {!Trg_profile.Pair_db}). *)
+    pair enumeration (default 32; see {!Trg_profile.Pair_db}).  [policy]
+    selects the replacement policy the associative caches are scored
+    under (default LRU, the paper's Section 6 assumption). *)
 
 val run_section :
   ?force_fail:string list ->
+  ?policy:Trg_cache.Policy.kind ->
   max_between:int ->
   assoc:int ->
   Trg_synth.Shape.t ->
@@ -41,6 +45,7 @@ val run_section :
 
 val run_perturbation :
   ?force_fail:string list ->
+  ?policy:Trg_cache.Policy.kind ->
   ?max_between:int ->
   lo:int ->
   hi:int ->

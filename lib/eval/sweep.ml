@@ -15,10 +15,10 @@ type result = { bench : string; rows : row list }
 
 let default_sizes = [ 4096; 8192; 16384; 32768 ]
 
-let run_size ?force_fail shape cache_bytes =
+let run_size ?force_fail ?policy shape cache_bytes =
   let cache = Config.make ~size:cache_bytes ~line_size:32 ~assoc:1 in
   let config = Gbsc.default_config ~cache () in
-  let r = Runner.prepare ~config ?force_fail shape in
+  let r = Runner.prepare ~config ?policy ?force_fail shape in
   {
     cache_bytes;
     default_mr = Runner.test_miss_rate r (Runner.default_layout r);
@@ -30,8 +30,8 @@ let run_size ?force_fail shape cache_bytes =
 
 let of_rows shape rows = { bench = shape.Trg_synth.Shape.name; rows }
 
-let run ?force_fail ?(sizes = default_sizes) shape =
-  of_rows shape (List.map (run_size ?force_fail shape) sizes)
+let run ?force_fail ?policy ?(sizes = default_sizes) shape =
+  of_rows shape (List.map (run_size ?force_fail ?policy shape) sizes)
 
 let print res =
   Table.section

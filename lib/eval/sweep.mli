@@ -22,12 +22,22 @@ type result = { bench : string; rows : row list }
 val default_sizes : int list
 (** 4 KB, 8 KB, 16 KB and 32 KB. *)
 
-val run : ?force_fail:string list -> ?sizes:int list -> Trg_synth.Shape.t -> result
+val run :
+  ?force_fail:string list ->
+  ?policy:Trg_cache.Policy.kind ->
+  ?sizes:int list ->
+  Trg_synth.Shape.t ->
+  result
 (** Default sizes: {!default_sizes}.  Prepares its own runners
     (one per cache size); [force_fail] is threaded to each
     {!Runner.prepare}. *)
 
-val run_size : ?force_fail:string list -> Trg_synth.Shape.t -> int -> row
+val run_size :
+  ?force_fail:string list ->
+  ?policy:Trg_cache.Policy.kind ->
+  Trg_synth.Shape.t ->
+  int ->
+  row
 (** One cache size's row — an independent work unit for the evaluation
     pool. *)
 

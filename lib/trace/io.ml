@@ -182,11 +182,101 @@ let save_result path trace =
 let save_binary_result path trace =
   Fault.result (fun () -> Fault.atomic_write path (binary_string trace))
 
+(* --- mmap fast path for v3 flat files -------------------------------- *)
+
+(* v3's fixed-width 8-aligned header exists exactly so that an on-disk
+   file can be memory-mapped and parsed in place, skipping the channel
+   reader's per-block copies.  The mapped parse reproduces the channel
+   reader's failure surface typed fault for typed fault, in the same
+   order: body truncation, then a bad word, then the trailer.  Anything
+   that is not a well-formed v3 candidate (text files, v1/v2 binaries,
+   unmappable or empty files) returns [None] and the caller falls back
+   to the channel reader, which stays the authority on those paths. *)
+
+let mmap_chunk = 65536 (* bytes per CRC/decode chunk; multiple of 8 *)
+
+let parse_flat_mapped map =
+  let len = Bigarray.Array1.dim map in
+  let limit = min len 256 in
+  let nl = ref (-1) in
+  (try
+     for i = 0 to limit - 1 do
+       if Bigarray.Array1.get map i = '\n' then begin
+         nl := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !nl < 0 then None
+  else
+    let header = String.init !nl (Bigarray.Array1.get map) in
+    if Fault.magic_of_line header <> binary_magic then None
+    else
+      let version, n =
+        Fault.parse_header ~magic:binary_magic ~max_version:version_flat header
+      in
+      if version <> version_flat then None
+      else begin
+        let header_len = !nl + 1 in
+        let body_end = header_len + (8 * n) in
+        if len < body_end then Fault.fail (Fault.Truncated "flat trace events");
+        if len < body_end + 4 then Fault.fail (Fault.Truncated "checksum trailer");
+        let flat = Trace.Flat.create n in
+        let buf = Bytes.create mmap_chunk in
+        (* Header bytes fold into the CRC first, as [Reader.line] does. *)
+        let crc = ref (Checksum.string (header ^ "\n")) in
+        let pos = ref header_len and word = ref 0 in
+        (* [header_len] is 8-aligned and chunks are multiples of 8, so
+           every chunk holds whole words. *)
+        while !pos < body_end do
+          let l = min mmap_chunk (body_end - !pos) in
+          for k = 0 to l - 1 do
+            Bytes.unsafe_set buf k (Bigarray.Array1.unsafe_get map (!pos + k))
+          done;
+          crc := Checksum.bytes ~crc:!crc buf ~pos:0 ~len:l;
+          for w = 0 to (l / 8) - 1 do
+            let packed = Int64.to_int (Bytes.get_int64_le buf (w * 8)) in
+            (try ignore (Event.unpack packed : Event.t)
+             with Invalid_argument msg ->
+               Fault.fail (Fault.Bad_record ("bad flat event: " ^ msg)));
+            Trace.Flat.set_packed flat (!word + w) packed
+          done;
+          word := !word + (l / 8);
+          pos := !pos + l
+        done;
+        let byte k = Char.code (Bigarray.Array1.get map (body_end + k)) in
+        let stored =
+          byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24)
+        in
+        if stored <> !crc then
+          Fault.fail (Fault.Checksum_mismatch { stored; computed = !crc });
+        Some flat
+      end
+
+let with_mapped_file path f =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let g = Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |] in
+      f (Bigarray.array1_of_genarray g))
+
 let load_flat_result path =
   Fault.result (fun () ->
       Fault.io_point ~op:("read " ^ path);
-      In_channel.with_open_bin path (fun ic ->
-          read_reader_flat (Fault.Reader.of_channel ic)))
+      let mapped =
+        (* mmap setup can fail for reasons a channel handles fine (empty
+           file, exotic filesystem); parse faults inside the mapped body
+           propagate as the typed errors they are. *)
+        match with_mapped_file path parse_flat_mapped with
+        | r -> r
+        | (exception Unix.Unix_error _) | (exception Sys_error _) -> None
+      in
+      match mapped with
+      | Some flat -> flat
+      | None ->
+        In_channel.with_open_bin path (fun ic ->
+            read_reader_flat (Fault.Reader.of_channel ic)))
 
 let save_flat_result path flat =
   Fault.result (fun () -> Fault.atomic_write path (flat_string flat))

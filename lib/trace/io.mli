@@ -83,4 +83,9 @@ val load_flat : string -> Trace.Flat.t
 
 val load_flat_result : string -> (Trace.Flat.t, Trg_util.Fault.error) result
 (** Typed-error flavour of {!load_flat}; same failure surface as
-    {!load_result}. *)
+    {!load_result}.  v3 files are memory-mapped ([Unix.map_file]) and
+    parsed in place — the 8-aligned fixed-width header makes the mapped
+    payload word-aligned — with the channel reader's exact typed-error
+    behaviour on truncated bodies, bad words and checksum mismatches.
+    When mapping is impossible (other formats, empty or unmappable
+    files) the loader transparently falls back to the channel reader. *)

@@ -366,6 +366,78 @@ let test_flat_bad_record () =
         path binary_zero_record
         [ "Bad_record"; "Checksum_mismatch" ])
 
+(* The flat loader parses v3 files through a memory mapping.  A trace
+   bigger than the parser's 64 KB chunk proves the multi-chunk CRC fold
+   and decode, and every truncation point of the mapped body — mid-word,
+   between words, trailer torn, trailer gone — must surface as the same
+   typed [Truncated] the channel reader produces, never a crash or a
+   wrong trace. *)
+let big_flat_trace =
+  Trace.of_list
+    (List.init 12_000 (fun i ->
+         ev
+           (match i mod 3 with 0 -> Event.Enter | 1 -> Event.Run | _ -> Event.Resume)
+           (i mod 7)
+           (8 * (i mod 50))
+           (8 + (i mod 24))))
+
+let test_flat_mmap_roundtrip () =
+  with_temp (fun path ->
+      Io.save_flat path (Trace.Flat.of_trace big_flat_trace);
+      match Io.load_flat_result path with
+      | Ok f ->
+        Alcotest.(check int) "length" (Trace.length big_flat_trace)
+          (Trace.Flat.length f);
+        Alcotest.(check bool) "events identical" true
+          (Trace.to_list (Trace.Flat.to_trace f) = Trace.to_list big_flat_trace)
+      | Error e -> Alcotest.failf "mmap load failed: %s" (Fault.to_string e))
+
+let test_flat_mmap_truncation_matrix () =
+  (* Cut points, in bytes removed from the end of the full v3 file. *)
+  let cuts =
+    [
+      ("torn trailer", 2, [ "Truncated" ]);
+      ("missing trailer", 4, [ "Truncated" ]);
+      ("torn last word", 7, [ "Truncated" ]);
+      ("missing body tail", 12, [ "Truncated" ]);
+      ("half the body gone", 6_000 * 8, [ "Truncated" ]);
+      ("header only", (12_000 * 8) + 4, [ "Truncated" ]);
+    ]
+  in
+  List.iter
+    (fun (mode, cut, expect) ->
+      with_temp (fun path ->
+          Io.save_flat path (Trace.Flat.of_trace big_flat_trace);
+          check_corruption ~kind:"flat-mmap" ~mode
+            (fun p -> Result.map ignore (Io.load_flat_result p))
+            path
+            (fun content -> String.sub content 0 (String.length content - cut))
+            expect))
+    cuts;
+  (* Empty file: mapping is impossible; the channel fallback reports the
+     truncation. *)
+  with_temp (fun path ->
+      write_file path "";
+      match Io.load_flat_result path with
+      | Error (Fault.Truncated _) -> ()
+      | Error e -> Alcotest.failf "empty file: wrong error %s" (Fault.to_string e)
+      | Ok _ -> Alcotest.fail "empty file accepted")
+
+let test_flat_mmap_bit_flip () =
+  with_temp (fun path ->
+      Io.save_flat path (Trace.Flat.of_trace big_flat_trace);
+      let flip content =
+        (* Damage a byte deep in the second chunk of the mapped body. *)
+        let i = String.index content '\n' + 1 + 70_000 in
+        let b = Bytes.of_string content in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x04));
+        Bytes.to_string b
+      in
+      check_corruption ~kind:"flat-mmap" ~mode:"bit flip"
+        (fun p -> Result.map ignore (Io.load_flat_result p))
+        path flip
+        [ "Checksum_mismatch"; "Bad_record" ])
+
 (* Regression for the out-of-bounds write in [Serial.read_layout]: an
    unvalidated proc id used to index the address array directly and
    escape as [Invalid_argument "index out of bounds"]. *)
@@ -499,6 +571,8 @@ let isolation_options =
     jobs = 2;
     timeout = None;
     retries = 0;
+    policy = Trg_cache.Policy.Lru;
+    cpus = Trg_cache.Cpu.default_selection;
   }
 
 let test_strict_mode_propagates () =
@@ -545,6 +619,9 @@ let suite =
     Alcotest.test_case "binary bad record" `Quick test_binary_bad_record;
     Alcotest.test_case "v3 header fixed width" `Quick test_v3_header_fixed_width;
     Alcotest.test_case "v3 flat bad record" `Quick test_flat_bad_record;
+    Alcotest.test_case "v3 mmap roundtrip" `Quick test_flat_mmap_roundtrip;
+    Alcotest.test_case "v3 mmap truncation matrix" `Quick test_flat_mmap_truncation_matrix;
+    Alcotest.test_case "v3 mmap bit flip" `Quick test_flat_mmap_bit_flip;
     Alcotest.test_case "layout id out of range" `Quick test_layout_id_out_of_range;
     Alcotest.test_case "layout duplicate id" `Quick test_layout_duplicate_id;
     Alcotest.test_case "verify layout structural" `Quick test_verify_layout_structural;

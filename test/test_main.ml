@@ -22,6 +22,7 @@ let () =
       ("blocks", Test_blocks.suite);
       ("reuse", Test_reuse.suite);
       ("differential", Test_differential.suite);
+      ("policy", Test_policy.suite);
       ("property", Test_property.suite);
       ("pool", Test_pool.suite);
       ("coverage", Test_coverage.suite);
